@@ -1,0 +1,122 @@
+package trustroots
+
+import (
+	"crypto/x509"
+
+	"repro/internal/certutil"
+	"repro/internal/core"
+	"repro/internal/useragent"
+	"repro/internal/verify"
+)
+
+// --- User agents (Table 1 / Figure 2) ---------------------------------------
+
+// UserAgent is a parsed User-Agent string.
+type UserAgent = useragent.Agent
+
+// ParseUserAgent classifies a User-Agent string into (client, OS, version).
+func ParseUserAgent(ua string) UserAgent { return useragent.Parse(ua) }
+
+// MapUserAgent applies the paper's client→root-store rules.
+func MapUserAgent(a UserAgent) useragent.MapResult { return useragent.MapToProvider(a) }
+
+// PaperUASample returns the paper's Table 1 top-200 population rows.
+func PaperUASample() []useragent.SampleRow { return useragent.PaperSample() }
+
+// GenerateUAs expands sample rows into concrete User-Agent strings.
+func GenerateUAs(rows []useragent.SampleRow) []string { return useragent.Generate(rows) }
+
+// Table1 is the reproduced Table 1.
+type Table1 = core.Table1
+
+// AnalyzeUserAgents runs the Table 1 pipeline over raw UA strings.
+func AnalyzeUserAgents(uas []string) *Table1 { return core.AnalyzeUserAgents(uas) }
+
+// Figure2 is the ecosystem family rollup (the inverted pyramid).
+type Figure2 = core.Figure2
+
+// EcosystemShares rolls UA strings up to root-program families.
+func EcosystemShares(uas []string) *Figure2 { return core.EcosystemShares(uas) }
+
+// --- Ordination (Figure 1) ----------------------------------------------------
+
+// Ordination is the Figure 1 result: MDS embedding + clustering.
+type Ordination = core.Ordination
+
+// OrdinationConfig controls the Figure 1 computation.
+type OrdinationConfig = core.OrdinationConfig
+
+// DefaultOrdinationConfig mirrors the paper (2011–2021, k=4).
+func DefaultOrdinationConfig() OrdinationConfig { return core.DefaultOrdinationConfig() }
+
+// --- Derivative auditing & store engineering (§7 extensions) ----------------
+
+// AuditReport is a derivative-store audit result.
+type AuditReport = core.AuditReport
+
+// AuditConfig tunes the derivative audit.
+type AuditConfig = core.AuditConfig
+
+// Finding is one audit observation.
+type Finding = core.Finding
+
+// Audit finding kinds.
+const (
+	FindingStale               = core.FindingStale
+	FindingRetainedRemoval     = core.FindingRetainedRemoval
+	FindingForeignRoot         = core.FindingForeignRoot
+	FindingLostPartialDistrust = core.FindingLostPartialDistrust
+	FindingExpiredRoot         = core.FindingExpiredRoot
+	FindingMissingRoot         = core.FindingMissingRoot
+)
+
+// SplitByPurpose partitions a snapshot into single-purpose stores, the
+// paper's §7 recommendation (tls/email/objsign bundles).
+func SplitByPurpose(s *Snapshot) map[Purpose]*Snapshot { return core.SplitByPurpose(s) }
+
+// Usage records per-anchor chain-termination counts for minimization.
+type Usage = core.Usage
+
+// MinimizeResult is the outcome of minimizing a store against a workload.
+type MinimizeResult = core.MinimizeResult
+
+// RemovedCA is one row of a removed-CA transparency report.
+type RemovedCA = core.RemovedCA
+
+// --- Fingerprints ---------------------------------------------------------------
+
+// Fingerprint is the SHA-256 identity of a certificate.
+type Fingerprint = certutil.Fingerprint
+
+// FingerprintOf computes the canonical fingerprint of DER bytes.
+func FingerprintOf(der []byte) Fingerprint { return certutil.SHA256Fingerprint(der) }
+
+// --- Verification ----------------------------------------------------------------
+
+// Verifier verifies chains against one snapshot with purpose- and
+// time-aware semantics, including partial distrust.
+type Verifier = verify.Verifier
+
+// VerifyRequest describes one chain verification.
+type VerifyRequest = verify.Request
+
+// VerifyResult is the outcome with diagnostics.
+type VerifyResult = verify.Result
+
+// Verification outcomes.
+const (
+	VerifyOK              = verify.OK
+	VerifyNoAnchor        = verify.NoAnchor
+	VerifyNotTrusted      = verify.AnchorNotTrusted
+	VerifyPartialDistrust = verify.AnchorPartialDistrust
+	VerifyExpired         = verify.Expired
+)
+
+// NewVerifier creates a verifier over a snapshot.
+func NewVerifier(s *Snapshot) *Verifier { return verify.New(s) }
+
+// CertPoolFor extracts the x509.CertPool of roots a snapshot trusts for a
+// purpose — ready for tls.Config.RootCAs.
+func CertPoolFor(s *Snapshot, p Purpose) *x509.CertPool {
+	return verify.New(s).Pool(p)
+}

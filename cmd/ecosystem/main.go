@@ -1,0 +1,70 @@
+// Command ecosystem runs the full paper reproduction: it generates the
+// synthetic root-store corpus and prints every table and figure of the
+// evaluation with the paper's published values alongside.
+//
+// Usage:
+//
+//	ecosystem [-seed s] [-artifact name]
+//
+// With -artifact, only the named artifact is printed (table1, table2,
+// figure1, figure2, table3, table4, figure3, figure4, table5, table6,
+// table7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/artifacts"
+	"repro/internal/synth"
+)
+
+func main() {
+	seed := flag.String("seed", "tracing-your-roots", "corpus generation seed")
+	artifact := flag.String("artifact", "", "render a single artifact (table1..table7, figure1..figure4)")
+	flag.Parse()
+
+	eco, err := synth.Generate(*seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecosystem: %v\n", err)
+		os.Exit(1)
+	}
+	ctx := artifacts.NewContext(eco)
+
+	var run func(io.Writer) error
+	switch *artifact {
+	case "":
+		run = ctx.RenderAll
+	case "table1":
+		run = ctx.Table1
+	case "table2":
+		run = ctx.Table2
+	case "figure1":
+		run = ctx.Figure1
+	case "figure2":
+		run = ctx.Figure2
+	case "table3":
+		run = ctx.Table3
+	case "table4":
+		run = ctx.Table4
+	case "figure3":
+		run = ctx.Figure3
+	case "figure4":
+		run = ctx.Figure4
+	case "table5":
+		run = ctx.Table5
+	case "table6":
+		run = ctx.Table6
+	case "table7":
+		run = ctx.Table7
+	default:
+		fmt.Fprintf(os.Stderr, "ecosystem: unknown artifact %q\n", *artifact)
+		os.Exit(2)
+	}
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "ecosystem: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,302 @@
+// Command rootstore inspects, diffs and converts root-store files across
+// every format the library supports.
+//
+// Usage:
+//
+//	rootstore inspect -format F PATH
+//	rootstore diff    -format F PATH -format2 G PATH2
+//	rootstore convert -format F PATH -to G OUT
+//
+// Formats: certdata, pem, pemdir, jks, authroot, apple, node.
+// For jks, -password selects the integrity password (default "changeit").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/applestore"
+	"repro/internal/authroot"
+	"repro/internal/certdata"
+	"repro/internal/certutil"
+	"repro/internal/core"
+	"repro/internal/jks"
+	"repro/internal/nodecerts"
+	"repro/internal/pemstore"
+	"repro/internal/report"
+	"repro/internal/store"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	format := fs.String("format", "", "input format: certdata|pem|pemdir|jks|authroot|apple|node")
+	format2 := fs.String("format2", "", "second input format (diff)")
+	to := fs.String("to", "", "output format (convert)")
+	password := fs.String("password", "changeit", "JKS integrity password")
+	purpose := fs.String("purpose", "server-auth", "trust purpose for bare-list formats")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	args := fs.Args()
+
+	p, err := store.ParsePurpose(*purpose)
+	if err != nil {
+		fail(err)
+	}
+
+	switch cmd {
+	case "inspect":
+		if len(args) != 1 || *format == "" {
+			usage()
+		}
+		entries, err := parseAny(*format, args[0], *password, p)
+		if err != nil {
+			fail(err)
+		}
+		inspect(entries)
+	case "diff":
+		if len(args) != 2 || *format == "" {
+			usage()
+		}
+		f2 := *format2
+		if f2 == "" {
+			f2 = *format
+		}
+		a, err := parseAny(*format, args[0], *password, p)
+		if err != nil {
+			fail(err)
+		}
+		b, err := parseAny(f2, args[1], *password, p)
+		if err != nil {
+			fail(err)
+		}
+		diff(a, b, p)
+	case "audit":
+		if len(args) != 2 || *format == "" {
+			usage()
+		}
+		f2 := *format2
+		if f2 == "" {
+			f2 = *format
+		}
+		deriv, err := parseAny(*format, args[0], *password, p)
+		if err != nil {
+			fail(err)
+		}
+		upstream, err := parseAny(f2, args[1], *password, p)
+		if err != nil {
+			fail(err)
+		}
+		audit(deriv, upstream, p)
+	case "convert":
+		if len(args) != 2 || *format == "" || *to == "" {
+			usage()
+		}
+		entries, err := parseAny(*format, args[0], *password, p)
+		if err != nil {
+			fail(err)
+		}
+		if err := writeAny(*to, args[1], entries, *password); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d entries to %s (%s)\n", len(entries), args[1], *to)
+	default:
+		usage()
+	}
+}
+
+func parseAny(format, path, password string, p store.Purpose) ([]*store.TrustEntry, error) {
+	switch format {
+	case "certdata":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		res, err := certdata.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range res.Warnings {
+			fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+		}
+		return res.Entries, nil
+	case "pem":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return pemstore.ParseBundle(f, p)
+	case "pemdir":
+		return pemstore.ReadDir(path, p)
+	case "jks":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		ks, err := jks.Parse(data, password)
+		if err != nil {
+			return nil, err
+		}
+		return ks.ToEntries(store.ServerAuth, store.EmailProtection, store.CodeSigning)
+	case "authroot":
+		entries, missing, err := authroot.ReadBundle(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d subjects missing certificate files\n", len(missing))
+		}
+		return entries, nil
+	case "apple":
+		return applestore.ReadDir(path)
+	case "node":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return nodecerts.Parse(f)
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func writeAny(format, path string, entries []*store.TrustEntry, password string) error {
+	switch format {
+	case "certdata":
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return certdata.Marshal(f, entries)
+	case "pem":
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return pemstore.WriteBundle(f, entries)
+	case "pemdir":
+		return pemstore.WriteDir(path, entries)
+	case "jks":
+		data, err := jks.Marshal(jks.FromEntries(entries, time.Now()), password)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, data, 0o644)
+	case "authroot":
+		return authroot.WriteBundle(path, entries, time.Now().Unix(), time.Now())
+	case "apple":
+		return applestore.WriteDir(path, entries)
+	case "node":
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return nodecerts.Marshal(f, entries)
+	default:
+		return fmt.Errorf("unknown output format %q", format)
+	}
+}
+
+func inspect(entries []*store.TrustEntry) {
+	t := report.NewTable(fmt.Sprintf("%d trust anchors", len(entries)),
+		"Fingerprint", "Label", "Key", "Signature", "Expires", "Trust")
+	for _, e := range entries {
+		trust := ""
+		for _, p := range store.AllPurposes {
+			if l := e.TrustFor(p); l != store.Unspecified {
+				if trust != "" {
+					trust += " "
+				}
+				trust += fmt.Sprintf("%s=%s", p, l)
+				if da, ok := e.DistrustAfterFor(p); ok {
+					trust += fmt.Sprintf("(until %s)", da.Format("2006-01-02"))
+				}
+			}
+		}
+		t.AddRow(e.Fingerprint.Short(), e.Label,
+			certutil.ClassifyKey(e.Cert).String(),
+			certutil.ClassifySignature(e.Cert.SignatureAlgorithm).String(),
+			e.Cert.NotAfter.Format("2006-01-02"), trust)
+	}
+	_ = t.Render(os.Stdout)
+}
+
+func diff(a, b []*store.TrustEntry, p store.Purpose) {
+	sa := store.NewSnapshot("a", "a", time.Now())
+	for _, e := range a {
+		sa.Add(e)
+	}
+	sb := store.NewSnapshot("b", "b", time.Now())
+	for _, e := range b {
+		sb.Add(e)
+	}
+	onlyA, onlyB, both := store.SetDiff(sa, sb, p)
+	fmt.Printf("only in %s: %d   only in %s: %d   shared: %d\n",
+		filepath.Base(os.Args[len(os.Args)-2]), len(onlyA),
+		filepath.Base(os.Args[len(os.Args)-1]), len(onlyB), len(both))
+	for _, fp := range onlyA {
+		e, _ := sa.Lookup(fp)
+		fmt.Printf("  - %s %s\n", fp.Short(), e.Label)
+	}
+	for _, fp := range onlyB {
+		e, _ := sb.Lookup(fp)
+		fmt.Printf("  + %s %s\n", fp.Short(), e.Label)
+	}
+	d := store.DiffSnapshots(sa, sb)
+	for _, tc := range d.TrustChanges {
+		fmt.Printf("  ~ %s\n", tc)
+	}
+}
+
+// audit runs the snapshot-level derivative linter: the first store is the
+// derivative, the second its upstream.
+func audit(deriv, upstream []*store.TrustEntry, p store.Purpose) {
+	now := time.Now()
+	ds := store.NewSnapshot("derivative", "cli", now)
+	for _, e := range deriv {
+		ds.Add(e)
+	}
+	us := store.NewSnapshot("upstream", "cli", now)
+	for _, e := range upstream {
+		us.Add(e)
+	}
+	report := core.AuditSnapshots(ds, us, p)
+	if len(report.Findings) == 0 {
+		fmt.Println("no findings: stores agree for this purpose")
+		return
+	}
+	for kind, n := range report.CountByKind() {
+		fmt.Printf("%-24s %d\n", kind, n)
+	}
+	fmt.Println()
+	for _, f := range report.Findings {
+		fmt.Println(" ", f)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  rootstore inspect -format F PATH
+  rootstore diff    -format F [-format2 G] PATH PATH2
+  rootstore audit   -format F [-format2 G] DERIVATIVE UPSTREAM
+  rootstore convert -format F -to G PATH OUT`)
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "rootstore: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+// Command synthgen writes the synthetic root-store corpus to disk in each
+// provider's native on-disk format, producing a directory tree a real
+// root-store scraper would recognize:
+//
+//	out/
+//	  NSS/<version>/certdata.txt
+//	  Microsoft/<version>/authroot.stl + certs/<sha1>.cer
+//	  Apple/<version>/<root>.cer [+ TrustSettings.plist]
+//	  Java/<version>/cacerts.jks
+//	  NodeJS/<version>/node_root_certs.h
+//	  Debian|Ubuntu|Alpine|AmazonLinux|Android/<version>/tls-ca-bundle.pem
+//
+// Usage:
+//
+//	synthgen -out DIR [-seed s] [-latest-only]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/applestore"
+	"repro/internal/authroot"
+	"repro/internal/certdata"
+	"repro/internal/jks"
+	"repro/internal/nodecerts"
+	"repro/internal/paperdata"
+	"repro/internal/pemstore"
+	"repro/internal/store"
+	"repro/internal/synth"
+)
+
+func main() {
+	out := flag.String("out", "", "output directory (required)")
+	seed := flag.String("seed", "tracing-your-roots", "corpus generation seed")
+	latestOnly := flag.Bool("latest-only", true, "write only each provider's latest snapshot (false: every snapshot)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "synthgen: -out is required")
+		os.Exit(2)
+	}
+
+	eco, err := synth.Generate(*seed)
+	if err != nil {
+		fail(err)
+	}
+	written := 0
+	for _, prov := range eco.DB.Providers() {
+		h := eco.DB.History(prov)
+		snaps := h.Snapshots()
+		if *latestOnly {
+			snaps = snaps[len(snaps)-1:]
+		}
+		for _, s := range snaps {
+			dir := filepath.Join(*out, prov, s.Version)
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fail(err)
+			}
+			if err := writeNative(dir, prov, s); err != nil {
+				fail(fmt.Errorf("%s %s: %w", prov, s.Version, err))
+			}
+			written++
+		}
+	}
+	fmt.Printf("synthgen: wrote %d snapshots under %s\n", written, *out)
+}
+
+func writeNative(dir, provider string, s *store.Snapshot) error {
+	entries := s.Entries()
+	switch provider {
+	case paperdata.NSS:
+		f, err := os.Create(filepath.Join(dir, "certdata.txt"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return certdata.Marshal(f, entries)
+	case paperdata.Microsoft:
+		return authroot.WriteBundle(dir, entries, int64(s.Date.Unix()), s.Date)
+	case paperdata.Apple:
+		return applestore.WriteDir(dir, entries)
+	case paperdata.Java:
+		data, err := jks.Marshal(jks.FromEntries(entries, s.Date), "changeit")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dir, "cacerts.jks"), data, 0o644)
+	case paperdata.NodeJS:
+		f, err := os.Create(filepath.Join(dir, "node_root_certs.h"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return nodecerts.Marshal(f, entries)
+	default: // the Linux-style derivatives
+		f, err := os.Create(filepath.Join(dir, "tls-ca-bundle.pem"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return pemstore.WriteBundle(f, entries, store.ServerAuth)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "synthgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+package trustroots_test
+
+import (
+	"fmt"
+
+	trustroots "repro"
+)
+
+// ExampleParseUserAgent shows the Table 1 building block: classifying a
+// raw User-Agent header.
+func ExampleParseUserAgent() {
+	a := trustroots.ParseUserAgent(
+		"Mozilla/5.0 (Windows NT 10.0; Win64; x64; rv:86.0) Gecko/20100101 Firefox/86.0")
+	m := trustroots.MapUserAgent(a)
+	fmt.Printf("%s %s -> provider %s (traceable=%v)\n", a.Browser, a.OS, m.Provider, m.Traceable)
+	// Output:
+	// Firefox Windows -> provider NSS (traceable=true)
+}
+
+// ExampleAnalyzeUserAgents reproduces the paper's Table 1 headline from the
+// calibrated top-200 sample.
+func ExampleAnalyzeUserAgents() {
+	uas := trustroots.GenerateUAs(trustroots.PaperUASample())
+	t1 := trustroots.AnalyzeUserAgents(uas)
+	fmt.Printf("traceable: %d/%d (%.1f%%)\n", t1.Included, t1.Total, t1.CoveragePercent())
+	// Output:
+	// traceable: 154/200 (77.0%)
+}
+
+// ExampleEcosystemShares reproduces §4's inverted pyramid.
+func ExampleEcosystemShares() {
+	uas := trustroots.GenerateUAs(trustroots.PaperUASample())
+	f2 := trustroots.EcosystemShares(uas)
+	for _, s := range f2.Shares {
+		fmt.Printf("%-10s %.1f%%\n", s.Family, s.Percent)
+	}
+	// Output:
+	// Mozilla    33.5%
+	// Apple      26.5%
+	// Microsoft  17.0%
+}
+
+// ExampleFingerprintOf shows the canonical certificate identity used across
+// every store and analysis.
+func ExampleFingerprintOf() {
+	fp := trustroots.FingerprintOf([]byte("example DER bytes"))
+	fmt.Println(fp.Short())
+	// Output:
+	// f75c0e7f
+}

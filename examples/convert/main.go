@@ -1,0 +1,140 @@
+// Convert: round-trip one root store through every supported format and
+// report what survives — a fidelity matrix demonstrating which formats can
+// carry trust purposes and partial distrust (certdata, authroot, apple) and
+// which flatten everything to on-or-off membership (PEM, JKS, node).
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	trustroots "repro"
+)
+
+func main() {
+	eco, err := trustroots.CachedEcosystem("tracing-your-roots")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A snapshot rich in metadata: NSS just after the Symantec partial
+	// distrust landed.
+	src := eco.DB.History(trustroots.NSS).At(time.Date(2020, 9, 1, 0, 0, 0, 0, time.UTC))
+	entries := src.Entries()
+	origStats := stats(entries)
+	fmt.Printf("source: NSS %s — %s\n\n", src.Date.Format("2006-01-02"), origStats)
+
+	tmp, err := os.MkdirTemp("", "trustroots-convert")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	fmt.Printf("%-10s  %-34s  %s\n", "format", "survives round trip", "notes")
+	fmt.Printf("%-10s  %-34s  %s\n", "------", "-------------------", "-----")
+
+	// certdata.txt
+	var buf bytes.Buffer
+	if err := trustroots.WriteCertdata(&buf, entries); err != nil {
+		log.Fatal(err)
+	}
+	res, err := trustroots.ParseCertdata(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row("certdata", stats(res.Entries), "full fidelity: purposes + partial distrust")
+
+	// authroot bundle
+	authDir := filepath.Join(tmp, "authroot")
+	if err := trustroots.WriteAuthrootBundle(authDir, entries, 1, src.Date); err != nil {
+		log.Fatal(err)
+	}
+	authEntries, _, err := trustroots.ReadAuthrootBundle(authDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row("authroot", stats(authEntries), "EKU purposes + NotBefore partial distrust")
+
+	// apple directory
+	appleDir := filepath.Join(tmp, "apple")
+	if err := trustroots.WriteAppleDir(appleDir, entries); err != nil {
+		log.Fatal(err)
+	}
+	appleEntries, err := trustroots.ReadAppleDir(appleDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row("apple", stats(appleEntries), "per-policy trust settings (extension for distrust-after)")
+
+	// PEM bundle
+	var pemBuf bytes.Buffer
+	if err := trustroots.WritePEMBundle(&pemBuf, entries, trustroots.ServerAuth); err != nil {
+		log.Fatal(err)
+	}
+	pemEntries, err := trustroots.ParsePEMBundle(&pemBuf, trustroots.ServerAuth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row("pem", stats(pemEntries), "TLS membership only — metadata flattened")
+
+	// JKS
+	jksData, err := trustroots.WriteJKS(entries, "changeit", src.Date, trustroots.ServerAuth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ks, err := trustroots.ParseJKS(jksData, "changeit")
+	if err != nil {
+		log.Fatal(err)
+	}
+	jksEntries, err := trustroots.JKSEntries(ks, trustroots.ServerAuth, trustroots.EmailProtection, trustroots.CodeSigning)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row("jks", stats(jksEntries), "membership only; re-read conflates all purposes")
+
+	// node_root_certs.h
+	var nodeBuf bytes.Buffer
+	if err := trustroots.WriteNodeCerts(&nodeBuf, entries); err != nil {
+		log.Fatal(err)
+	}
+	nodeEntries, err := trustroots.ParseNodeCerts(&nodeBuf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row("node", stats(nodeEntries), "TLS membership only")
+}
+
+type fidelity struct {
+	entries       int
+	tls           int
+	email         int
+	distrustAfter int
+}
+
+func (f fidelity) String() string {
+	return fmt.Sprintf("%3d roots, %3d tls, %3d email, %d partial-distrust", f.entries, f.tls, f.email, f.distrustAfter)
+}
+
+func stats(entries []*trustroots.TrustEntry) fidelity {
+	var f fidelity
+	f.entries = len(entries)
+	for _, e := range entries {
+		if e.TrustedFor(trustroots.ServerAuth) {
+			f.tls++
+		}
+		if e.TrustedFor(trustroots.EmailProtection) {
+			f.email++
+		}
+		if _, ok := e.DistrustAfterFor(trustroots.ServerAuth); ok {
+			f.distrustAfter++
+		}
+	}
+	return f
+}
+
+func row(format string, f fidelity, notes string) {
+	fmt.Printf("%-10s  %-34s  %s\n", format, f, notes)
+}

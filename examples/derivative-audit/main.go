@@ -1,0 +1,100 @@
+// Derivative audit: the paper's §6 in one program. Audits a Linux
+// derivative (Debian) against its NSS upstream: update staleness, bespoke
+// membership differences, and the Symantec partial-distrust copying failure
+// — showing a certificate that NSS semantics reject but the derivative's
+// flattened store accepts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	trustroots "repro"
+)
+
+func date(y, m, d int) time.Time { return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC) }
+
+func main() {
+	eco, err := trustroots.CachedEcosystem("tracing-your-roots")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe := trustroots.NewPipeline(eco.DB)
+
+	// 1. Staleness: how far behind NSS does Debian run?
+	st := pipe.DerivativeStaleness(trustroots.Debian, trustroots.NSS,
+		date(2015, 1, 1), date(2021, 1, 31))
+	fmt.Printf("Debian staleness vs NSS (2015-2021): %.2f substantial versions behind on average\n",
+		st.AvgVersionsBehind)
+	fmt.Printf("  copy fidelity: mean Jaccard distance to matched NSS version = %.3f (0 = perfect copy)\n\n",
+		st.AvgDistance)
+
+	// 2. Membership deviations (Figure 4's story).
+	diff := pipe.DerivativeDiffs(trustroots.Debian, trustroots.NSS, nil)
+	fmt.Printf("Debian vs matched NSS versions: %d root-additions, %d root-removals across the history\n\n",
+		diff.TotalAdded, diff.TotalRemoved)
+
+	// 3. The Symantec incident, end to end. Pick the window after NSS 3.53
+	// (partial distrust applied) but before the December 2020 removals.
+	at := date(2020, 9, 15)
+	nssSnap := eco.DB.History(trustroots.NSS).At(at)
+	debSnapNov := eco.DB.History(trustroots.Debian).At(date(2020, 11, 15))
+
+	// Find an NSS Symantec root under partial distrust.
+	var symantec *trustroots.TrustEntry
+	for _, e := range nssSnap.Entries() {
+		if _, ok := e.DistrustAfterFor(trustroots.ServerAuth); ok {
+			symantec = e
+			break
+		}
+	}
+	if symantec == nil {
+		log.Fatal("no partially distrusted root found in NSS snapshot")
+	}
+	cutoff, _ := symantec.DistrustAfterFor(trustroots.ServerAuth)
+	fmt.Printf("NSS %s: root %q trusted, but leaves issued after %s are rejected\n",
+		nssSnap.Version, symantec.Label, cutoff.Format("2006-01-02"))
+
+	// Issue a leaf after the cutoff from the same CA.
+	ca := eco.Universe.Lookup(symantec.Label)
+	if ca == nil {
+		log.Fatalf("CA %q not in universe", symantec.Label)
+	}
+	leafDER, err := trustroots.IssueLeaf(ca, "shop.example.test",
+		cutoff.AddDate(0, 2, 0), cutoff.AddDate(2, 0, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	leaf, err := trustroots.NewEntry(leafDER)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nssVerifier := trustroots.NewVerifier(nssSnap)
+	nssResult := nssVerifier.Verify(trustroots.VerifyRequest{
+		Leaf:    leaf.Cert,
+		Purpose: trustroots.ServerAuth,
+		At:      date(2020, 11, 15),
+	})
+	fmt.Printf("  NSS verdict for a leaf issued %s: %s\n",
+		leaf.Cert.NotBefore.Format("2006-01-02"), nssResult.Outcome)
+
+	// Debian in November 2020 has re-added the Symantec roots (after the
+	// premature-removal breakage) — as a flat list with no partial
+	// distrust.
+	debVerifier := trustroots.NewVerifier(debSnapNov)
+	debResult := debVerifier.Verify(trustroots.VerifyRequest{
+		Leaf:    leaf.Cert,
+		Purpose: trustroots.ServerAuth,
+		At:      date(2020, 11, 15),
+	})
+	fmt.Printf("  Debian (%s) verdict for the same leaf: %s\n",
+		debSnapNov.Date.Format("2006-01-02"), debResult.Outcome)
+
+	if nssResult.Outcome != trustroots.VerifyOK && debResult.Outcome == trustroots.VerifyOK {
+		fmt.Println("\n=> the derivative's on-or-off store accepts what NSS rejects: §6.2's copying failure, reproduced.")
+	} else {
+		fmt.Println("\n(unexpected outcome combination — check snapshot windows)")
+	}
+}

@@ -1,0 +1,21 @@
+// Ecosystem report: the full paper reproduction in one program — generate
+// the corpus and render every table and figure with the paper's published
+// values alongside for comparison.
+package main
+
+import (
+	"log"
+	"os"
+
+	trustroots "repro"
+)
+
+func main() {
+	eco, err := trustroots.CachedEcosystem("tracing-your-roots")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trustroots.RenderReport(os.Stdout, eco); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Quickstart: generate the synthetic ecosystem, look at NSS's latest root
+// store, round-trip it through the certdata.txt codec, and check a few
+// trust facts — the five-minute tour of the library.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	trustroots "repro"
+)
+
+func main() {
+	// 1. Generate the corpus (deterministic for a seed).
+	eco, err := trustroots.CachedEcosystem("quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d providers, %d snapshots total\n",
+		len(eco.DB.Providers()), eco.DB.TotalSnapshots())
+
+	// 2. Inspect NSS's latest snapshot.
+	nss := eco.DB.History(trustroots.NSS).Latest()
+	fmt.Printf("\nNSS %s (%s): %d roots, %d TLS-trusted, %d email-trusted\n",
+		nss.Version, nss.Date.Format("2006-01-02"), nss.Len(),
+		nss.TrustedCount(trustroots.ServerAuth),
+		nss.TrustedCount(trustroots.EmailProtection))
+
+	// 3. Partial distrust: find the Symantec roots still carrying
+	// server-distrust-after annotations.
+	annotated := 0
+	for _, e := range nss.Entries() {
+		if cutoff, ok := e.DistrustAfterFor(trustroots.ServerAuth); ok {
+			annotated++
+			fmt.Printf("  partial distrust: %-22s certificates issued after %s rejected\n",
+				e.Label, cutoff.Format("2006-01-02"))
+		}
+	}
+	fmt.Printf("  (%d roots under partial distrust)\n", annotated)
+
+	// 4. Round-trip the store through the certdata.txt codec.
+	var buf bytes.Buffer
+	if err := trustroots.WriteCertdata(&buf, nss.Entries()); err != nil {
+		log.Fatal(err)
+	}
+	size := buf.Len()
+	parsed, err := trustroots.ParseCertdata(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncertdata.txt round trip: %d bytes, %d entries parsed back\n",
+		size, len(parsed.Entries))
+
+	// 5. The same store written as a PEM bundle loses the partial-distrust
+	// metadata — the derivative-format limitation the paper studies.
+	var pemBuf bytes.Buffer
+	if err := trustroots.WritePEMBundle(&pemBuf, nss.Entries(), trustroots.ServerAuth); err != nil {
+		log.Fatal(err)
+	}
+	flat, err := trustroots.ParsePEMBundle(&pemBuf, trustroots.ServerAuth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lost := 0
+	for _, e := range flat {
+		if _, ok := e.DistrustAfterFor(trustroots.ServerAuth); ok {
+			lost++
+		}
+	}
+	fmt.Printf("PEM bundle round trip: %d entries, %d partial-distrust annotations survive (certdata had %d)\n",
+		len(flat), lost, annotated)
+}

@@ -1,0 +1,93 @@
+// Store engineering: the paper's §7 recommendations applied — audit a
+// derivative with the linter, split a multi-purpose store into
+// single-purpose bundles, generate the removed-CA transparency report, and
+// minimize a store against an observed workload (the attack-surface
+// reduction of Braun/Smith et al. the paper discusses).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	trustroots "repro"
+)
+
+func date(y, m, d int) time.Time { return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC) }
+
+func main() {
+	eco, err := trustroots.CachedEcosystem("tracing-your-roots")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe := trustroots.NewPipeline(eco.DB)
+
+	// 1. Lint a derivative: AmazonLinux in mid-2017, the worst offender.
+	report, err := pipe.AuditDerivative(trustroots.AmazonLinux, trustroots.NSS,
+		date(2017, 6, 1), trustroots.AuditConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== Derivative audit: AmazonLinux vs NSS at %s ==\n", report.At.Format("2006-01-02"))
+	fmt.Printf("   %d substantial versions behind upstream\n", report.VersionsBehind)
+	for kind, n := range report.CountByKind() {
+		fmt.Printf("   %-22s %d findings\n", kind, n)
+	}
+	shown := 0
+	for _, f := range report.Findings {
+		if f.Kind == trustroots.FindingRetainedRemoval && shown < 3 {
+			fmt.Printf("   e.g. %s\n", f)
+			shown++
+		}
+	}
+
+	// 2. Single-purpose stores: split NSS and write RHEL-style bundles.
+	nss := eco.DB.History(trustroots.NSS).Latest()
+	split := trustroots.SplitByPurpose(nss)
+	fmt.Printf("\n== Purpose split of NSS %s ==\n", nss.Date.Format("2006-01-02"))
+	for _, p := range []trustroots.Purpose{trustroots.ServerAuth, trustroots.EmailProtection, trustroots.CodeSigning} {
+		fmt.Printf("   %-18s %3d roots\n", p, split[p].Len())
+	}
+	dir, err := os.MkdirTemp("", "purpose-bundles")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := trustroots.WritePurposeBundles(dir, nss.Entries()); err != nil {
+		log.Fatal(err)
+	}
+	back, err := trustroots.ReadPurposeBundles(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   wrote %s/{tls,email,objsign}-ca-bundle.pem; re-read %d distinct roots with purposes intact\n",
+		filepath.Base(dir), len(back))
+
+	// 3. Removed-CA transparency report for NSS since 2010.
+	removed := pipe.RemovedCAReport(trustroots.NSS, date(2010, 1, 1))
+	fmt.Printf("\n== NSS removed-CA report since 2010: %d removals ==\n", len(removed))
+	for _, r := range removed[:3] {
+		fmt.Printf("   %s  %-28s trusted %s..%s\n", r.Fingerprint.Short(), r.Label,
+			r.FirstTrusted.Format("2006"), r.LastTrusted.Format("2006-01-02"))
+	}
+	fmt.Printf("   ...\n")
+
+	// 4. Minimize against a synthetic workload where a handful of CAs
+	// terminate most chains (the empirical shape of real TLS traffic).
+	entries := nss.Entries()
+	usage := trustroots.Usage{}
+	weight := 1 << 12
+	for _, e := range entries {
+		if e.TrustedFor(trustroots.ServerAuth) {
+			usage[e.Fingerprint] = weight
+			if weight > 1 {
+				weight /= 2
+			}
+		}
+	}
+	res := pipe.Minimize(nss, usage, 0.99)
+	fmt.Printf("\n== Minimization: %d roots cover %.1f%% of the workload (dropped %d) ==\n",
+		len(res.Kept), res.Coverage*100, len(res.Dropped))
+}

@@ -1,0 +1,113 @@
+// TLS trust: a live, in-process TLS handshake whose outcome depends on
+// which provider's root store the client loads. A server presents a chain
+// under a Microsoft-exclusive root; a "Windows" client (Microsoft store)
+// completes the handshake while a "Firefox" client (NSS store) refuses it —
+// the paper's vulnerability-exposure difference made concrete on a real
+// crypto/tls connection.
+package main
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	trustroots "repro"
+)
+
+func main() {
+	eco, err := trustroots.CachedEcosystem("tracing-your-roots")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find a Microsoft-exclusive CA (in Microsoft's store, never in NSS).
+	var exclusive *trustroots.SyntheticCA
+	for _, ca := range eco.Universe.CAs {
+		if ca.Program == trustroots.Microsoft && ca.Category == "exclusive" {
+			exclusive = ca
+			break
+		}
+	}
+	if exclusive == nil {
+		log.Fatal("no Microsoft-exclusive CA in universe")
+	}
+	fmt.Printf("server chain issued by: %s\n\n", exclusive.Name)
+
+	// Issue the server's leaf.
+	now := time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC)
+	leafDER, leafKey, err := trustroots.IssueLeafWithKey(exclusive, "localhost", now.AddDate(-1, 0, 0), now.AddDate(1, 0, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	serverCert := tls.Certificate{
+		Certificate: [][]byte{leafDER, exclusive.Root.DER},
+		PrivateKey:  leafKey,
+	}
+
+	// Client root pools from the two providers' snapshots at the same date.
+	msSnap := eco.DB.History(trustroots.Microsoft).At(now)
+	nssSnap := eco.DB.History(trustroots.NSS).At(now)
+	msPool := trustroots.CertPoolFor(msSnap, trustroots.ServerAuth)
+	nssPool := trustroots.CertPoolFor(nssSnap, trustroots.ServerAuth)
+	fmt.Printf("Microsoft store %s: %d TLS roots\n", msSnap.Date.Format("2006-01-02"), msSnap.TrustedCount(trustroots.ServerAuth))
+	fmt.Printf("NSS store       %s: %d TLS roots\n\n", nssSnap.Date.Format("2006-01-02"), nssSnap.TrustedCount(trustroots.ServerAuth))
+
+	for _, client := range []struct {
+		name string
+		pool *x509.CertPool
+	}{
+		{"Windows client (Microsoft roots)", msPool},
+		{"Firefox client (NSS roots)", nssPool},
+	} {
+		err := handshake(serverCert, client.pool, now)
+		if err != nil {
+			fmt.Printf("%-34s handshake FAILED: %v\n", client.name, err)
+		} else {
+			fmt.Printf("%-34s handshake OK\n", client.name)
+		}
+	}
+}
+
+// handshake runs a one-connection TLS server and client over a loopback
+// listener, verifying the server chain against the given pool at a fixed
+// time.
+func handshake(serverCert tls.Certificate, pool *x509.CertPool, at time.Time) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+
+	serverErr := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			serverErr <- err
+			return
+		}
+		srv := tls.Server(conn, &tls.Config{
+			Certificates: []tls.Certificate{serverCert},
+			Time:         func() time.Time { return at },
+		})
+		err = srv.Handshake()
+		srv.Close()
+		serverErr <- err
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	cli := tls.Client(conn, &tls.Config{
+		RootCAs:    pool,
+		ServerName: "localhost",
+		Time:       func() time.Time { return at },
+	})
+	clientErr := cli.Handshake()
+	cli.Close()
+	<-serverErr
+	return clientErr
+}

@@ -1,0 +1,135 @@
+package trustroots
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/applestore"
+	"repro/internal/authroot"
+	"repro/internal/certdata"
+	"repro/internal/jks"
+	"repro/internal/nodecerts"
+	"repro/internal/pemstore"
+	"repro/internal/store"
+)
+
+// --- NSS certdata.txt ------------------------------------------------------
+
+// CertdataResult is the outcome of parsing an NSS certdata.txt file.
+type CertdataResult = certdata.ParseResult
+
+// ParseCertdata reads an NSS certdata.txt stream: certificates, per-purpose
+// trust levels, and partial-distrust (server/email distrust-after)
+// annotations.
+func ParseCertdata(r io.Reader) (*CertdataResult, error) { return certdata.Parse(r) }
+
+// WriteCertdata serializes entries as a certdata.txt document.
+func WriteCertdata(w io.Writer, entries []*TrustEntry) error { return certdata.Marshal(w, entries) }
+
+// --- Linux PEM bundles and directories --------------------------------------
+
+// ParsePEMBundle reads a concatenated PEM bundle, marking every certificate
+// trusted for the listed purposes (the format carries no trust metadata).
+func ParsePEMBundle(r io.Reader, purposes ...Purpose) ([]*TrustEntry, error) {
+	return pemstore.ParseBundle(r, purposes...)
+}
+
+// WritePEMBundle writes entries trusted for any filter purpose as a PEM
+// bundle; trust metadata — including partial distrust — is irrecoverably
+// dropped, which is the derivative-format limitation §6 of the paper
+// documents.
+func WritePEMBundle(w io.Writer, entries []*TrustEntry, filter ...Purpose) error {
+	return pemstore.WriteBundle(w, entries, filter...)
+}
+
+// ReadPEMDir reads a /usr/share/ca-certificates-style directory.
+func ReadPEMDir(dir string, purposes ...Purpose) ([]*TrustEntry, error) {
+	return pemstore.ReadDir(dir, purposes...)
+}
+
+// WritePEMDir writes one PEM file per entry into dir.
+func WritePEMDir(dir string, entries []*TrustEntry, filter ...Purpose) error {
+	return pemstore.WriteDir(dir, entries, filter...)
+}
+
+// WritePurposeBundles writes single-purpose PEM bundles (tls-ca-bundle.pem,
+// email-ca-bundle.pem, objsign-ca-bundle.pem) into dir — the RHEL-style
+// layout the paper's §7 recommends.
+func WritePurposeBundles(dir string, entries []*TrustEntry) error {
+	return pemstore.WritePurposeBundles(dir, entries)
+}
+
+// ReadPurposeBundles reads a purpose-split directory, reconstructing
+// per-purpose trust.
+func ReadPurposeBundles(dir string) ([]*TrustEntry, error) {
+	return pemstore.ReadPurposeBundles(dir)
+}
+
+// --- Java JKS ----------------------------------------------------------------
+
+// JKSKeystore is a parsed Java keystore of trusted certificates.
+type JKSKeystore = jks.Keystore
+
+// ParseJKS deserializes a JKS v2 keystore, verifying its integrity digest.
+func ParseJKS(data []byte, password string) (*JKSKeystore, error) {
+	return jks.Parse(data, password)
+}
+
+// WriteJKS serializes entries (filtered by purpose, all when empty) as a
+// JKS keystore.
+func WriteJKS(entries []*TrustEntry, password string, created time.Time, filter ...Purpose) ([]byte, error) {
+	return jks.Marshal(jks.FromEntries(entries, created, filter...), password)
+}
+
+// JKSEntries converts keystore entries to trust entries marked trusted for
+// the given purposes (Java's cacerts conflates all of them).
+func JKSEntries(ks *JKSKeystore, purposes ...Purpose) ([]*TrustEntry, error) {
+	return ks.ToEntries(purposes...)
+}
+
+// --- Microsoft authroot -------------------------------------------------------
+
+// AuthrootCTL is a parsed Microsoft certificate trust list.
+type AuthrootCTL = authroot.CTL
+
+// WriteAuthrootBundle writes entries as an authroot.stl + certs/ bundle.
+func WriteAuthrootBundle(dir string, entries []*TrustEntry, sequence int64, thisUpdate time.Time) error {
+	return authroot.WriteBundle(dir, entries, sequence, thisUpdate)
+}
+
+// ReadAuthrootBundle reads an authroot bundle; subjects whose certificate
+// file is absent are reported in missing rather than failing.
+func ReadAuthrootBundle(dir string) (entries []*TrustEntry, missing []string, err error) {
+	return authroot.ReadBundle(dir)
+}
+
+// --- Apple roots directory -----------------------------------------------------
+
+// WriteAppleDir writes entries as an Apple-style roots directory with an
+// optional trust-settings plist for non-default trust.
+func WriteAppleDir(dir string, entries []*TrustEntry) error {
+	return applestore.WriteDir(dir, entries)
+}
+
+// ReadAppleDir reads an Apple-style roots directory.
+func ReadAppleDir(dir string) ([]*TrustEntry, error) { return applestore.ReadDir(dir) }
+
+// --- NodeJS node_root_certs.h ----------------------------------------------------
+
+// ParseNodeCerts reads a node_root_certs.h document.
+func ParseNodeCerts(r io.Reader) ([]*TrustEntry, error) { return nodecerts.Parse(r) }
+
+// WriteNodeCerts writes TLS-trusted entries as a node_root_certs.h document.
+func WriteNodeCerts(w io.Writer, entries []*TrustEntry) error {
+	return nodecerts.Marshal(w, entries)
+}
+
+// SnapshotFromEntries bundles entries into a dated snapshot, a convenience
+// for assembling parsed files into the database.
+func SnapshotFromEntries(provider, version string, date time.Time, entries []*TrustEntry) *Snapshot {
+	s := store.NewSnapshot(provider, version, date)
+	for _, e := range entries {
+		s.Add(e)
+	}
+	return s
+}

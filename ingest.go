@@ -1,0 +1,31 @@
+package trustroots
+
+import (
+	"time"
+
+	"repro/internal/catalog"
+)
+
+// IngestFormat is a detected on-disk root-store format.
+type IngestFormat = catalog.Format
+
+// IngestOptions tunes disk ingestion.
+type IngestOptions = catalog.Options
+
+// DetectStoreFormat inspects a snapshot directory and reports its format
+// (certdata, authroot bundle, JKS, node header, PEM bundle, purpose-split,
+// Apple directory).
+func DetectStoreFormat(dir string) (IngestFormat, error) { return catalog.DetectFormat(dir) }
+
+// LoadSnapshotDir ingests one snapshot directory, auto-detecting its
+// format.
+func LoadSnapshotDir(dir, provider, version string, date time.Time, opts IngestOptions) (*Snapshot, IngestFormat, error) {
+	return catalog.LoadSnapshot(dir, provider, version, date, opts)
+}
+
+// LoadStoreTree ingests a <root>/<provider>/<version>/ directory tree —
+// e.g. cmd/synthgen output or a real scraped archive — into a database
+// ready for NewPipeline.
+func LoadStoreTree(root string, opts IngestOptions) (*Database, error) {
+	return catalog.LoadTree(root, opts)
+}

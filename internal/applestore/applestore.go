@@ -1,0 +1,261 @@
+// Package applestore reads and writes an Apple-style root store: a
+// directory of DER certificate files (the certificates/roots layout of
+// Apple's open-source Security repository, the paper's data source for
+// macOS/iOS) plus an optional TrustSettings.plist expressing per-root usage
+// constraints in the kSecTrustSettings vocabulary.
+//
+// The paper notes (§3) that recent keychain formats *can* express
+// per-key-usage restrictions (kSecTrustSettingsKeyUsage) but Apple does not
+// ship default policies — so a directory without a trust-settings file
+// yields entries trusted for every purpose, reproducing Apple's
+// multi-purpose behaviour that §5.2 critiques.
+package applestore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/certutil"
+	"repro/internal/plist"
+	"repro/internal/store"
+)
+
+// TrustSettingsName is the file name of the optional trust-settings plist
+// inside a roots directory.
+const TrustSettingsName = "TrustSettings.plist"
+
+// trustSettingsResult values from Security/SecTrustSettings.h.
+const (
+	resultTrustRoot = int64(1) // kSecTrustSettingsResultTrustRoot
+	resultDeny      = int64(3) // kSecTrustSettingsResultDeny
+)
+
+// policy OIDs-as-strings used in trust settings documents.
+const (
+	policySSL   = "sslServer"
+	policySMIME = "smime"
+	policyCode  = "codeSigning"
+)
+
+func policyFor(p store.Purpose) (string, bool) {
+	switch p {
+	case store.ServerAuth:
+		return policySSL, true
+	case store.EmailProtection:
+		return policySMIME, true
+	case store.CodeSigning:
+		return policyCode, true
+	default:
+		return "", false
+	}
+}
+
+func purposeFor(policy string) (store.Purpose, bool) {
+	switch policy {
+	case policySSL:
+		return store.ServerAuth, true
+	case policySMIME:
+		return store.EmailProtection, true
+	case policyCode:
+		return store.CodeSigning, true
+	default:
+		return 0, false
+	}
+}
+
+// defaultPurposes is what a root with no trust-settings record is trusted
+// for: everything (Apple ships no default per-purpose policy).
+var defaultPurposes = []store.Purpose{store.ServerAuth, store.EmailProtection, store.CodeSigning}
+
+// WriteDir writes entries as individual DER files in dir, plus a
+// TrustSettings.plist for any entry whose trust differs from
+// trust-everything (denied purposes, distrust, or restricted purpose sets).
+func WriteDir(dir string, entries []*store.TrustEntry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("applestore: %w", err)
+	}
+	settings := plist.Dict{}
+	seen := map[string]int{}
+	for _, e := range entries {
+		name := fileNameFor(e, seen)
+		if err := os.WriteFile(filepath.Join(dir, name), e.DER, 0o644); err != nil {
+			return fmt.Errorf("applestore: %w", err)
+		}
+		if rec := trustRecord(e); rec != nil {
+			settings[certutil.SHA1Hex(e.DER)] = rec
+		}
+	}
+	if len(settings) > 0 {
+		doc := plist.Dict{
+			"trustList":    settings,
+			"trustVersion": int64(1),
+		}
+		data, err := plist.Marshal(doc)
+		if err != nil {
+			return fmt.Errorf("applestore: marshal trust settings: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, TrustSettingsName), data, 0o644); err != nil {
+			return fmt.Errorf("applestore: %w", err)
+		}
+	}
+	return nil
+}
+
+func fileNameFor(e *store.TrustEntry, seen map[string]int) string {
+	base := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		case r == ' ':
+			return '_'
+		default:
+			return -1
+		}
+	}, e.Label)
+	if base == "" {
+		base = e.Fingerprint.Short()
+	}
+	if n := seen[base]; n > 0 {
+		seen[base]++
+		return fmt.Sprintf("%s_%d.cer", base, n)
+	}
+	seen[base] = 1
+	return base + ".cer"
+}
+
+// trustRecord builds the per-cert trust-settings array, or nil when the
+// entry is plainly trusted for every purpose (the default).
+func trustRecord(e *store.TrustEntry) plist.Array {
+	isDefault := true
+	for _, p := range defaultPurposes {
+		if e.TrustFor(p) != store.Trusted {
+			isDefault = false
+			break
+		}
+	}
+	if isDefault && len(e.DistrustAfter) == 0 {
+		return nil
+	}
+	var arr plist.Array
+	for _, p := range defaultPurposes {
+		pol, _ := policyFor(p)
+		rec := plist.Dict{"kSecTrustSettingsPolicy": pol}
+		switch e.TrustFor(p) {
+		case store.Trusted:
+			rec["kSecTrustSettingsResult"] = resultTrustRoot
+		case store.Distrusted, store.MustVerify, store.Unspecified:
+			rec["kSecTrustSettingsResult"] = resultDeny
+		}
+		if da, ok := e.DistrustAfterFor(p); ok {
+			// Not a real Apple key: Apple has no partial distrust, which is
+			// why derivatives of its format cannot express it either. We
+			// store it under a clearly non-standard key so round trips
+			// within this toolchain are lossless while flagging the
+			// extension.
+			rec["x-repro-distrust-after"] = da.UTC()
+		}
+		arr = append(arr, rec)
+	}
+	return arr
+}
+
+// ReadDir reads a roots directory and optional trust-settings file.
+func ReadDir(dir string) ([]*store.TrustEntry, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("applestore: %w", err)
+	}
+	settings, err := readSettings(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, de := range des {
+		if de.IsDir() || de.Name() == TrustSettingsName {
+			continue
+		}
+		names = append(names, de.Name())
+	}
+	sort.Strings(names)
+
+	var entries []*store.TrustEntry
+	for _, name := range names {
+		der, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("applestore: %w", err)
+		}
+		e, err := store.NewEntry(der)
+		if err != nil {
+			return nil, fmt.Errorf("applestore: %s: %w", name, err)
+		}
+		e.Label = strings.TrimSuffix(name, filepath.Ext(name))
+		if rec, ok := settings[certutil.SHA1Hex(der)]; ok {
+			applySettings(e, rec)
+		} else {
+			for _, p := range defaultPurposes {
+				e.SetTrust(p, store.Trusted)
+			}
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+func readSettings(dir string) (map[string]plist.Array, error) {
+	data, err := os.ReadFile(filepath.Join(dir, TrustSettingsName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("applestore: %w", err)
+	}
+	v, err := plist.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("applestore: trust settings: %w", err)
+	}
+	doc, ok := v.(plist.Dict)
+	if !ok {
+		return nil, fmt.Errorf("applestore: trust settings root is %T, want dict", v)
+	}
+	tl, ok := doc["trustList"].(plist.Dict)
+	if !ok {
+		return nil, fmt.Errorf("applestore: trust settings missing trustList dict")
+	}
+	out := make(map[string]plist.Array, len(tl))
+	for sha1hex, rec := range tl {
+		arr, ok := rec.(plist.Array)
+		if !ok {
+			return nil, fmt.Errorf("applestore: trustList[%s] is %T, want array", sha1hex, rec)
+		}
+		out[strings.ToLower(sha1hex)] = arr
+	}
+	return out, nil
+}
+
+func applySettings(e *store.TrustEntry, arr plist.Array) {
+	for _, el := range arr {
+		rec, ok := el.(plist.Dict)
+		if !ok {
+			continue
+		}
+		pol, _ := rec["kSecTrustSettingsPolicy"].(string)
+		p, ok := purposeFor(pol)
+		if !ok {
+			continue
+		}
+		result, _ := rec["kSecTrustSettingsResult"].(int64)
+		switch result {
+		case resultTrustRoot:
+			e.SetTrust(p, store.Trusted)
+		case resultDeny:
+			e.SetTrust(p, store.Distrusted)
+		}
+		if da, ok := rec["x-repro-distrust-after"].(time.Time); ok {
+			e.SetDistrustAfter(p, da)
+		}
+	}
+}

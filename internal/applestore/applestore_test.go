@@ -1,0 +1,159 @@
+package applestore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+func TestDirRoundTripDefaultTrust(t *testing.T) {
+	dir := t.TempDir()
+	in := testcerts.Entries(3, store.ServerAuth, store.EmailProtection, store.CodeSigning)
+	if err := WriteDir(dir, in); err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	// Fully-trusted entries need no trust-settings file.
+	if _, err := os.Stat(filepath.Join(dir, TrustSettingsName)); !os.IsNotExist(err) {
+		t.Error("trust settings should be absent for default trust")
+	}
+	out, err := ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("entries = %d", len(out))
+	}
+	for _, e := range out {
+		for _, p := range []store.Purpose{store.ServerAuth, store.EmailProtection, store.CodeSigning} {
+			if !e.TrustedFor(p) {
+				t.Errorf("%s should default-trust %s", e.Label, p)
+			}
+		}
+	}
+}
+
+func TestDirRoundTripRestrictedTrust(t *testing.T) {
+	dir := t.TempDir()
+	in := testcerts.Entries(2, store.ServerAuth, store.EmailProtection, store.CodeSigning)
+	// Restrict the first entry to email-only (like the six email-only
+	// roots Apple trusts for TLS in Table 6).
+	in[0].SetTrust(store.ServerAuth, store.Distrusted)
+	in[0].SetTrust(store.CodeSigning, store.Distrusted)
+	if err := WriteDir(dir, in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, TrustSettingsName)); err != nil {
+		t.Fatalf("trust settings file should exist: %v", err)
+	}
+	out, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restricted, def *store.TrustEntry
+	for _, e := range out {
+		if e.Fingerprint == in[0].Fingerprint {
+			restricted = e
+		} else {
+			def = e
+		}
+	}
+	if restricted == nil || def == nil {
+		t.Fatal("entries not found after round trip")
+	}
+	if restricted.TrustedFor(store.ServerAuth) || restricted.TrustedFor(store.CodeSigning) {
+		t.Error("restricted entry regained denied purposes")
+	}
+	if !restricted.TrustedFor(store.EmailProtection) {
+		t.Error("restricted entry lost email trust")
+	}
+	if !def.TrustedFor(store.ServerAuth) {
+		t.Error("default entry lost TLS trust")
+	}
+}
+
+func TestDistrustAfterExtensionRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := testcerts.Entries(1, store.ServerAuth, store.EmailProtection, store.CodeSigning)
+	da := time.Date(2020, 9, 1, 0, 0, 0, 0, time.UTC)
+	in[0].SetDistrustAfter(store.ServerAuth, da)
+	if err := WriteDir(dir, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out[0].DistrustAfterFor(store.ServerAuth)
+	if !ok || !got.Equal(da) {
+		t.Errorf("distrust-after round trip: %v, %v", got, ok)
+	}
+}
+
+func TestMustVerifyIsLossyToDeny(t *testing.T) {
+	// The Apple vocabulary has no MustVerify: it degrades to Deny. This is
+	// deliberate fidelity loss mirroring the real format.
+	dir := t.TempDir()
+	in := testcerts.Entries(1, store.ServerAuth, store.EmailProtection, store.CodeSigning)
+	in[0].SetTrust(store.CodeSigning, store.MustVerify)
+	if err := WriteDir(dir, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out[0].TrustFor(store.CodeSigning); got != store.Distrusted {
+		t.Errorf("MustVerify should degrade to Distrusted in Apple format, got %v", got)
+	}
+}
+
+func TestDuplicateLabels(t *testing.T) {
+	dir := t.TempDir()
+	in := testcerts.Entries(2, store.ServerAuth, store.EmailProtection, store.CodeSigning)
+	in[0].Label = "Duplicate"
+	in[1].Label = "Duplicate"
+	if err := WriteDir(dir, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Errorf("entries = %d, want 2", len(out))
+	}
+}
+
+func TestReadDirCorruptCert(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.cer"), []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDir(dir); err == nil {
+		t.Error("corrupt certificate should error")
+	}
+}
+
+func TestReadDirCorruptSettings(t *testing.T) {
+	dir := t.TempDir()
+	in := testcerts.Entries(1, store.ServerAuth, store.EmailProtection, store.CodeSigning)
+	if err := WriteDir(dir, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, TrustSettingsName), []byte("not a plist"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDir(dir); err == nil {
+		t.Error("corrupt trust settings should error")
+	}
+}
+
+func TestReadDirMissing(t *testing.T) {
+	if _, err := ReadDir("/definitely/not/here"); err == nil {
+		t.Error("missing dir should error")
+	}
+}

@@ -1,0 +1,340 @@
+// Package artifacts renders every table and figure of the paper from a
+// generated ecosystem, and computes paper-vs-measured comparisons. It is
+// the shared presentation layer behind cmd/ecosystem, the examples, the
+// benchmark harness, and EXPERIMENTS.md generation.
+package artifacts
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/certutil"
+	"repro/internal/core"
+	"repro/internal/paperdata"
+	"repro/internal/report"
+	"repro/internal/synth"
+	"repro/internal/useragent"
+)
+
+// Context bundles everything the renderers need.
+type Context struct {
+	Eco  *synth.Ecosystem
+	Pipe *core.Pipeline
+	UAs  []string
+}
+
+// NewContext prepares a rendering context from a generated ecosystem.
+func NewContext(eco *synth.Ecosystem) *Context {
+	return &Context{
+		Eco:  eco,
+		Pipe: core.New(eco.DB),
+		UAs:  useragent.Generate(useragent.PaperSample()),
+	}
+}
+
+// Categorize maps fingerprints to synthetic CA categories for Figure 4.
+func (c *Context) Categorize() core.Categorizer {
+	byFP := map[certutil.Fingerprint]string{}
+	for _, ca := range c.Eco.Universe.CAs {
+		byFP[certutil.SHA256Fingerprint(ca.Root.DER)] = string(ca.Category)
+	}
+	return func(fp certutil.Fingerprint) string {
+		if cat, ok := byFP[fp]; ok {
+			return cat
+		}
+		return "unknown"
+	}
+}
+
+// IncidentSpecs converts the paper's incident catalog to measured-lag specs.
+func (c *Context) IncidentSpecs() []core.IncidentSpec {
+	var specs []core.IncidentSpec
+	for _, inc := range paperdata.Incidents() {
+		spec := core.IncidentSpec{Name: inc.Name, Anchor: paperdata.NSS}
+		for _, ca := range c.Eco.Universe.ByIncident(inc.Name) {
+			spec.Fingerprints = append(spec.Fingerprints, certutil.SHA256Fingerprint(ca.Root.DER))
+		}
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+// Table1 renders the UA → root store table.
+func (c *Context) Table1(w io.Writer) error {
+	t1 := core.AnalyzeUserAgents(c.UAs)
+	t := report.NewTable("Table 1 — Major CDN Top 200 User Agents",
+		"OS", "User Agent", "#Versions", "Provider", "Included?")
+	for _, g := range t1.Groups {
+		prov := string(g.Provider)
+		if prov == "" {
+			prov = "-"
+		}
+		inc := "no"
+		if g.Traceable {
+			inc = "yes"
+		}
+		t.AddRow(string(g.OS), string(g.Browser), g.Versions, prov, inc)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "Total included: %d/%d (%.1f%%)  [paper: 154/200, 77.0%%]\n\n",
+		t1.Included, t1.Total, t1.CoveragePercent())
+	return err
+}
+
+// Table2 renders the dataset summary.
+func (c *Context) Table2(w io.Writer) error {
+	rows := c.Pipe.DatasetSummary()
+	t := report.NewTable("Table 2 — Dataset (snapshot histories per provider)",
+		"Root store", "From", "To", "#SS", "#Uniq", "#Roots")
+	total := 0
+	for _, r := range rows {
+		total += r.Snapshots
+		t.AddRow(r.Provider, r.From.Format("2006-01"), r.To.Format("2006-01"),
+			r.Snapshots, r.UniqueStates, r.UniqueRoots)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "Total snapshots: %d  [paper: %d]\n\n", total, paperdata.TotalSnapshots)
+	return err
+}
+
+// Figure1 renders the ordination summary and a coarse scatter.
+func (c *Context) Figure1(w io.Writer) error {
+	ord, err := c.Pipe.Ordinate(core.DefaultOrdinationConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 1 — Root store similarity (MDS on Jaccard distances, 2011-2021)\n")
+	fmt.Fprintf(w, "points=%d  stress-1=%.3f  nearest-centroid purity=%.3f\n",
+		len(ord.Points), ord.Stress1, ord.Purity)
+	fams := make([]string, 0, len(ord.FamilyCentroids))
+	for fam := range ord.FamilyCentroids {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	t := report.NewTable("Family regions", "Family", "Centroid X", "Centroid Y", "#Snapshots")
+	counts := map[string]int{}
+	for _, pt := range ord.Points {
+		counts[pt.Family]++
+	}
+	for _, fam := range fams {
+		cen := ord.FamilyCentroids[fam]
+		t.AddRow(fam, cen[0], cen[1], counts[fam])
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "[paper: four disjoint clusters — Microsoft, NSS-like, Apple, Java]\n\n")
+	return err
+}
+
+// Figure2 renders the inverted pyramid shares.
+func (c *Context) Figure2(w io.Writer) error {
+	f2 := core.EcosystemShares(c.UAs)
+	s := report.NewSeries("Figure 2 — Root store ecosystem (share of top-200 UAs per family)")
+	for _, share := range f2.Shares {
+		s.Add(string(share.Family), share.Percent)
+	}
+	s.Add("(untraceable)", float64(f2.Untraceable)/float64(f2.Total)*100)
+	if err := s.Render(w, 40); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "[paper: NSS 34%%, Apple 23%%, Windows 20%%]\n\n")
+	return err
+}
+
+// Table3 renders hygiene metrics.
+func (c *Context) Table3(w io.Writer) error {
+	rows := c.Pipe.Hygiene(paperdata.IndependentPrograms)
+	t := report.NewTable("Table 3 — Root store hygiene",
+		"Root store", "Avg. Size", "Avg. Expired", "MD5 purge", "1024-bit purge")
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Program < rows[j].Program })
+	for _, r := range rows {
+		t.AddRow(r.Program, r.AvgSize, r.AvgExpired,
+			r.MD5Removal.Format("2006-01"), r.RSA1024Removal.Format("2006-01"))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "[paper: Apple 152.9/2.9 2016-09/2015-09; Java 89.4/1.3; Microsoft 246.6/9.9 2018-03/2017-09; NSS 121.8/1.2 2016-02/2015-10]\n\n")
+	return err
+}
+
+// Table4 renders measured removal lags.
+func (c *Context) Table4(w io.Writer) error {
+	rows := c.Pipe.RemovalLag(c.IncidentSpecs())
+	t := report.NewTable("Table 4 — High severity removals: store responses vs NSS",
+		"Incident", "Root store", "#Certs", "Trusted until", "Lag (days)")
+	for _, r := range rows {
+		until, lag := "", ""
+		if r.StillTrusted {
+			until = "still trusted"
+			lag = fmt.Sprintf("%d+", r.ElapsedDays)
+		} else {
+			until = r.TrustedUntil.Format("2006-01-02")
+			lag = fmt.Sprintf("%d", r.LagDays)
+		}
+		t.AddRow(r.Incident, r.Store, r.Certs, until, lag)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Figure3 renders derivative staleness.
+func (c *Context) Figure3(w io.Writer) error {
+	from := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+	res := c.Pipe.AllDerivativeStaleness(paperdata.NSS, paperdata.Derivatives, from, to)
+	sort.Slice(res, func(i, j int) bool { return res[i].AvgVersionsBehind < res[j].AvgVersionsBehind })
+	s := report.NewSeries("Figure 3 — NSS derivative staleness (avg substantial versions behind, 2015-2021)")
+	for _, r := range res {
+		s.Add(r.Derivative, r.AvgVersionsBehind)
+	}
+	if err := s.Render(w, 40); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "[paper: Alpine 0.73, Debian/Ubuntu 1.96, NodeJS 2.1, Android 3.22, AmazonLinux 4.83]\n\n")
+	return err
+}
+
+// Figure4 renders derivative diff totals by category.
+func (c *Context) Figure4(w io.Writer) error {
+	categorize := c.Categorize()
+	t := report.NewTable("Figure 4 — Derivative differences vs matched NSS version (totals by source)",
+		"Derivative", "Added", "Removed", "Top added categories")
+	for _, d := range paperdata.Derivatives {
+		diff := c.Pipe.DerivativeDiffs(d, paperdata.NSS, categorize)
+		if diff == nil {
+			continue
+		}
+		added, _ := diff.CategoryTotals()
+		t.AddRow(d, diff.TotalAdded, diff.TotalRemoved, topCategories(added, 3))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "[paper: all derivatives deviate — Symantec distrust, non-NSS roots, email signing, custom trust]\n\n")
+	return err
+}
+
+func topCategories(m map[string]int, n int) string {
+	type kv struct {
+		k string
+		v int
+	}
+	var list []kv
+	for k, v := range m {
+		list = append(list, kv{k, v})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].v != list[j].v {
+			return list[i].v > list[j].v
+		}
+		return list[i].k < list[j].k
+	})
+	if len(list) > n {
+		list = list[:n]
+	}
+	out := ""
+	for i, e := range list {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s(%d)", e.k, e.v)
+	}
+	return out
+}
+
+// Table5 renders the software survey (pure paperdata).
+func (c *Context) Table5(w io.Writer) error {
+	t := report.NewTable("Table 5 — Popular OS & TLS software root stores",
+		"Name", "Kind", "Root store?", "Details")
+	for _, r := range paperdata.Survey() {
+		has := "no"
+		if r.HasStore {
+			has = "yes"
+		}
+		t.AddRow(r.Name, string(r.Kind), has, r.Details)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Table6 renders program-exclusive roots.
+func (c *Context) Table6(w io.Writer) error {
+	diffs := c.Pipe.ExclusiveDiffs(paperdata.IndependentPrograms)
+	t := report.NewTable("Table 6 — Program-exclusive TLS roots",
+		"Program", "Exclusive roots", "Paper")
+	want := paperdata.ExclusiveCounts()
+	progs := append([]string(nil), paperdata.IndependentPrograms...)
+	sort.Strings(progs)
+	for _, prog := range progs {
+		t.AddRow(prog, len(diffs[prog]), want[prog])
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Table7 renders the NSS removal catalog.
+func (c *Context) Table7(w io.Writer) error {
+	high := map[certutil.Fingerprint]bool{}
+	for _, inc := range paperdata.Incidents() {
+		for _, ca := range c.Eco.Universe.ByIncident(inc.Name) {
+			high[certutil.SHA256Fingerprint(ca.Root.DER)] = true
+		}
+	}
+	since := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	events := c.Pipe.RemovalCatalog(paperdata.NSS, since, core.DefaultSeverity(high))
+	t := report.NewTable("Table 7 — NSS root removals since 2010 (measured)",
+		"Removed on", "Severity", "#Certs", "Roots")
+	for _, ev := range events {
+		if ev.Severity == "low" && len(ev.Roots) == 0 {
+			continue
+		}
+		names := ""
+		for i, r := range ev.Roots {
+			if i > 2 {
+				names += fmt.Sprintf(" +%d more", len(ev.Roots)-3)
+				break
+			}
+			if i > 0 {
+				names += ", "
+			}
+			names += r.Label
+		}
+		t.AddRow(ev.Date.Format("2006-01-02"), ev.Severity, len(ev.Roots), names)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "[paper: 6 high-severity (12 roots) + 3 medium-severity removals since 2010]\n\n")
+	return err
+}
+
+// RenderAll writes every artifact in paper order.
+func (c *Context) RenderAll(w io.Writer) error {
+	steps := []func(io.Writer) error{
+		c.Table1, c.Table2, c.Figure1, c.Figure2, c.Table3,
+		c.Table4, c.Figure3, c.Figure4, c.Table5, c.Table6, c.Table7,
+	}
+	for _, step := range steps {
+		if err := step(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

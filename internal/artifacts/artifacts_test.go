@@ -1,0 +1,178 @@
+package artifacts
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+var (
+	ctxOnce sync.Once
+	ctx     *Context
+	ctxErr  error
+)
+
+func testContext(t testing.TB) *Context {
+	t.Helper()
+	ctxOnce.Do(func() {
+		eco, err := synth.Cached("artifacts-test")
+		if err != nil {
+			ctxErr = err
+			return
+		}
+		ctx = NewContext(eco)
+	})
+	if ctxErr != nil {
+		t.Fatal(ctxErr)
+	}
+	return ctx
+}
+
+func render(t *testing.T, f func(*strings.Builder) error) string {
+	t.Helper()
+	var b strings.Builder
+	if err := f(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestTable1Output(t *testing.T) {
+	c := testContext(t)
+	out := render(t, func(b *strings.Builder) error { return c.Table1(b) })
+	for _, want := range []string{"Table 1", "Chrome Mobile", "154/200", "77.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable2Output(t *testing.T) {
+	c := testContext(t)
+	out := render(t, func(b *strings.Builder) error { return c.Table2(b) })
+	for _, want := range []string{"Table 2", "NSS", "Microsoft", "Total snapshots", "619"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 output missing %q", want)
+		}
+	}
+}
+
+func TestFigure1Output(t *testing.T) {
+	c := testContext(t)
+	out := render(t, func(b *strings.Builder) error { return c.Figure1(b) })
+	for _, want := range []string{"Figure 1", "stress-1", "purity", "Mozilla", "Apple", "Java"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure1 output missing %q", want)
+		}
+	}
+}
+
+func TestFigure2Output(t *testing.T) {
+	c := testContext(t)
+	out := render(t, func(b *strings.Builder) error { return c.Figure2(b) })
+	for _, want := range []string{"Figure 2", "Mozilla", "untraceable"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure2 output missing %q", want)
+		}
+	}
+}
+
+func TestTable3Output(t *testing.T) {
+	c := testContext(t)
+	out := render(t, func(b *strings.Builder) error { return c.Table3(b) })
+	for _, want := range []string{"Table 3", "2016-02", "2015-10", "2018-03"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 output missing %q (purge dates must be exact)", want)
+		}
+	}
+}
+
+func TestTable4Output(t *testing.T) {
+	c := testContext(t)
+	out := render(t, func(b *strings.Builder) error { return c.Table4(b) })
+	for _, want := range []string{"Table 4", "DigiNotar", "CNNIC", "still trusted", "-37"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table4 output missing %q", want)
+		}
+	}
+}
+
+func TestFigure3Output(t *testing.T) {
+	c := testContext(t)
+	out := render(t, func(b *strings.Builder) error { return c.Figure3(b) })
+	for _, want := range []string{"Figure 3", "Alpine", "AmazonLinux"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure3 output missing %q", want)
+		}
+	}
+	// Ordering in the rendered series: Alpine line above AmazonLinux.
+	if strings.Index(out, "Alpine") > strings.Index(out, "AmazonLinux") {
+		t.Error("staleness series should be sorted ascending")
+	}
+}
+
+func TestFigure4Output(t *testing.T) {
+	c := testContext(t)
+	out := render(t, func(b *strings.Builder) error { return c.Figure4(b) })
+	for _, want := range []string{"Figure 4", "Debian", "email-only"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure4 output missing %q", want)
+		}
+	}
+}
+
+func TestTable5Output(t *testing.T) {
+	c := testContext(t)
+	out := render(t, func(b *strings.Builder) error { return c.Table5(b) })
+	for _, want := range []string{"Table 5", "OpenSSL", "wolfSSL", "Firefox"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table5 output missing %q", want)
+		}
+	}
+}
+
+func TestTable6Output(t *testing.T) {
+	c := testContext(t)
+	out := render(t, func(b *strings.Builder) error { return c.Table6(b) })
+	for _, want := range []string{"Table 6", "Microsoft", "30", "13"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table6 output missing %q", want)
+		}
+	}
+}
+
+func TestTable7Output(t *testing.T) {
+	c := testContext(t)
+	out := render(t, func(b *strings.Builder) error { return c.Table7(b) })
+	for _, want := range []string{"Table 7", "high", "medium", "low"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table7 output missing %q", want)
+		}
+	}
+}
+
+func TestRenderAll(t *testing.T) {
+	c := testContext(t)
+	out := render(t, func(b *strings.Builder) error { return c.RenderAll(b) })
+	for _, want := range []string{"Table 1", "Table 2", "Figure 1", "Figure 2", "Table 3",
+		"Table 4", "Figure 3", "Figure 4", "Table 5", "Table 6", "Table 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderAll missing %q", want)
+		}
+	}
+	if len(out) < 5000 {
+		t.Errorf("full report suspiciously short: %d bytes", len(out))
+	}
+}
+
+func TestTopCategories(t *testing.T) {
+	got := topCategories(map[string]int{"a": 5, "b": 9, "c": 1, "d": 9}, 2)
+	if got != "b(9), d(9)" {
+		t.Errorf("topCategories = %q", got)
+	}
+	if topCategories(nil, 3) != "" {
+		t.Error("empty map should render empty")
+	}
+}

@@ -1,0 +1,316 @@
+// Package authroot reads and writes Microsoft-style Certificate Trust Lists
+// (the authroot.stl mechanism behind Windows Automatic Root Updates, §3 of
+// the paper).
+//
+// A CTL does not carry certificates: it lists trust anchors by SHA-1 hash
+// together with Microsoft-specific property attributes — the EKU property
+// restricting trust purposes, the "disallowed" FILETIME that distrusts a
+// root outright, and the "not before" FILETIME that implements Microsoft's
+// flavour of partial distrust (certificates issued after the date are
+// rejected). Full certificates are distributed separately, addressable by
+// hash; a Bundle pairs the STL with its certificate directory the way the
+// open-source authroot.stl archive the paper used does.
+//
+// The on-disk structure follows the real CTL ASN.1 (CertificateTrustList,
+// TrustedSubject, Attribute) wrapped in a ContentInfo with the szOID_CTL
+// content type. The Authenticode SignedData signature layer is intentionally
+// omitted: the paper's analyses never verify Microsoft's signature, and the
+// omission keeps the codec self-contained.
+package authroot
+
+import (
+	"crypto/sha1"
+	"encoding/asn1"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+	"time"
+)
+
+// Object identifiers used by CTLs.
+var (
+	// oidCTL is szOID_CTL (1.3.6.1.4.1.311.10.1), the ContentInfo type.
+	oidCTL = asn1.ObjectIdentifier{1, 3, 6, 1, 4, 1, 311, 10, 1}
+	// oidRootListSigner is the subject usage marking a root-list CTL.
+	oidRootListSigner = asn1.ObjectIdentifier{1, 3, 6, 1, 4, 1, 311, 10, 3, 9}
+	// oidSHA1 identifies the subject hash algorithm.
+	oidSHA1 = asn1.ObjectIdentifier{1, 3, 14, 3, 2, 26}
+
+	// Property attributes (CERT_*_PROP_ID under 1.3.6.1.4.1.311.10.11).
+	oidEKUProp          = asn1.ObjectIdentifier{1, 3, 6, 1, 4, 1, 311, 10, 11, 9}
+	oidDisallowedProp   = asn1.ObjectIdentifier{1, 3, 6, 1, 4, 1, 311, 10, 11, 104}
+	oidNotBeforeProp    = asn1.ObjectIdentifier{1, 3, 6, 1, 4, 1, 311, 10, 11, 126}
+	oidFriendlyNameProp = asn1.ObjectIdentifier{1, 3, 6, 1, 4, 1, 311, 10, 11, 11}
+)
+
+// Extended key usage OIDs appearing in EKU properties.
+var (
+	OIDServerAuth      = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 3, 1}
+	OIDClientAuth      = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 3, 2}
+	OIDCodeSigning     = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 3, 3}
+	OIDEmailProtection = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 3, 4}
+	OIDTimeStamping    = asn1.ObjectIdentifier{1, 3, 6, 1, 5, 5, 7, 3, 8}
+)
+
+// TrustedSubject is one root's record in the CTL.
+type TrustedSubject struct {
+	// SHA1 identifies the certificate.
+	SHA1 [sha1.Size]byte
+	// FriendlyName is Microsoft's display name for the root, if present.
+	FriendlyName string
+	// EKUs restricts the purposes the root is trusted for; empty means
+	// trusted for all purposes (Microsoft's default).
+	EKUs []asn1.ObjectIdentifier
+	// Disallowed marks outright distrust (presence of the disallowed
+	// property or membership in the disallowed CTL).
+	Disallowed bool
+	// DisallowedAfter, when set, is the FILETIME after which the root is
+	// distrusted.
+	DisallowedAfter *time.Time
+	// NotBefore, when set, rejects certificates issued after the date —
+	// Microsoft's partial distrust.
+	NotBefore *time.Time
+}
+
+// CTL is a parsed certificate trust list.
+type CTL struct {
+	SequenceNumber *big.Int
+	ThisUpdate     time.Time
+	Subjects       []TrustedSubject
+}
+
+// ---- ASN.1 wire structures ----
+
+type contentInfo struct {
+	ContentType asn1.ObjectIdentifier
+	Content     asn1.RawValue `asn1:"explicit,tag:0"`
+}
+
+type certificateTrustList struct {
+	SubjectUsage     []asn1.ObjectIdentifier
+	SequenceNumber   *big.Int `asn1:"optional"`
+	ThisUpdate       time.Time
+	SubjectAlgorithm algorithmIdentifier
+	TrustedSubjects  []trustedSubjectASN `asn1:"optional"`
+}
+
+type algorithmIdentifier struct {
+	Algorithm  asn1.ObjectIdentifier
+	Parameters asn1.RawValue `asn1:"optional"`
+}
+
+type trustedSubjectASN struct {
+	SubjectIdentifier []byte
+	Attributes        []attributeASN `asn1:"set,optional"`
+}
+
+type attributeASN struct {
+	Type   asn1.ObjectIdentifier
+	Values []asn1.RawValue `asn1:"set"`
+}
+
+// filetimeEpochDelta is the number of seconds between the Windows FILETIME
+// epoch (1601-01-01) and the Unix epoch.
+const filetimeEpochDelta = 11644473600
+
+// filetimeToBytes encodes a time as a Windows FILETIME: little-endian
+// 64-bit count of 100ns intervals since 1601-01-01 UTC. The arithmetic is
+// done in integer ticks because the 420-year span overflows time.Duration.
+func filetimeToBytes(t time.Time) []byte {
+	ticks := (t.Unix()+filetimeEpochDelta)*10_000_000 + int64(t.Nanosecond())/100
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(ticks))
+	return b[:]
+}
+
+func bytesToFiletime(b []byte) (time.Time, error) {
+	if len(b) != 8 {
+		return time.Time{}, fmt.Errorf("authroot: FILETIME must be 8 bytes, got %d", len(b))
+	}
+	ticks := int64(binary.LittleEndian.Uint64(b))
+	sec := ticks/10_000_000 - filetimeEpochDelta
+	nsec := (ticks % 10_000_000) * 100
+	return time.Unix(sec, nsec).UTC(), nil
+}
+
+// utf16leBytes encodes a string as null-terminated UTF-16LE, the encoding of
+// the friendly-name property.
+func utf16leBytes(s string) []byte {
+	out := make([]byte, 0, len(s)*2+2)
+	for _, r := range s {
+		if r > 0xFFFF {
+			r = '?' // BMP only; fine for CA names
+		}
+		out = append(out, byte(r), byte(r>>8))
+	}
+	return append(out, 0, 0)
+}
+
+func utf16leString(b []byte) string {
+	var runes []rune
+	for i := 0; i+1 < len(b); i += 2 {
+		u := uint16(b[i]) | uint16(b[i+1])<<8
+		if u == 0 {
+			break
+		}
+		runes = append(runes, rune(u))
+	}
+	return string(runes)
+}
+
+// Marshal serializes the CTL as a ContentInfo-wrapped DER document.
+func Marshal(ctl *CTL) ([]byte, error) {
+	var subjects []trustedSubjectASN
+	for i, s := range ctl.Subjects {
+		ts := trustedSubjectASN{SubjectIdentifier: append([]byte(nil), s.SHA1[:]...)}
+		if len(s.EKUs) > 0 {
+			inner, err := asn1.Marshal(s.EKUs)
+			if err != nil {
+				return nil, fmt.Errorf("authroot: subject %d EKUs: %w", i, err)
+			}
+			if err := addOctetAttr(&ts, oidEKUProp, inner); err != nil {
+				return nil, err
+			}
+		}
+		if s.FriendlyName != "" {
+			if err := addOctetAttr(&ts, oidFriendlyNameProp, utf16leBytes(s.FriendlyName)); err != nil {
+				return nil, err
+			}
+		}
+		if s.Disallowed && s.DisallowedAfter == nil {
+			// Presence of the disallowed property with an epoch FILETIME
+			// means "distrusted since forever".
+			if err := addOctetAttr(&ts, oidDisallowedProp, filetimeToBytes(time.Date(1601, 1, 1, 0, 0, 0, 0, time.UTC))); err != nil {
+				return nil, err
+			}
+		}
+		if s.DisallowedAfter != nil {
+			if err := addOctetAttr(&ts, oidDisallowedProp, filetimeToBytes(*s.DisallowedAfter)); err != nil {
+				return nil, err
+			}
+		}
+		if s.NotBefore != nil {
+			if err := addOctetAttr(&ts, oidNotBeforeProp, filetimeToBytes(*s.NotBefore)); err != nil {
+				return nil, err
+			}
+		}
+		subjects = append(subjects, ts)
+	}
+	ctlASN := certificateTrustList{
+		SubjectUsage:     []asn1.ObjectIdentifier{oidRootListSigner},
+		SequenceNumber:   ctl.SequenceNumber,
+		ThisUpdate:       ctl.ThisUpdate.UTC().Truncate(time.Second),
+		SubjectAlgorithm: algorithmIdentifier{Algorithm: oidSHA1, Parameters: asn1.RawValue{Tag: asn1.TagNull}},
+		TrustedSubjects:  subjects,
+	}
+	inner, err := asn1.Marshal(ctlASN)
+	if err != nil {
+		return nil, fmt.Errorf("authroot: marshal CTL: %w", err)
+	}
+	// encoding/asn1 ignores explicit-tag directives when a RawValue carries
+	// FullBytes, so build the [0] EXPLICIT wrapper by hand via Bytes.
+	outer, err := asn1.Marshal(contentInfo{
+		ContentType: oidCTL,
+		Content: asn1.RawValue{
+			Class:      asn1.ClassContextSpecific,
+			Tag:        0,
+			IsCompound: true,
+			Bytes:      inner,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("authroot: marshal ContentInfo: %w", err)
+	}
+	return outer, nil
+}
+
+func addOctetAttr(ts *trustedSubjectASN, oid asn1.ObjectIdentifier, payload []byte) error {
+	wrapped, err := asn1.Marshal(payload) // OCTET STRING
+	if err != nil {
+		return fmt.Errorf("authroot: wrap attribute %v: %w", oid, err)
+	}
+	ts.Attributes = append(ts.Attributes, attributeASN{
+		Type:   oid,
+		Values: []asn1.RawValue{{FullBytes: wrapped}},
+	})
+	return nil
+}
+
+// Parse deserializes a ContentInfo-wrapped CTL.
+func Parse(der []byte) (*CTL, error) {
+	var ci contentInfo
+	rest, err := asn1.Unmarshal(der, &ci)
+	if err != nil {
+		return nil, fmt.Errorf("authroot: ContentInfo: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("authroot: %d trailing bytes", len(rest))
+	}
+	if !ci.ContentType.Equal(oidCTL) {
+		return nil, fmt.Errorf("authroot: content type %v is not szOID_CTL", ci.ContentType)
+	}
+	var ctlASN certificateTrustList
+	if rest, err := asn1.Unmarshal(ci.Content.Bytes, &ctlASN); err != nil {
+		return nil, fmt.Errorf("authroot: CTL body: %w", err)
+	} else if len(rest) != 0 {
+		return nil, fmt.Errorf("authroot: %d trailing bytes in CTL body", len(rest))
+	}
+	usageOK := false
+	for _, u := range ctlASN.SubjectUsage {
+		if u.Equal(oidRootListSigner) {
+			usageOK = true
+		}
+	}
+	if !usageOK {
+		return nil, fmt.Errorf("authroot: CTL subject usage %v is not a root list", ctlASN.SubjectUsage)
+	}
+	if !ctlASN.SubjectAlgorithm.Algorithm.Equal(oidSHA1) {
+		return nil, fmt.Errorf("authroot: subject algorithm %v is not SHA-1", ctlASN.SubjectAlgorithm.Algorithm)
+	}
+
+	ctl := &CTL{SequenceNumber: ctlASN.SequenceNumber, ThisUpdate: ctlASN.ThisUpdate}
+	for i, ts := range ctlASN.TrustedSubjects {
+		if len(ts.SubjectIdentifier) != sha1.Size {
+			return nil, fmt.Errorf("authroot: subject %d identifier is %d bytes, want %d", i, len(ts.SubjectIdentifier), sha1.Size)
+		}
+		var s TrustedSubject
+		copy(s.SHA1[:], ts.SubjectIdentifier)
+		for _, attr := range ts.Attributes {
+			if len(attr.Values) == 0 {
+				continue
+			}
+			var payload []byte
+			if _, err := asn1.Unmarshal(attr.Values[0].FullBytes, &payload); err != nil {
+				return nil, fmt.Errorf("authroot: subject %d attribute %v: %w", i, attr.Type, err)
+			}
+			switch {
+			case attr.Type.Equal(oidEKUProp):
+				var ekus []asn1.ObjectIdentifier
+				if _, err := asn1.Unmarshal(payload, &ekus); err != nil {
+					return nil, fmt.Errorf("authroot: subject %d EKU property: %w", i, err)
+				}
+				s.EKUs = ekus
+			case attr.Type.Equal(oidFriendlyNameProp):
+				s.FriendlyName = utf16leString(payload)
+			case attr.Type.Equal(oidDisallowedProp):
+				t, err := bytesToFiletime(payload)
+				if err != nil {
+					return nil, fmt.Errorf("authroot: subject %d disallowed property: %w", i, err)
+				}
+				s.Disallowed = true
+				if t.Year() > 1601 {
+					tt := t
+					s.DisallowedAfter = &tt
+				}
+			case attr.Type.Equal(oidNotBeforeProp):
+				t, err := bytesToFiletime(payload)
+				if err != nil {
+					return nil, fmt.Errorf("authroot: subject %d not-before property: %w", i, err)
+				}
+				s.NotBefore = &t
+			}
+		}
+		ctl.Subjects = append(ctl.Subjects, s)
+	}
+	return ctl, nil
+}

@@ -1,0 +1,263 @@
+package authroot
+
+import (
+	"crypto/sha1"
+	"encoding/asn1"
+	"math/big"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+func ts(y, m, d int) time.Time { return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC) }
+
+func TestFiletimeRoundTrip(t *testing.T) {
+	cases := []time.Time{
+		ts(1601, 1, 2),
+		ts(1970, 1, 1),
+		ts(2017, 9, 22),
+		time.Date(2021, 3, 1, 13, 45, 30, 0, time.UTC),
+	}
+	for _, c := range cases {
+		got, err := bytesToFiletime(filetimeToBytes(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(c) {
+			t.Errorf("filetime round trip: %v != %v", got, c)
+		}
+	}
+	if _, err := bytesToFiletime([]byte{1, 2, 3}); err == nil {
+		t.Error("short FILETIME should error")
+	}
+}
+
+func TestUTF16RoundTrip(t *testing.T) {
+	for _, s := range []string{"", "Microsoft Root", "ümlaut ÇA", "日本語"} {
+		if got := utf16leString(utf16leBytes(s)); got != s {
+			t.Errorf("utf16 round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestCTLRoundTrip(t *testing.T) {
+	rs := testcerts.Roots(3)
+	da := ts(2020, 2, 26)
+	nb := ts(2017, 9, 22)
+	in := &CTL{
+		SequenceNumber: big.NewInt(42),
+		ThisUpdate:     ts(2021, 3, 1),
+		Subjects: []TrustedSubject{
+			{SHA1: sha1.Sum(rs[0].DER), FriendlyName: "Unrestricted Root"},
+			{SHA1: sha1.Sum(rs[1].DER), FriendlyName: "Email Only", EKUs: []asn1.ObjectIdentifier{OIDEmailProtection}},
+			{SHA1: sha1.Sum(rs[2].DER), FriendlyName: "Distrusted", Disallowed: true, DisallowedAfter: &da, NotBefore: &nb},
+		},
+	}
+	der, err := Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	out, err := Parse(der)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if out.SequenceNumber.Cmp(in.SequenceNumber) != 0 {
+		t.Errorf("sequence = %v", out.SequenceNumber)
+	}
+	if !out.ThisUpdate.Equal(in.ThisUpdate) {
+		t.Errorf("thisUpdate = %v", out.ThisUpdate)
+	}
+	if len(out.Subjects) != 3 {
+		t.Fatalf("subjects = %d", len(out.Subjects))
+	}
+	s0, s1, s2 := out.Subjects[0], out.Subjects[1], out.Subjects[2]
+	if s0.FriendlyName != "Unrestricted Root" || len(s0.EKUs) != 0 || s0.Disallowed {
+		t.Errorf("subject 0 = %+v", s0)
+	}
+	if len(s1.EKUs) != 1 || !s1.EKUs[0].Equal(OIDEmailProtection) {
+		t.Errorf("subject 1 EKUs = %v", s1.EKUs)
+	}
+	if !s2.Disallowed || s2.DisallowedAfter == nil || !s2.DisallowedAfter.Equal(da) {
+		t.Errorf("subject 2 disallow = %+v", s2)
+	}
+	if s2.NotBefore == nil || !s2.NotBefore.Equal(nb) {
+		t.Errorf("subject 2 notBefore = %v", s2.NotBefore)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte{0x30, 0x00}); err == nil {
+		t.Error("empty sequence should fail")
+	}
+	if _, err := Parse([]byte("garbage")); err == nil {
+		t.Error("garbage should fail")
+	}
+	// Valid ASN.1 but wrong content type.
+	ctl := &CTL{ThisUpdate: ts(2021, 1, 1)}
+	der, err := Marshal(ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	der[9] ^= 0x01 // flip a byte inside the content-type OID
+	if _, err := Parse(der); err == nil {
+		t.Error("wrong content type should fail")
+	}
+}
+
+func TestSubjectEntryConversion(t *testing.T) {
+	entries := testcerts.Entries(1, store.ServerAuth, store.EmailProtection)
+	e := entries[0]
+	e.SetDistrustAfter(store.ServerAuth, ts(2019, 4, 1))
+
+	s := SubjectFromEntry(e)
+	if s.Disallowed {
+		t.Error("trusted entry should not be disallowed")
+	}
+	if len(s.EKUs) != 2 {
+		t.Errorf("EKUs = %v", s.EKUs)
+	}
+	if s.NotBefore == nil || !s.NotBefore.Equal(ts(2019, 4, 1)) {
+		t.Errorf("NotBefore = %v", s.NotBefore)
+	}
+
+	back, err := EntryFromSubject(s, e.DER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.TrustedFor(store.ServerAuth) || !back.TrustedFor(store.EmailProtection) {
+		t.Error("round trip lost purposes")
+	}
+	if back.TrustedFor(store.CodeSigning) {
+		t.Error("round trip gained code signing")
+	}
+	da, ok := back.DistrustAfterFor(store.ServerAuth)
+	if !ok || !da.Equal(ts(2019, 4, 1)) {
+		t.Errorf("distrust-after = %v, %v", da, ok)
+	}
+}
+
+func TestSubjectFromDistrustedEntry(t *testing.T) {
+	e := testcerts.Entries(1)[0] // no purposes at all
+	for _, p := range store.AllPurposes {
+		e.SetTrust(p, store.Distrusted)
+	}
+	s := SubjectFromEntry(e)
+	if !s.Disallowed {
+		t.Error("fully distrusted entry should be disallowed")
+	}
+	back, err := EntryFromSubject(s, e.DER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TrustedFor(store.ServerAuth) {
+		t.Error("disallowed subject should not be trusted")
+	}
+	if back.TrustFor(store.ServerAuth) != store.Distrusted {
+		t.Errorf("trust = %v", back.TrustFor(store.ServerAuth))
+	}
+}
+
+func TestEntryFromSubjectHashMismatch(t *testing.T) {
+	rs := testcerts.Roots(2)
+	s := TrustedSubject{SHA1: sha1.Sum(rs[0].DER)}
+	if _, err := EntryFromSubject(s, rs[1].DER); err == nil {
+		t.Error("hash mismatch should error")
+	}
+}
+
+func TestUnrestrictedSubjectTrustsEverything(t *testing.T) {
+	rs := testcerts.Roots(1)
+	s := TrustedSubject{SHA1: sha1.Sum(rs[0].DER)}
+	e, err := EntryFromSubject(s, rs[0].DER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range store.AllPurposes {
+		if !e.TrustedFor(p) {
+			t.Errorf("unrestricted subject should trust %s", p)
+		}
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := testcerts.Entries(3, store.ServerAuth)
+	in[1].SetTrust(store.EmailProtection, store.Trusted)
+	if err := WriteBundle(dir, in, 7, ts(2021, 3, 1)); err != nil {
+		t.Fatalf("WriteBundle: %v", err)
+	}
+	out, missing, err := ReadBundle(dir)
+	if err != nil {
+		t.Fatalf("ReadBundle: %v", err)
+	}
+	if len(missing) != 0 {
+		t.Errorf("missing = %v", missing)
+	}
+	if len(out) != 3 {
+		t.Fatalf("entries = %d", len(out))
+	}
+	found := map[string]bool{}
+	for _, e := range out {
+		found[e.Fingerprint.String()] = true
+	}
+	for _, e := range in {
+		if !found[e.Fingerprint.String()] {
+			t.Errorf("entry %s missing after round trip", e.Fingerprint.Short())
+		}
+	}
+}
+
+func TestBundleMissingCertReported(t *testing.T) {
+	dir := t.TempDir()
+	in := testcerts.Entries(2, store.ServerAuth)
+	if err := WriteBundle(dir, in, 1, ts(2021, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Delete one certificate file: the archive situation for old roots.
+	s := SubjectFromEntry(in[0])
+	name := filepath.Join(dir, CertsDir, hexOf(s.SHA1)+".cer")
+	if err := os.Remove(name); err != nil {
+		t.Fatal(err)
+	}
+	out, missing, err := ReadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || len(missing) != 1 {
+		t.Errorf("entries=%d missing=%d", len(out), len(missing))
+	}
+}
+
+func hexOf(h [sha1.Size]byte) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 0, 40)
+	for _, b := range h {
+		out = append(out, digits[b>>4], digits[b&0xF])
+	}
+	return string(out)
+}
+
+func TestCTLFingerprints(t *testing.T) {
+	rs := testcerts.Roots(2)
+	ctl := &CTL{
+		ThisUpdate: ts(2021, 1, 1),
+		Subjects: []TrustedSubject{
+			{SHA1: sha1.Sum(rs[0].DER)},
+			{SHA1: sha1.Sum(rs[1].DER)},
+		},
+	}
+	fps := ctl.Fingerprints()
+	if len(fps) != 2 || len(fps[0]) != 40 {
+		t.Errorf("fingerprints = %v", fps)
+	}
+}
+
+func TestReadBundleMissingSTL(t *testing.T) {
+	if _, _, err := ReadBundle(t.TempDir()); err == nil {
+		t.Error("missing STL should error")
+	}
+}

@@ -1,0 +1,197 @@
+package authroot
+
+import (
+	"crypto/sha1"
+	"encoding/asn1"
+	"encoding/hex"
+	"fmt"
+	"math/big"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Bundle layout constants.
+const (
+	// STLName is the trust list file inside a bundle directory.
+	STLName = "authroot.stl"
+	// CertsDir holds the per-hash certificate files.
+	CertsDir = "certs"
+)
+
+// purposeEKU maps store purposes onto the EKU OIDs the CTL carries.
+func purposeEKU(p store.Purpose) (asn1.ObjectIdentifier, bool) {
+	switch p {
+	case store.ServerAuth:
+		return OIDServerAuth, true
+	case store.EmailProtection:
+		return OIDEmailProtection, true
+	case store.CodeSigning:
+		return OIDCodeSigning, true
+	case store.TimeStamping:
+		return OIDTimeStamping, true
+	default:
+		return nil, false
+	}
+}
+
+func ekuPurpose(oid asn1.ObjectIdentifier) (store.Purpose, bool) {
+	switch {
+	case oid.Equal(OIDServerAuth):
+		return store.ServerAuth, true
+	case oid.Equal(OIDEmailProtection):
+		return store.EmailProtection, true
+	case oid.Equal(OIDCodeSigning):
+		return store.CodeSigning, true
+	case oid.Equal(OIDTimeStamping):
+		return store.TimeStamping, true
+	default:
+		return 0, false
+	}
+}
+
+// SubjectFromEntry converts a trust entry to a CTL trusted subject.
+func SubjectFromEntry(e *store.TrustEntry) TrustedSubject {
+	var s TrustedSubject
+	s.SHA1 = sha1.Sum(e.DER)
+	s.FriendlyName = e.Label
+	allDistrusted := true
+	for _, p := range []store.Purpose{store.ServerAuth, store.EmailProtection, store.CodeSigning, store.TimeStamping} {
+		switch e.TrustFor(p) {
+		case store.Trusted:
+			allDistrusted = false
+			if oid, ok := purposeEKU(p); ok {
+				s.EKUs = append(s.EKUs, oid)
+			}
+		}
+	}
+	if allDistrusted {
+		s.Disallowed = true
+		s.EKUs = nil
+	}
+	// Microsoft models partial distrust with a single NotBefore filetime
+	// covering all usages; use the earliest per-purpose date.
+	var earliest *time.Time
+	for _, p := range store.AllPurposes {
+		if da, ok := e.DistrustAfterFor(p); ok {
+			if earliest == nil || da.Before(*earliest) {
+				t := da
+				earliest = &t
+			}
+		}
+	}
+	s.NotBefore = earliest
+	return s
+}
+
+// EntryFromSubject converts a CTL subject plus its certificate DER back to
+// a trust entry.
+func EntryFromSubject(s TrustedSubject, der []byte) (*store.TrustEntry, error) {
+	if got := sha1.Sum(der); got != s.SHA1 {
+		return nil, fmt.Errorf("authroot: certificate hash %x does not match subject %x",
+			got[:4], s.SHA1[:4])
+	}
+	e, err := store.NewEntry(der)
+	if err != nil {
+		return nil, err
+	}
+	if s.FriendlyName != "" {
+		e.Label = s.FriendlyName
+	}
+	switch {
+	case s.Disallowed:
+		for _, p := range []store.Purpose{store.ServerAuth, store.EmailProtection, store.CodeSigning, store.TimeStamping} {
+			e.SetTrust(p, store.Distrusted)
+		}
+	case len(s.EKUs) == 0:
+		// No EKU restriction: trusted for everything.
+		for _, p := range []store.Purpose{store.ServerAuth, store.EmailProtection, store.CodeSigning, store.TimeStamping} {
+			e.SetTrust(p, store.Trusted)
+		}
+	default:
+		for _, oid := range s.EKUs {
+			if p, ok := ekuPurpose(oid); ok {
+				e.SetTrust(p, store.Trusted)
+			}
+		}
+	}
+	if s.NotBefore != nil && !s.Disallowed {
+		for _, p := range store.AllPurposes {
+			if e.TrustedFor(p) {
+				e.SetDistrustAfter(p, *s.NotBefore)
+			}
+		}
+	}
+	return e, nil
+}
+
+// WriteBundle writes entries as an authroot bundle: authroot.stl plus
+// certs/<sha1>.cer files.
+func WriteBundle(dir string, entries []*store.TrustEntry, sequence int64, thisUpdate time.Time) error {
+	certDir := filepath.Join(dir, CertsDir)
+	if err := os.MkdirAll(certDir, 0o755); err != nil {
+		return fmt.Errorf("authroot: %w", err)
+	}
+	ctl := &CTL{SequenceNumber: big.NewInt(sequence), ThisUpdate: thisUpdate}
+	for _, e := range entries {
+		s := SubjectFromEntry(e)
+		ctl.Subjects = append(ctl.Subjects, s)
+		name := hex.EncodeToString(s.SHA1[:]) + ".cer"
+		if err := os.WriteFile(filepath.Join(certDir, name), e.DER, 0o644); err != nil {
+			return fmt.Errorf("authroot: %w", err)
+		}
+	}
+	der, err := Marshal(ctl)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, STLName), der, 0o644); err != nil {
+		return fmt.Errorf("authroot: %w", err)
+	}
+	return nil
+}
+
+// ReadBundle reads an authroot bundle back into trust entries. Subjects
+// whose certificate file is missing are reported in missing (by hex hash)
+// rather than failing the whole read, because the real archive is similarly
+// incomplete for long-removed roots.
+func ReadBundle(dir string) (entries []*store.TrustEntry, missing []string, err error) {
+	der, err := os.ReadFile(filepath.Join(dir, STLName))
+	if err != nil {
+		return nil, nil, fmt.Errorf("authroot: %w", err)
+	}
+	ctl, err := Parse(der)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, s := range ctl.Subjects {
+		hexHash := hex.EncodeToString(s.SHA1[:])
+		certPath := filepath.Join(dir, CertsDir, hexHash+".cer")
+		certDER, err := os.ReadFile(certPath)
+		if os.IsNotExist(err) {
+			missing = append(missing, hexHash)
+			continue
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("authroot: %w", err)
+		}
+		e, err := EntryFromSubject(s, certDER)
+		if err != nil {
+			return nil, nil, fmt.Errorf("authroot: %s: %w", hexHash, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, missing, nil
+}
+
+// Fingerprints returns the SHA-1 hex identifiers in the CTL, for quick
+// membership checks without loading certificates.
+func (c *CTL) Fingerprints() []string {
+	out := make([]string, 0, len(c.Subjects))
+	for _, s := range c.Subjects {
+		out = append(out, hex.EncodeToString(s.SHA1[:]))
+	}
+	return out
+}

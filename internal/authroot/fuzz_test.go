@@ -1,0 +1,36 @@
+package authroot
+
+import (
+	"crypto/sha1"
+	"math/big"
+	"testing"
+
+	"repro/internal/testcerts"
+)
+
+// FuzzParse hardens the CTL ASN.1 decoder against arbitrary DER.
+func FuzzParse(f *testing.F) {
+	rs := testcerts.Roots(1)
+	valid, err := Marshal(&CTL{
+		SequenceNumber: big.NewInt(1),
+		ThisUpdate:     ts(2021, 1, 1),
+		Subjects:       []TrustedSubject{{SHA1: sha1.Sum(rs[0].DER), FriendlyName: "Seed"}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0x30, 0x00})
+	f.Add([]byte{0x30, 0x82, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ctl, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if _, err := Marshal(ctl); err != nil {
+			t.Fatalf("re-marshal of parsed CTL failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,292 @@
+// Package catalog ingests root-store files from disk into the analysis
+// database — the scraper side of the paper's methodology (§3.1: "we parse
+// these formats and consolidate them into a single database"). It
+// auto-detects each snapshot's format from its files, so a directory tree
+// of collected releases (like cmd/synthgen's output, or a real archive of
+// certdata.txt / authroot.stl / cacerts files) loads with one call.
+//
+// Expected layout: <root>/<provider>/<version>/<files...>, where each
+// version directory holds one snapshot in any supported format. Snapshot
+// dates come from a manifest file, or are derived from the version
+// directory's name when it parses as a date, or fall back to file mtime.
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/applestore"
+	"repro/internal/authroot"
+	"repro/internal/certdata"
+	"repro/internal/jks"
+	"repro/internal/nodecerts"
+	"repro/internal/pemstore"
+	"repro/internal/store"
+)
+
+// Format identifies a detected on-disk root-store format.
+type Format string
+
+// Detected formats.
+const (
+	FormatCertdata     Format = "certdata"
+	FormatAuthroot     Format = "authroot"
+	FormatJKS          Format = "jks"
+	FormatNodeHeader   Format = "node-header"
+	FormatPEMBundle    Format = "pem-bundle"
+	FormatPurposeSplit Format = "purpose-split"
+	FormatAppleDir     Format = "apple-dir"
+	FormatUnknown      Format = ""
+)
+
+// Options tunes ingestion.
+type Options struct {
+	// JKSPassword verifies keystore integrity (default "changeit").
+	JKSPassword string
+	// BundlePurposes are the purposes a bare PEM bundle grants (default
+	// ServerAuth only, the tls-ca-bundle.pem semantics).
+	BundlePurposes []store.Purpose
+}
+
+func (o Options) withDefaults() Options {
+	if o.JKSPassword == "" {
+		o.JKSPassword = "changeit"
+	}
+	if len(o.BundlePurposes) == 0 {
+		o.BundlePurposes = []store.Purpose{store.ServerAuth}
+	}
+	return o
+}
+
+// DetectFormat inspects a snapshot directory and reports its format.
+func DetectFormat(dir string) (Format, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return FormatUnknown, fmt.Errorf("catalog: %w", err)
+	}
+	names := map[string]bool{}
+	var pemCount, cerCount int
+	for _, de := range des {
+		if de.IsDir() {
+			names[de.Name()+"/"] = true
+			continue
+		}
+		names[de.Name()] = true
+		switch strings.ToLower(filepath.Ext(de.Name())) {
+		case ".pem", ".crt":
+			pemCount++
+		case ".cer":
+			cerCount++
+		}
+	}
+	switch {
+	case names["certdata.txt"]:
+		return FormatCertdata, nil
+	case names[authroot.STLName]:
+		return FormatAuthroot, nil
+	case names["node_root_certs.h"]:
+		return FormatNodeHeader, nil
+	case hasJKS(des):
+		return FormatJKS, nil
+	case names["tls-ca-bundle.pem"] && (names["email-ca-bundle.pem"] || names["objsign-ca-bundle.pem"]):
+		return FormatPurposeSplit, nil
+	case names["tls-ca-bundle.pem"] || names["cert.pem"] || names["ca-certificates.crt"]:
+		return FormatPEMBundle, nil
+	case names[applestore.TrustSettingsName] || (cerCount > 0 && pemCount == 0):
+		return FormatAppleDir, nil
+	case pemCount > 0:
+		return FormatPEMBundle, nil
+	default:
+		return FormatUnknown, fmt.Errorf("catalog: no recognizable root store in %s", dir)
+	}
+}
+
+func hasJKS(des []os.DirEntry) bool {
+	for _, de := range des {
+		if !de.IsDir() && (strings.HasSuffix(de.Name(), ".jks") || de.Name() == "cacerts") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadSnapshot ingests one snapshot directory.
+func LoadSnapshot(dir, provider, version string, date time.Time, opts Options) (*store.Snapshot, Format, error) {
+	opts = opts.withDefaults()
+	format, err := DetectFormat(dir)
+	if err != nil {
+		return nil, FormatUnknown, err
+	}
+	var entries []*store.TrustEntry
+	switch format {
+	case FormatCertdata:
+		f, err := os.Open(filepath.Join(dir, "certdata.txt"))
+		if err != nil {
+			return nil, format, fmt.Errorf("catalog: %w", err)
+		}
+		res, perr := certdata.Parse(f)
+		f.Close()
+		if perr != nil {
+			return nil, format, perr
+		}
+		entries = res.Entries
+	case FormatAuthroot:
+		es, _, err := authroot.ReadBundle(dir)
+		if err != nil {
+			return nil, format, err
+		}
+		entries = es
+	case FormatNodeHeader:
+		f, err := os.Open(filepath.Join(dir, "node_root_certs.h"))
+		if err != nil {
+			return nil, format, fmt.Errorf("catalog: %w", err)
+		}
+		es, perr := nodecerts.Parse(f)
+		f.Close()
+		if perr != nil {
+			return nil, format, perr
+		}
+		entries = es
+	case FormatJKS:
+		path, err := jksPath(dir)
+		if err != nil {
+			return nil, format, err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, format, fmt.Errorf("catalog: %w", err)
+		}
+		ks, err := jks.Parse(data, opts.JKSPassword)
+		if err != nil {
+			return nil, format, err
+		}
+		// Java's cacerts conflates TLS, email and code signing.
+		entries, err = ks.ToEntries(store.ServerAuth, store.EmailProtection, store.CodeSigning)
+		if err != nil {
+			return nil, format, err
+		}
+	case FormatPurposeSplit:
+		es, err := pemstore.ReadPurposeBundles(dir)
+		if err != nil {
+			return nil, format, err
+		}
+		entries = es
+	case FormatPEMBundle:
+		path, err := pemPath(dir)
+		if err != nil {
+			return nil, format, err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, format, fmt.Errorf("catalog: %w", err)
+		}
+		es, perr := pemstore.ParseBundle(f, opts.BundlePurposes...)
+		f.Close()
+		if perr != nil {
+			return nil, format, perr
+		}
+		entries = es
+	case FormatAppleDir:
+		es, err := applestore.ReadDir(dir)
+		if err != nil {
+			return nil, format, err
+		}
+		entries = es
+	}
+	s := store.NewSnapshot(provider, version, date)
+	for _, e := range entries {
+		s.Add(e)
+	}
+	return s, format, nil
+}
+
+func jksPath(dir string) (string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("catalog: %w", err)
+	}
+	for _, de := range des {
+		if !de.IsDir() && (strings.HasSuffix(de.Name(), ".jks") || de.Name() == "cacerts") {
+			return filepath.Join(dir, de.Name()), nil
+		}
+	}
+	return "", fmt.Errorf("catalog: no JKS file in %s", dir)
+}
+
+func pemPath(dir string) (string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("catalog: %w", err)
+	}
+	// Preferred canonical names first.
+	for _, name := range []string{"tls-ca-bundle.pem", "cert.pem", "ca-certificates.crt"} {
+		for _, de := range des {
+			if de.Name() == name {
+				return filepath.Join(dir, name), nil
+			}
+		}
+	}
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".pem") {
+			return filepath.Join(dir, de.Name()), nil
+		}
+	}
+	return "", fmt.Errorf("catalog: no PEM bundle in %s", dir)
+}
+
+// LoadTree ingests a <root>/<provider>/<version>/ tree into a database.
+// Version directories named like dates (2006-01-02 or 20060102) provide
+// snapshot dates; otherwise file modification time is used. Versions load
+// in lexical order.
+func LoadTree(root string, opts Options) (*store.Database, error) {
+	db := store.NewDatabase()
+	provs, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	for _, prov := range provs {
+		if !prov.IsDir() {
+			continue
+		}
+		provDir := filepath.Join(root, prov.Name())
+		versions, err := os.ReadDir(provDir)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: %w", err)
+		}
+		var names []string
+		for _, v := range versions {
+			if v.IsDir() {
+				names = append(names, v.Name())
+			}
+		}
+		sort.Strings(names)
+		for _, version := range names {
+			dir := filepath.Join(provDir, version)
+			date := dateForVersion(dir, version)
+			snap, _, err := LoadSnapshot(dir, prov.Name(), version, date, opts)
+			if err != nil {
+				return nil, fmt.Errorf("catalog: %s/%s: %w", prov.Name(), version, err)
+			}
+			if err := db.AddSnapshot(snap); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+func dateForVersion(dir, version string) time.Time {
+	for _, layout := range []string{"2006-01-02", "20060102", "2006-01"} {
+		if t, err := time.Parse(layout, version); err == nil {
+			return t
+		}
+	}
+	if fi, err := os.Stat(dir); err == nil {
+		return fi.ModTime().UTC()
+	}
+	return time.Time{}
+}

@@ -1,0 +1,227 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/applestore"
+	"repro/internal/authroot"
+	"repro/internal/certdata"
+	"repro/internal/jks"
+	"repro/internal/nodecerts"
+	"repro/internal/pemstore"
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+func sampleEntries(t *testing.T) []*store.TrustEntry {
+	t.Helper()
+	entries := testcerts.Entries(3, store.ServerAuth, store.EmailProtection)
+	entries[0].SetDistrustAfter(store.ServerAuth, time.Date(2020, 9, 1, 0, 0, 0, 0, time.UTC))
+	return entries
+}
+
+func writeAll(t *testing.T, root string, entries []*store.TrustEntry) {
+	t.Helper()
+	date := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	// NSS certdata.
+	dir := filepath.Join(root, "NSS", "2021-01-01")
+	mk(t, dir)
+	f, err := os.Create(filepath.Join(dir, "certdata.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := certdata.Marshal(f, entries); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Microsoft authroot.
+	dir = filepath.Join(root, "Microsoft", "2021-01-01")
+	mk(t, dir)
+	if err := authroot.WriteBundle(dir, entries, 1, date); err != nil {
+		t.Fatal(err)
+	}
+
+	// Apple dir.
+	dir = filepath.Join(root, "Apple", "2021-01-01")
+	mk(t, dir)
+	if err := applestore.WriteDir(dir, entries); err != nil {
+		t.Fatal(err)
+	}
+
+	// Java JKS.
+	dir = filepath.Join(root, "Java", "2021-01-01")
+	mk(t, dir)
+	data, err := jks.Marshal(jks.FromEntries(entries, date), "changeit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "cacerts.jks"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// NodeJS header.
+	dir = filepath.Join(root, "NodeJS", "2021-01-01")
+	mk(t, dir)
+	f, err = os.Create(filepath.Join(dir, "node_root_certs.h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nodecerts.Marshal(f, entries); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Debian flat bundle.
+	dir = filepath.Join(root, "Debian", "2021-01-01")
+	mk(t, dir)
+	f, err = os.Create(filepath.Join(dir, "tls-ca-bundle.pem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pemstore.WriteBundle(f, entries, store.ServerAuth); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// AmazonLinux purpose-split bundles.
+	dir = filepath.Join(root, "AmazonLinux", "2021-01-01")
+	mk(t, dir)
+	if err := pemstore.WritePurposeBundles(dir, entries); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mk(t *testing.T, dir string) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectFormat(t *testing.T) {
+	root := t.TempDir()
+	writeAll(t, root, sampleEntries(t))
+	cases := map[string]Format{
+		"NSS":         FormatCertdata,
+		"Microsoft":   FormatAuthroot,
+		"Apple":       FormatAppleDir,
+		"Java":        FormatJKS,
+		"NodeJS":      FormatNodeHeader,
+		"Debian":      FormatPEMBundle,
+		"AmazonLinux": FormatPurposeSplit,
+	}
+	for prov, want := range cases {
+		got, err := DetectFormat(filepath.Join(root, prov, "2021-01-01"))
+		if err != nil {
+			t.Errorf("%s: %v", prov, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: format %q, want %q", prov, got, want)
+		}
+	}
+	if _, err := DetectFormat(t.TempDir()); err == nil {
+		t.Error("empty directory should not detect")
+	}
+	if _, err := DetectFormat(filepath.Join(root, "missing")); err == nil {
+		t.Error("missing directory should error")
+	}
+}
+
+func TestLoadTree(t *testing.T) {
+	root := t.TempDir()
+	entries := sampleEntries(t)
+	writeAll(t, root, entries)
+
+	db, err := LoadTree(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	provs := db.Providers()
+	if len(provs) != 7 {
+		t.Fatalf("providers = %v", provs)
+	}
+	for _, prov := range provs {
+		h := db.History(prov)
+		if h.Len() != 1 {
+			t.Errorf("%s: %d snapshots", prov, h.Len())
+		}
+		s := h.Latest()
+		if !s.Date.Equal(time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)) {
+			t.Errorf("%s: date %s (should parse from version dir name)", prov, s.Date)
+		}
+		if s.TrustedCount(store.ServerAuth) != 3 {
+			t.Errorf("%s: %d TLS roots, want 3", prov, s.TrustedCount(store.ServerAuth))
+		}
+	}
+
+	// Metadata fidelity follows the format: certdata keeps the
+	// distrust-after; the flat Debian bundle loses it.
+	nssEntry, _ := db.History("NSS").Latest().Lookup(entries[0].Fingerprint)
+	if _, ok := nssEntry.DistrustAfterFor(store.ServerAuth); !ok {
+		t.Error("certdata ingestion lost partial distrust")
+	}
+	debEntry, _ := db.History("Debian").Latest().Lookup(entries[0].Fingerprint)
+	if _, ok := debEntry.DistrustAfterFor(store.ServerAuth); ok {
+		t.Error("PEM ingestion fabricated partial distrust")
+	}
+	// JKS conflation: Java entries trusted for code signing too.
+	javaEntry, _ := db.History("Java").Latest().Lookup(entries[1].Fingerprint)
+	if !javaEntry.TrustedFor(store.CodeSigning) {
+		t.Error("JKS ingestion should conflate purposes")
+	}
+	// Purpose-split preserved purposes without conflation.
+	amzEntry, _ := db.History("AmazonLinux").Latest().Lookup(entries[1].Fingerprint)
+	if !amzEntry.TrustedFor(store.ServerAuth) || !amzEntry.TrustedFor(store.EmailProtection) {
+		t.Error("purpose-split ingestion lost purposes")
+	}
+	if amzEntry.TrustedFor(store.CodeSigning) {
+		t.Error("purpose-split ingestion fabricated code-signing trust")
+	}
+}
+
+func TestLoadSnapshotWrongPassword(t *testing.T) {
+	root := t.TempDir()
+	writeAll(t, root, sampleEntries(t))
+	dir := filepath.Join(root, "Java", "2021-01-01")
+	_, _, err := LoadSnapshot(dir, "Java", "v", time.Now(), Options{JKSPassword: "wrong"})
+	if err == nil {
+		t.Error("wrong JKS password should fail")
+	}
+}
+
+func TestDateForVersion(t *testing.T) {
+	cases := map[string]string{
+		"2021-01-02": "2021-01-02",
+		"20210102":   "2021-01-02",
+		"2021-01":    "2021-01-01",
+	}
+	for in, want := range cases {
+		got := dateForVersion(t.TempDir(), in)
+		if got.Format("2006-01-02") != want {
+			t.Errorf("dateForVersion(%q) = %s, want %s", in, got.Format("2006-01-02"), want)
+		}
+	}
+	// Non-date names fall back to mtime (non-zero).
+	dir := t.TempDir()
+	if dateForVersion(dir, "v3.53").IsZero() {
+		t.Error("mtime fallback should be non-zero")
+	}
+}
+
+func TestLoadTreeCorrupt(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "NSS", "2021-01-01")
+	mk(t, dir)
+	if err := os.WriteFile(filepath.Join(dir, "certdata.txt"), []byte("JUNK LINE\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTree(root, Options{}); err == nil {
+		t.Error("corrupt tree should fail loudly")
+	}
+}

@@ -1,0 +1,314 @@
+// Package certdata reads and writes Mozilla NSS certdata.txt trust-anchor
+// files, the PKCS#11-flavoured text format NSS has used since 2000 (§3 of
+// the paper). A file is a sequence of objects, each a list of attribute
+// lines; the objects of interest are certificates (CKO_CERTIFICATE, raw DER
+// in CKA_VALUE) and trust objects (CKO_NSS_TRUST, keyed by issuer+serial,
+// carrying per-purpose CK_TRUST levels). NSS's partial distrust
+// (CKA_NSS_SERVER_DISTRUST_AFTER / CKA_NSS_EMAIL_DISTRUST_AFTER) lives on
+// the certificate object as an octal-encoded GeneralizedTime-like string.
+package certdata
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Attribute value types that appear in certdata.txt.
+const (
+	typeObjectClass = "CK_OBJECT_CLASS"
+	typeBBool       = "CK_BBOOL"
+	typeUTF8        = "UTF8"
+	typeCertType    = "CK_CERTIFICATE_TYPE"
+	typeTrust       = "CK_TRUST"
+	typeMultiline   = "MULTILINE_OCTAL"
+)
+
+// Object classes.
+const (
+	classCertificate = "CKO_CERTIFICATE"
+	classTrust       = "CKO_NSS_TRUST"
+	classBuiltinROM  = "CKO_NSS_BUILTIN_ROOT_LIST"
+)
+
+// Trust constants.
+const (
+	trustedDelegator = "CKT_NSS_TRUSTED_DELEGATOR"
+	mustVerifyTrust  = "CKT_NSS_MUST_VERIFY_TRUST"
+	notTrusted       = "CKT_NSS_NOT_TRUSTED"
+	trustUnknown     = "CKT_NSS_TRUST_UNKNOWN"
+)
+
+// distrustTimeLayout is the CK_DATE-ish layout NSS uses for the
+// *_DISTRUST_AFTER attributes: YYMMDDHHMMSSZ.
+const distrustTimeLayout = "060102150405Z"
+
+// attribute is one parsed attribute line (plus multiline payload).
+type attribute struct {
+	Name  string
+	Type  string
+	Value string // for UTF8/BBOOL/CLASS/TRUST values
+	Data  []byte // for MULTILINE_OCTAL payloads
+}
+
+// object is a parsed PKCS#11 object: attribute list in file order.
+type object struct {
+	attrs []attribute
+}
+
+func (o *object) get(name string) (attribute, bool) {
+	for _, a := range o.attrs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return attribute{}, false
+}
+
+func (o *object) class() string {
+	if a, ok := o.get("CKA_CLASS"); ok {
+		return a.Value
+	}
+	return ""
+}
+
+// ParseResult is the outcome of parsing a certdata.txt file.
+type ParseResult struct {
+	// Entries are the certificates with their trust metadata applied.
+	Entries []*store.TrustEntry
+	// OrphanTrust counts trust objects whose issuer+serial matched no
+	// certificate object — NSS uses these to distrust certificates it
+	// does not ship (e.g. the DigiNotar tombstones).
+	OrphanTrust int
+	// Warnings records recoverable oddities encountered while parsing.
+	Warnings []string
+}
+
+// Parse reads a certdata.txt stream.
+func Parse(r io.Reader) (*ParseResult, error) {
+	objects, err := lex(r)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ParseResult{}
+	// Certificates keyed by issuer+serial for trust-object matching.
+	type certRec struct {
+		entry *store.TrustEntry
+	}
+	byIssuerSerial := make(map[string]*certRec)
+
+	for _, o := range objects {
+		if o.class() != classCertificate {
+			continue
+		}
+		val, ok := o.get("CKA_VALUE")
+		if !ok {
+			res.Warnings = append(res.Warnings, "certificate object without CKA_VALUE")
+			continue
+		}
+		entry, err := store.NewEntry(val.Data)
+		if err != nil {
+			res.Warnings = append(res.Warnings, fmt.Sprintf("unparseable certificate: %v", err))
+			continue
+		}
+		if lbl, ok := o.get("CKA_LABEL"); ok {
+			entry.Label = lbl.Value
+		}
+		if att, ok := o.get("CKA_NSS_SERVER_DISTRUST_AFTER"); ok && att.Type == typeMultiline {
+			if t, err := parseDistrustTime(att.Data); err == nil {
+				entry.SetDistrustAfter(store.ServerAuth, t)
+			} else {
+				res.Warnings = append(res.Warnings, fmt.Sprintf("bad server distrust-after for %q: %v", entry.Label, err))
+			}
+		}
+		if att, ok := o.get("CKA_NSS_EMAIL_DISTRUST_AFTER"); ok && att.Type == typeMultiline {
+			if t, err := parseDistrustTime(att.Data); err == nil {
+				entry.SetDistrustAfter(store.EmailProtection, t)
+			} else {
+				res.Warnings = append(res.Warnings, fmt.Sprintf("bad email distrust-after for %q: %v", entry.Label, err))
+			}
+		}
+		key := issuerSerialKeyFromObject(o, entry)
+		byIssuerSerial[key] = &certRec{entry: entry}
+		res.Entries = append(res.Entries, entry)
+	}
+
+	for _, o := range objects {
+		if o.class() != classTrust {
+			continue
+		}
+		key := issuerSerialKeyFromTrust(o)
+		rec, ok := byIssuerSerial[key]
+		if !ok {
+			res.OrphanTrust++
+			continue
+		}
+		applyTrust(o, rec.entry)
+	}
+	return res, nil
+}
+
+// issuerSerialKeyFromObject prefers the object's own CKA_ISSUER/SERIAL
+// attributes, falling back to the parsed certificate.
+func issuerSerialKeyFromObject(o *object, e *store.TrustEntry) string {
+	iss, okI := o.get("CKA_ISSUER")
+	ser, okS := o.get("CKA_SERIAL_NUMBER")
+	if okI && okS {
+		return string(iss.Data) + "|" + string(ser.Data)
+	}
+	return string(e.Cert.RawIssuer) + "|" + string(rawSerial(e))
+}
+
+func issuerSerialKeyFromTrust(o *object) string {
+	iss, _ := o.get("CKA_ISSUER")
+	ser, _ := o.get("CKA_SERIAL_NUMBER")
+	return string(iss.Data) + "|" + string(ser.Data)
+}
+
+// rawSerial re-encodes the certificate serial as DER INTEGER bytes, which is
+// how certdata stores CKA_SERIAL_NUMBER.
+func rawSerial(e *store.TrustEntry) []byte {
+	b, err := asn1MarshalInt(e.Cert.SerialNumber)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+func applyTrust(o *object, e *store.TrustEntry) {
+	set := func(attrName string, p store.Purpose) {
+		a, ok := o.get(attrName)
+		if !ok {
+			return
+		}
+		switch a.Value {
+		case trustedDelegator:
+			e.SetTrust(p, store.Trusted)
+		case mustVerifyTrust:
+			e.SetTrust(p, store.MustVerify)
+		case notTrusted:
+			e.SetTrust(p, store.Distrusted)
+		case trustUnknown:
+			e.SetTrust(p, store.Unspecified)
+		}
+	}
+	set("CKA_TRUST_SERVER_AUTH", store.ServerAuth)
+	set("CKA_TRUST_EMAIL_PROTECTION", store.EmailProtection)
+	set("CKA_TRUST_CODE_SIGNING", store.CodeSigning)
+}
+
+func parseDistrustTime(data []byte) (time.Time, error) {
+	return time.Parse(distrustTimeLayout, string(data))
+}
+
+// lex splits the stream into objects. Grammar: '#' comments, blank lines,
+// a BEGINDATA marker, then attribute lines "NAME TYPE [VALUE]"; a
+// MULTILINE_OCTAL type is followed by octal-escape lines until END. A new
+// CKA_CLASS attribute begins a new object.
+func lex(r io.Reader) ([]*object, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	var objects []*object
+	var cur *object
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || line == "BEGINDATA" {
+			continue
+		}
+		if strings.HasPrefix(line, "CVS_ID") {
+			continue // ancient header in early NSS versions
+		}
+		fields := strings.SplitN(line, " ", 3)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("certdata: line %d: malformed attribute %q", lineNo, line)
+		}
+		attr := attribute{Name: fields[0], Type: fields[1]}
+		switch attr.Type {
+		case typeMultiline:
+			data, consumed, err := readOctal(sc)
+			lineNo += consumed
+			if err != nil {
+				return nil, fmt.Errorf("certdata: line %d: %v", lineNo, err)
+			}
+			attr.Data = data
+		case typeUTF8:
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("certdata: line %d: UTF8 attribute missing value", lineNo)
+			}
+			v, err := unquote(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("certdata: line %d: %v", lineNo, err)
+			}
+			attr.Value = v
+		default:
+			if len(fields) >= 3 {
+				attr.Value = strings.TrimSpace(fields[2])
+			}
+		}
+		if attr.Name == "CKA_CLASS" {
+			cur = &object{}
+			objects = append(objects, cur)
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("certdata: line %d: attribute before any CKA_CLASS", lineNo)
+		}
+		cur.attrs = append(cur.attrs, attr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("certdata: read: %w", err)
+	}
+	return objects, nil
+}
+
+// readOctal consumes `\ooo` escape lines until END.
+func readOctal(sc *bufio.Scanner) ([]byte, int, error) {
+	var buf bytes.Buffer
+	consumed := 0
+	for sc.Scan() {
+		consumed++
+		line := strings.TrimSpace(sc.Text())
+		if line == "END" {
+			return buf.Bytes(), consumed, nil
+		}
+		i := 0
+		for i < len(line) {
+			if line[i] != '\\' {
+				return nil, consumed, fmt.Errorf("unexpected byte %q in octal block", line[i])
+			}
+			if i+3 >= len(line) {
+				return nil, consumed, fmt.Errorf("truncated octal escape %q", line[i:])
+			}
+			var v int
+			for j := 1; j <= 3; j++ {
+				c := line[i+j]
+				if c < '0' || c > '7' {
+					return nil, consumed, fmt.Errorf("bad octal digit %q", c)
+				}
+				v = v*8 + int(c-'0')
+			}
+			if v > 0xFF {
+				return nil, consumed, fmt.Errorf("octal escape out of range: %d", v)
+			}
+			buf.WriteByte(byte(v))
+			i += 4
+		}
+	}
+	return nil, consumed, fmt.Errorf("octal block not terminated by END")
+}
+
+func unquote(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("UTF8 value not quoted: %q", s)
+	}
+	return s[1 : len(s)-1], nil
+}

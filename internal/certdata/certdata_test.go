@@ -1,0 +1,281 @@
+package certdata
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/certgen"
+	"repro/internal/store"
+)
+
+var (
+	pool      = certgen.NewKeyPool("certdata-test")
+	onceRoots sync.Once
+	cached    []*certgen.Root
+)
+
+func testRoots(t testing.TB, n int) []*certgen.Root {
+	t.Helper()
+	onceRoots.Do(func() {
+		for i := 0; i < 8; i++ {
+			r, err := certgen.NewRoot(pool, certgen.RootSpec{
+				Name:      fmt.Sprintf("Certdata Root %d", i),
+				Org:       "Certdata Org",
+				Country:   "US",
+				Key:       certgen.ECDSA256,
+				Sig:       certgen.ECDSAWithSHA256,
+				NotBefore: time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC),
+				NotAfter:  time.Date(2035, 1, 1, 0, 0, 0, 0, time.UTC),
+				KeyIndex:  i,
+			})
+			if err != nil {
+				panic(err)
+			}
+			cached = append(cached, r)
+		}
+	})
+	return cached[:n]
+}
+
+func sampleEntries(t testing.TB) []*store.TrustEntry {
+	t.Helper()
+	rs := testRoots(t, 3)
+	e0, err := store.NewTrustedEntry(rs[0].DER, store.ServerAuth, store.EmailProtection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := store.NewTrustedEntry(rs[1].DER, store.ServerAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.SetTrust(store.EmailProtection, store.MustVerify)
+	e1.SetTrust(store.CodeSigning, store.Distrusted)
+	e1.SetDistrustAfter(store.ServerAuth, time.Date(2020, 9, 1, 0, 0, 0, 0, time.UTC))
+	e2, err := store.NewTrustedEntry(rs[2].DER, store.EmailProtection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.SetDistrustAfter(store.EmailProtection, time.Date(2019, 7, 15, 0, 0, 0, 0, time.UTC))
+	return []*store.TrustEntry{e0, e1, e2}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := sampleEntries(t)
+	data, err := MarshalBytes(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	res, err := Parse(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(res.Warnings) != 0 {
+		t.Fatalf("warnings: %v", res.Warnings)
+	}
+	if res.OrphanTrust != 0 {
+		t.Fatalf("orphan trust objects: %d", res.OrphanTrust)
+	}
+	if len(res.Entries) != len(in) {
+		t.Fatalf("entries = %d, want %d", len(res.Entries), len(in))
+	}
+	byFP := map[string]*store.TrustEntry{}
+	for _, e := range res.Entries {
+		byFP[e.Fingerprint.String()] = e
+	}
+	for _, want := range in {
+		got, ok := byFP[want.Fingerprint.String()]
+		if !ok {
+			t.Fatalf("entry %s missing after round trip", want.Fingerprint.Short())
+		}
+		if got.Label != want.Label {
+			t.Errorf("label %q != %q", got.Label, want.Label)
+		}
+		for _, p := range store.AllPurposes[:3] {
+			if got.TrustFor(p) != want.TrustFor(p) {
+				t.Errorf("%s trust for %s: %v != %v", want.Label, p, got.TrustFor(p), want.TrustFor(p))
+			}
+			wantDA, wantOK := want.DistrustAfterFor(p)
+			gotDA, gotOK := got.DistrustAfterFor(p)
+			if wantOK != gotOK || (wantOK && !wantDA.Equal(gotDA)) {
+				t.Errorf("%s distrust-after for %s: (%v,%v) != (%v,%v)", want.Label, p, gotDA, gotOK, wantDA, wantOK)
+			}
+		}
+		if !bytes.Equal(got.DER, want.DER) {
+			t.Errorf("%s DER changed in round trip", want.Label)
+		}
+	}
+}
+
+func TestMarshalStable(t *testing.T) {
+	in := sampleEntries(t)
+	a, err := MarshalBytes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalBytes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("Marshal is not deterministic")
+	}
+}
+
+func TestParseSkipsCommentsAndHeaders(t *testing.T) {
+	in := sampleEntries(t)[:1]
+	data, err := MarshalBytes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject legacy header cruft.
+	doc := "# a comment\nCVS_ID \"@(#) old header\"\n" + string(data)
+	res, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Parse with cruft: %v", err)
+	}
+	if len(res.Entries) != 1 {
+		t.Fatalf("entries = %d", len(res.Entries))
+	}
+}
+
+func TestParseOrphanTrust(t *testing.T) {
+	doc := `BEGINDATA
+CKA_CLASS CK_OBJECT_CLASS CKO_NSS_TRUST
+CKA_TOKEN CK_BBOOL CK_TRUE
+CKA_LABEL UTF8 "Tombstone"
+CKA_ISSUER MULTILINE_OCTAL
+\060\003
+END
+CKA_SERIAL_NUMBER MULTILINE_OCTAL
+\002\001\001
+END
+CKA_TRUST_SERVER_AUTH CK_TRUST CKT_NSS_NOT_TRUSTED
+`
+	res, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if res.OrphanTrust != 1 {
+		t.Errorf("OrphanTrust = %d, want 1", res.OrphanTrust)
+	}
+	if len(res.Entries) != 0 {
+		t.Errorf("entries = %d, want 0", len(res.Entries))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"attr before class", "CKA_TOKEN CK_BBOOL CK_TRUE\n"},
+		{"malformed line", "BEGINDATA\nJUNKLINE\n"},
+		{"unterminated octal", "BEGINDATA\nCKA_CLASS CK_OBJECT_CLASS CKO_CERTIFICATE\nCKA_VALUE MULTILINE_OCTAL\n\\060\\003\n"},
+		{"bad octal digit", "BEGINDATA\nCKA_CLASS CK_OBJECT_CLASS CKO_CERTIFICATE\nCKA_VALUE MULTILINE_OCTAL\n\\069\nEND\n"},
+		{"octal not escape", "BEGINDATA\nCKA_CLASS CK_OBJECT_CLASS CKO_CERTIFICATE\nCKA_VALUE MULTILINE_OCTAL\nabc\nEND\n"},
+		{"truncated escape", "BEGINDATA\nCKA_CLASS CK_OBJECT_CLASS CKO_CERTIFICATE\nCKA_VALUE MULTILINE_OCTAL\n\\06\nEND\n"},
+		{"unquoted utf8", "BEGINDATA\nCKA_CLASS CK_OBJECT_CLASS CKO_CERTIFICATE\nCKA_LABEL UTF8 unquoted\n"},
+		{"utf8 missing value", "BEGINDATA\nCKA_CLASS CK_OBJECT_CLASS CKO_CERTIFICATE\nCKA_LABEL UTF8\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(c.doc)); err == nil {
+				t.Errorf("Parse(%s) succeeded, want error", c.name)
+			}
+		})
+	}
+}
+
+func TestParseUnparseableCertIsWarning(t *testing.T) {
+	doc := `BEGINDATA
+CKA_CLASS CK_OBJECT_CLASS CKO_CERTIFICATE
+CKA_LABEL UTF8 "Broken"
+CKA_VALUE MULTILINE_OCTAL
+\001\002\003
+END
+`
+	res, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(res.Warnings) != 1 {
+		t.Errorf("warnings = %v, want 1 entry", res.Warnings)
+	}
+	if len(res.Entries) != 0 {
+		t.Errorf("entries = %d", len(res.Entries))
+	}
+}
+
+func TestParseCertObjectMissingValue(t *testing.T) {
+	doc := "BEGINDATA\nCKA_CLASS CK_OBJECT_CLASS CKO_CERTIFICATE\nCKA_LABEL UTF8 \"NoValue\"\n"
+	res, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Warnings) != 1 || len(res.Entries) != 0 {
+		t.Errorf("warnings=%v entries=%d", res.Warnings, len(res.Entries))
+	}
+}
+
+func TestDistrustTimeFormat(t *testing.T) {
+	// NSS encodes e.g. 2020-09-01 00:00:00 UTC as "200901000000Z".
+	ts := time.Date(2020, 9, 1, 0, 0, 0, 0, time.UTC)
+	s := ts.Format(distrustTimeLayout)
+	if s != "200901000000Z" {
+		t.Errorf("distrust layout = %q", s)
+	}
+	back, err := parseDistrustTime([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(ts) {
+		t.Errorf("round trip = %v", back)
+	}
+}
+
+func TestOctalEncodingWidth(t *testing.T) {
+	in := sampleEntries(t)[:1]
+	data, err := MarshalBytes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "\\") {
+			if len(line)%4 != 0 {
+				t.Fatalf("octal line length %d not a multiple of 4: %q", len(line), line)
+			}
+			if len(line) > 16*4 {
+				t.Fatalf("octal line too long: %q", line)
+			}
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	data, err := MarshalBytes(sampleEntries(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	in := sampleEntries(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MarshalBytes(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package certdata
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// FuzzParse hardens the certdata lexer/parser against malformed input: it
+// must never panic, and whatever parses must re-marshal cleanly.
+func FuzzParse(f *testing.F) {
+	valid, err := MarshalBytes(sampleEntries(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(""))
+	f.Add([]byte("BEGINDATA\n"))
+	f.Add([]byte("# only a comment\n"))
+	f.Add([]byte("BEGINDATA\nCKA_CLASS CK_OBJECT_CLASS CKO_CERTIFICATE\nCKA_VALUE MULTILINE_OCTAL\n\\060\\000\nEND\n"))
+	f.Add([]byte("BEGINDATA\nCKA_CLASS CK_OBJECT_CLASS CKO_NSS_TRUST\nCKA_TRUST_SERVER_AUTH CK_TRUST CKT_NSS_TRUSTED_DELEGATOR\n"))
+	f.Add(bytes.Repeat([]byte("\\377"), 100))
+	f.Add([]byte("CKA_LABEL UTF8 \"unterminated"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := Parse(bytes.NewReader(data))
+		if err != nil || res == nil {
+			return
+		}
+		// Anything that parsed must marshal and re-parse losslessly in
+		// entry count.
+		out, err := MarshalBytes(res.Entries)
+		if err != nil {
+			t.Fatalf("marshal of parsed entries failed: %v", err)
+		}
+		res2, err := Parse(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(res2.Entries) != len(res.Entries) {
+			t.Fatalf("entry count changed: %d -> %d", len(res.Entries), len(res2.Entries))
+		}
+		for i := range res.Entries {
+			_ = res.Entries[i].TrustFor(store.ServerAuth)
+		}
+	})
+}

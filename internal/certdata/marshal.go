@@ -1,0 +1,123 @@
+package certdata
+
+import (
+	"bytes"
+	"encoding/asn1"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/store"
+)
+
+func asn1MarshalInt(n *big.Int) ([]byte, error) {
+	return asn1.Marshal(n)
+}
+
+// Marshal writes entries as a certdata.txt document that Parse round-trips.
+// Entries are emitted in the given order: a certificate object followed by
+// its trust object, mirroring NSS's file layout.
+func Marshal(w io.Writer, entries []*store.TrustEntry) error {
+	bw := &errWriter{w: w}
+	bw.printf("# This file is auto-generated in the NSS certdata.txt format.\n")
+	bw.printf("# Object classes: CKO_CERTIFICATE, CKO_NSS_TRUST\n\n")
+	bw.printf("BEGINDATA\n")
+
+	for _, e := range entries {
+		serial, err := asn1MarshalInt(e.Cert.SerialNumber)
+		if err != nil {
+			return fmt.Errorf("certdata: marshal serial for %q: %w", e.Label, err)
+		}
+
+		bw.printf("\n# Certificate \"%s\"\n", e.Label)
+		bw.printf("CKA_CLASS CK_OBJECT_CLASS CKO_CERTIFICATE\n")
+		bw.printf("CKA_TOKEN CK_BBOOL CK_TRUE\n")
+		bw.printf("CKA_PRIVATE CK_BBOOL CK_FALSE\n")
+		bw.printf("CKA_MODIFIABLE CK_BBOOL CK_FALSE\n")
+		bw.printf("CKA_LABEL UTF8 \"%s\"\n", e.Label)
+		bw.printf("CKA_CERTIFICATE_TYPE CK_CERTIFICATE_TYPE CKC_X_509\n")
+		bw.octal("CKA_SUBJECT", e.Cert.RawSubject)
+		bw.printf("CKA_ID UTF8 \"0\"\n")
+		bw.octal("CKA_ISSUER", e.Cert.RawIssuer)
+		bw.octal("CKA_SERIAL_NUMBER", serial)
+		bw.octal("CKA_VALUE", e.DER)
+		if t, ok := e.DistrustAfterFor(store.ServerAuth); ok {
+			bw.octal("CKA_NSS_SERVER_DISTRUST_AFTER", []byte(t.UTC().Format(distrustTimeLayout)))
+		} else {
+			bw.printf("CKA_NSS_SERVER_DISTRUST_AFTER CK_BBOOL CK_FALSE\n")
+		}
+		if t, ok := e.DistrustAfterFor(store.EmailProtection); ok {
+			bw.octal("CKA_NSS_EMAIL_DISTRUST_AFTER", []byte(t.UTC().Format(distrustTimeLayout)))
+		} else {
+			bw.printf("CKA_NSS_EMAIL_DISTRUST_AFTER CK_BBOOL CK_FALSE\n")
+		}
+
+		bw.printf("\n# Trust for \"%s\"\n", e.Label)
+		bw.printf("CKA_CLASS CK_OBJECT_CLASS CKO_NSS_TRUST\n")
+		bw.printf("CKA_TOKEN CK_BBOOL CK_TRUE\n")
+		bw.printf("CKA_PRIVATE CK_BBOOL CK_FALSE\n")
+		bw.printf("CKA_MODIFIABLE CK_BBOOL CK_FALSE\n")
+		bw.printf("CKA_LABEL UTF8 \"%s\"\n", e.Label)
+		bw.octal("CKA_ISSUER", e.Cert.RawIssuer)
+		bw.octal("CKA_SERIAL_NUMBER", serial)
+		bw.printf("CKA_TRUST_SERVER_AUTH CK_TRUST %s\n", trustConst(e.TrustFor(store.ServerAuth)))
+		bw.printf("CKA_TRUST_EMAIL_PROTECTION CK_TRUST %s\n", trustConst(e.TrustFor(store.EmailProtection)))
+		bw.printf("CKA_TRUST_CODE_SIGNING CK_TRUST %s\n", trustConst(e.TrustFor(store.CodeSigning)))
+		bw.printf("CKA_TRUST_STEP_UP_APPROVED CK_BBOOL CK_FALSE\n")
+	}
+	return bw.err
+}
+
+// MarshalBytes is Marshal into a byte slice.
+func MarshalBytes(entries []*store.TrustEntry) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Marshal(&buf, entries); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func trustConst(l store.TrustLevel) string {
+	switch l {
+	case store.Trusted:
+		return trustedDelegator
+	case store.MustVerify:
+		return mustVerifyTrust
+	case store.Distrusted:
+		return notTrusted
+	default:
+		return trustUnknown
+	}
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// octal writes a MULTILINE_OCTAL attribute, 16 bytes per line as NSS does.
+func (e *errWriter) octal(name string, data []byte) {
+	e.printf("%s MULTILINE_OCTAL\n", name)
+	for i := 0; i < len(data); i += 16 {
+		end := i + 16
+		if end > len(data) {
+			end = len(data)
+		}
+		if e.err != nil {
+			return
+		}
+		var line bytes.Buffer
+		for _, b := range data[i:end] {
+			fmt.Fprintf(&line, "\\%03o", b)
+		}
+		e.printf("%s\n", line.String())
+	}
+	e.printf("END\n")
+}

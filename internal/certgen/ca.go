@@ -1,0 +1,159 @@
+package certgen
+
+import (
+	"crypto"
+	"crypto/sha256"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+	"time"
+)
+
+// KeySpec selects the key class for a generated CA.
+type KeySpec struct {
+	Algorithm string // "RSA" or "ECDSA"
+	Bits      int    // 1024/2048/4096 for RSA; 256 for ECDSA
+}
+
+// Common key specifications used by the synthetic corpus.
+var (
+	RSA1024  = KeySpec{Algorithm: "RSA", Bits: 1024}
+	RSA2048  = KeySpec{Algorithm: "RSA", Bits: 2048}
+	RSA4096  = KeySpec{Algorithm: "RSA", Bits: 4096}
+	ECDSA256 = KeySpec{Algorithm: "ECDSA", Bits: 256}
+)
+
+// RootSpec fully describes a synthetic root CA certificate.
+type RootSpec struct {
+	// Name becomes the subject CN; Org the O attribute; Country C.
+	Name    string
+	Org     string
+	Country string
+	// Key and Sig select the key class and signature algorithm.
+	Key KeySpec
+	Sig Algorithm
+	// Validity window.
+	NotBefore time.Time
+	NotAfter  time.Time
+	// KeyIndex selects which pooled key to use, letting callers mint
+	// distinct roots that share a key class without paying keygen cost.
+	KeyIndex int
+}
+
+// Root bundles a minted root certificate with its signing key so callers can
+// later issue subordinate certificates from it.
+type Root struct {
+	DER  []byte
+	Cert *x509.Certificate
+	Key  crypto.Signer
+	Spec RootSpec
+}
+
+// serialFor derives a deterministic positive serial number from the spec so
+// regenerated corpora are byte-stable apart from ECDSA signature nonces.
+func serialFor(spec RootSpec) *big.Int {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%s|%s|%d|%d|%d|%d",
+		spec.Name, spec.Org, spec.Country, spec.Key.Algorithm,
+		spec.Key.Bits, int(spec.Sig), spec.NotBefore.Unix(), spec.KeyIndex)
+	sum := h.Sum(nil)
+	// 63 bits keeps serials positive and comfortably in-range everywhere.
+	v := binary.BigEndian.Uint64(sum[:8]) >> 1
+	if v == 0 {
+		v = 1
+	}
+	return new(big.Int).SetUint64(v)
+}
+
+// NewRoot mints a self-signed root CA certificate according to spec, drawing
+// keys from the pool.
+func NewRoot(pool *KeyPool, spec RootSpec) (*Root, error) {
+	var (
+		signer crypto.Signer
+		err    error
+	)
+	switch spec.Key.Algorithm {
+	case "RSA":
+		signer, err = pool.RSA(spec.Key.Bits, spec.KeyIndex)
+	case "ECDSA":
+		signer, err = pool.ECDSAP256(spec.KeyIndex)
+	default:
+		return nil, fmt.Errorf("certgen: unknown key algorithm %q", spec.Key.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	subject := pkix.Name{CommonName: spec.Name}
+	if spec.Org != "" {
+		subject.Organization = []string{spec.Org}
+	}
+	if spec.Country != "" {
+		subject.Country = []string{spec.Country}
+	}
+	tmpl := &Template{
+		SerialNumber: serialFor(spec),
+		Subject:      subject,
+		NotBefore:    spec.NotBefore,
+		NotAfter:     spec.NotAfter,
+		IsCA:         true,
+		MaxPathLen:   -1,
+		KeyUsage:     x509.KeyUsageCertSign | x509.KeyUsageCRLSign,
+	}
+	der, err := SelfSign(tmpl, signer.Public(), signer, spec.Sig)
+	if err != nil {
+		return nil, fmt.Errorf("certgen: mint root %q: %w", spec.Name, err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("certgen: parse minted root %q: %w", spec.Name, err)
+	}
+	return &Root{DER: der, Cert: cert, Key: signer, Spec: spec}, nil
+}
+
+// LeafSpec describes an end-entity certificate issued under a Root.
+type LeafSpec struct {
+	CommonName string
+	DNSNames   []string
+	NotBefore  time.Time
+	NotAfter   time.Time
+	Serial     *big.Int // optional; derived from CommonName when nil
+}
+
+// IssueLeaf mints a TLS server leaf certificate signed by the root. Leaves
+// always use a modern algorithm (the root's key decides RSA vs ECDSA) so the
+// standard verifier accepts the chain structure; trust outcomes are then
+// decided purely by root-store contents, which is what the experiments vary.
+func (r *Root) IssueLeaf(pool *KeyPool, spec LeafSpec) ([]byte, crypto.Signer, error) {
+	key, err := pool.ECDSAP256(1)
+	if err != nil {
+		return nil, nil, err
+	}
+	serial := spec.Serial
+	if serial == nil {
+		sum := sha256.Sum256([]byte("leaf|" + spec.CommonName + "|" + r.Spec.Name))
+		serial = new(big.Int).SetUint64(binary.BigEndian.Uint64(sum[:8]) >> 1)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: spec.CommonName},
+		DNSNames:              spec.DNSNames,
+		NotBefore:             spec.NotBefore,
+		NotAfter:              spec.NotAfter,
+		KeyUsage:              x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(drbgRand, tmpl, r.Cert, key.Public(), r.Key)
+	if err != nil {
+		return nil, nil, fmt.Errorf("certgen: issue leaf %q under %q: %w", spec.CommonName, r.Spec.Name, err)
+	}
+	return der, key, nil
+}
+
+// drbgRand feeds x509.CreateCertificate; determinism is unnecessary there
+// because serials are caller-supplied, but reusing the DRBG avoids draining
+// the system entropy pool in tight corpus-generation loops.
+var drbgRand = newDRBG("certgen/leaf-rand")

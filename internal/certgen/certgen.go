@@ -1,0 +1,330 @@
+// Package certgen constructs genuine X.509 certificates for the synthetic
+// root-store corpus.
+//
+// The standard library's x509.CreateCertificate refuses to produce
+// certificates signed with MD5 or other retired algorithms, but the paper's
+// hygiene analysis (Table 3) is specifically about root programs purging
+// MD5-signed and 1024-bit-RSA roots — so the simulator must be able to mint
+// them. This package therefore implements its own TBSCertificate assembly
+// and PKCS#1 v1.5 signing for the legacy algorithms, and delegates to the
+// standard library for modern ones. Everything it emits is real DER that
+// x509.ParseCertificate accepts.
+package certgen
+
+import (
+	"crypto"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/md5"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha1"
+	"crypto/sha256"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/asn1"
+	"fmt"
+	"math/big"
+	"time"
+)
+
+// Algorithm selects the signature algorithm for a generated certificate.
+type Algorithm int
+
+// Supported signature algorithms, including the retired ones the hygiene
+// analysis tracks.
+const (
+	MD5WithRSA Algorithm = iota
+	SHA1WithRSA
+	SHA256WithRSA
+	ECDSAWithSHA256
+)
+
+// String returns the JCA-style algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case MD5WithRSA:
+		return "MD5WithRSA"
+	case SHA1WithRSA:
+		return "SHA1WithRSA"
+	case SHA256WithRSA:
+		return "SHA256WithRSA"
+	case ECDSAWithSHA256:
+		return "ECDSAWithSHA256"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Signature algorithm OIDs (RFC 3279 / RFC 5758).
+var (
+	oidMD5WithRSA      = asn1.ObjectIdentifier{1, 2, 840, 113549, 1, 1, 4}
+	oidSHA1WithRSA     = asn1.ObjectIdentifier{1, 2, 840, 113549, 1, 1, 5}
+	oidSHA256WithRSA   = asn1.ObjectIdentifier{1, 2, 840, 113549, 1, 1, 11}
+	oidECDSAWithSHA256 = asn1.ObjectIdentifier{1, 2, 840, 10045, 4, 3, 2}
+	oidRSAEncryption   = asn1.ObjectIdentifier{1, 2, 840, 113549, 1, 1, 1}
+	oidECPublicKey     = asn1.ObjectIdentifier{1, 2, 840, 10045, 2, 1}
+	oidCurveP256       = asn1.ObjectIdentifier{1, 2, 840, 10045, 3, 1, 7}
+
+	oidExtBasicConstraints = asn1.ObjectIdentifier{2, 5, 29, 19}
+	oidExtKeyUsage         = asn1.ObjectIdentifier{2, 5, 29, 15}
+	oidExtSubjectKeyID     = asn1.ObjectIdentifier{2, 5, 29, 14}
+)
+
+type algorithmIdentifier struct {
+	Algorithm  asn1.ObjectIdentifier
+	Parameters asn1.RawValue `asn1:"optional"`
+}
+
+type validity struct {
+	NotBefore, NotAfter time.Time
+}
+
+type publicKeyInfo struct {
+	Algorithm algorithmIdentifier
+	PublicKey asn1.BitString
+}
+
+type tbsCertificate struct {
+	Version            int `asn1:"optional,explicit,default:0,tag:0"`
+	SerialNumber       *big.Int
+	SignatureAlgorithm algorithmIdentifier
+	Issuer             asn1.RawValue
+	Validity           validity
+	Subject            asn1.RawValue
+	PublicKey          publicKeyInfo
+	Extensions         []pkix.Extension `asn1:"omitempty,optional,explicit,tag:3"`
+}
+
+type certificateASN struct {
+	TBSCertificate     asn1.RawValue
+	SignatureAlgorithm algorithmIdentifier
+	SignatureValue     asn1.BitString
+}
+
+type basicConstraints struct {
+	IsCA       bool `asn1:"optional"`
+	MaxPathLen int  `asn1:"optional,default:-1"`
+}
+
+var asn1Null = asn1.RawValue{Tag: asn1.TagNull}
+
+func algID(alg Algorithm) (algorithmIdentifier, error) {
+	switch alg {
+	case MD5WithRSA:
+		return algorithmIdentifier{Algorithm: oidMD5WithRSA, Parameters: asn1Null}, nil
+	case SHA1WithRSA:
+		return algorithmIdentifier{Algorithm: oidSHA1WithRSA, Parameters: asn1Null}, nil
+	case SHA256WithRSA:
+		return algorithmIdentifier{Algorithm: oidSHA256WithRSA, Parameters: asn1Null}, nil
+	case ECDSAWithSHA256:
+		// ECDSA signature algorithms omit the parameters field entirely.
+		return algorithmIdentifier{Algorithm: oidECDSAWithSHA256}, nil
+	default:
+		return algorithmIdentifier{}, fmt.Errorf("certgen: unsupported algorithm %v", alg)
+	}
+}
+
+func hashFor(alg Algorithm) (crypto.Hash, error) {
+	switch alg {
+	case MD5WithRSA:
+		return crypto.MD5, nil
+	case SHA1WithRSA:
+		return crypto.SHA1, nil
+	case SHA256WithRSA, ECDSAWithSHA256:
+		return crypto.SHA256, nil
+	default:
+		return 0, fmt.Errorf("certgen: unsupported algorithm %v", alg)
+	}
+}
+
+func digest(alg Algorithm, msg []byte) ([]byte, error) {
+	switch alg {
+	case MD5WithRSA:
+		sum := md5.Sum(msg)
+		return sum[:], nil
+	case SHA1WithRSA:
+		sum := sha1.Sum(msg)
+		return sum[:], nil
+	case SHA256WithRSA, ECDSAWithSHA256:
+		sum := sha256.Sum256(msg)
+		return sum[:], nil
+	default:
+		return nil, fmt.Errorf("certgen: unsupported algorithm %v", alg)
+	}
+}
+
+func marshalPublicKey(pub crypto.PublicKey) (publicKeyInfo, error) {
+	switch k := pub.(type) {
+	case *rsa.PublicKey:
+		der := x509.MarshalPKCS1PublicKey(k)
+		return publicKeyInfo{
+			Algorithm: algorithmIdentifier{Algorithm: oidRSAEncryption, Parameters: asn1Null},
+			PublicKey: asn1.BitString{Bytes: der, BitLength: len(der) * 8},
+		}, nil
+	case *ecdsa.PublicKey:
+		if k.Curve != elliptic.P256() {
+			return publicKeyInfo{}, fmt.Errorf("certgen: only P-256 ECDSA keys supported, got %s", k.Curve.Params().Name)
+		}
+		curveDER, err := asn1.Marshal(oidCurveP256)
+		if err != nil {
+			return publicKeyInfo{}, err
+		}
+		point := elliptic.Marshal(k.Curve, k.X, k.Y)
+		return publicKeyInfo{
+			Algorithm: algorithmIdentifier{Algorithm: oidECPublicKey, Parameters: asn1.RawValue{FullBytes: curveDER}},
+			PublicKey: asn1.BitString{Bytes: point, BitLength: len(point) * 8},
+		}, nil
+	default:
+		return publicKeyInfo{}, fmt.Errorf("certgen: unsupported public key type %T", pub)
+	}
+}
+
+// Template describes a certificate to mint.
+type Template struct {
+	SerialNumber *big.Int
+	Subject      pkix.Name
+	Issuer       pkix.Name // ignored when Parent is set
+	NotBefore    time.Time
+	NotAfter     time.Time
+	IsCA         bool
+	MaxPathLen   int // -1 for absent
+	KeyUsage     x509.KeyUsage
+}
+
+func subjectKeyID(pki publicKeyInfo) []byte {
+	sum := sha1.Sum(pki.PublicKey.Bytes)
+	return sum[:]
+}
+
+func buildExtensions(tmpl *Template, pki publicKeyInfo) ([]pkix.Extension, error) {
+	var exts []pkix.Extension
+
+	bc := basicConstraints{IsCA: tmpl.IsCA, MaxPathLen: tmpl.MaxPathLen}
+	bcDER, err := asn1.Marshal(bc)
+	if err != nil {
+		return nil, fmt.Errorf("certgen: marshal basicConstraints: %w", err)
+	}
+	exts = append(exts, pkix.Extension{Id: oidExtBasicConstraints, Critical: true, Value: bcDER})
+
+	if tmpl.KeyUsage != 0 {
+		kuDER, err := marshalKeyUsage(tmpl.KeyUsage)
+		if err != nil {
+			return nil, err
+		}
+		exts = append(exts, pkix.Extension{Id: oidExtKeyUsage, Critical: true, Value: kuDER})
+	}
+
+	skiDER, err := asn1.Marshal(subjectKeyID(pki))
+	if err != nil {
+		return nil, fmt.Errorf("certgen: marshal subjectKeyId: %w", err)
+	}
+	exts = append(exts, pkix.Extension{Id: oidExtSubjectKeyID, Value: skiDER})
+	return exts, nil
+}
+
+func marshalKeyUsage(ku x509.KeyUsage) ([]byte, error) {
+	// KeyUsage is a BIT STRING with bit 0 = digitalSignature ... bit 8 =
+	// decipherOnly; x509.KeyUsage uses the same bit numbering as flags.
+	var bits [2]byte
+	width := 0
+	for i := 0; i < 9; i++ {
+		if ku&(1<<uint(i)) != 0 {
+			bits[i/8] |= 1 << uint(7-i%8)
+			width = i + 1
+		}
+	}
+	nbytes := (width + 7) / 8
+	return asn1.Marshal(asn1.BitString{Bytes: bits[:nbytes], BitLength: width})
+}
+
+// SelfSign mints a self-signed certificate over pub with the given signing
+// key and algorithm. The signer must correspond to pub for a root
+// certificate, but the function does not enforce that so that cross-signed
+// constructions are possible via Sign.
+func SelfSign(tmpl *Template, pub crypto.PublicKey, signer crypto.Signer, alg Algorithm) ([]byte, error) {
+	return sign(tmpl, tmpl.Subject, pub, signer, alg)
+}
+
+// Sign mints a certificate over pub issued by the given parent subject.
+func Sign(tmpl *Template, issuer pkix.Name, pub crypto.PublicKey, signer crypto.Signer, alg Algorithm) ([]byte, error) {
+	return sign(tmpl, issuer, pub, signer, alg)
+}
+
+func sign(tmpl *Template, issuer pkix.Name, pub crypto.PublicKey, signer crypto.Signer, alg Algorithm) ([]byte, error) {
+	if tmpl.SerialNumber == nil {
+		return nil, fmt.Errorf("certgen: template missing serial number")
+	}
+	if tmpl.NotAfter.Before(tmpl.NotBefore) {
+		return nil, fmt.Errorf("certgen: NotAfter %v precedes NotBefore %v", tmpl.NotAfter, tmpl.NotBefore)
+	}
+	sigAlg, err := algID(alg)
+	if err != nil {
+		return nil, err
+	}
+	pki, err := marshalPublicKey(pub)
+	if err != nil {
+		return nil, err
+	}
+	subjDER, err := asn1.Marshal(tmpl.Subject.ToRDNSequence())
+	if err != nil {
+		return nil, fmt.Errorf("certgen: marshal subject: %w", err)
+	}
+	issuerDER, err := asn1.Marshal(issuer.ToRDNSequence())
+	if err != nil {
+		return nil, fmt.Errorf("certgen: marshal issuer: %w", err)
+	}
+	exts, err := buildExtensions(tmpl, pki)
+	if err != nil {
+		return nil, err
+	}
+
+	tbs := tbsCertificate{
+		Version:            2, // X.509 v3
+		SerialNumber:       tmpl.SerialNumber,
+		SignatureAlgorithm: sigAlg,
+		Issuer:             asn1.RawValue{FullBytes: issuerDER},
+		Validity:           validity{NotBefore: tmpl.NotBefore.UTC(), NotAfter: tmpl.NotAfter.UTC()},
+		Subject:            asn1.RawValue{FullBytes: subjDER},
+		PublicKey:          pki,
+		Extensions:         exts,
+	}
+	tbsDER, err := asn1.Marshal(tbs)
+	if err != nil {
+		return nil, fmt.Errorf("certgen: marshal tbsCertificate: %w", err)
+	}
+
+	dig, err := digest(alg, tbsDER)
+	if err != nil {
+		return nil, err
+	}
+	var sig []byte
+	switch key := signer.(type) {
+	case *rsa.PrivateKey:
+		if alg == ECDSAWithSHA256 {
+			return nil, fmt.Errorf("certgen: RSA key cannot produce %v", alg)
+		}
+		h, _ := hashFor(alg)
+		sig, err = rsa.SignPKCS1v15(rand.Reader, key, h, dig)
+	case *ecdsa.PrivateKey:
+		if alg != ECDSAWithSHA256 {
+			return nil, fmt.Errorf("certgen: ECDSA key cannot produce %v", alg)
+		}
+		sig, err = ecdsa.SignASN1(rand.Reader, key, dig)
+	default:
+		return nil, fmt.Errorf("certgen: unsupported signer type %T", signer)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("certgen: signing: %w", err)
+	}
+
+	certDER, err := asn1.Marshal(certificateASN{
+		TBSCertificate:     asn1.RawValue{FullBytes: tbsDER},
+		SignatureAlgorithm: sigAlg,
+		SignatureValue:     asn1.BitString{Bytes: sig, BitLength: len(sig) * 8},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("certgen: marshal certificate: %w", err)
+	}
+	return certDER, nil
+}

@@ -1,0 +1,294 @@
+package certgen
+
+import (
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/certutil"
+)
+
+var testPool = NewKeyPool("certgen-test")
+
+func testSpec(name string, key KeySpec, sig Algorithm) RootSpec {
+	return RootSpec{
+		Name:      name,
+		Org:       "Test Org",
+		Country:   "US",
+		Key:       key,
+		Sig:       sig,
+		NotBefore: time.Date(2005, 6, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:  time.Date(2030, 6, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestNewRootModern(t *testing.T) {
+	root, err := NewRoot(testPool, testSpec("Modern Root", RSA2048, SHA256WithRSA))
+	if err != nil {
+		t.Fatalf("NewRoot: %v", err)
+	}
+	if !root.Cert.IsCA {
+		t.Error("root must be a CA")
+	}
+	if root.Cert.Subject.CommonName != "Modern Root" {
+		t.Errorf("CN = %q", root.Cert.Subject.CommonName)
+	}
+	if root.Cert.SignatureAlgorithm != x509.SHA256WithRSA {
+		t.Errorf("signature algorithm = %v", root.Cert.SignatureAlgorithm)
+	}
+	// The self-signature must actually verify.
+	if err := root.Cert.CheckSignatureFrom(root.Cert); err != nil {
+		t.Errorf("self-signature does not verify: %v", err)
+	}
+	if kc := certutil.ClassifyKey(root.Cert); kc.String() != "RSA-2048" {
+		t.Errorf("key class = %v", kc)
+	}
+}
+
+func TestNewRootMD5(t *testing.T) {
+	root, err := NewRoot(testPool, testSpec("Legacy MD5 Root", RSA1024, MD5WithRSA))
+	if err != nil {
+		t.Fatalf("NewRoot MD5: %v", err)
+	}
+	if root.Cert.SignatureAlgorithm != x509.MD5WithRSA {
+		t.Errorf("signature algorithm = %v, want MD5WithRSA", root.Cert.SignatureAlgorithm)
+	}
+	if kc := certutil.ClassifyKey(root.Cert); !kc.WeakRSA() {
+		t.Errorf("expected weak RSA key, got %v", kc)
+	}
+	if d := certutil.ClassifySignature(root.Cert.SignatureAlgorithm); !d.Weak() {
+		t.Errorf("expected weak digest, got %v", d)
+	}
+}
+
+func TestNewRootSHA1(t *testing.T) {
+	root, err := NewRoot(testPool, testSpec("Legacy SHA1 Root", RSA2048, SHA1WithRSA))
+	if err != nil {
+		t.Fatalf("NewRoot SHA1: %v", err)
+	}
+	if root.Cert.SignatureAlgorithm != x509.SHA1WithRSA {
+		t.Errorf("signature algorithm = %v, want SHA1WithRSA", root.Cert.SignatureAlgorithm)
+	}
+}
+
+func TestNewRootECDSA(t *testing.T) {
+	root, err := NewRoot(testPool, testSpec("EC Root", ECDSA256, ECDSAWithSHA256))
+	if err != nil {
+		t.Fatalf("NewRoot ECDSA: %v", err)
+	}
+	if root.Cert.SignatureAlgorithm != x509.ECDSAWithSHA256 {
+		t.Errorf("signature algorithm = %v", root.Cert.SignatureAlgorithm)
+	}
+	if err := root.Cert.CheckSignatureFrom(root.Cert); err != nil {
+		t.Errorf("ECDSA self-signature does not verify: %v", err)
+	}
+}
+
+func TestRootDeterminism(t *testing.T) {
+	spec := testSpec("Stable Root", RSA2048, SHA256WithRSA)
+	a, err := NewRoot(testPool, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRoot(testPool, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.DER) != string(b.DER) {
+		t.Error("identical RSA specs should mint byte-identical certificates")
+	}
+	if a.Cert.SerialNumber.Sign() <= 0 {
+		t.Error("serial must be positive")
+	}
+}
+
+func TestDistinctSpecsDistinctSerials(t *testing.T) {
+	a, _ := NewRoot(testPool, testSpec("Root A", RSA2048, SHA256WithRSA))
+	b, _ := NewRoot(testPool, testSpec("Root B", RSA2048, SHA256WithRSA))
+	if a.Cert.SerialNumber.Cmp(b.Cert.SerialNumber) == 0 {
+		t.Error("different specs should get different serials")
+	}
+	if certutil.SHA256Fingerprint(a.DER) == certutil.SHA256Fingerprint(b.DER) {
+		t.Error("different specs should get different fingerprints")
+	}
+}
+
+func TestIssueLeafAndVerifyChain(t *testing.T) {
+	root, err := NewRoot(testPool, testSpec("Issuing Root", RSA2048, SHA256WithRSA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafDER, _, err := root.IssueLeaf(testPool, LeafSpec{
+		CommonName: "www.example.test",
+		DNSNames:   []string{"www.example.test"},
+		NotBefore:  time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:   time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		t.Fatalf("IssueLeaf: %v", err)
+	}
+	leaf, err := x509.ParseCertificate(leafDER)
+	if err != nil {
+		t.Fatalf("parse leaf: %v", err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(root.Cert)
+	_, err = leaf.Verify(x509.VerifyOptions{
+		Roots:       pool,
+		DNSName:     "www.example.test",
+		CurrentTime: time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		t.Fatalf("chain verification failed: %v", err)
+	}
+}
+
+func TestLeafUnderMD5RootStillVerifies(t *testing.T) {
+	// The paper's point: a legacy root in a store endangers users because
+	// chains under it still validate — the root's own signature is never
+	// checked. Confirm our substrate reproduces that behaviour.
+	root, err := NewRoot(testPool, testSpec("MD5 Issuing Root", RSA1024, MD5WithRSA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafDER, _, err := root.IssueLeaf(testPool, LeafSpec{
+		CommonName: "legacy.example.test",
+		DNSNames:   []string{"legacy.example.test"},
+		NotBefore:  time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:   time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, _ := x509.ParseCertificate(leafDER)
+	pool := x509.NewCertPool()
+	pool.AddCert(root.Cert)
+	if _, err := leaf.Verify(x509.VerifyOptions{
+		Roots:       pool,
+		DNSName:     "legacy.example.test",
+		CurrentTime: time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC),
+	}); err != nil {
+		t.Fatalf("leaf under MD5 root should verify (root self-sig is not checked): %v", err)
+	}
+}
+
+func TestTemplateValidation(t *testing.T) {
+	key, err := testPool.RSA(1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing serial.
+	_, err = SelfSign(&Template{
+		Subject:   pkix.Name{CommonName: "x"},
+		NotBefore: time.Now(),
+		NotAfter:  time.Now().Add(time.Hour),
+	}, key.Public(), key, SHA256WithRSA)
+	if err == nil {
+		t.Error("missing serial should error")
+	}
+	// Inverted validity.
+	_, err = SelfSign(&Template{
+		SerialNumber: big.NewInt(1),
+		Subject:      pkix.Name{CommonName: "x"},
+		NotBefore:    time.Now(),
+		NotAfter:     time.Now().Add(-time.Hour),
+	}, key.Public(), key, SHA256WithRSA)
+	if err == nil {
+		t.Error("inverted validity should error")
+	}
+}
+
+func TestAlgorithmKeyMismatch(t *testing.T) {
+	rsaKey, _ := testPool.RSA(1024, 0)
+	ecKey, _ := testPool.ECDSAP256(0)
+	tmpl := &Template{
+		SerialNumber: big.NewInt(7),
+		Subject:      pkix.Name{CommonName: "mismatch"},
+		NotBefore:    time.Now(),
+		NotAfter:     time.Now().Add(time.Hour),
+	}
+	if _, err := SelfSign(tmpl, rsaKey.Public(), rsaKey, ECDSAWithSHA256); err == nil {
+		t.Error("RSA key with ECDSA algorithm should error")
+	}
+	if _, err := SelfSign(tmpl, ecKey.Public(), ecKey, SHA256WithRSA); err == nil {
+		t.Error("ECDSA key with RSA algorithm should error")
+	}
+}
+
+func TestKeyPoolReuse(t *testing.T) {
+	p := NewKeyPool("reuse-test")
+	a, err := p.RSA(1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.RSA(1024, 4) // wraps around perClass=4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("index 0 and 4 should alias in a pool of 4")
+	}
+	c, _ := p.RSA(1024, 1)
+	if a == c {
+		t.Error("index 0 and 1 should be distinct keys")
+	}
+	if n, _ := p.RSA(1024, -3); n == nil {
+		t.Error("negative index must be tolerated")
+	}
+}
+
+func TestKeyPoolDeterminism(t *testing.T) {
+	p1 := NewKeyPool("same-seed")
+	p2 := NewKeyPool("same-seed")
+	k1, _ := p1.RSA(1024, 0)
+	k2, _ := p2.RSA(1024, 0)
+	if k1.N.Cmp(k2.N) != 0 {
+		t.Error("same seed should produce identical keys")
+	}
+	p3 := NewKeyPool("other-seed")
+	k3, _ := p3.RSA(1024, 0)
+	if k1.N.Cmp(k3.N) == 0 {
+		t.Error("different seeds should produce different keys")
+	}
+}
+
+func TestDRBGStreamStable(t *testing.T) {
+	a := newDRBG("x")
+	b := newDRBG("x")
+	bufA := make([]byte, 100)
+	bufB := make([]byte, 100)
+	if _, err := a.Read(bufA); err != nil {
+		t.Fatal(err)
+	}
+	// Read in odd-sized chunks to exercise buffering.
+	for i := 0; i < 100; i += 7 {
+		end := i + 7
+		if end > 100 {
+			end = 100
+		}
+		if _, err := b.Read(bufB[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(bufA) != string(bufB) {
+		t.Error("DRBG output must not depend on read chunking")
+	}
+}
+
+func TestKeyUsageEncoding(t *testing.T) {
+	root, err := NewRoot(testPool, testSpec("KU Root", RSA2048, SHA256WithRSA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Cert.KeyUsage&x509.KeyUsageCertSign == 0 {
+		t.Error("certSign key usage missing")
+	}
+	if root.Cert.KeyUsage&x509.KeyUsageCRLSign == 0 {
+		t.Error("cRLSign key usage missing")
+	}
+	if root.Cert.KeyUsage&x509.KeyUsageDigitalSignature != 0 {
+		t.Error("digitalSignature should not be set")
+	}
+}

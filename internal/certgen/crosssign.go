@@ -1,0 +1,38 @@
+package certgen
+
+import (
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+	"time"
+)
+
+// CrossSign mints a cross-certificate: a CA certificate over the subject
+// root's name and public key, signed by the issuer root. Clients that
+// trust only the issuer can then build chains to leaves issued under the
+// subject — the mechanism behind the paper's cross-signing observations
+// (Certinomis re-validating distrusted StartCom, Microsoft roots reachable
+// via Baltimore CyberTrust).
+func CrossSign(subject, issuer *Root, notBefore, notAfter time.Time) ([]byte, error) {
+	if subject == nil || issuer == nil {
+		return nil, fmt.Errorf("certgen: cross-sign needs both roots")
+	}
+	sum := sha256.Sum256([]byte("xsign|" + subject.Spec.Name + "|" + issuer.Spec.Name))
+	serial := new(big.Int).SetUint64(binary.BigEndian.Uint64(sum[:8]) >> 1)
+	tmpl := &x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               subject.Cert.Subject,
+		NotBefore:             notBefore,
+		NotAfter:              notAfter,
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageCRLSign,
+	}
+	der, err := x509.CreateCertificate(drbgRand, tmpl, issuer.Cert, subject.Cert.PublicKey, issuer.Key)
+	if err != nil {
+		return nil, fmt.Errorf("certgen: cross-sign %q under %q: %w", subject.Spec.Name, issuer.Spec.Name, err)
+	}
+	return der, nil
+}

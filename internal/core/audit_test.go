@@ -1,0 +1,271 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/certutil"
+	"repro/internal/paperdata"
+	"repro/internal/store"
+)
+
+func TestAuditDerivativeAmazon2017(t *testing.T) {
+	_, p := fixture(t)
+	// Mid-2017 AmazonLinux: carrying 16 retired 1024-bit roots plus the
+	// Thawte root NSS never had.
+	report, err := p.AuditDerivative(paperdata.AmazonLinux, paperdata.NSS,
+		ts(2017, 6, 1), AuditConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := report.CountByKind()
+	if counts[FindingRetainedRemoval] < 16 {
+		t.Errorf("retained removals = %d, want >= 16 (the 1024-bit re-adds)", counts[FindingRetainedRemoval])
+	}
+	if counts[FindingForeignRoot] < 1 {
+		t.Errorf("foreign roots = %d, want >= 1 (Thawte)", counts[FindingForeignRoot])
+	}
+	if report.VersionsBehind <= 0 {
+		t.Errorf("versions behind = %d, want > 0", report.VersionsBehind)
+	}
+	if counts[FindingStale] == 0 {
+		t.Error("AmazonLinux should be flagged stale")
+	}
+	for _, f := range report.Findings {
+		if f.String() == "" {
+			t.Fatal("finding renders empty")
+		}
+	}
+}
+
+func TestAuditDerivativeSymantecLoss(t *testing.T) {
+	_, p := fixture(t)
+	// November 2020 Debian has re-added the Symantec roots that NSS holds
+	// under partial distrust: every shared annotated root is a
+	// lost-partial-distrust finding.
+	report, err := p.AuditDerivative(paperdata.Debian, paperdata.NSS,
+		ts(2020, 11, 15), AuditConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := report.CountByKind()
+	if counts[FindingLostPartialDistrust] == 0 {
+		t.Error("expected lost-partial-distrust findings for re-added Symantec roots")
+	}
+}
+
+func TestAuditDerivativeCleanish(t *testing.T) {
+	_, p := fixture(t)
+	// Alpine shortly after a sync: few findings beyond the email
+	// conflation of its early period.
+	report, err := p.AuditDerivative(paperdata.Alpine, paperdata.NSS,
+		ts(2019, 9, 1), AuditConfig{MaxVersionsBehind: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := report.CountByKind()
+	if counts[FindingForeignRoot] != 4 {
+		t.Errorf("Alpine 2019 foreign roots = %d, want 4 (email-only conflation)", counts[FindingForeignRoot])
+	}
+}
+
+func TestAuditErrors(t *testing.T) {
+	_, p := fixture(t)
+	if _, err := p.AuditDerivative("Nope", paperdata.NSS, ts(2020, 1, 1), AuditConfig{}); err == nil {
+		t.Error("unknown derivative should error")
+	}
+	if _, err := p.AuditDerivative(paperdata.Debian, "Nope", ts(2020, 1, 1), AuditConfig{}); err == nil {
+		t.Error("unknown upstream should error")
+	}
+	if _, err := p.AuditDerivative(paperdata.Alpine, paperdata.NSS, ts(1990, 1, 1), AuditConfig{}); err == nil {
+		t.Error("pre-history instant should error")
+	}
+}
+
+func TestSplitByPurpose(t *testing.T) {
+	eco, _ := fixture(t)
+	nss := eco.DB.History(paperdata.NSS).At(ts(2020, 9, 1))
+	split := SplitByPurpose(nss)
+
+	tls := split[store.ServerAuth]
+	email := split[store.EmailProtection]
+	if tls.Len() != nss.TrustedCount(store.ServerAuth) {
+		t.Errorf("tls split = %d entries, want %d", tls.Len(), nss.TrustedCount(store.ServerAuth))
+	}
+	if email.Len() != nss.TrustedCount(store.EmailProtection) {
+		t.Errorf("email split = %d entries, want %d", email.Len(), nss.TrustedCount(store.EmailProtection))
+	}
+	// The email-only roots appear in the email split but not the TLS one.
+	for _, e := range email.Entries() {
+		if e.TrustedFor(store.EmailProtection) == false {
+			t.Fatal("email split entry lacks email trust")
+		}
+		if e.TrustedFor(store.ServerAuth) {
+			t.Fatal("email split entry leaked TLS trust")
+		}
+	}
+	// Partial-distrust annotations survive in the relevant split only.
+	annotated := 0
+	for _, e := range tls.Entries() {
+		if _, ok := e.DistrustAfterFor(store.ServerAuth); ok {
+			annotated++
+		}
+	}
+	if annotated == 0 {
+		t.Error("tls split lost the Symantec partial-distrust annotations")
+	}
+	// Splits must not alias the original entries.
+	orig := nss.Entries()[0]
+	if se, ok := tls.Lookup(orig.Fingerprint); ok {
+		se.SetTrust(store.CodeSigning, store.Trusted)
+		if orig.TrustedFor(store.CodeSigning) {
+			t.Error("split mutation leaked into the source snapshot")
+		}
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	eco, p := fixture(t)
+	nss := eco.DB.History(paperdata.NSS).Latest()
+
+	// Synthetic workload: three roots serve 90% of traffic.
+	entries := nss.Entries()
+	var tlsRoots []*store.TrustEntry
+	for _, e := range entries {
+		if e.TrustedFor(store.ServerAuth) {
+			tlsRoots = append(tlsRoots, e)
+		}
+	}
+	if len(tlsRoots) < 5 {
+		t.Fatal("need at least 5 TLS roots")
+	}
+	usage := Usage{
+		tlsRoots[0].Fingerprint: 60,
+		tlsRoots[1].Fingerprint: 20,
+		tlsRoots[2].Fingerprint: 10,
+		tlsRoots[3].Fingerprint: 7,
+		tlsRoots[4].Fingerprint: 3,
+	}
+	res := p.Minimize(nss, usage, 0.9)
+	if len(res.Kept) != 3 {
+		t.Errorf("kept = %d roots, want 3 for 90%% coverage", len(res.Kept))
+	}
+	if res.Coverage < 0.9 {
+		t.Errorf("coverage = %.2f", res.Coverage)
+	}
+	// The Braun et al. observation: most roots go unused.
+	if len(res.Dropped) < len(tlsRoots)-5 {
+		t.Errorf("dropped = %d, want most of the store", len(res.Dropped))
+	}
+	// Kept list is ordered most-used first.
+	if res.Kept[0].Fingerprint != tlsRoots[0].Fingerprint {
+		t.Error("kept not ordered by usage")
+	}
+}
+
+func TestMinimizeFullCoverage(t *testing.T) {
+	eco, p := fixture(t)
+	nss := eco.DB.History(paperdata.NSS).Latest()
+	entries := nss.Entries()
+	usage := Usage{}
+	for i, e := range entries {
+		if e.TrustedFor(store.ServerAuth) && i%2 == 0 {
+			usage[e.Fingerprint] = 1
+		}
+	}
+	res := p.Minimize(nss, usage, 1.0)
+	if res.Coverage != 1.0 {
+		t.Errorf("coverage = %.2f, want 1.0", res.Coverage)
+	}
+	for _, e := range res.Kept {
+		if usage[e.Fingerprint] == 0 {
+			t.Error("kept an unused root at full coverage")
+		}
+	}
+}
+
+func TestMinimizeEmptyWorkload(t *testing.T) {
+	eco, p := fixture(t)
+	nss := eco.DB.History(paperdata.NSS).Latest()
+	res := p.Minimize(nss, Usage{}, 0.99)
+	if len(res.Kept) != 0 {
+		t.Errorf("kept = %d with no workload", len(res.Kept))
+	}
+	if res.Coverage != 0 {
+		t.Errorf("coverage = %.2f", res.Coverage)
+	}
+}
+
+func TestUsageFromAnchors(t *testing.T) {
+	a := certutil.SHA256Fingerprint([]byte{1})
+	b := certutil.SHA256Fingerprint([]byte{2})
+	u := UsageFromAnchors([]certutil.Fingerprint{a, b, a, a})
+	if u[a] != 3 || u[b] != 1 {
+		t.Errorf("usage = %v", u)
+	}
+}
+
+func TestRemovedCAReport(t *testing.T) {
+	e, p := fixture(t)
+	rows := p.RemovedCAReport(paperdata.NSS, ts(2010, 1, 1))
+	if len(rows) < 30 {
+		t.Fatalf("removed CAs = %d, want a substantial catalog", len(rows))
+	}
+	byFP := map[certutil.Fingerprint]RemovedCA{}
+	for _, r := range rows {
+		byFP[r.Fingerprint] = r
+		if r.FirstTrusted.After(r.LastTrusted) {
+			t.Errorf("%s: first after last", r.Label)
+		}
+		if !r.RemovalSeen.After(r.LastTrusted) {
+			t.Errorf("%s: removal seen %s not after last trusted %s", r.Label,
+				r.RemovalSeen.Format("2006-01-02"), r.LastTrusted.Format("2006-01-02"))
+		}
+	}
+	// Every incident root must be present with the right removal date.
+	for _, inc := range paperdata.Incidents() {
+		for _, ca := range e.Universe.ByIncident(inc.Name) {
+			fp := certutil.SHA256Fingerprint(ca.Root.DER)
+			r, ok := byFP[fp]
+			if !ok {
+				t.Errorf("%s missing from removed-CA report", ca.Name)
+				continue
+			}
+			if !r.LastTrusted.Equal(inc.NSSRemoval) {
+				t.Errorf("%s last trusted %s, want %s", ca.Name,
+					r.LastTrusted.Format("2006-01-02"), inc.NSSRemoval.Format("2006-01-02"))
+			}
+		}
+	}
+	// Rows are sorted by LastTrusted ascending.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].LastTrusted.Before(rows[i-1].LastTrusted) {
+			t.Fatal("report not date-sorted")
+		}
+	}
+}
+
+func TestCompareRemovals(t *testing.T) {
+	e, p := fixture(t)
+	// Build a deliberately incomplete catalog: only the incident roots.
+	catalog := map[certutil.Fingerprint]bool{}
+	for _, inc := range paperdata.Incidents() {
+		for _, ca := range e.Universe.ByIncident(inc.Name) {
+			catalog[certutil.SHA256Fingerprint(ca.Root.DER)] = true
+		}
+	}
+	missing, unsupported := p.CompareRemovals(paperdata.NSS, ts(2010, 1, 1), catalog)
+	// The catalog misses the routine removals (expired roots, legacy
+	// purges, Symantec) — the paper's 92-removals finding in miniature.
+	if len(missing) < 20 {
+		t.Errorf("missing from catalog = %d, want the routine-removal bulk", len(missing))
+	}
+	if len(unsupported) != 0 {
+		t.Errorf("unsupported catalog entries = %d, want 0", len(unsupported))
+	}
+	// A bogus catalog entry is flagged.
+	catalog[certutil.SHA256Fingerprint([]byte("bogus"))] = true
+	_, unsupported = p.CompareRemovals(paperdata.NSS, ts(2010, 1, 1), catalog)
+	if len(unsupported) != 1 {
+		t.Errorf("unsupported = %d, want 1", len(unsupported))
+	}
+}

@@ -1,0 +1,69 @@
+// Package core implements the paper's analysis pipeline — the primary
+// contribution this library reproduces. Each file regenerates one artifact
+// of the evaluation:
+//
+//	table1.go  — top-200 User-Agent → root-store mapping (Table 1)
+//	table2.go  — dataset summary (Table 2)
+//	figure1.go — Jaccard + MDS ordination and clustering (Figure 1)
+//	figure2.go — ecosystem family shares, the inverted pyramid (Figure 2)
+//	table3.go  — root-store hygiene metrics (Table 3)
+//	table4.go  — high-severity removal lag (Table 4)
+//	figure3.go — NSS-derivative staleness (Figure 3)
+//	figure4.go — derivative membership diffs (Figure 4)
+//	table6.go  — program-exclusive roots (Table 6 / Appendix B)
+//	table7.go  — NSS removal catalog (Table 7 / Appendix C)
+//
+// The pipeline operates on a store.Database of provider snapshot histories
+// and is agnostic to where they came from: the synthetic corpus, files
+// parsed by the format codecs, or any mixture.
+package core
+
+import (
+	"repro/internal/paperdata"
+	"repro/internal/store"
+)
+
+// Pipeline is the analysis entry point.
+type Pipeline struct {
+	DB *store.Database
+	// Purpose is the trust purpose under analysis; the paper studies TLS
+	// server authentication.
+	Purpose store.Purpose
+	// Families maps provider name → root program family for ordination
+	// purity and ecosystem rollups. Defaults to the paper's lineage
+	// (derivatives → Mozilla).
+	Families map[string]string
+}
+
+// New creates a pipeline with the paper's defaults.
+func New(db *store.Database) *Pipeline {
+	return &Pipeline{
+		DB:       db,
+		Purpose:  store.ServerAuth,
+		Families: DefaultFamilies(),
+	}
+}
+
+// DefaultFamilies returns the provider→family lineage from the paper:
+// every derivative rolls up to Mozilla/NSS.
+func DefaultFamilies() map[string]string {
+	fam := map[string]string{
+		paperdata.NSS:       "Mozilla",
+		paperdata.Microsoft: "Microsoft",
+		paperdata.Apple:     "Apple",
+		paperdata.Java:      "Java",
+	}
+	for _, d := range paperdata.Derivatives {
+		fam[d] = "Mozilla"
+	}
+	return fam
+}
+
+// FamilyOf resolves a provider's family, defaulting to the provider name
+// itself for unknown providers.
+func (p *Pipeline) FamilyOf(provider string) string {
+	if f, ok := p.Families[provider]; ok {
+		return f
+	}
+	return provider
+}

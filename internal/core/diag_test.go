@@ -1,0 +1,43 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/paperdata"
+)
+
+func TestDiagnostics(t *testing.T) {
+	_, p := fixture(t)
+	ord, err := p.Ordinate(DefaultOrdinationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("points=%d stress1=%.3f purity=%.3f clusters=%v", len(ord.Points), ord.Stress1, ord.Purity, ord.ClusterFamily)
+	// Per-family spreads and centroid distances.
+	spread := map[string]float64{}
+	count := map[string]float64{}
+	for _, pt := range ord.Points {
+		c := ord.FamilyCentroids[pt.Family]
+		dx, dy := pt.X-c[0], pt.Y-c[1]
+		spread[pt.Family] += dx*dx + dy*dy
+		count[pt.Family]++
+	}
+	for fam := range spread {
+		t.Logf("family %-10s n=%3.0f rms-spread=%.3f centroid=(%.2f,%.2f)",
+			fam, count[fam], math.Sqrt(spread[fam]/count[fam]), ord.FamilyCentroids[fam][0], ord.FamilyCentroids[fam][1])
+	}
+	fams := []string{"Mozilla", "Microsoft", "Apple", "Java"}
+	for i := 0; i < len(fams); i++ {
+		for j := i + 1; j < len(fams); j++ {
+			a, b := ord.FamilyCentroids[fams[i]], ord.FamilyCentroids[fams[j]]
+			t.Logf("dist %s-%s = %.3f", fams[i], fams[j], math.Hypot(a[0]-b[0], a[1]-b[1]))
+		}
+	}
+	from, to := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC), time.Date(2021, 4, 30, 0, 0, 0, 0, time.UTC)
+	for _, s := range p.AllDerivativeStaleness(paperdata.NSS, paperdata.Derivatives, from, to) {
+		t.Logf("staleness %-12s avg=%.2f dist=%.3f points=%d", s.Derivative, s.AvgVersionsBehind, s.AvgDistance, len(s.Points))
+	}
+	t.Logf("NSS unique states: %d", len(p.UniqueStates(paperdata.NSS)))
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/linalg"
+	"repro/internal/mds"
+	"repro/internal/setdist"
+	"repro/internal/store"
+)
+
+// OrdinationPoint is one embedded snapshot in the Figure 1 scatter.
+type OrdinationPoint struct {
+	Provider string
+	Family   string
+	Date     time.Time
+	X, Y     float64
+	Cluster  int
+}
+
+// Ordination is the reproduced Figure 1: an MDS embedding of snapshot
+// Jaccard distances plus a k-means clustering of the embedding.
+type Ordination struct {
+	Points []OrdinationPoint
+	// Stress1 is Kruskal's normalized stress of the embedding.
+	Stress1 float64
+	// ClusterFamily maps k-means cluster id → majority family.
+	ClusterFamily map[int]string
+	// Purity is the nearest-family-centroid purity: the fraction of
+	// points lying closer to their own family's embedded centroid than to
+	// any other family's. 1.0 reproduces the paper's "disjoint clusters"
+	// finding; k-means assignments are kept for rendering but a large
+	// family cloud can legitimately absorb several k-means cells.
+	Purity float64
+	// DistinctFamilies counts how many families own at least one k-means
+	// cluster.
+	DistinctFamilies int
+	// FamilyCentroids holds each family's mean embedded position.
+	FamilyCentroids map[string][2]float64
+}
+
+// OrdinationConfig controls the Figure 1 computation.
+type OrdinationConfig struct {
+	// From/To bound the snapshot window; the paper plots 2011–2021.
+	From, To time.Time
+	// K is the cluster count (the paper finds 4).
+	K int
+	// Dedupe collapses identical consecutive states per provider before
+	// embedding, as the paper's "snapshot" granularity effectively does.
+	Dedupe bool
+	// Metric overrides the set distance (default Jaccard, the paper's
+	// choice; setdist.OverlapDistance enables the ablation).
+	Metric setdist.Metric
+}
+
+// DefaultOrdinationConfig mirrors the paper: 2011–2021, k=4, deduped.
+func DefaultOrdinationConfig() OrdinationConfig {
+	return OrdinationConfig{
+		From:   time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC),
+		To:     time.Date(2021, 12, 31, 0, 0, 0, 0, time.UTC),
+		K:      4,
+		Dedupe: true,
+	}
+}
+
+// Ordinate runs the Figure 1 pipeline: collect snapshots, compute pairwise
+// Jaccard distances over trusted sets, embed with SMACOF MDS, cluster with
+// k-means, and score cluster/family agreement.
+func (p *Pipeline) Ordinate(cfg OrdinationConfig) (*Ordination, error) {
+	if cfg.K <= 0 {
+		cfg.K = 4
+	}
+	snapshots := p.ordinationSnapshots(cfg)
+	if len(snapshots) < cfg.K {
+		return nil, fmt.Errorf("core: only %d snapshots in window, need at least k=%d", len(snapshots), cfg.K)
+	}
+
+	dist := setdist.DistanceMatrixWith(snapshots, p.Purpose, cfg.Metric)
+	emb, err := mds.SMACOF(dist, mds.Config{Dims: 2})
+	if err != nil {
+		return nil, fmt.Errorf("core: MDS: %w", err)
+	}
+	km, err := linalg.KMeans(emb.Points, cfg.K, 0x5EED, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: k-means: %w", err)
+	}
+
+	ord := &Ordination{Stress1: emb.Stress1, ClusterFamily: make(map[int]string)}
+	for i, s := range snapshots {
+		ord.Points = append(ord.Points, OrdinationPoint{
+			Provider: s.Provider,
+			Family:   p.FamilyOf(s.Provider),
+			Date:     s.Date,
+			X:        emb.Points.At(i, 0),
+			Y:        emb.Points.At(i, 1),
+			Cluster:  km.Assignments[i],
+		})
+	}
+
+	// Majority family per cluster and purity.
+	votes := make(map[int]map[string]int)
+	for _, pt := range ord.Points {
+		if votes[pt.Cluster] == nil {
+			votes[pt.Cluster] = make(map[string]int)
+		}
+		votes[pt.Cluster][pt.Family]++
+	}
+	for cluster, fams := range votes {
+		best, bestN := "", -1
+		for fam, n := range fams {
+			if n > bestN {
+				best, bestN = fam, n
+			}
+		}
+		ord.ClusterFamily[cluster] = best
+	}
+	owners := make(map[string]bool)
+	for _, fam := range ord.ClusterFamily {
+		owners[fam] = true
+	}
+	ord.DistinctFamilies = len(owners)
+
+	// Family centroids and nearest-centroid purity.
+	sums := map[string][3]float64{} // x, y, count
+	for _, pt := range ord.Points {
+		s := sums[pt.Family]
+		sums[pt.Family] = [3]float64{s[0] + pt.X, s[1] + pt.Y, s[2] + 1}
+	}
+	ord.FamilyCentroids = make(map[string][2]float64, len(sums))
+	for fam, s := range sums {
+		ord.FamilyCentroids[fam] = [2]float64{s[0] / s[2], s[1] / s[2]}
+	}
+	matched := 0
+	for _, pt := range ord.Points {
+		best, bestD := "", -1.0
+		for fam, c := range ord.FamilyCentroids {
+			dx, dy := pt.X-c[0], pt.Y-c[1]
+			d := dx*dx + dy*dy
+			if bestD < 0 || d < bestD {
+				best, bestD = fam, d
+			}
+		}
+		if best == pt.Family {
+			matched++
+		}
+	}
+	ord.Purity = float64(matched) / float64(len(ord.Points))
+	return ord, nil
+}
+
+// ordinationSnapshots collects the in-window snapshots, optionally
+// deduplicated to substantial versions.
+func (p *Pipeline) ordinationSnapshots(cfg OrdinationConfig) []*store.Snapshot {
+	var out []*store.Snapshot
+	for _, prov := range p.DB.Providers() {
+		h := p.DB.History(prov)
+		if cfg.Dedupe {
+			snapsByVersion := make(map[string]*store.Snapshot)
+			for _, s := range h.Snapshots() {
+				snapsByVersion[s.Version] = s
+			}
+			for _, st := range p.UniqueStates(prov) {
+				if st.Date.Before(cfg.From) || st.Date.After(cfg.To) {
+					continue
+				}
+				if s, ok := snapsByVersion[st.Snapshot.Version]; ok {
+					out = append(out, s)
+				}
+			}
+			continue
+		}
+		for _, s := range h.Range(cfg.From, cfg.To) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/setdist"
+	"repro/internal/store"
+)
+
+// StalenessPoint is one derivative snapshot's version match (Figure 3).
+type StalenessPoint struct {
+	Date time.Time
+	// Matched is the index of the closest upstream substantial version.
+	Matched int
+	// Current is the index of the newest upstream version at Date.
+	Current int
+	// Behind = Current - Matched (floored at 0).
+	Behind int
+	// Distance is the Jaccard distance to the matched version (0 = exact
+	// copy; >0 indicates bespoke modifications).
+	Distance float64
+}
+
+// Staleness is one derivative's Figure 3 series.
+type Staleness struct {
+	Derivative string
+	Upstream   string
+	Points     []StalenessPoint
+	// AvgVersionsBehind is the time-weighted average staleness in
+	// substantial versions — the paper's "X versions behind" headline.
+	AvgVersionsBehind float64
+	// AvgDistance is the mean Jaccard distance to the matched version,
+	// quantifying copy fidelity.
+	AvgDistance float64
+}
+
+// DerivativeStaleness reproduces Figure 3 for one derivative against an
+// upstream provider: each derivative snapshot is matched to the closest
+// upstream substantial version by Jaccard distance, and staleness is the
+// version-count gap to the upstream mainline, integrated over time.
+func (p *Pipeline) DerivativeStaleness(derivative, upstream string, from, to time.Time) *Staleness {
+	states := p.UniqueStates(upstream)
+	if len(states) == 0 {
+		return nil
+	}
+	h := p.DB.History(derivative)
+	if h == nil || h.Len() == 0 {
+		return nil
+	}
+
+	// Representative snapshots per upstream state for the matcher.
+	reps := make([]*store.Snapshot, len(states))
+	upstreamHist := p.DB.History(upstream)
+	byVersion := make(map[string]*store.Snapshot)
+	for _, s := range upstreamHist.Snapshots() {
+		byVersion[s.Version] = s
+	}
+	for i, st := range states {
+		reps[i] = byVersion[st.Snapshot.Version]
+	}
+
+	currentAt := func(t time.Time) int {
+		cur := 0
+		for i, st := range states {
+			if st.Date.After(t) {
+				break
+			}
+			cur = i
+		}
+		return cur
+	}
+
+	res := &Staleness{Derivative: derivative, Upstream: upstream}
+	var snaps []*store.Snapshot
+	for _, s := range h.Snapshots() {
+		if from.IsZero() || (!s.Date.Before(from) && !s.Date.After(to)) {
+			snaps = append(snaps, s)
+		}
+	}
+	if len(snaps) == 0 {
+		return res
+	}
+
+	// Integrate staleness over time: while a derivative snapshot is in
+	// force its matched version stays fixed, but upstream keeps releasing
+	// — so staleness grows stepwise until the next derivative update.
+	// This is the paper's "area between NSS and each derivative" measure.
+	var versionDays, distSum float64
+	var totalDays float64
+	for i, s := range snaps {
+		idx, dist := setdist.ClosestSnapshot(s, reps, p.Purpose)
+		if idx < 0 {
+			continue
+		}
+		cur := currentAt(s.Date)
+		behind := cur - idx
+		if behind < 0 {
+			behind = 0
+		}
+		res.Points = append(res.Points, StalenessPoint{
+			Date:     s.Date,
+			Matched:  idx,
+			Current:  cur,
+			Behind:   behind,
+			Distance: dist,
+		})
+		distSum += dist
+
+		end := to
+		if i+1 < len(snaps) {
+			end = snaps[i+1].Date
+		}
+		if end.IsZero() || end.Before(s.Date) {
+			end = s.Date
+		}
+		// Piecewise integration across upstream version bumps inside
+		// [s.Date, end).
+		segStart := s.Date
+		for _, st := range states {
+			if !st.Date.After(segStart) || !st.Date.Before(end) {
+				continue
+			}
+			days := st.Date.Sub(segStart).Hours() / 24
+			b := currentAt(segStart) - idx
+			if b < 0 {
+				b = 0
+			}
+			versionDays += float64(b) * days
+			totalDays += days
+			segStart = st.Date
+		}
+		days := end.Sub(segStart).Hours() / 24
+		b := currentAt(segStart) - idx
+		if b < 0 {
+			b = 0
+		}
+		versionDays += float64(b) * days
+		totalDays += days
+	}
+	if totalDays > 0 {
+		res.AvgVersionsBehind = versionDays / totalDays
+	}
+	if len(res.Points) > 0 {
+		res.AvgDistance = distSum / float64(len(res.Points))
+	}
+	return res
+}
+
+// AllDerivativeStaleness runs Figure 3 for every derivative in the
+// family map sharing the upstream's family, over the window.
+func (p *Pipeline) AllDerivativeStaleness(upstream string, derivatives []string, from, to time.Time) []*Staleness {
+	var out []*Staleness
+	for _, d := range derivatives {
+		if s := p.DerivativeStaleness(d, upstream, from, to); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/certutil"
+	"repro/internal/setdist"
+	"repro/internal/store"
+)
+
+// DiffPoint is one derivative snapshot's membership difference against its
+// matched upstream version (Figure 4).
+type DiffPoint struct {
+	Date time.Time
+	// Added are roots the derivative trusts beyond the matched upstream
+	// version; Removed are upstream roots the derivative dropped.
+	Added, Removed []certutil.Fingerprint
+	// AddedByCategory / RemovedByCategory bucket the differences by the
+	// caller's categorizer (Figure 4's "sources of difference" legend).
+	AddedByCategory, RemovedByCategory map[string]int
+}
+
+// DerivativeDiff is one derivative's Figure 4 series.
+type DerivativeDiff struct {
+	Derivative string
+	Upstream   string
+	Points     []DiffPoint
+	// TotalAdded/TotalRemoved aggregate over the whole series.
+	TotalAdded, TotalRemoved int
+}
+
+// Categorizer maps a root to a difference-source label; nil buckets
+// everything under "uncategorized".
+type Categorizer func(certutil.Fingerprint) string
+
+// DerivativeDiffs reproduces Figure 4 for one derivative: each snapshot is
+// matched to the closest upstream substantial version and the set
+// difference recorded, categorized by the supplied function.
+func (p *Pipeline) DerivativeDiffs(derivative, upstream string, categorize Categorizer) *DerivativeDiff {
+	if categorize == nil {
+		categorize = func(certutil.Fingerprint) string { return "uncategorized" }
+	}
+	states := p.UniqueStates(upstream)
+	if len(states) == 0 {
+		return nil
+	}
+	upstreamHist := p.DB.History(upstream)
+	byVersion := make(map[string]*store.Snapshot)
+	for _, s := range upstreamHist.Snapshots() {
+		byVersion[s.Version] = s
+	}
+	reps := make([]*store.Snapshot, len(states))
+	for i, st := range states {
+		reps[i] = byVersion[st.Snapshot.Version]
+	}
+
+	h := p.DB.History(derivative)
+	if h == nil {
+		return nil
+	}
+	res := &DerivativeDiff{Derivative: derivative, Upstream: upstream}
+	for _, s := range h.Snapshots() {
+		idx, _ := setdist.ClosestSnapshot(s, reps, p.Purpose)
+		if idx < 0 {
+			continue
+		}
+		onlyUpstream, onlyDeriv, _ := store.SetDiff(reps[idx], s, p.Purpose)
+		pt := DiffPoint{
+			Date:              s.Date,
+			Added:             onlyDeriv,
+			Removed:           onlyUpstream,
+			AddedByCategory:   map[string]int{},
+			RemovedByCategory: map[string]int{},
+		}
+		for _, fp := range onlyDeriv {
+			pt.AddedByCategory[categorize(fp)]++
+		}
+		for _, fp := range onlyUpstream {
+			pt.RemovedByCategory[categorize(fp)]++
+		}
+		res.Points = append(res.Points, pt)
+		res.TotalAdded += len(onlyDeriv)
+		res.TotalRemoved += len(onlyUpstream)
+	}
+	return res
+}
+
+// Deviates reports whether the derivative ever differed from its matched
+// upstream versions — the paper finds every derivative does.
+func (d *DerivativeDiff) Deviates() bool {
+	return d.TotalAdded > 0 || d.TotalRemoved > 0
+}
+
+// CategoryTotals aggregates the per-point categories across the series.
+func (d *DerivativeDiff) CategoryTotals() (added, removed map[string]int) {
+	added, removed = map[string]int{}, map[string]int{}
+	for _, pt := range d.Points {
+		for c, n := range pt.AddedByCategory {
+			added[c] += n
+		}
+		for c, n := range pt.RemovedByCategory {
+			removed[c] += n
+		}
+	}
+	return added, removed
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/certutil"
+	"repro/internal/store"
+)
+
+// AuditSnapshots compares a derivative snapshot against a single upstream
+// snapshot without historical context — the file-level variant of
+// AuditDerivative used by the rootstore CLI, where only two store files are
+// at hand. Retained removals cannot be distinguished from foreign roots
+// without history, so both surface as FindingForeignRoot.
+func AuditSnapshots(deriv, upstream *store.Snapshot, purpose store.Purpose) *AuditReport {
+	report := &AuditReport{
+		Derivative: deriv.Provider,
+		Upstream:   upstream.Provider,
+		At:         deriv.Date,
+	}
+	upstreamSet := upstream.TrustedSet(purpose)
+	for _, e := range deriv.Entries() {
+		if !e.TrustedFor(purpose) {
+			continue
+		}
+		fp := e.Fingerprint
+		if upstreamSet[fp] {
+			ue, _ := upstream.Lookup(fp)
+			if ue != nil {
+				if cutoff, ok := ue.DistrustAfterFor(purpose); ok {
+					if _, has := e.DistrustAfterFor(purpose); !has {
+						report.Findings = append(report.Findings, Finding{
+							Kind:        FindingLostPartialDistrust,
+							Fingerprint: fp,
+							Label:       e.Label,
+							Detail: fmt.Sprintf("upstream rejects issuance after %s; derivative trusts unconditionally",
+								cutoff.Format("2006-01-02")),
+						})
+					}
+				}
+			}
+		} else {
+			report.Findings = append(report.Findings, Finding{
+				Kind:        FindingForeignRoot,
+				Fingerprint: fp,
+				Label:       e.Label,
+				Detail:      "root not trusted by the upstream snapshot",
+			})
+		}
+		if certutil.ExpiredAt(e.Cert, deriv.Date) {
+			report.Findings = append(report.Findings, Finding{
+				Kind:        FindingExpiredRoot,
+				Fingerprint: fp,
+				Label:       e.Label,
+				Detail:      fmt.Sprintf("expired %s", e.Cert.NotAfter.Format("2006-01-02")),
+			})
+		}
+	}
+	derivSet := deriv.TrustedSet(purpose)
+	for fp := range upstreamSet {
+		if derivSet[fp] {
+			continue
+		}
+		label := ""
+		if ue, ok := upstream.Lookup(fp); ok {
+			label = ue.Label
+		}
+		report.Findings = append(report.Findings, Finding{
+			Kind:        FindingMissingRoot,
+			Fingerprint: fp,
+			Label:       label,
+			Detail:      "upstream trusts this root; derivative lacks it",
+		})
+	}
+	return report
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/paperdata"
+	"repro/internal/store"
+)
+
+func TestAuditSnapshotsForeignAndMissing(t *testing.T) {
+	eco, _ := fixture(t)
+	nss := eco.DB.History(paperdata.NSS).At(ts(2016, 6, 1))
+	debian := eco.DB.History(paperdata.Debian).At(ts(2016, 6, 1))
+	report := AuditSnapshots(debian, nss, store.ServerAuth)
+
+	counts := report.CountByKind()
+	// 2016 Debian carries the non-NSS roots and the 19 conflated
+	// email-only roots — all foreign relative to the NSS snapshot.
+	if counts[FindingForeignRoot] < 19 {
+		t.Errorf("foreign roots = %d, want >= 19", counts[FindingForeignRoot])
+	}
+	if report.Derivative != paperdata.Debian || report.Upstream != paperdata.NSS {
+		t.Error("report attribution wrong")
+	}
+
+	// At a date just after NSS gained a root (the 2019 Microsec ECC
+	// inclusion), the lagging Debian snapshot misses it.
+	nss2019 := eco.DB.History(paperdata.NSS).At(ts(2019, 10, 1))
+	deb2019 := eco.DB.History(paperdata.Debian).At(ts(2019, 10, 1))
+	report = AuditSnapshots(deb2019, nss2019, store.ServerAuth)
+	if report.CountByKind()[FindingMissingRoot] == 0 {
+		t.Error("expected missing-root findings right after an upstream inclusion")
+	}
+}
+
+func TestAuditSnapshotsPartialDistrustLoss(t *testing.T) {
+	eco, _ := fixture(t)
+	nss := eco.DB.History(paperdata.NSS).At(ts(2020, 9, 15))
+	debian := eco.DB.History(paperdata.Debian).At(ts(2020, 11, 15))
+	report := AuditSnapshots(debian, nss, store.ServerAuth)
+	if report.CountByKind()[FindingLostPartialDistrust] == 0 {
+		t.Error("expected lost-partial-distrust findings")
+	}
+}
+
+func TestAuditSnapshotsIdentical(t *testing.T) {
+	eco, _ := fixture(t)
+	nss := eco.DB.History(paperdata.NSS).Latest()
+	report := AuditSnapshots(nss, nss, store.ServerAuth)
+	counts := report.CountByKind()
+	if counts[FindingForeignRoot] != 0 || counts[FindingMissingRoot] != 0 {
+		t.Errorf("self-audit should find no membership issues: %v", counts)
+	}
+	// Partial distrust present on both sides is not a finding.
+	if counts[FindingLostPartialDistrust] != 0 {
+		t.Errorf("self-audit flagged lost partial distrust: %v", counts)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/useragent"
+)
+
+// UAGroup is one aggregated row of Table 1: a (OS, client) pair with its
+// version count and traceability.
+type UAGroup struct {
+	OS        useragent.OS
+	Browser   useragent.Browser
+	Versions  int
+	Provider  useragent.Provider
+	Traceable bool
+	Reason    string
+}
+
+// Table1 is the reproduced Table 1.
+type Table1 struct {
+	Groups []UAGroup
+	// Total and Included give the headline coverage numbers (200 / 154).
+	Total, Included int
+}
+
+// CoveragePercent is the paper's 77.0% headline.
+func (t *Table1) CoveragePercent() float64 {
+	if t.Total == 0 {
+		return 0
+	}
+	return float64(t.Included) / float64(t.Total) * 100
+}
+
+// AnalyzeUserAgents runs the Table 1 pipeline over raw User-Agent strings:
+// parse, group by (OS, client), and map each group to its root-store
+// provider.
+func AnalyzeUserAgents(uas []string) *Table1 {
+	type key struct {
+		os      useragent.OS
+		browser useragent.Browser
+	}
+	counts := make(map[key]int)
+	order := []key{}
+	for _, ua := range uas {
+		a := useragent.Parse(ua)
+		k := key{a.OS, a.Browser}
+		if _, seen := counts[k]; !seen {
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if counts[order[i]] != counts[order[j]] {
+			return counts[order[i]] > counts[order[j]]
+		}
+		if order[i].os != order[j].os {
+			return order[i].os < order[j].os
+		}
+		return order[i].browser < order[j].browser
+	})
+
+	t := &Table1{}
+	for _, k := range order {
+		m := useragent.MapToProvider(useragent.Agent{Browser: k.browser, OS: k.os})
+		g := UAGroup{
+			OS:        k.os,
+			Browser:   k.browser,
+			Versions:  counts[k],
+			Provider:  m.Provider,
+			Traceable: m.Traceable,
+			Reason:    m.Reason,
+		}
+		t.Groups = append(t.Groups, g)
+		t.Total += g.Versions
+		if g.Traceable {
+			t.Included += g.Versions
+		}
+	}
+	return t
+}

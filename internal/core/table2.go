@@ -1,0 +1,92 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/certutil"
+)
+
+// DatasetRow summarizes one provider's collected history (Table 2).
+type DatasetRow struct {
+	Provider string
+	From, To time.Time
+	// Snapshots is the raw snapshot count ("# SS").
+	Snapshots int
+	// UniqueStates counts distinct purpose-trusted root sets across the
+	// history ("# Uniq") — the paper's substantial versions.
+	UniqueStates int
+	// UniqueRoots counts distinct certificates ever trusted.
+	UniqueRoots int
+}
+
+// DatasetSummary reproduces Table 2 from the database.
+func (p *Pipeline) DatasetSummary() []DatasetRow {
+	var rows []DatasetRow
+	for _, prov := range p.DB.Providers() {
+		h := p.DB.History(prov)
+		row := DatasetRow{
+			Provider:  prov,
+			Snapshots: h.Len(),
+		}
+		if h.Len() > 0 {
+			row.From = h.First().Date
+			row.To = h.Latest().Date
+		}
+		row.UniqueStates = len(p.UniqueStates(prov))
+		row.UniqueRoots = len(h.EverTrusted(p.Purpose))
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// StateVersion is one substantial version of a store: the first snapshot
+// exhibiting a new purpose-trusted root set.
+type StateVersion struct {
+	Index int
+	Date  time.Time
+	Set   map[certutil.Fingerprint]bool
+	// Snapshot is the representative (first) snapshot of the state.
+	Snapshot snapshotRef
+}
+
+type snapshotRef struct {
+	Provider string
+	Version  string
+}
+
+// UniqueStates returns the provider's substantial versions in date order:
+// consecutive snapshots with identical purpose-trusted sets collapse into
+// one state. This is both Table 2's "# Uniq" and the version axis of
+// Figure 3.
+func (p *Pipeline) UniqueStates(provider string) []StateVersion {
+	h := p.DB.History(provider)
+	if h == nil {
+		return nil
+	}
+	var states []StateVersion
+	for _, s := range h.Snapshots() {
+		set := s.TrustedSet(p.Purpose)
+		if len(states) > 0 && setsEqual(states[len(states)-1].Set, set) {
+			continue
+		}
+		states = append(states, StateVersion{
+			Index:    len(states),
+			Date:     s.Date,
+			Set:      set,
+			Snapshot: snapshotRef{Provider: s.Provider, Version: s.Version},
+		})
+	}
+	return states
+}
+
+func setsEqual(a, b map[certutil.Fingerprint]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for fp := range a {
+		if !b[fp] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/certutil"
+)
+
+// HygieneRow is one program's Table 3 row, measured from the database.
+type HygieneRow struct {
+	Program string
+	// AvgSize is the mean entry count per snapshot (all purposes, as a
+	// store ships them).
+	AvgSize float64
+	// AvgExpired is the mean number of purpose-trusted entries already
+	// expired at their snapshot's date.
+	AvgExpired float64
+	// MD5Removal is the date of the first snapshot with no trusted
+	// MD5-signed roots (after having trusted some); zero if never purged.
+	MD5Removal time.Time
+	// RSA1024Removal is the analogous purge date for RSA keys <= 1024
+	// bits.
+	RSA1024Removal time.Time
+}
+
+// Hygiene measures Table 3 for the given programs.
+func (p *Pipeline) Hygiene(programs []string) []HygieneRow {
+	var rows []HygieneRow
+	for _, prog := range programs {
+		h := p.DB.History(prog)
+		if h == nil || h.Len() == 0 {
+			continue
+		}
+		row := HygieneRow{Program: prog}
+		var sizeSum, expiredSum int
+		everMD5, everWeak := false, false
+		for _, s := range h.Snapshots() {
+			sizeSum += s.Len()
+			md5Count, weakCount := 0, 0
+			for _, e := range s.Entries() {
+				if !e.TrustedFor(p.Purpose) {
+					continue
+				}
+				if certutil.ExpiredAt(e.Cert, s.Date) {
+					expiredSum++
+				}
+				if certutil.ClassifySignature(e.Cert.SignatureAlgorithm).Weak() {
+					md5Count++
+				}
+				if certutil.ClassifyKey(e.Cert).WeakRSA() {
+					weakCount++
+				}
+			}
+			if md5Count > 0 {
+				everMD5 = true
+				row.MD5Removal = time.Time{}
+			} else if everMD5 && row.MD5Removal.IsZero() {
+				row.MD5Removal = s.Date
+			}
+			if weakCount > 0 {
+				everWeak = true
+				row.RSA1024Removal = time.Time{}
+			} else if everWeak && row.RSA1024Removal.IsZero() {
+				row.RSA1024Removal = s.Date
+			}
+		}
+		n := float64(h.Len())
+		row.AvgSize = float64(sizeSum) / n
+		row.AvgExpired = float64(expiredSum) / n
+		rows = append(rows, row)
+	}
+	return rows
+}

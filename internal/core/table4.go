@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/certutil"
+)
+
+// IncidentSpec identifies an incident's affected roots for lag analysis.
+type IncidentSpec struct {
+	Name string
+	// Fingerprints are the removed roots' identities.
+	Fingerprints []certutil.Fingerprint
+	// Anchor is the reference store whose removal date lags are measured
+	// against (the paper anchors on NSS).
+	Anchor string
+}
+
+// LagRow is one store's measured response to one incident (Table 4).
+type LagRow struct {
+	Incident string
+	Store    string
+	// Certs is how many of the incident's roots the store ever trusted.
+	Certs int
+	// TrustedUntil is the last snapshot date still trusting any of them;
+	// zero when StillTrusted.
+	TrustedUntil time.Time
+	// StillTrusted marks stores whose latest snapshot still trusts at
+	// least one affected root.
+	StillTrusted bool
+	// LagDays is TrustedUntil - anchor removal, in days (negative: acted
+	// first). Undefined when StillTrusted (use ElapsedDays).
+	LagDays int
+	// ElapsedDays, for still-trusted rows, is days from anchor removal to
+	// the store's latest snapshot (the paper's "N+" lower bounds).
+	ElapsedDays int
+}
+
+// RemovalLag measures Table 4: for each incident, every store's last date
+// of trust in the affected roots, relative to the anchor store's removal.
+func (p *Pipeline) RemovalLag(incidents []IncidentSpec) []LagRow {
+	var rows []LagRow
+	for _, inc := range incidents {
+		anchor := p.DB.History(inc.Anchor)
+		if anchor == nil {
+			continue
+		}
+		anchorDate := p.lastTrustAcross(inc.Anchor, inc.Fingerprints)
+		if anchorDate.IsZero() {
+			continue // anchor never trusted these roots
+		}
+		for _, prov := range p.DB.Providers() {
+			if prov == inc.Anchor {
+				continue
+			}
+			h := p.DB.History(prov)
+			certs := 0
+			var last time.Time
+			still := false
+			for _, fp := range inc.Fingerprints {
+				until, s, ever := h.TrustedUntil(fp, p.Purpose)
+				if !ever {
+					continue
+				}
+				certs++
+				if until.After(last) {
+					last = until
+				}
+				if s {
+					still = true
+				}
+			}
+			if certs == 0 {
+				continue
+			}
+			row := LagRow{
+				Incident:     inc.Name,
+				Store:        prov,
+				Certs:        certs,
+				TrustedUntil: last,
+				StillTrusted: still,
+			}
+			if still {
+				row.ElapsedDays = int(h.Latest().Date.Sub(anchorDate).Hours() / 24)
+			} else {
+				row.LagDays = int(last.Sub(anchorDate).Hours() / 24)
+			}
+			rows = append(rows, row)
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			if rows[i].Incident != rows[j].Incident {
+				return rows[i].Incident < rows[j].Incident
+			}
+			li, lj := rows[i].LagDays, rows[j].LagDays
+			if rows[i].StillTrusted {
+				li = rows[i].ElapsedDays
+			}
+			if rows[j].StillTrusted {
+				lj = rows[j].ElapsedDays
+			}
+			return li < lj
+		})
+	}
+	return rows
+}
+
+// lastTrustAcross returns the latest snapshot date at which the provider
+// trusted any of the fingerprints.
+func (p *Pipeline) lastTrustAcross(provider string, fps []certutil.Fingerprint) time.Time {
+	h := p.DB.History(provider)
+	var last time.Time
+	for _, fp := range fps {
+		if until, _, ever := h.TrustedUntil(fp, p.Purpose); ever && until.After(last) {
+			last = until
+		}
+	}
+	return last
+}

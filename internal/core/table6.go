@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/certutil"
+	"repro/internal/store"
+)
+
+// ExclusiveRoot is one program-exclusive root (Table 6): present and
+// purpose-trusted in the program's latest snapshot, never purpose-trusted
+// by any other program at any time.
+type ExclusiveRoot struct {
+	Program string
+	Entry   *store.TrustEntry
+}
+
+// ExclusiveDiffs reproduces Table 6 over the given independent programs.
+func (p *Pipeline) ExclusiveDiffs(programs []string) map[string][]ExclusiveRoot {
+	// Ever-trusted sets per program.
+	ever := make(map[string]map[certutil.Fingerprint]bool, len(programs))
+	for _, prog := range programs {
+		h := p.DB.History(prog)
+		if h == nil {
+			ever[prog] = map[certutil.Fingerprint]bool{}
+			continue
+		}
+		ever[prog] = h.EverTrusted(p.Purpose)
+	}
+
+	out := make(map[string][]ExclusiveRoot, len(programs))
+	for _, prog := range programs {
+		h := p.DB.History(prog)
+		if h == nil || h.Latest() == nil {
+			continue
+		}
+		var roots []ExclusiveRoot
+		for _, e := range h.Latest().Entries() {
+			if !e.TrustedFor(p.Purpose) {
+				continue
+			}
+			exclusive := true
+			for _, other := range programs {
+				if other == prog {
+					continue
+				}
+				if ever[other][e.Fingerprint] {
+					exclusive = false
+					break
+				}
+			}
+			if exclusive {
+				roots = append(roots, ExclusiveRoot{Program: prog, Entry: e})
+			}
+		}
+		sort.Slice(roots, func(i, j int) bool {
+			return roots[i].Entry.Label < roots[j].Entry.Label
+		})
+		out[prog] = roots
+	}
+	return out
+}
+
+// ExclusiveCounts summarizes ExclusiveDiffs as per-program totals.
+func (p *Pipeline) ExclusiveCounts(programs []string) map[string]int {
+	diffs := p.ExclusiveDiffs(programs)
+	out := make(map[string]int, len(diffs))
+	for prog, roots := range diffs {
+		out[prog] = len(roots)
+	}
+	return out
+}

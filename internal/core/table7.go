@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/certutil"
+)
+
+// RemovalEvent is one detected removal event in a provider's history: a
+// date on which one or more purpose-trusted roots left the store
+// (Table 7's raw material).
+type RemovalEvent struct {
+	// Date is the first snapshot no longer trusting the roots.
+	Date time.Time
+	// LastTrusted is the prior snapshot's date (the "trusted until").
+	LastTrusted time.Time
+	// Roots are the departed fingerprints with their labels.
+	Roots []RemovedRoot
+	// Severity, when a classifier is supplied, grades the event.
+	Severity string
+}
+
+// RemovedRoot pairs a fingerprint with its last-known label.
+type RemovedRoot struct {
+	Fingerprint certutil.Fingerprint
+	Label       string
+	// Expired reports whether the root's validity had lapsed by the
+	// removal date — the signature of a routine low-severity removal.
+	Expired bool
+}
+
+// SeverityClassifier grades a removal event; it receives the event with
+// Severity unset.
+type SeverityClassifier func(RemovalEvent) string
+
+// RemovalCatalog walks a provider's history and extracts every removal
+// event since `since`, reproducing the Table 7 catalog when pointed at NSS.
+func (p *Pipeline) RemovalCatalog(provider string, since time.Time, classify SeverityClassifier) []RemovalEvent {
+	h := p.DB.History(provider)
+	if h == nil || h.Len() < 2 {
+		return nil
+	}
+	snaps := h.Snapshots()
+	var events []RemovalEvent
+	for i := 1; i < len(snaps); i++ {
+		prev, cur := snaps[i-1], snaps[i]
+		if cur.Date.Before(since) {
+			continue
+		}
+		var removed []RemovedRoot
+		for fp := range prev.TrustedSet(p.Purpose) {
+			cure, ok := cur.Lookup(fp)
+			if ok && cure.TrustedFor(p.Purpose) {
+				continue
+			}
+			preve, _ := prev.Lookup(fp)
+			removed = append(removed, RemovedRoot{
+				Fingerprint: fp,
+				Label:       preve.Label,
+				Expired:     certutil.ExpiredAt(preve.Cert, cur.Date),
+			})
+		}
+		if len(removed) == 0 {
+			continue
+		}
+		sort.Slice(removed, func(a, b int) bool { return removed[a].Label < removed[b].Label })
+		ev := RemovalEvent{Date: cur.Date, LastTrusted: prev.Date, Roots: removed}
+		if classify != nil {
+			ev.Severity = classify(ev)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// DefaultSeverity is the paper's triage heuristic: removals of expired
+// roots are low severity; everything else needs the incident catalog, so a
+// lookup set of high-severity fingerprints upgrades matching events.
+func DefaultSeverity(high map[certutil.Fingerprint]bool) SeverityClassifier {
+	return func(ev RemovalEvent) string {
+		allExpired := true
+		anyHigh := false
+		for _, r := range ev.Roots {
+			if !r.Expired {
+				allExpired = false
+			}
+			if high[r.Fingerprint] {
+				anyHigh = true
+			}
+		}
+		switch {
+		case anyHigh:
+			return "high"
+		case allExpired:
+			return "low"
+		default:
+			return "medium"
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package e2e
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles the three CLI binaries once per test run.
+func buildCmds(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	binDir := t.TempDir()
+	for _, cmd := range []string{"rootstore", "synthgen", "ecosystem"} {
+		out := filepath.Join(binDir, cmd)
+		if runtime.GOOS == "windows" {
+			out += ".exe"
+		}
+		build := exec.Command("go", "build", "-o", out, "./cmd/"+cmd)
+		build.Dir = repoRoot(t)
+		if msg, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", cmd, err, msg)
+		}
+	}
+	return binDir
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// internal/e2e → repo root is two levels up.
+	return filepath.Dir(filepath.Dir(wd))
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+// TestCLIPipeline drives the real binaries end to end: synthgen writes the
+// corpus, rootstore inspects/converts/diffs/audits the files, and ecosystem
+// reproduces an artifact.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline is slow")
+	}
+	bins := buildCmds(t)
+	tree := t.TempDir()
+
+	// 1. synthgen writes the latest snapshots.
+	out := run(t, filepath.Join(bins, "synthgen"), "-out", tree, "-seed", "cli-e2e")
+	if !strings.Contains(out, "wrote 10 snapshots") {
+		t.Fatalf("synthgen output: %s", out)
+	}
+
+	// Locate the NSS certdata file and the Debian bundle.
+	certdataPath := findOne(t, filepath.Join(tree, "NSS"), "certdata.txt")
+	debianBundle := findOne(t, filepath.Join(tree, "Debian"), "tls-ca-bundle.pem")
+
+	// 2. inspect.
+	out = run(t, filepath.Join(bins, "rootstore"), "inspect", "-format", "certdata", certdataPath)
+	if !strings.Contains(out, "trust anchors") || !strings.Contains(out, "server-auth=trusted") {
+		t.Fatalf("inspect output:\n%s", out[:min(len(out), 600)])
+	}
+
+	// 3. convert certdata → pem, then diff the conversion against the
+	// Debian bundle.
+	pemOut := filepath.Join(t.TempDir(), "nss.pem")
+	out = run(t, filepath.Join(bins, "rootstore"), "convert", "-format", "certdata", "-to", "pem", certdataPath, pemOut)
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("convert output: %s", out)
+	}
+	out = run(t, filepath.Join(bins, "rootstore"), "diff", "-format", "pem", pemOut, debianBundle)
+	if !strings.Contains(out, "shared:") {
+		t.Fatalf("diff output: %s", out)
+	}
+
+	// 4. audit: Debian bundle against the NSS certdata.
+	out = run(t, filepath.Join(bins, "rootstore"), "audit",
+		"-format", "pem", "-format2", "certdata", debianBundle, certdataPath)
+	if !strings.Contains(out, "lost-partial-distrust") {
+		t.Fatalf("audit should flag the flattened Symantec annotations:\n%s", out)
+	}
+
+	// 5. ecosystem reproduces an artifact.
+	out = run(t, filepath.Join(bins, "ecosystem"), "-seed", "cli-e2e", "-artifact", "table6")
+	if !strings.Contains(out, "Microsoft") || !strings.Contains(out, "30") {
+		t.Fatalf("ecosystem table6 output:\n%s", out)
+	}
+}
+
+func findOne(t *testing.T, dir, name string) string {
+	t.Helper()
+	var found string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && d.Name() == name {
+			found = path
+		}
+		return nil
+	})
+	if err != nil || found == "" {
+		t.Fatalf("no %s under %s (%v)", name, dir, err)
+	}
+	return found
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

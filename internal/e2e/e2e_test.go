@@ -1,0 +1,266 @@
+// Package e2e exercises the full corpus-to-disk-and-back loop: the
+// synthetic ecosystem's latest snapshots are written in every provider's
+// native on-disk format (exactly what cmd/synthgen emits), re-parsed with
+// the codecs, and compared against the in-memory database. This is the
+// integration test proving that a scraper feeding real files into the
+// pipeline would see the same stores the analyses ran on.
+package e2e
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/applestore"
+	"repro/internal/authroot"
+	"repro/internal/certdata"
+	"repro/internal/jks"
+	"repro/internal/nodecerts"
+	"repro/internal/paperdata"
+	"repro/internal/pemstore"
+	"repro/internal/store"
+	"repro/internal/synth"
+)
+
+func ecosystem(t *testing.T) *synth.Ecosystem {
+	t.Helper()
+	eco, err := synth.Cached("e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eco
+}
+
+// compareMembership asserts the re-parsed entries cover the same
+// purpose-trusted fingerprints as the source snapshot.
+func compareMembership(t *testing.T, src *store.Snapshot, parsed []*store.TrustEntry, p store.Purpose) {
+	t.Helper()
+	want := src.TrustedSet(p)
+	got := map[string]bool{}
+	for _, e := range parsed {
+		if e.TrustedFor(p) {
+			got[e.Fingerprint.String()] = true
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("%s: %d trusted after round trip, want %d", src.Provider, len(got), len(want))
+	}
+	for fp := range want {
+		if !got[fp.String()] {
+			t.Errorf("%s: %s lost in round trip", src.Provider, fp.Short())
+		}
+	}
+}
+
+func TestNSSCertdataDisk(t *testing.T) {
+	eco := ecosystem(t)
+	snap := eco.DB.History(paperdata.NSS).Latest()
+	path := filepath.Join(t.TempDir(), "certdata.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := certdata.Marshal(f, snap.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	res, err := certdata.Parse(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareMembership(t, snap, res.Entries, store.ServerAuth)
+	compareMembership(t, snap, res.Entries, store.EmailProtection)
+
+	// Partial-distrust annotations must survive the disk round trip.
+	wantDA, gotDA := 0, 0
+	for _, e := range snap.Entries() {
+		if _, ok := e.DistrustAfterFor(store.ServerAuth); ok {
+			wantDA++
+		}
+	}
+	for _, e := range res.Entries {
+		if _, ok := e.DistrustAfterFor(store.ServerAuth); ok {
+			gotDA++
+		}
+	}
+	if wantDA == 0 || gotDA != wantDA {
+		t.Errorf("distrust-after annotations: %d on disk, want %d (nonzero)", gotDA, wantDA)
+	}
+}
+
+func TestMicrosoftAuthrootDisk(t *testing.T) {
+	eco := ecosystem(t)
+	snap := eco.DB.History(paperdata.Microsoft).Latest()
+	dir := t.TempDir()
+	if err := authroot.WriteBundle(dir, snap.Entries(), 99, snap.Date); err != nil {
+		t.Fatal(err)
+	}
+	entries, missing, err := authroot.ReadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Errorf("missing certs: %d", len(missing))
+	}
+	compareMembership(t, snap, entries, store.ServerAuth)
+	compareMembership(t, snap, entries, store.EmailProtection)
+	compareMembership(t, snap, entries, store.CodeSigning)
+}
+
+func TestAppleDirDisk(t *testing.T) {
+	eco := ecosystem(t)
+	snap := eco.DB.History(paperdata.Apple).Latest()
+	dir := t.TempDir()
+	if err := applestore.WriteDir(dir, snap.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := applestore.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareMembership(t, snap, entries, store.ServerAuth)
+}
+
+func TestJavaJKSDisk(t *testing.T) {
+	eco := ecosystem(t)
+	snap := eco.DB.History(paperdata.Java).Latest()
+	data, err := jks.Marshal(jks.FromEntries(snap.Entries(), snap.Date), "changeit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cacerts.jks")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := jks.Parse(back, "changeit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ks.ToEntries(store.ServerAuth, store.EmailProtection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// JKS conflates purposes: membership must match the union, which for
+	// Java (all entries TLS+email) equals the TLS set.
+	compareMembership(t, snap, entries, store.ServerAuth)
+}
+
+func TestNodeHeaderDisk(t *testing.T) {
+	eco := ecosystem(t)
+	snap := eco.DB.History(paperdata.NodeJS).Latest()
+	path := filepath.Join(t.TempDir(), "node_root_certs.h")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nodecerts.Marshal(f, snap.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	entries, err := nodecerts.Parse(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareMembership(t, snap, entries, store.ServerAuth)
+}
+
+func TestLinuxBundlesDisk(t *testing.T) {
+	eco := ecosystem(t)
+	for _, prov := range []string{paperdata.Debian, paperdata.Ubuntu, paperdata.Alpine, paperdata.AmazonLinux, paperdata.Android} {
+		snap := eco.DB.History(prov).Latest()
+		path := filepath.Join(t.TempDir(), "tls-ca-bundle.pem")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pemstore.WriteBundle(f, snap.Entries(), store.ServerAuth); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		rf, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, err := pemstore.ParseBundle(rf, store.ServerAuth)
+		rf.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", prov, err)
+		}
+		compareMembership(t, snap, entries, store.ServerAuth)
+	}
+}
+
+// TestDatabaseRebuildFromDisk writes several NSS snapshots to disk, rebuilds
+// a history from the files alone, and re-runs a pipeline analysis on it —
+// the full scraper path.
+func TestDatabaseRebuildFromDisk(t *testing.T) {
+	eco := ecosystem(t)
+	h := eco.DB.History(paperdata.NSS)
+	snaps := h.Snapshots()
+	// Sample a handful across the history.
+	var picked []*store.Snapshot
+	for i := 0; i < len(snaps); i += len(snaps)/8 + 1 {
+		picked = append(picked, snaps[i])
+	}
+	dir := t.TempDir()
+	for i, s := range picked {
+		path := filepath.Join(dir, s.Version+".certdata.txt")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := certdata.Marshal(f, s.Entries()); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		_ = i
+	}
+
+	db := store.NewDatabase()
+	for _, s := range picked {
+		path := filepath.Join(dir, s.Version+".certdata.txt")
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := certdata.Parse(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns := store.NewSnapshot(paperdata.NSS, s.Version, s.Date)
+		for _, e := range res.Entries {
+			ns.Add(e)
+		}
+		if err := db.AddSnapshot(ns); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rebuilt := db.History(paperdata.NSS)
+	if rebuilt.Len() != len(picked) {
+		t.Fatalf("rebuilt %d snapshots, want %d", rebuilt.Len(), len(picked))
+	}
+	for i, s := range picked {
+		rs := rebuilt.Snapshots()[i]
+		if rs.TrustedCount(store.ServerAuth) != s.TrustedCount(store.ServerAuth) {
+			t.Errorf("snapshot %s: %d TLS roots after rebuild, want %d",
+				s.Version, rs.TrustedCount(store.ServerAuth), s.TrustedCount(store.ServerAuth))
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package jks
+
+import (
+	"testing"
+)
+
+// FuzzParse hardens the JKS binary reader: arbitrary bytes must never
+// panic, and a valid keystore mutated anywhere must fail the integrity
+// digest rather than yield entries silently.
+func FuzzParse(f *testing.F) {
+	valid, err := Marshal(sampleKeystore(f), testPassword)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid, testPassword)
+	f.Add([]byte{}, "")
+	f.Add([]byte{0xFE, 0xED, 0xFE, 0xED}, "changeit")
+	f.Add(valid[:20], testPassword)
+
+	f.Fuzz(func(t *testing.T, data []byte, password string) {
+		ks, err := Parse(data, password)
+		if err != nil {
+			return
+		}
+		// A successful parse must round trip byte-for-byte.
+		out, err := Marshal(ks, password)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if string(out) != string(data) {
+			t.Fatal("round trip changed bytes")
+		}
+	})
+}

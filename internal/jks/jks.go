@@ -1,0 +1,238 @@
+// Package jks reads and writes Java KeyStore (JKS version 2) files, the
+// binary format Oracle's Java root program ships its cacerts in. Only
+// trusted-certificate entries (tag 2) are supported — exactly what a root
+// store contains; private-key entries are rejected.
+//
+// Layout (all integers big-endian):
+//
+//	u4 magic 0xFEEDFEED | u4 version=2 | u4 count
+//	per entry: u4 tag=2 | UTF alias | u8 creationDateMillis |
+//	           UTF certType ("X.509") | u4 certLen | cert DER
+//	trailer: SHA-1 over (password as UTF-16BE || "Mighty Aphrodite" ||
+//	         all preceding bytes)
+//
+// The integrity digest is password-keyed obfuscation, not cryptographic
+// protection; we implement it for wire compatibility. Aliases are encoded
+// as standard UTF-8 (Java's modified UTF-8 differs only for NUL and
+// supplementary characters, which never appear in root aliases).
+package jks
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+	"unicode/utf16"
+
+	"repro/internal/store"
+)
+
+const (
+	magic       = 0xFEEDFEED
+	version     = 2
+	tagTrusted  = 2
+	tagKeyEntry = 1
+	certType    = "X.509"
+	// whitener is the fixed string Sun's implementation mixes into the
+	// integrity digest.
+	whitener = "Mighty Aphrodite"
+)
+
+// Entry is one trusted-certificate keystore entry.
+type Entry struct {
+	Alias   string
+	Created time.Time
+	DER     []byte
+}
+
+// Keystore is a parsed JKS file.
+type Keystore struct {
+	Entries []Entry
+}
+
+// passwordBytes converts a store password to the UTF-16BE byte string Java
+// feeds the digest.
+func passwordBytes(password string) []byte {
+	units := utf16.Encode([]rune(password))
+	out := make([]byte, 0, len(units)*2)
+	for _, u := range units {
+		out = append(out, byte(u>>8), byte(u))
+	}
+	return out
+}
+
+func computeDigest(password string, body []byte) [sha1.Size]byte {
+	h := sha1.New()
+	h.Write(passwordBytes(password))
+	h.Write([]byte(whitener))
+	h.Write(body)
+	var sum [sha1.Size]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+// Marshal serializes the keystore with the given integrity password.
+func Marshal(ks *Keystore, password string) ([]byte, error) {
+	var body bytes.Buffer
+	w := func(v any) {
+		_ = binary.Write(&body, binary.BigEndian, v)
+	}
+	w(uint32(magic))
+	w(uint32(version))
+	w(uint32(len(ks.Entries)))
+	for _, e := range ks.Entries {
+		if len(e.Alias) > 0xFFFF {
+			return nil, fmt.Errorf("jks: alias too long (%d bytes)", len(e.Alias))
+		}
+		w(uint32(tagTrusted))
+		w(uint16(len(e.Alias)))
+		body.WriteString(e.Alias)
+		w(uint64(e.Created.UnixMilli()))
+		w(uint16(len(certType)))
+		body.WriteString(certType)
+		w(uint32(len(e.DER)))
+		body.Write(e.DER)
+	}
+	digest := computeDigest(password, body.Bytes())
+	body.Write(digest[:])
+	return body.Bytes(), nil
+}
+
+// Parse deserializes a JKS file, verifying the integrity digest against the
+// password.
+func Parse(data []byte, password string) (*Keystore, error) {
+	if len(data) < 12+sha1.Size {
+		return nil, fmt.Errorf("jks: file too short (%d bytes)", len(data))
+	}
+	body, trailer := data[:len(data)-sha1.Size], data[len(data)-sha1.Size:]
+	want := computeDigest(password, body)
+	if !bytes.Equal(want[:], trailer) {
+		return nil, fmt.Errorf("jks: integrity digest mismatch (wrong password or corrupted file)")
+	}
+
+	r := bytes.NewReader(body)
+	var hdr struct {
+		Magic, Version, Count uint32
+	}
+	if err := binary.Read(r, binary.BigEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("jks: header: %w", err)
+	}
+	if hdr.Magic != magic {
+		return nil, fmt.Errorf("jks: bad magic 0x%08X", hdr.Magic)
+	}
+	if hdr.Version != version {
+		return nil, fmt.Errorf("jks: unsupported version %d", hdr.Version)
+	}
+
+	ks := &Keystore{}
+	for i := uint32(0); i < hdr.Count; i++ {
+		var tag uint32
+		if err := binary.Read(r, binary.BigEndian, &tag); err != nil {
+			return nil, fmt.Errorf("jks: entry %d tag: %w", i, err)
+		}
+		switch tag {
+		case tagTrusted:
+		case tagKeyEntry:
+			return nil, fmt.Errorf("jks: entry %d is a private-key entry; root stores must contain only trusted certificates", i)
+		default:
+			return nil, fmt.Errorf("jks: entry %d has unknown tag %d", i, tag)
+		}
+		alias, err := readUTF(r)
+		if err != nil {
+			return nil, fmt.Errorf("jks: entry %d alias: %w", i, err)
+		}
+		var millis uint64
+		if err := binary.Read(r, binary.BigEndian, &millis); err != nil {
+			return nil, fmt.Errorf("jks: entry %d date: %w", i, err)
+		}
+		ct, err := readUTF(r)
+		if err != nil {
+			return nil, fmt.Errorf("jks: entry %d cert type: %w", i, err)
+		}
+		if ct != certType {
+			return nil, fmt.Errorf("jks: entry %d has certificate type %q, want %q", i, ct, certType)
+		}
+		var clen uint32
+		if err := binary.Read(r, binary.BigEndian, &clen); err != nil {
+			return nil, fmt.Errorf("jks: entry %d cert length: %w", i, err)
+		}
+		if int(clen) > r.Len() {
+			return nil, fmt.Errorf("jks: entry %d cert length %d exceeds remaining %d", i, clen, r.Len())
+		}
+		der := make([]byte, clen)
+		if _, err := io.ReadFull(r, der); err != nil {
+			return nil, fmt.Errorf("jks: entry %d cert bytes: %w", i, err)
+		}
+		ks.Entries = append(ks.Entries, Entry{
+			Alias:   alias,
+			Created: time.UnixMilli(int64(millis)).UTC(),
+			DER:     der,
+		})
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("jks: %d trailing bytes after last entry", r.Len())
+	}
+	return ks, nil
+}
+
+func readUTF(r *bytes.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// FromEntries builds a keystore from trust entries that are trusted for any
+// of the filter purposes (or all entries when filter is empty). JKS carries
+// no trust metadata, so levels and distrust dates are dropped.
+func FromEntries(entries []*store.TrustEntry, created time.Time, filter ...store.Purpose) *Keystore {
+	ks := &Keystore{}
+	for _, e := range entries {
+		include := len(filter) == 0
+		for _, p := range filter {
+			if e.TrustedFor(p) {
+				include = true
+				break
+			}
+		}
+		if !include {
+			continue
+		}
+		ks.Entries = append(ks.Entries, Entry{
+			Alias:   aliasFor(e),
+			Created: created,
+			DER:     append([]byte(nil), e.DER...),
+		})
+	}
+	return ks
+}
+
+func aliasFor(e *store.TrustEntry) string {
+	if e.Label != "" {
+		return e.Label
+	}
+	return e.Fingerprint.Short()
+}
+
+// ToEntries converts keystore entries to trust entries marked Trusted for
+// the given purposes (Java's cacerts conflates server auth, email and code
+// signing — the multi-purpose problem §7 discusses).
+func (ks *Keystore) ToEntries(purposes ...store.Purpose) ([]*store.TrustEntry, error) {
+	var out []*store.TrustEntry
+	for i, je := range ks.Entries {
+		e, err := store.NewTrustedEntry(je.DER, purposes...)
+		if err != nil {
+			return nil, fmt.Errorf("jks: entry %d (%s): %w", i, je.Alias, err)
+		}
+		e.Label = je.Alias
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package jks
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+const testPassword = "changeit" // Java's infamous default
+
+func sampleKeystore(t testing.TB) *Keystore {
+	t.Helper()
+	entries := testcerts.Entries(3, store.ServerAuth, store.EmailProtection, store.CodeSigning)
+	return FromEntries(entries, time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC))
+}
+
+func TestRoundTrip(t *testing.T) {
+	ks := sampleKeystore(t)
+	data, err := Marshal(ks, testPassword)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	out, err := Parse(data, testPassword)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(out.Entries) != len(ks.Entries) {
+		t.Fatalf("entries = %d, want %d", len(out.Entries), len(ks.Entries))
+	}
+	for i := range ks.Entries {
+		if out.Entries[i].Alias != ks.Entries[i].Alias {
+			t.Errorf("entry %d alias %q != %q", i, out.Entries[i].Alias, ks.Entries[i].Alias)
+		}
+		if !bytes.Equal(out.Entries[i].DER, ks.Entries[i].DER) {
+			t.Errorf("entry %d DER mismatch", i)
+		}
+		if !out.Entries[i].Created.Equal(ks.Entries[i].Created) {
+			t.Errorf("entry %d created %v != %v", i, out.Entries[i].Created, ks.Entries[i].Created)
+		}
+	}
+}
+
+func TestWrongPassword(t *testing.T) {
+	data, err := Marshal(sampleKeystore(t), testPassword)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(data, "wrong"); err == nil {
+		t.Error("wrong password should fail digest verification")
+	}
+}
+
+func TestCorruptedByte(t *testing.T) {
+	data, err := Marshal(sampleKeystore(t), testPassword)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if _, err := Parse(data, testPassword); err == nil {
+		t.Error("bit flip should fail digest verification")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	data, err := Marshal(sampleKeystore(t), testPassword)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 5, 11, len(data) - 1} {
+		if _, err := Parse(data[:n], testPassword); err == nil {
+			t.Errorf("truncation to %d bytes should fail", n)
+		}
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	ks := &Keystore{}
+	data, err := Marshal(ks, testPassword)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badMagic := append([]byte(nil), data...)
+	binary.BigEndian.PutUint32(badMagic[:4], 0xDEADBEEF)
+	fixDigest(badMagic, testPassword)
+	if _, err := Parse(badMagic, testPassword); err == nil {
+		t.Error("bad magic should fail")
+	}
+	badVersion := append([]byte(nil), data...)
+	binary.BigEndian.PutUint32(badVersion[4:8], 1)
+	fixDigest(badVersion, testPassword)
+	if _, err := Parse(badVersion, testPassword); err == nil {
+		t.Error("unsupported version should fail")
+	}
+}
+
+func TestPrivateKeyEntryRejected(t *testing.T) {
+	// Hand-assemble a keystore with a tag-1 entry.
+	var body bytes.Buffer
+	w := func(v any) { _ = binary.Write(&body, binary.BigEndian, v) }
+	w(uint32(magic))
+	w(uint32(version))
+	w(uint32(1))
+	w(uint32(tagKeyEntry))
+	digest := computeDigest(testPassword, body.Bytes())
+	body.Write(digest[:])
+	if _, err := Parse(body.Bytes(), testPassword); err == nil {
+		t.Error("private-key entry should be rejected")
+	}
+}
+
+func TestCertLengthOverrun(t *testing.T) {
+	var body bytes.Buffer
+	w := func(v any) { _ = binary.Write(&body, binary.BigEndian, v) }
+	w(uint32(magic))
+	w(uint32(version))
+	w(uint32(1))
+	w(uint32(tagTrusted))
+	w(uint16(1))
+	body.WriteString("a")
+	w(uint64(0))
+	w(uint16(len(certType)))
+	body.WriteString(certType)
+	w(uint32(1 << 30)) // absurd length
+	digest := computeDigest(testPassword, body.Bytes())
+	body.Write(digest[:])
+	if _, err := Parse(body.Bytes(), testPassword); err == nil {
+		t.Error("oversized cert length should be rejected")
+	}
+}
+
+func TestFromEntriesFilter(t *testing.T) {
+	tls := testcerts.Entries(2, store.ServerAuth)
+	email := testcerts.Entries(3, store.EmailProtection)[2]
+	all := append(tls, email)
+	ks := FromEntries(all, time.Now(), store.ServerAuth)
+	if len(ks.Entries) != 2 {
+		t.Errorf("filtered keystore has %d entries, want 2", len(ks.Entries))
+	}
+	ksAll := FromEntries(all, time.Now())
+	if len(ksAll.Entries) != 3 {
+		t.Errorf("unfiltered keystore has %d entries, want 3", len(ksAll.Entries))
+	}
+}
+
+func TestToEntriesMultiPurpose(t *testing.T) {
+	ks := sampleKeystore(t)
+	entries, err := ks.ToEntries(store.ServerAuth, store.EmailProtection, store.CodeSigning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		for _, p := range []store.Purpose{store.ServerAuth, store.EmailProtection, store.CodeSigning} {
+			if !e.TrustedFor(p) {
+				t.Errorf("entry %s lost purpose %s", e.Label, p)
+			}
+		}
+	}
+}
+
+func TestToEntriesCorruptDER(t *testing.T) {
+	ks := &Keystore{Entries: []Entry{{Alias: "bad", DER: []byte{1, 2, 3}}}}
+	if _, err := ks.ToEntries(store.ServerAuth); err == nil {
+		t.Error("corrupt DER should error")
+	}
+}
+
+func TestPasswordBytesUTF16(t *testing.T) {
+	got := passwordBytes("ab")
+	want := []byte{0, 'a', 0, 'b'}
+	if !bytes.Equal(got, want) {
+		t.Errorf("passwordBytes = %v, want %v", got, want)
+	}
+	if len(passwordBytes("")) != 0 {
+		t.Error("empty password should produce no bytes")
+	}
+}
+
+func TestEmptyKeystoreRoundTrip(t *testing.T) {
+	data, err := Marshal(&Keystore{}, testPassword)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Parse(data, testPassword)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Entries) != 0 {
+		t.Errorf("entries = %d", len(out.Entries))
+	}
+}
+
+// fixDigest recomputes the trailer digest after test mutations.
+func fixDigest(data []byte, password string) {
+	body := data[:len(data)-20]
+	d := computeDigest(password, body)
+	copy(data[len(data)-20:], d[:])
+}
+
+func BenchmarkMarshalParse(b *testing.B) {
+	ks := sampleKeystore(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := Marshal(ks, testPassword)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Parse(data, testPassword); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

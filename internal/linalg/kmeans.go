@@ -1,0 +1,161 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// KMeansResult is the outcome of a k-means run.
+type KMeansResult struct {
+	// Assignments maps each point index to its cluster id in [0,k).
+	Assignments []int
+	// Centroids holds the final cluster centres, one row per cluster.
+	Centroids *Matrix
+	// Inertia is the total within-cluster sum of squared distances.
+	Inertia float64
+	// Iterations is how many Lloyd iterations ran before convergence.
+	Iterations int
+}
+
+// rng is a small deterministic PRNG (xorshift64*) so clustering is
+// reproducible without math/rand seeding ceremony.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = rng(x)
+	return x * 0x2545F4914F6CDD1D
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// KMeans clusters the rows of points into k clusters using k-means++
+// seeding and Lloyd iterations. It is deterministic for a given seed.
+func KMeans(points *Matrix, k int, seed uint64, maxIter int) (*KMeansResult, error) {
+	n, dim := points.Rows, points.Cols
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("linalg: k=%d out of range for %d points", k, n)
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	r := rng(seed | 1)
+
+	dist2 := func(i int, centroid []float64) float64 {
+		var s float64
+		for d := 0; d < dim; d++ {
+			diff := points.At(i, d) - centroid[d]
+			s += diff * diff
+		}
+		return s
+	}
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	first := r.intn(n)
+	centroids = append(centroids, rowOf(points, first))
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = dist2(i, centroids[0])
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range minDist {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = r.intn(n)
+		} else {
+			target := r.float() * total
+			var acc float64
+			for i, d := range minDist {
+				acc += d
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, rowOf(points, pick))
+		for i := range minDist {
+			if d := dist2(i, centroids[len(centroids)-1]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	var iterations int
+	for iterations = 0; iterations < maxIter; iterations++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := dist2(i, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i := 0; i < n; i++ {
+			counts[assign[i]]++
+			for d := 0; d < dim; d++ {
+				sums[assign[i]][d] += points.At(i, d)
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster on the farthest point.
+				far, farD := 0, -1.0
+				for i := 0; i < n; i++ {
+					if d := dist2(i, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				centroids[c] = rowOf(points, far)
+				changed = true
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	res := &KMeansResult{Assignments: assign, Centroids: NewMatrix(k, dim), Iterations: iterations}
+	for c := 0; c < k; c++ {
+		for d := 0; d < dim; d++ {
+			res.Centroids.Set(c, d, centroids[c][d])
+		}
+	}
+	for i := 0; i < n; i++ {
+		res.Inertia += dist2(i, centroids[assign[i]])
+	}
+	return res, nil
+}
+
+func rowOf(m *Matrix, i int) []float64 {
+	out := make([]float64, m.Cols)
+	for d := 0; d < m.Cols; d++ {
+		out[d] = m.At(i, d)
+	}
+	return out
+}

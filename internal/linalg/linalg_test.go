@@ -1,0 +1,284 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 || m.At(0, 0) != 0 {
+		t.Error("Set/At broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	if !m.IsSymmetric(1e-12) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	m.Set(1, 0, 2)
+	if m.IsSymmetric(1e-12) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+	if NewMatrix(2, 3).IsSymmetric(1e-12) {
+		t.Error("non-square cannot be symmetric")
+	}
+}
+
+func TestSymmetricEigenDiagonal(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 5)
+	m.Set(2, 2, 3)
+	eig, err := SymmetricEigen(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 3, 1}
+	for i, w := range want {
+		if !almost(eig.Values[i], w, 1e-9) {
+			t.Errorf("eigenvalue %d = %f, want %f", i, eig.Values[i], w)
+		}
+	}
+}
+
+func TestSymmetricEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2)
+	eig, err := SymmetricEigen(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(eig.Values[0], 3, 1e-9) || !almost(eig.Values[1], 1, 1e-9) {
+		t.Errorf("eigenvalues = %v", eig.Values)
+	}
+	// Eigenvector for lambda=3 is (1,1)/sqrt2 up to sign.
+	v0 := []float64{eig.Vectors.At(0, 0), eig.Vectors.At(1, 0)}
+	if !almost(math.Abs(v0[0]), 1/math.Sqrt2, 1e-9) || !almost(v0[0], v0[1], 1e-9) {
+		t.Errorf("eigenvector = %v", v0)
+	}
+}
+
+func TestSymmetricEigenReconstruction(t *testing.T) {
+	// Verify A v = lambda v for a fixed symmetric matrix.
+	vals := [][]float64{
+		{4, 1, 0.5, 0},
+		{1, 3, 0.2, 0.7},
+		{0.5, 0.2, 2, 0.1},
+		{0, 0.7, 0.1, 1},
+	}
+	n := len(vals)
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, vals[i][j])
+		}
+	}
+	eig, err := SymmetricEigen(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < n; c++ {
+		for r := 0; r < n; r++ {
+			var av float64
+			for k := 0; k < n; k++ {
+				av += vals[r][k] * eig.Vectors.At(k, c)
+			}
+			lv := eig.Values[c] * eig.Vectors.At(r, c)
+			if !almost(av, lv, 1e-8) {
+				t.Fatalf("A·v != λ·v at (%d,%d): %f vs %f", r, c, av, lv)
+			}
+		}
+	}
+	// Eigenvalue sum equals trace.
+	var sum, trace float64
+	for i := 0; i < n; i++ {
+		sum += eig.Values[i]
+		trace += vals[i][i]
+	}
+	if !almost(sum, trace, 1e-9) {
+		t.Errorf("eigenvalue sum %f != trace %f", sum, trace)
+	}
+}
+
+func TestSymmetricEigenErrors(t *testing.T) {
+	if _, err := SymmetricEigen(NewMatrix(2, 3), 0); err == nil {
+		t.Error("non-square should fail")
+	}
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 1)
+	if _, err := SymmetricEigen(m, 0); err == nil {
+		t.Error("asymmetric should fail")
+	}
+}
+
+func TestDoubleCenterKnown(t *testing.T) {
+	// Points on a line at 0, 3, 6: classical MDS Gram matrix should have
+	// row sums 0 (centering) and reproduce squared distances.
+	d := NewMatrix(3, 3)
+	coords := []float64{0, 3, 6}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			d.Set(i, j, math.Abs(coords[i]-coords[j]))
+		}
+	}
+	b, err := DoubleCenter(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		var rowSum float64
+		for j := 0; j < 3; j++ {
+			rowSum += b.At(i, j)
+		}
+		if !almost(rowSum, 0, 1e-9) {
+			t.Errorf("row %d sum = %f, want 0", i, rowSum)
+		}
+	}
+	// B should be PSD with rank 1 here: top eigenvalue = variance scale.
+	eig, err := SymmetricEigen(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eig.Values[0] <= 0 {
+		t.Errorf("top eigenvalue = %f, want > 0", eig.Values[0])
+	}
+	if !almost(eig.Values[1], 0, 1e-8) || !almost(eig.Values[2], 0, 1e-8) {
+		t.Errorf("collinear points should have rank-1 Gram matrix: %v", eig.Values)
+	}
+}
+
+func TestDoubleCenterNonSquare(t *testing.T) {
+	if _, err := DoubleCenter(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square should fail")
+	}
+}
+
+func TestKMeansSeparatedClusters(t *testing.T) {
+	// Two tight blobs far apart.
+	pts := NewMatrix(8, 2)
+	blobA := [][]float64{{0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1}}
+	blobB := [][]float64{{10, 10}, {10.1, 10}, {10, 10.1}, {10.1, 10.1}}
+	for i, p := range append(blobA, blobB...) {
+		pts.Set(i, 0, p[0])
+		pts.Set(i, 1, p[1])
+	}
+	res, err := KMeans(pts, 2, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		if res.Assignments[i] != res.Assignments[0] {
+			t.Error("blob A split across clusters")
+		}
+	}
+	for i := 5; i < 8; i++ {
+		if res.Assignments[i] != res.Assignments[4] {
+			t.Error("blob B split across clusters")
+		}
+	}
+	if res.Assignments[0] == res.Assignments[4] {
+		t.Error("blobs merged into one cluster")
+	}
+	if res.Inertia > 0.2 {
+		t.Errorf("inertia = %f, want tiny", res.Inertia)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	pts := NewMatrix(6, 1)
+	for i := 0; i < 6; i++ {
+		pts.Set(i, 0, float64(i*i))
+	}
+	a, err := KMeans(pts, 3, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(pts, 3, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	pts := NewMatrix(3, 2)
+	if _, err := KMeans(pts, 0, 1, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := KMeans(pts, 4, 1, 0); err == nil {
+		t.Error("k>n should fail")
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	pts := NewMatrix(3, 1)
+	pts.Set(0, 0, 0)
+	pts.Set(1, 0, 5)
+	pts.Set(2, 0, 10)
+	res, err := KMeans(pts, 3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Inertia, 0, 1e-12) {
+		t.Errorf("k=n inertia = %f", res.Inertia)
+	}
+	seen := map[int]bool{}
+	for _, a := range res.Assignments {
+		seen[a] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("k=n should use all clusters, got %v", res.Assignments)
+	}
+}
+
+func TestEigenvalueSumEqualsTraceProperty(t *testing.T) {
+	prop := func(a, b, c, d, e, f float64) bool {
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0
+			}
+			return math.Mod(x, 100)
+		}
+		a, b, c, d, e, f = clamp(a), clamp(b), clamp(c), clamp(d), clamp(e), clamp(f)
+		m := NewMatrix(3, 3)
+		m.Set(0, 0, a)
+		m.Set(1, 1, b)
+		m.Set(2, 2, c)
+		m.Set(0, 1, d)
+		m.Set(1, 0, d)
+		m.Set(0, 2, e)
+		m.Set(2, 0, e)
+		m.Set(1, 2, f)
+		m.Set(2, 1, f)
+		eig, err := SymmetricEigen(m, 0)
+		if err != nil {
+			return false
+		}
+		sum := eig.Values[0] + eig.Values[1] + eig.Values[2]
+		return almost(sum, a+b+c, 1e-6*(1+math.Abs(a+b+c)))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

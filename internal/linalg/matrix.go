@@ -1,0 +1,179 @@
+// Package linalg provides the small dense-matrix toolkit the ordination
+// analysis needs: symmetric eigendecomposition (cyclic Jacobi), double
+// centering, and k-means clustering. Everything is plain float64 slices —
+// the matrices involved (one row per root-store snapshot, a few hundred
+// rows) are far below the scale where cache blocking or BLAS would matter.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns m[i,j].
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns m[i,j].
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// IsSymmetric reports whether the matrix is square and symmetric within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DoubleCenter computes B = -1/2 * J * D2 * J where D2 is the matrix of
+// squared entries of d and J = I - 11'/n, the Gram-matrix construction of
+// classical MDS (Torgerson scaling).
+func DoubleCenter(d *Matrix) (*Matrix, error) {
+	if d.Rows != d.Cols {
+		return nil, fmt.Errorf("linalg: distance matrix must be square, got %dx%d", d.Rows, d.Cols)
+	}
+	n := d.Rows
+	b := NewMatrix(n, n)
+	rowMean := make([]float64, n)
+	colMean := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sq := d.At(i, j) * d.At(i, j)
+			b.Set(i, j, sq)
+			rowMean[i] += sq
+			colMean[j] += sq
+			total += sq
+		}
+	}
+	for i := range rowMean {
+		rowMean[i] /= float64(n)
+		colMean[i] /= float64(n)
+	}
+	total /= float64(n * n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, -0.5*(b.At(i, j)-rowMean[i]-colMean[j]+total))
+		}
+	}
+	return b, nil
+}
+
+// Eigen holds the result of a symmetric eigendecomposition, sorted by
+// descending eigenvalue.
+type Eigen struct {
+	Values  []float64
+	Vectors *Matrix // columns are unit eigenvectors
+}
+
+// SymmetricEigen decomposes a symmetric matrix with the cyclic Jacobi
+// method. It returns eigenvalues (descending) and matching eigenvectors.
+func SymmetricEigen(a *Matrix, maxSweeps int) (*Eigen, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: eigen needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if !a.IsSymmetric(1e-9) {
+		return nil, fmt.Errorf("linalg: eigen needs a symmetric matrix")
+	}
+	n := a.Rows
+	if maxSweeps <= 0 {
+		maxSweeps = 64
+	}
+	w := a.Clone()
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	offdiag := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += w.At(i, j) * w.At(i, j)
+			}
+		}
+		return s
+	}
+
+	const eps = 1e-12
+	for sweep := 0; sweep < maxSweeps && offdiag() > eps; sweep++ {
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*akp-s*akq)
+					w.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*apk-s*aqk)
+					w.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	// Extract and sort by descending eigenvalue.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{w.At(i, i), i}
+	}
+	for i := 1; i < n; i++ { // insertion sort, n is small
+		for j := i; j > 0 && pairs[j].val > pairs[j-1].val; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+	eig := &Eigen{Values: make([]float64, n), Vectors: NewMatrix(n, n)}
+	for c, p := range pairs {
+		eig.Values[c] = p.val
+		for r := 0; r < n; r++ {
+			eig.Vectors.Set(r, c, v.At(r, p.idx))
+		}
+	}
+	return eig, nil
+}

@@ -1,0 +1,213 @@
+// Package mds implements multidimensional scaling: the ordination technique
+// the paper uses (Figure 1) to project pairwise Jaccard distances between
+// root-store snapshots into two dimensions while preserving inter-snapshot
+// distances as well as possible.
+//
+// Two variants are provided. Classical (Torgerson) scaling double-centres
+// the squared distance matrix and takes the top eigenvectors; it is closed
+// form and serves as the initial configuration. SMACOF stress majorization
+// — the algorithm behind sklearn.manifold.MDS that the paper used — then
+// iteratively minimizes raw stress via the Guttman transform.
+package mds
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Config controls a SMACOF run.
+type Config struct {
+	// Dims is the embedding dimension (the paper uses 2).
+	Dims int
+	// MaxIter bounds Guttman iterations (default 300, sklearn's default).
+	MaxIter int
+	// Epsilon is the relative stress-improvement stopping threshold
+	// (default 1e-6).
+	Epsilon float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dims <= 0 {
+		c.Dims = 2
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 300
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 1e-6
+	}
+	return c
+}
+
+// Result is an MDS embedding.
+type Result struct {
+	// Points has one row per object, Dims columns.
+	Points *linalg.Matrix
+	// Stress is the final raw stress (sum of squared residuals between
+	// embedded and target distances).
+	Stress float64
+	// Stress1 is Kruskal's normalized stress-1.
+	Stress1 float64
+	// Iterations is the number of Guttman transforms applied.
+	Iterations int
+}
+
+// validateDistances checks d is square, symmetric, zero-diagonal and
+// non-negative.
+func validateDistances(d *linalg.Matrix) error {
+	if d.Rows != d.Cols {
+		return fmt.Errorf("mds: distance matrix must be square, got %dx%d", d.Rows, d.Cols)
+	}
+	for i := 0; i < d.Rows; i++ {
+		if d.At(i, i) != 0 {
+			return fmt.Errorf("mds: nonzero diagonal at %d", i)
+		}
+		for j := 0; j < d.Cols; j++ {
+			v := d.At(i, j)
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("mds: invalid distance %v at (%d,%d)", v, i, j)
+			}
+			if math.Abs(v-d.At(j, i)) > 1e-9 {
+				return fmt.Errorf("mds: asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Classical computes the Torgerson closed-form embedding into dims
+// dimensions.
+func Classical(d *linalg.Matrix, dims int) (*Result, error) {
+	if err := validateDistances(d); err != nil {
+		return nil, err
+	}
+	if dims <= 0 {
+		dims = 2
+	}
+	n := d.Rows
+	if dims > n {
+		dims = n
+	}
+	b, err := linalg.DoubleCenter(d)
+	if err != nil {
+		return nil, err
+	}
+	eig, err := linalg.SymmetricEigen(b, 0)
+	if err != nil {
+		return nil, err
+	}
+	pts := linalg.NewMatrix(n, dims)
+	for c := 0; c < dims; c++ {
+		lambda := eig.Values[c]
+		if lambda < 0 {
+			lambda = 0 // negative eigenvalues: non-Euclidean residue
+		}
+		scale := math.Sqrt(lambda)
+		for r := 0; r < n; r++ {
+			pts.Set(r, c, eig.Vectors.At(r, c)*scale)
+		}
+	}
+	res := &Result{Points: pts}
+	res.Stress, res.Stress1 = stress(d, pts)
+	return res, nil
+}
+
+// SMACOF minimizes stress starting from the classical embedding.
+func SMACOF(d *linalg.Matrix, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := validateDistances(d); err != nil {
+		return nil, err
+	}
+	n := d.Rows
+	if n == 0 {
+		return &Result{Points: linalg.NewMatrix(0, cfg.Dims)}, nil
+	}
+	init, err := Classical(d, cfg.Dims)
+	if err != nil {
+		return nil, err
+	}
+	x := init.Points.Clone()
+	prevStress, _ := stress(d, x)
+
+	iterations := 0
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		x = guttman(d, x)
+		cur, _ := stress(d, x)
+		iterations = iter + 1
+		if prevStress > 0 && (prevStress-cur)/prevStress < cfg.Epsilon {
+			prevStress = cur
+			break
+		}
+		prevStress = cur
+	}
+	res := &Result{Points: x, Iterations: iterations}
+	res.Stress, res.Stress1 = stress(d, x)
+	return res, nil
+}
+
+// guttman applies one Guttman transform: X' = (1/n) B(X) X where
+// B(X)_ij = -d_ij / dist_ij for i != j (0 when dist is 0) and
+// B_ii = -sum_{j != i} B_ij.
+func guttman(d *linalg.Matrix, x *linalg.Matrix) *linalg.Matrix {
+	n, dims := x.Rows, x.Cols
+	next := linalg.NewMatrix(n, dims)
+	brow := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var diag float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				brow[j] = 0
+				continue
+			}
+			dist := pointDist(x, i, j)
+			if dist > 1e-12 {
+				brow[j] = -d.At(i, j) / dist
+			} else {
+				brow[j] = 0
+			}
+			diag -= brow[j]
+		}
+		brow[i] = diag
+		for c := 0; c < dims; c++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += brow[j] * x.At(j, c)
+			}
+			next.Set(i, c, s/float64(n))
+		}
+	}
+	return next
+}
+
+func pointDist(x *linalg.Matrix, i, j int) float64 {
+	var s float64
+	for c := 0; c < x.Cols; c++ {
+		diff := x.At(i, c) - x.At(j, c)
+		s += diff * diff
+	}
+	return math.Sqrt(s)
+}
+
+// stress returns raw stress and Kruskal stress-1 for an embedding.
+func stress(d *linalg.Matrix, x *linalg.Matrix) (raw, stress1 float64) {
+	n := d.Rows
+	var num, den float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dist := pointDist(x, i, j)
+			diff := d.At(i, j) - dist
+			num += diff * diff
+			den += d.At(i, j) * d.At(i, j)
+		}
+	}
+	raw = num
+	if den > 0 {
+		stress1 = math.Sqrt(num / den)
+	}
+	return raw, stress1
+}
+
+// EmbeddedDistance returns the distance between two embedded points.
+func (r *Result) EmbeddedDistance(i, j int) float64 { return pointDist(r.Points, i, j) }

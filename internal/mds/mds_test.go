@@ -1,0 +1,210 @@
+package mds
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// distMatrixFromPoints builds the Euclidean distance matrix of 2-D points.
+func distMatrixFromPoints(pts [][2]float64) *linalg.Matrix {
+	n := len(pts)
+	d := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dx := pts[i][0] - pts[j][0]
+			dy := pts[i][1] - pts[j][1]
+			d.Set(i, j, math.Hypot(dx, dy))
+		}
+	}
+	return d
+}
+
+var squarePoints = [][2]float64{{0, 0}, {4, 0}, {4, 4}, {0, 4}}
+
+func TestClassicalRecoversEuclideanConfig(t *testing.T) {
+	d := distMatrixFromPoints(squarePoints)
+	res, err := Classical(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The embedding is unique up to rotation/reflection, so compare
+	// pairwise distances instead of coordinates.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			got := res.EmbeddedDistance(i, j)
+			want := d.At(i, j)
+			if math.Abs(got-want) > 1e-6 {
+				t.Errorf("distance (%d,%d) = %f, want %f", i, j, got, want)
+			}
+		}
+	}
+	if res.Stress1 > 1e-6 {
+		t.Errorf("stress1 = %g for perfectly embeddable distances", res.Stress1)
+	}
+}
+
+func TestSMACOFImprovesOrMatchesClassical(t *testing.T) {
+	// Non-Euclidean distances (violating triangle inequality slightly):
+	// SMACOF should still converge and not be worse than classical.
+	n := 5
+	d := linalg.NewMatrix(n, n)
+	vals := [][]float64{
+		{0, 1, 2, 3, 1},
+		{1, 0, 1, 2.5, 2},
+		{2, 1, 0, 1, 2.2},
+		{3, 2.5, 1, 0, 1},
+		{1, 2, 2.2, 1, 0},
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d.Set(i, j, vals[i][j])
+		}
+	}
+	classical, err := Classical(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smacof, err := SMACOF(d, Config{Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smacof.Stress > classical.Stress+1e-9 {
+		t.Errorf("SMACOF stress %g worse than classical %g", smacof.Stress, classical.Stress)
+	}
+	if smacof.Iterations == 0 {
+		t.Error("SMACOF should iterate at least once")
+	}
+}
+
+func TestSMACOFPreservesClusterStructure(t *testing.T) {
+	// Two groups with tiny intra-group distance and large inter-group
+	// distance must embed far apart — the property Figure 1 relies on.
+	n := 8
+	d := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			sameGroup := (i < 4) == (j < 4)
+			if sameGroup {
+				d.Set(i, j, 0.05)
+			} else {
+				d.Set(i, j, 1.0)
+			}
+		}
+	}
+	res, err := SMACOF(d, Config{Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dist := res.EmbeddedDistance(i, j)
+			if (i < 4) == (j < 4) {
+				intra += dist
+				nIntra++
+			} else {
+				inter += dist
+				nInter++
+			}
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if inter < 5*intra {
+		t.Errorf("cluster separation poor: intra=%f inter=%f", intra, inter)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := linalg.NewMatrix(2, 3)
+	if _, err := Classical(bad, 2); err == nil {
+		t.Error("non-square should fail")
+	}
+	neg := linalg.NewMatrix(2, 2)
+	neg.Set(0, 1, -1)
+	neg.Set(1, 0, -1)
+	if _, err := SMACOF(neg, Config{}); err == nil {
+		t.Error("negative distance should fail")
+	}
+	diag := linalg.NewMatrix(2, 2)
+	diag.Set(0, 0, 1)
+	if _, err := Classical(diag, 2); err == nil {
+		t.Error("nonzero diagonal should fail")
+	}
+	asym := linalg.NewMatrix(2, 2)
+	asym.Set(0, 1, 1)
+	asym.Set(1, 0, 2)
+	if _, err := Classical(asym, 2); err == nil {
+		t.Error("asymmetric should fail")
+	}
+}
+
+func TestSMACOFEmptyAndSingle(t *testing.T) {
+	empty, err := SMACOF(linalg.NewMatrix(0, 0), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Points.Rows != 0 {
+		t.Error("empty input should give empty embedding")
+	}
+	single, err := SMACOF(linalg.NewMatrix(1, 1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Points.Rows != 1 {
+		t.Error("single point embedding wrong")
+	}
+	if single.Stress != 0 {
+		t.Errorf("single point stress = %f", single.Stress)
+	}
+}
+
+func TestIdenticalObjectsEmbedTogether(t *testing.T) {
+	// Distance 0 between objects 0 and 1; they must land on the same spot.
+	n := 3
+	d := linalg.NewMatrix(n, n)
+	d.Set(0, 2, 1)
+	d.Set(2, 0, 1)
+	d.Set(1, 2, 1)
+	d.Set(2, 1, 1)
+	res, err := SMACOF(d, Config{Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.EmbeddedDistance(0, 1); got > 1e-6 {
+		t.Errorf("identical objects embedded %f apart", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Dims != 2 || c.MaxIter != 300 || c.Epsilon != 1e-6 {
+		t.Errorf("defaults = %+v", c)
+	}
+}
+
+func BenchmarkSMACOF50(b *testing.B) {
+	// 50 synthetic snapshots-worth of distances.
+	n := 50
+	d := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := math.Abs(math.Sin(float64(i*31+j*17))) + 0.01
+			d.Set(i, j, v)
+			d.Set(j, i, v)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SMACOF(d, Config{Dims: 2, MaxIter: 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

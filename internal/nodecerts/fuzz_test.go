@@ -1,0 +1,42 @@
+package nodecerts
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+// FuzzParse hardens the C-header scanner: arbitrary input must never panic
+// and successful parses must round trip.
+func FuzzParse(f *testing.F) {
+	valid, err := MarshalBytes(testcerts.Entries(2, store.ServerAuth))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(""))
+	f.Add([]byte(`"abc" "def",`))
+	f.Add([]byte("/* comment */ // another"))
+	f.Add([]byte(`"\n\t\\\"",`))
+	f.Add([]byte(`"unterminated`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		out, err := MarshalBytes(entries)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		back, err := Parse(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(back) != len(entries) {
+			t.Fatalf("entry count changed: %d -> %d", len(entries), len(back))
+		}
+	})
+}

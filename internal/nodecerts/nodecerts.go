@@ -1,0 +1,158 @@
+// Package nodecerts reads and writes NodeJS's src/node_root_certs.h: a C
+// header declaring an array of string literals, each holding one PEM
+// certificate. Like PEM bundles, the format expresses only on-or-off TLS
+// trust (NodeJS ships it purely for server authentication).
+package nodecerts
+
+import (
+	"bytes"
+	"encoding/pem"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// Parse reads a node_root_certs.h stream. It extracts every quoted string
+// fragment, concatenates fragments per array element (elements are
+// comma-separated), and PEM-decodes each element.
+func Parse(r io.Reader) ([]*store.TrustEntry, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("nodecerts: read: %w", err)
+	}
+	elements, err := extractElements(string(data))
+	if err != nil {
+		return nil, err
+	}
+	var entries []*store.TrustEntry
+	for i, el := range elements {
+		block, rest := pem.Decode([]byte(el))
+		if block == nil || block.Type != "CERTIFICATE" {
+			return nil, fmt.Errorf("nodecerts: element %d is not a PEM certificate", i)
+		}
+		if len(bytes.TrimSpace(rest)) != 0 {
+			return nil, fmt.Errorf("nodecerts: element %d has trailing data", i)
+		}
+		e, err := store.NewTrustedEntry(block.Bytes, store.ServerAuth)
+		if err != nil {
+			return nil, fmt.Errorf("nodecerts: element %d: %w", i, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// extractElements walks the header text and returns one string per array
+// element, de-escaping C string literals and joining adjacent literals
+// (C concatenation) until a comma at top level.
+func extractElements(src string) ([]string, error) {
+	var elements []string
+	var cur strings.Builder
+	curHasContent := false
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("nodecerts: unterminated block comment")
+			}
+			i += 2 + end + 2
+		case c == '"':
+			i++
+			for i < n && src[i] != '"' {
+				if src[i] == '\\' {
+					if i+1 >= n {
+						return nil, fmt.Errorf("nodecerts: dangling escape")
+					}
+					switch src[i+1] {
+					case 'n':
+						cur.WriteByte('\n')
+					case 't':
+						cur.WriteByte('\t')
+					case '\\':
+						cur.WriteByte('\\')
+					case '"':
+						cur.WriteByte('"')
+					default:
+						return nil, fmt.Errorf("nodecerts: unsupported escape \\%c", src[i+1])
+					}
+					i += 2
+					continue
+				}
+				cur.WriteByte(src[i])
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("nodecerts: unterminated string literal")
+			}
+			i++ // closing quote
+			curHasContent = true
+		case c == ',':
+			if curHasContent {
+				elements = append(elements, cur.String())
+				cur.Reset()
+				curHasContent = false
+			}
+			i++
+		default:
+			i++
+		}
+	}
+	if curHasContent {
+		elements = append(elements, cur.String())
+	}
+	return elements, nil
+}
+
+// Marshal writes entries trusted for TLS server authentication as a
+// node_root_certs.h document that Parse round-trips.
+func Marshal(w io.Writer, entries []*store.TrustEntry) error {
+	if _, err := fmt.Fprintf(w, "// Generated root certificate list (node_root_certs.h format).\n"); err != nil {
+		return err
+	}
+	for i, e := range entries {
+		if !e.TrustedFor(store.ServerAuth) {
+			continue
+		}
+		var pemBuf bytes.Buffer
+		if err := pem.Encode(&pemBuf, &pem.Block{Type: "CERTIFICATE", Bytes: e.DER}); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "\n/* %s */\n", e.Label); err != nil {
+			return err
+		}
+		lines := strings.Split(strings.TrimRight(pemBuf.String(), "\n"), "\n")
+		for j, line := range lines {
+			sep := "\n"
+			if j == len(lines)-1 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(w, "\"%s\\n\"%s", line, sep); err != nil {
+				return err
+			}
+		}
+		_ = i
+		if _, err := fmt.Fprintf(w, ",\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalBytes is Marshal into a byte slice.
+func MarshalBytes(entries []*store.TrustEntry) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Marshal(&buf, entries); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,134 @@
+package nodecerts
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+func TestRoundTrip(t *testing.T) {
+	in := testcerts.Entries(3, store.ServerAuth)
+	data, err := MarshalBytes(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	out, err := Parse(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("entries = %d, want 3", len(out))
+	}
+	for i := range in {
+		if out[i].Fingerprint != in[i].Fingerprint {
+			t.Errorf("entry %d fingerprint mismatch", i)
+		}
+		if !out[i].TrustedFor(store.ServerAuth) {
+			t.Errorf("entry %d not TLS-trusted", i)
+		}
+	}
+}
+
+func TestMarshalSkipsNonTLS(t *testing.T) {
+	entries := testcerts.Entries(2, store.ServerAuth)
+	email := testcerts.Entries(3, store.EmailProtection)[2]
+	entries = append(entries, email)
+	data, err := MarshalBytes(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Parse(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Errorf("entries = %d, want 2 (email-only root must be skipped)", len(out))
+	}
+}
+
+func TestParseHandlesComments(t *testing.T) {
+	in := testcerts.Entries(1, store.ServerAuth)
+	data, err := MarshalBytes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := "// line comment\n/* block\ncomment */\n" + string(data)
+	out, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(out) != 1 {
+		t.Errorf("entries = %d", len(out))
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	// Literal containing all supported escapes around a valid cert.
+	in := testcerts.Entries(1, store.ServerAuth)
+	data, err := MarshalBytes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `\n`) {
+		t.Fatal("marshalled header should contain \\n escapes")
+	}
+	out, err := Parse(bytes.NewReader(data))
+	if err != nil || len(out) != 1 {
+		t.Fatalf("Parse: %v, %d entries", err, len(out))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"unterminated string", `"abc`},
+		{"unterminated comment", "/* forever"},
+		{"bad escape", `"\q",`},
+		{"dangling escape", `"abc\`},
+		{"not a cert", `"-----BEGIN PUBLIC KEY-----\nAAAA\n-----END PUBLIC KEY-----\n",`},
+		{"corrupt cert", `"-----BEGIN CERTIFICATE-----\nAAAA\n-----END CERTIFICATE-----\n",`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(c.doc)); err == nil {
+				t.Errorf("Parse succeeded for %s", c.name)
+			}
+		})
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	out, err := Parse(strings.NewReader("// nothing here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("entries = %d", len(out))
+	}
+}
+
+func TestExtractElementsConcatenation(t *testing.T) {
+	els, err := extractElements(`"ab" "cd",
+"ef",`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(els) != 2 || els[0] != "abcd" || els[1] != "ef" {
+		t.Errorf("elements = %q", els)
+	}
+}
+
+func TestExtractElementsNoTrailingComma(t *testing.T) {
+	els, err := extractElements(`"ab"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(els) != 1 || els[0] != "ab" {
+		t.Errorf("elements = %q", els)
+	}
+}

@@ -1,0 +1,110 @@
+package paperdata
+
+// NSSStatus describes a root's relationship with the NSS inclusion process
+// (Table 6 column "NSS inclusion?").
+type NSSStatus string
+
+// NSS inclusion outcomes.
+const (
+	NSSAccepted  NSSStatus = "accepted"
+	NSSDenied    NSSStatus = "denied"
+	NSSAbandoned NSSStatus = "abandoned"
+	NSSRetracted NSSStatus = "retracted"
+	NSSPending   NSSStatus = "pending"
+	NSSApproved  NSSStatus = "approved" // approved, awaiting addition
+	NSSNone      NSSStatus = "none"     // never attempted
+)
+
+// ExclusiveRoot is a row of Table 6 / Appendix B: a root trusted for TLS
+// server auth by exactly one of the four independent programs.
+type ExclusiveRoot struct {
+	Program   string
+	ShortHash string // leading hex of the SHA-256 as printed in the paper
+	CA        string
+	Status    NSSStatus
+	Details   string
+	// Category buckets the paper's qualitative grouping for Apple and
+	// Microsoft exclusives.
+	Category string
+}
+
+// Categories for exclusive roots.
+const (
+	CatNewRoot       = "new-root"        // new cert for an already-trusted CA
+	CatEmailElswhere = "email-elsewhere" // other programs trust it for email only
+	CatProprietary   = "apple-services"  // Apple FairPlay / Developer ID etc.
+	CatDistrusted    = "distrusted-peer" // actively distrusted by another program
+	CatGovernment    = "government"      // national government CA
+	CatFailedNSS     = "failed-nss"      // denied/abandoned/retracted at NSS
+	CatPendingNSS    = "pending-nss"     // inclusion request in flight
+	CatLowPresence   = "low-ct-presence" // <100-200 leaves in CT
+	CatCrossSigned   = "cross-signed"    // trusted elsewhere via cross-sign
+	CatSpecialUse    = "special-use"     // WiFi Alliance, kernel-mode, etc.
+)
+
+// ExclusiveRoots returns Table 6: per-program exclusive TLS roots. NSS has
+// one (a new Microsec ECC root), Java zero, Apple thirteen, Microsoft
+// thirty.
+func ExclusiveRoots() []ExclusiveRoot {
+	return []ExclusiveRoot{
+		// NSS (1)
+		{NSS, "beb00b30", "Microsec", NSSAccepted, "new elliptic-curve root alongside an already-trusted Microsec root", CatNewRoot},
+
+		// Apple (13)
+		{Apple, "0ed3ffab", "Gov. of Venezuela", NSSDenied, "super-CA concerns; Microsoft trusted same issuer for email until 2020", CatGovernment},
+		{Apple, "9f974446", "Certipost", NSSNone, "CA requested cross-sign revocation: ceased TLS issuance", CatDistrusted},
+		{Apple, "e3268f61", "ANF", NSSNone, "Microsoft trusts same issuer for email, distrust after 2019-02-01", CatEmailElswhere},
+		{Apple, "6639d13c", "Echoworx", NSSNone, "Microsoft trusted for email", CatEmailElswhere},
+		{Apple, "92d8092e", "Nets.eu", NSSNone, "Microsoft trusted for email", CatEmailElswhere},
+		{Apple, "9d190b2e", "DigiCert", NSSAccepted, "trusted by Microsoft and NSS for email", CatEmailElswhere},
+		{Apple, "cb627d18", "DigiCert", NSSAccepted, "trusted by Microsoft and NSS for email", CatEmailElswhere},
+		{Apple, "a1a86d04", "D-TRUST", NSSAccepted, "Microsoft/NSS trusted for email", CatEmailElswhere},
+		{Apple, "apple-01", "Apple", NSSNone, "FairPlay service root", CatProprietary},
+		{Apple, "apple-02", "Apple", NSSNone, "Developer ID code signing root", CatProprietary},
+		{Apple, "apple-03", "Apple", NSSNone, "Apple services root", CatProprietary},
+		{Apple, "apple-04", "Apple", NSSNone, "Apple services root", CatProprietary},
+		{Apple, "apple-05", "Apple", NSSNone, "Apple services root", CatProprietary},
+
+		// Microsoft (30)
+		{Microsoft, "1501f89c", "EDICOM", NSSDenied, "inadequate audits, issuance concerns, CA unresponsiveness", CatFailedNSS},
+		{Microsoft, "416b1f9e", "e-monitoring.at", NSSDenied, "BR and RFC 5280 violations", CatFailedNSS},
+		{Microsoft, "6e0bff06", "Gov. of Brazil", NSSDenied, "super-CA concerns, insufficient auditing/disclosure", CatGovernment},
+		{Microsoft, "c795ff8f", "Gov. of Tunisia", NSSDenied, "repeated misissuance exposed during public discussion", CatGovernment},
+		{Microsoft, "407c276b", "Gov. of Korea", NSSDenied, "confidential, unrestrained subCAs", CatGovernment},
+		{Microsoft, "c1d80ce4", "AC Camerfirma", NSSDenied, "numerous issues; all Camerfirma roots removed from NSS May 2021", CatFailedNSS},
+		{Microsoft, "ad016f95", "PostSignum", NSSAbandoned, "new root inclusion attempt running into issues", CatFailedNSS},
+		{Microsoft, "7a77c6c6", "OATI", NSSAbandoned, "no response in 3 years", CatFailedNSS},
+		{Microsoft, "604d32d0", "MULTICERT", NSSAbandoned, "external subCA concerns and misissuance", CatFailedNSS},
+		{Microsoft, "e2809772", "Digidentity", NSSRetracted, "inclusion request retracted", CatFailedNSS},
+		{Microsoft, "2e44102a", "Gov. of Tunisia", NSSPending, "community concerns about added value", CatPendingNSS},
+		{Microsoft, "e74fbda5", "SECOM", NSSPending, "pending since 2016, ongoing issue resolution", CatPendingNSS},
+		{Microsoft, "24a55c2a", "SECOM", NSSPending, "pending since 2016, ongoing issue resolution", CatPendingNSS},
+		{Microsoft, "f015ce3c", "Chunghwa Telecom", NSSPending, "HiPKI Root CA - G1", CatPendingNSS},
+		{Microsoft, "5ab4fcdb", "Fina", NSSPending, "Fina Root CA", CatPendingNSS},
+		{Microsoft, "242b6974", "Telia", NSSPending, "<100 leaf certificates in CT", CatPendingNSS},
+		{Microsoft, "eb7e05aa", "NETLOCK Kft.", NSSNone, "cross-signed by MS Code Verification Root (kernel-mode only)", CatSpecialUse},
+		{Microsoft, "5b1d9d24", "Gov. of Spain, MTIN", NSSNone, "expired Nov 2019, no intermediates in CT", CatGovernment},
+		{Microsoft, "34ff2a44", "Gov. of Finland", NSSNone, "previously abandoned NSS inclusion for a different root", CatGovernment},
+		{Microsoft, "229ccc19", "Cisco", NSSNone, "<100 leaves in CT; NSS rejected older device-local root", CatLowPresence},
+		{Microsoft, "d7ba3f4f", "Halcom D.D.", NSSNone, "<100 leaf certificates in CT", CatLowPresence},
+		{Microsoft, "7d2bf348", "Spain Commercial Reg.", NSSNone, "<100 leaf certificates in CT", CatLowPresence},
+		{Microsoft, "c2157309", "NISZ", NSSNone, "<200 leaf certificates in CT", CatLowPresence},
+		{Microsoft, "608142da", "TrustFactory", NSSNone, "<100 leaf certificates in CT", CatLowPresence},
+		{Microsoft, "a3cc6859", "DigiCert", NSSNone, "WiFi Alliance Passpoint roaming", CatSpecialUse},
+		{Microsoft, "68ad5090", "DigiCert", NSSNone, "trusted intermediate in NSS/Apple/Java via Baltimore CyberTrust", CatCrossSigned},
+		{Microsoft, "1a0d2044", "Sectigo", NSSNone, "Apple/NSS trust issuer through different root certificate", CatCrossSigned},
+		{Microsoft, "asseco-1", "Asseco/e-monitoring.at", NSSApproved, "recently approved by NSS, awaiting addition", CatPendingNSS},
+		{Microsoft, "asseco-2", "Asseco/e-monitoring.at", NSSApproved, "recently approved by NSS, awaiting addition", CatPendingNSS},
+		{Microsoft, "asseco-3", "Asseco/e-monitoring.at", NSSApproved, "recently approved by NSS, awaiting addition", CatPendingNSS},
+	}
+}
+
+// ExclusiveCounts returns the per-program exclusive-root totals the paper
+// headlines (NSS 1, Java 0, Apple 13, Microsoft 30).
+func ExclusiveCounts() map[string]int {
+	counts := map[string]int{NSS: 0, Java: 0, Apple: 0, Microsoft: 0}
+	for _, r := range ExclusiveRoots() {
+		counts[r.Program]++
+	}
+	return counts
+}

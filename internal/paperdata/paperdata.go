@@ -1,0 +1,266 @@
+// Package paperdata is the curated ground truth the reproduction is
+// calibrated against: the published facts from the paper's tables —
+// provider dataset ranges (Table 2), hygiene metrics (Table 3),
+// high-severity incident timelines (Table 4), software survey (Table 5),
+// program-exclusive roots (Table 6/Appendix B), and the NSS removal catalog
+// (Table 7/Appendix C).
+//
+// These values substitute for the proprietary inputs the authors scraped
+// (CDN logs, decades of repository history, Bugzilla metadata): the
+// synthetic corpus generator consumes them to produce certificate-level
+// data whose analysis must land back on these numbers, and EXPERIMENTS.md
+// compares measured values against them.
+package paperdata
+
+import "time"
+
+// ym builds a month-precision date, the paper's comparison resolution
+// (§3.1: "coarse-grained comparisons ... on the order of months or years").
+func ym(year, month int) time.Time {
+	return time.Date(year, time.Month(month), 1, 0, 0, 0, 0, time.UTC)
+}
+
+// ymd builds a day-precision date for the removal events the paper reports
+// exactly.
+func ymd(year, month, day int) time.Time {
+	return time.Date(year, time.Month(month), day, 0, 0, 0, 0, time.UTC)
+}
+
+// Provider names, matching internal/store snapshot providers.
+const (
+	NSS         = "NSS"
+	Microsoft   = "Microsoft"
+	Apple       = "Apple"
+	Java        = "Java"
+	Android     = "Android"
+	NodeJS      = "NodeJS"
+	Debian      = "Debian"
+	Ubuntu      = "Ubuntu"
+	Alpine      = "Alpine"
+	AmazonLinux = "AmazonLinux"
+)
+
+// ProviderInfo is a row of Table 2: one root-store provider's collected
+// history.
+type ProviderInfo struct {
+	Name      string
+	From, To  time.Time
+	Snapshots int // "# SS"
+	Unique    int // "# Uniq": distinct certificates across the history
+	Source    string
+	Detail    string
+	// DerivesFrom is the upstream provider for derivative stores ("" for
+	// the four independent programs).
+	DerivesFrom string
+}
+
+// Providers returns Table 2 verbatim: 619 snapshots across ten providers.
+func Providers() []ProviderInfo {
+	return []ProviderInfo{
+		{Alpine, ym(2019, 3), ym(2021, 4), 42, 7, "docker", "/etc/ssl/cert.pem or /etc/ssl/ca-certificates.crt", NSS},
+		{AmazonLinux, ym(2016, 10), ym(2021, 3), 43, 15, "docker", "ca-trust/extracted/pem/tls-ca-bundle.pem aggregate file", NSS},
+		{Android, ym(2016, 8), ym(2020, 12), 14, 7, "source code", "list of root certificate files", NSS},
+		{Apple, ym(2002, 8), ym(2021, 2), 109, 43, "source code", "certificates/roots directory of files", ""},
+		{Debian, ym(2005, 5), ym(2021, 1), 39, 29, "source code", "/etc/ssl/certs and /usr/share/ca-certificates", NSS},
+		{Java, ym(2018, 3), ym(2021, 2), 7, 7, "source code", "make/data/cacerts JKS file", ""},
+		{Microsoft, ym(2006, 12), ym(2021, 3), 86, 70, "update file", "authroot.stl roots, trust purpose, addl. constraints", ""},
+		{NodeJS, ym(2015, 1), ym(2021, 4), 16, 11, "source code", "src/node_root_certs.h list of certificates", NSS},
+		{NSS, ym(2000, 10), ym(2021, 5), 225, 63, "source code", "certdata.txt roots, trust purpose, additional constraints", ""},
+		{Ubuntu, ym(2003, 10), ym(2021, 1), 38, 29, "source code", "/etc/ssl/certs and /usr/share/ca-certificates", NSS},
+	}
+}
+
+// TotalSnapshots is the dataset headline: 619 snapshots.
+const TotalSnapshots = 619
+
+// IndependentPrograms lists the four root programs the ordination analysis
+// finds (Figure 1), left-to-right as plotted.
+var IndependentPrograms = []string{Microsoft, NSS, Apple, Java}
+
+// Derivatives lists the NSS-derived providers in the dataset.
+var Derivatives = []string{Alpine, AmazonLinux, Android, Debian, NodeJS, Ubuntu}
+
+// HygieneRow is a row of Table 3.
+type HygieneRow struct {
+	Program string
+	// AvgSize and AvgExpired are per-snapshot averages.
+	AvgSize    float64
+	AvgExpired float64
+	// MD5Removal / RSA1024Removal are when the program purged trusted
+	// MD5-signed / 1024-bit-RSA roots.
+	MD5Removal     time.Time
+	RSA1024Removal time.Time
+}
+
+// Hygiene returns Table 3 verbatim.
+func Hygiene() []HygieneRow {
+	return []HygieneRow{
+		{Apple, 152.9, 2.9, ym(2016, 9), ym(2015, 9)},
+		{Java, 89.4, 1.3, ym(2019, 2), ym(2021, 2)},
+		{Microsoft, 246.6, 9.9, ym(2018, 3), ym(2017, 9)},
+		{NSS, 121.8, 1.2, ym(2016, 2), ym(2015, 10)},
+	}
+}
+
+// StoreResponse is one store's reaction to a high-severity incident
+// (Table 4).
+type StoreResponse struct {
+	Store string
+	// Certs is the number of affected certificates in that store.
+	Certs int
+	// TrustedUntil is the date the store stopped trusting them; zero when
+	// StillTrusted.
+	TrustedUntil time.Time
+	// StillTrusted marks stores that never removed the roots ("Still
+	// trusted" / "1 root still trusted" rows).
+	StillTrusted bool
+	// LagDays is the paper's reported lag relative to the NSS removal
+	// (negative = acted before NSS).
+	LagDays int
+	// Note captures table footnotes (e.g. Apple's valid.apple.com
+	// revocation).
+	Note string
+}
+
+// Incident is a high-severity CA distrust event (Table 4, severities from
+// Table 7).
+type Incident struct {
+	Name string
+	// NSSRemoval is the anchoring NSS removal date.
+	NSSRemoval time.Time
+	// NSSCerts is how many roots NSS removed.
+	NSSCerts int
+	// BugzillaID is the NSS tracking bug.
+	BugzillaID int
+	Responses  []StoreResponse
+	// Description summarizes the incident (§5.3 narratives).
+	Description string
+}
+
+// Incidents returns Table 4 verbatim: the six high-severity removals since
+// 2010 and every store's response.
+func Incidents() []Incident {
+	return []Incident{
+		{
+			Name: "DigiNotar", NSSRemoval: ymd(2011, 10, 6), NSSCerts: 1, BugzillaID: 682927,
+			Description: "2011 compromise; forged certificates for high-profile sites; swift cross-industry removal",
+			Responses: []StoreResponse{
+				{Store: Microsoft, Certs: 1, TrustedUntil: ymd(2011, 8, 30), LagDays: -37},
+				{Store: Apple, Certs: 1, TrustedUntil: ymd(2011, 10, 12), LagDays: 6},
+				{Store: Debian, Certs: 1, TrustedUntil: ymd(2011, 10, 22), LagDays: 16},
+				{Store: Ubuntu, Certs: 1, TrustedUntil: ymd(2011, 10, 22), LagDays: 16},
+			},
+		},
+		{
+			Name: "CNNIC", NSSRemoval: ymd(2017, 7, 27), NSSCerts: 2, BugzillaID: 1380868,
+			Description: "2015 MCS intermediate misissuance; Mozilla partial distrust in code, full removal 2017",
+			Responses: []StoreResponse{
+				{Store: Apple, Certs: 2, TrustedUntil: ymd(2015, 6, 30), LagDays: -758, Note: "removed early, whitelisted 1,429 leaves"},
+				{Store: Android, Certs: 1, TrustedUntil: ymd(2017, 12, 5), LagDays: 131},
+				{Store: Debian, Certs: 2, TrustedUntil: ymd(2018, 4, 9), LagDays: 256},
+				{Store: Ubuntu, Certs: 2, TrustedUntil: ymd(2018, 4, 9), LagDays: 256},
+				{Store: NodeJS, Certs: 2, TrustedUntil: ymd(2018, 4, 24), LagDays: 271},
+				{Store: AmazonLinux, Certs: 2, TrustedUntil: ymd(2019, 2, 18), LagDays: 571},
+				{Store: Microsoft, Certs: 2, TrustedUntil: ymd(2020, 2, 26), LagDays: 944},
+			},
+		},
+		{
+			Name: "StartCom", NSSRemoval: ymd(2017, 11, 14), NSSCerts: 3, BugzillaID: 1392849,
+			Description: "WoSign's secret acquisition of StartCom; shared issuance infrastructure",
+			Responses: []StoreResponse{
+				{Store: Debian, Certs: 3, TrustedUntil: ymd(2017, 7, 17), LagDays: -120},
+				{Store: Ubuntu, Certs: 3, TrustedUntil: ymd(2017, 7, 17), LagDays: -120},
+				{Store: Microsoft, Certs: 2, TrustedUntil: ymd(2017, 9, 22), LagDays: -53},
+				{Store: Android, Certs: 3, TrustedUntil: ymd(2017, 12, 5), LagDays: 21},
+				{Store: NodeJS, Certs: 3, TrustedUntil: ymd(2018, 4, 24), LagDays: 161},
+				{Store: AmazonLinux, Certs: 3, TrustedUntil: ymd(2019, 2, 18), LagDays: 461},
+				{Store: Apple, Certs: 3, StillTrusted: true, LagDays: 1175, Note: "1 root still trusted; 2 revoked via valid.apple.com"},
+			},
+		},
+		{
+			Name: "WoSign", NSSRemoval: ymd(2017, 11, 14), NSSCerts: 4, BugzillaID: 1387260,
+			Description: "backdated SHA-1 issuance to evade deadlines (2016)",
+			Responses: []StoreResponse{
+				{Store: Debian, Certs: 4, TrustedUntil: ymd(2017, 7, 17), LagDays: -120},
+				{Store: Ubuntu, Certs: 4, TrustedUntil: ymd(2017, 7, 17), LagDays: -120},
+				{Store: Microsoft, Certs: 4, TrustedUntil: ymd(2017, 9, 22), LagDays: -53},
+				{Store: Android, Certs: 4, TrustedUntil: ymd(2017, 12, 5), LagDays: 21},
+				{Store: NodeJS, Certs: 4, TrustedUntil: ymd(2018, 4, 24), LagDays: 161},
+				{Store: AmazonLinux, Certs: 4, TrustedUntil: ymd(2019, 2, 18), LagDays: 461},
+			},
+		},
+		{
+			Name: "PSPProcert", NSSRemoval: ymd(2017, 11, 14), NSSCerts: 1, BugzillaID: 1408080,
+			Description: "repeated transgressions by Venezuelan sub-CA; never in Apple/Microsoft/Java",
+			Responses: []StoreResponse{
+				{Store: Debian, Certs: 1, TrustedUntil: ymd(2018, 4, 9), LagDays: 146},
+				{Store: Ubuntu, Certs: 1, TrustedUntil: ymd(2018, 4, 9), LagDays: 146},
+				{Store: NodeJS, Certs: 1, TrustedUntil: ymd(2018, 4, 24), LagDays: 161},
+				{Store: AmazonLinux, Certs: 1, TrustedUntil: ymd(2019, 2, 18), LagDays: 461},
+			},
+		},
+		{
+			Name: "Certinomis", NSSRemoval: ymd(2019, 7, 5), NSSCerts: 1, BugzillaID: 1552374,
+			Description: "cross-signed distrusted StartCom; 111-day disclosure delay",
+			Responses: []StoreResponse{
+				{Store: NodeJS, Certs: 1, TrustedUntil: ymd(2019, 10, 22), LagDays: 109},
+				{Store: Alpine, Certs: 1, TrustedUntil: ymd(2020, 3, 23), LagDays: 262},
+				{Store: Debian, Certs: 1, TrustedUntil: ymd(2020, 6, 1), LagDays: 332},
+				{Store: Ubuntu, Certs: 1, TrustedUntil: ymd(2020, 6, 1), LagDays: 332},
+				{Store: Android, Certs: 1, TrustedUntil: ymd(2020, 9, 7), LagDays: 430},
+				{Store: AmazonLinux, Certs: 1, TrustedUntil: ymd(2021, 3, 26), LagDays: 630},
+				{Store: Apple, Certs: 1, TrustedUntil: ymd(2021, 1, 1), LagDays: 577, Note: "revoked via valid.apple.com at unknown date"},
+				{Store: Microsoft, Certs: 1, StillTrusted: true, LagDays: 607, Note: "still trusted at collection end"},
+			},
+		},
+	}
+}
+
+// Severity grades an NSS removal (Appendix C).
+type Severity int
+
+// Removal severities per the paper's triage.
+const (
+	SeverityLow    Severity = iota // expired roots / CA-requested removal
+	SeverityMedium                 // Mozilla-driven, non-urgent
+	SeverityHigh                   // Mozilla-driven, urgent security concern
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case SeverityLow:
+		return "low"
+	case SeverityMedium:
+		return "medium"
+	case SeverityHigh:
+		return "high"
+	default:
+		return "unknown"
+	}
+}
+
+// NSSRemoval is a row of Table 7 (high and medium severity removals since
+// 2010).
+type NSSRemoval struct {
+	BugzillaID int
+	Severity   Severity
+	RemovedOn  time.Time
+	Certs      int
+	Details    string
+}
+
+// NSSRemovals returns Table 7 verbatim.
+func NSSRemovals() []NSSRemoval {
+	return []NSSRemoval{
+		{1552374, SeverityHigh, ymd(2019, 7, 5), 1, "Certinomis removal"},
+		{1392849, SeverityHigh, ymd(2017, 11, 14), 3, "StartCom removal"},
+		{1408080, SeverityHigh, ymd(2017, 11, 14), 1, "PSPProcert removal"},
+		{1387260, SeverityHigh, ymd(2017, 11, 14), 4, "WoSign removal"},
+		{1380868, SeverityHigh, ymd(2017, 7, 27), 2, "CNNIC removal"},
+		{682927, SeverityHigh, ymd(2011, 10, 6), 1, "DigiNotar removal"},
+		{1670769, SeverityMedium, ymd(2020, 12, 11), 10, "Symantec distrust - roots ready to be removed"},
+		{1656077, SeverityMedium, ymd(2020, 9, 18), 1, "Taiwan GRCA misissuance"},
+		{1618402, SeverityMedium, ymd(2020, 6, 26), 3, "Symantec distrust - roots ready to be removed"},
+	}
+}

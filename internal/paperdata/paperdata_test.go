@@ -1,0 +1,252 @@
+package paperdata
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProvidersMatchHeadline(t *testing.T) {
+	provs := Providers()
+	if len(provs) != 10 {
+		t.Errorf("providers = %d, want 10", len(provs))
+	}
+	total := 0
+	for _, p := range provs {
+		total += p.Snapshots
+		if p.From.After(p.To) {
+			t.Errorf("%s: From after To", p.Name)
+		}
+		if p.Snapshots <= 0 || p.Unique <= 0 {
+			t.Errorf("%s: non-positive counts", p.Name)
+		}
+	}
+	if total != TotalSnapshots {
+		t.Errorf("snapshot total = %d, want %d", total, TotalSnapshots)
+	}
+}
+
+func TestProviderLineage(t *testing.T) {
+	derivSet := map[string]bool{}
+	for _, d := range Derivatives {
+		derivSet[d] = true
+	}
+	for _, p := range Providers() {
+		if derivSet[p.Name] && p.DerivesFrom != NSS {
+			t.Errorf("%s should derive from NSS, got %q", p.Name, p.DerivesFrom)
+		}
+		if !derivSet[p.Name] && p.DerivesFrom != "" {
+			t.Errorf("independent program %s has DerivesFrom %q", p.Name, p.DerivesFrom)
+		}
+	}
+	if len(IndependentPrograms) != 4 {
+		t.Errorf("independent programs = %d, want 4", len(IndependentPrograms))
+	}
+}
+
+func TestNSSHasLongestHistory(t *testing.T) {
+	var nss ProviderInfo
+	for _, p := range Providers() {
+		if p.Name == NSS {
+			nss = p
+		}
+	}
+	for _, p := range Providers() {
+		if p.Name == NSS {
+			continue
+		}
+		if p.From.Before(nss.From) {
+			t.Errorf("%s history starts before NSS", p.Name)
+		}
+		if p.Snapshots > nss.Snapshots {
+			t.Errorf("%s has more snapshots than NSS", p.Name)
+		}
+	}
+}
+
+func TestHygieneOrdering(t *testing.T) {
+	rows := Hygiene()
+	if len(rows) != 4 {
+		t.Fatalf("hygiene rows = %d, want 4", len(rows))
+	}
+	byProg := map[string]HygieneRow{}
+	for _, r := range rows {
+		byProg[r.Program] = r
+	}
+	// Headline findings: Microsoft manages the largest store and the most
+	// expired roots; NSS has the fewest expired; Apple and NSS purged
+	// MD5/1024-bit first.
+	if byProg[Microsoft].AvgSize <= byProg[Apple].AvgSize {
+		t.Error("Microsoft store should be largest")
+	}
+	if byProg[Microsoft].AvgExpired <= byProg[Apple].AvgExpired {
+		t.Error("Microsoft should average most expired roots")
+	}
+	if byProg[NSS].AvgExpired > byProg[Java].AvgExpired {
+		t.Error("NSS should have fewest expired roots")
+	}
+	if !byProg[NSS].MD5Removal.Before(byProg[Microsoft].MD5Removal) {
+		t.Error("NSS purged MD5 before Microsoft")
+	}
+	if !byProg[Apple].RSA1024Removal.Before(byProg[Java].RSA1024Removal) {
+		t.Error("Apple purged 1024-bit RSA before Java")
+	}
+}
+
+func TestIncidentsConsistency(t *testing.T) {
+	incidents := Incidents()
+	if len(incidents) != 6 {
+		t.Fatalf("incidents = %d, want 6", len(incidents))
+	}
+	for _, inc := range incidents {
+		if inc.NSSRemoval.IsZero() || inc.NSSCerts <= 0 || inc.BugzillaID == 0 {
+			t.Errorf("%s: incomplete incident record", inc.Name)
+		}
+		for _, r := range inc.Responses {
+			if r.StillTrusted {
+				if !r.TrustedUntil.IsZero() && inc.Name != "Certinomis" {
+					t.Errorf("%s/%s: still-trusted with TrustedUntil set", inc.Name, r.Store)
+				}
+				continue
+			}
+			// Lag must equal TrustedUntil - NSSRemoval in days, except on
+			// footnoted rows where the paper itself prints an approximate
+			// date alongside an exact lag (Certinomis/Apple).
+			wantLag := int(r.TrustedUntil.Sub(inc.NSSRemoval).Hours() / 24)
+			if wantLag != r.LagDays && r.Note == "" {
+				t.Errorf("%s/%s: lag %d does not match dates (%d)", inc.Name, r.Store, r.LagDays, wantLag)
+			}
+		}
+	}
+}
+
+func TestIncidentHeadlines(t *testing.T) {
+	byName := map[string]Incident{}
+	for _, inc := range Incidents() {
+		byName[inc.Name] = inc
+	}
+	// Microsoft acted before NSS on DigiNotar but was last on CNNIC.
+	var msDigiNotar, msCNNIC *StoreResponse
+	for i, r := range byName["DigiNotar"].Responses {
+		if r.Store == Microsoft {
+			msDigiNotar = &byName["DigiNotar"].Responses[i]
+		}
+	}
+	for i, r := range byName["CNNIC"].Responses {
+		if r.Store == Microsoft {
+			msCNNIC = &byName["CNNIC"].Responses[i]
+		}
+	}
+	if msDigiNotar == nil || msDigiNotar.LagDays >= 0 {
+		t.Error("Microsoft should lead on DigiNotar (negative lag)")
+	}
+	if msCNNIC == nil || msCNNIC.LagDays < 900 {
+		t.Error("Microsoft should trail by ~944 days on CNNIC")
+	}
+	// Apple still trusts a StartCom root.
+	foundApple := false
+	for _, r := range byName["StartCom"].Responses {
+		if r.Store == Apple && r.StillTrusted {
+			foundApple = true
+		}
+	}
+	if !foundApple {
+		t.Error("Apple should still trust a StartCom root")
+	}
+}
+
+func TestNSSRemovalsTable(t *testing.T) {
+	rows := NSSRemovals()
+	high, medium := 0, 0
+	for _, r := range rows {
+		switch r.Severity {
+		case SeverityHigh:
+			high++
+		case SeverityMedium:
+			medium++
+		}
+		if r.RemovedOn.Before(time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)) {
+			t.Errorf("bug %d: removal before 2010", r.BugzillaID)
+		}
+	}
+	if high != 6 {
+		t.Errorf("high severity removals = %d, want 6", high)
+	}
+	if medium != 3 {
+		t.Errorf("medium severity removals = %d, want 3", medium)
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if SeverityHigh.String() != "high" || SeverityLow.String() != "low" || SeverityMedium.String() != "medium" {
+		t.Error("severity names wrong")
+	}
+	if Severity(9).String() != "unknown" {
+		t.Error("out-of-range severity should be unknown")
+	}
+}
+
+func TestExclusiveCounts(t *testing.T) {
+	counts := ExclusiveCounts()
+	want := map[string]int{NSS: 1, Java: 0, Apple: 13, Microsoft: 30}
+	for prog, n := range want {
+		if counts[prog] != n {
+			t.Errorf("exclusive roots for %s = %d, want %d", prog, counts[prog], n)
+		}
+	}
+}
+
+func TestExclusiveRootsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range ExclusiveRoots() {
+		if r.ShortHash == "" || r.CA == "" || r.Category == "" {
+			t.Errorf("incomplete exclusive root %+v", r)
+		}
+		key := r.Program + "/" + r.ShortHash
+		if seen[key] {
+			t.Errorf("duplicate exclusive root %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestSurveyCounts(t *testing.T) {
+	counts := SurveyCounts()
+	// Only three libraries ship their own store: NSS, JSSE, NodeJS.
+	lib := counts[KindLibrary]
+	if lib.WithStore != 3 {
+		t.Errorf("libraries with store = %d, want 3", lib.WithStore)
+	}
+	if lib.Total < 19 {
+		t.Errorf("library survey rows = %d, want >= 19", lib.Total)
+	}
+	os := counts[KindOS]
+	if os.WithStore != os.Total {
+		t.Error("every surveyed OS provides a store")
+	}
+}
+
+func TestStalenessTargetsOrdering(t *testing.T) {
+	targets := StalenessTargets()
+	byName := map[string]float64{}
+	for _, s := range targets {
+		byName[s.Derivative] = s.AvgVersionsStale
+	}
+	if !(byName[Alpine] < byName[Debian] && byName[Debian] < byName[NodeJS] &&
+		byName[NodeJS] < byName[Android] && byName[Android] < byName[AmazonLinux]) {
+		t.Errorf("staleness ordering wrong: %v", byName)
+	}
+}
+
+func TestFamilyShares(t *testing.T) {
+	shares := FamilyShares()
+	byFam := map[string]float64{}
+	for _, s := range shares {
+		byFam[s.Family] = s.Percent
+	}
+	if !(byFam["Mozilla"] > byFam["Apple"] && byFam["Apple"] > byFam["Microsoft"]) {
+		t.Errorf("family share ordering wrong: %v", byFam)
+	}
+	if byFam["Java"] != 0 {
+		t.Error("Java should have no top-200 share")
+	}
+}

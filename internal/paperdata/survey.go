@@ -1,0 +1,124 @@
+package paperdata
+
+// SoftwareKind buckets the Table 5 survey.
+type SoftwareKind string
+
+// Survey categories.
+const (
+	KindOS      SoftwareKind = "operating-system"
+	KindLibrary SoftwareKind = "tls-library"
+	KindClient  SoftwareKind = "tls-client"
+)
+
+// SurveyRow is a row of Table 5 / Appendix A: whether a piece of TLS
+// software ships its own root store.
+type SurveyRow struct {
+	Name     string
+	Kind     SoftwareKind
+	HasStore bool
+	Details  string
+}
+
+// Survey returns Table 5 verbatim: nine OSes, nineteen (plus NodeJS,
+// counted with libraries) TLS libraries, and fourteen clients.
+func Survey() []SurveyRow {
+	return []SurveyRow{
+		// Operating systems.
+		{"Alpine Linux", KindOS, true, "popular Docker image base"},
+		{"Amazon Linux", KindOS, true, "AWS base image"},
+		{"Android", KindOS, true, "most common mobile OS"},
+		{"ChromeOS", KindOS, true, "excluded: no build-target history"},
+		{"Debian", KindOS, true, "base of OpenWRT/Ubuntu"},
+		{"iOS / macOS", KindOS, true, "common root store across product lines"},
+		{"Microsoft Windows", KindOS, true, "PC and server OS"},
+		{"Ubuntu", KindOS, true, "Debian-based desktop Linux"},
+
+		// TLS libraries.
+		{"AlamoFire", KindLibrary, false, "Swift HTTP library"},
+		{"Botan", KindLibrary, false, "defaults to root store"},
+		{"BoringSSL", KindLibrary, false, "Google OpenSSL fork used in Chrome/Android"},
+		{"Bouncy Castle", KindLibrary, false, "no default, requires configured keystore"},
+		{"cryptlib", KindLibrary, false, "unknown default"},
+		{"GnuTLS", KindLibrary, false, "configured via --with-default-trust-store"},
+		{"Java Secure Socket Ext. (JSSE)", KindLibrary, true, "cacerts JKS file"},
+		{"LibreSSL libtls/libssl", KindLibrary, false, "configured TLS_DEFAULT_CA_FILE"},
+		{"MatrixSSL", KindLibrary, false, "no default, requires configuration"},
+		{"Mbed TLS", KindLibrary, false, "no default ca_path/ca_file"},
+		{"Network Security Services (NSS)", KindLibrary, true, "certdata.txt, additional trust in code"},
+		{"OkHttp", KindLibrary, false, "uses platform TLS"},
+		{"OpenSSL", KindLibrary, false, "defaults to $OPENSSLDIR, often symlinked to system certs"},
+		{"RSA BSAFE", KindLibrary, false, "unknown default"},
+		{"s2n", KindLibrary, false, "defaults to system stores"},
+		{"SChannel", KindLibrary, false, "defaults to Microsoft system store"},
+		{"wolfSSL", KindLibrary, false, "no default, requires configuration"},
+		{"Erlang/OTP SSL", KindLibrary, false, "unknown default"},
+		{"BearSSL", KindLibrary, false, "no default, requires configuration"},
+		{"NodeJS", KindLibrary, true, "static src/node_root_certs.h"},
+
+		// TLS clients.
+		{"Safari", KindClient, false, "uses macOS root store"},
+		{"Mobile Safari", KindClient, false, "uses iOS root store"},
+		{"Chrome", KindClient, true, "historically system roots + bespoke distrust; own store rolling out from Dec 2020"},
+		{"Chrome Mobile", KindClient, false, "uses Android root store"},
+		{"Chrome Mobile iOS", KindClient, false, "Apple prohibits custom stores on iOS"},
+		{"Edge", KindClient, false, "Windows system certificates (not via SChannel)"},
+		{"Internet Explorer", KindClient, false, "Windows system certificates via SChannel"},
+		{"Firefox", KindClient, true, "uses NSS root store"},
+		{"Opera", KindClient, false, "own program until 2013; now Chromium system roots"},
+		{"Electron", KindClient, true, "Chromium + NodeJS; either store depending on networking library"},
+		{"360Browser", KindClient, true, "excluded: no open-source history"},
+		{"curl", KindClient, false, "libcurl compiled against system or custom store"},
+		{"wget", KindClient, false, "wgetrc configuration; GnuTLS (previously OpenSSL)"},
+	}
+}
+
+// SurveyCounts summarizes Table 5: how many of each kind ship a store.
+func SurveyCounts() map[SoftwareKind]struct{ Total, WithStore int } {
+	out := make(map[SoftwareKind]struct{ Total, WithStore int })
+	for _, r := range Survey() {
+		c := out[r.Kind]
+		c.Total++
+		if r.HasStore {
+			c.WithStore++
+		}
+		out[r.Kind] = c
+	}
+	return out
+}
+
+// StalenessTarget is a Figure 3 headline: a derivative's average staleness
+// in substantial NSS versions.
+type StalenessTarget struct {
+	Derivative       string
+	AvgVersionsStale float64
+}
+
+// StalenessTargets returns Figure 3's per-derivative averages.
+func StalenessTargets() []StalenessTarget {
+	return []StalenessTarget{
+		{Alpine, 0.73},
+		{Debian, 1.96}, // paper reports Debian/Ubuntu jointly
+		{Ubuntu, 1.96},
+		{NodeJS, 2.1},
+		{Android, 3.22},
+		{AmazonLinux, 4.83},
+	}
+}
+
+// FamilyShare is a Figure 2 headline: the fraction of top-200 user agents
+// resting on each root program.
+type FamilyShare struct {
+	Family  string
+	Percent float64
+}
+
+// FamilyShares returns §4's rollup: NSS 34%, Apple 23%, Windows 20%; Java
+// absent from the top UAs.
+func FamilyShares() []FamilyShare {
+	return []FamilyShare{
+		{"Mozilla", 34},
+		{"Apple", 23},
+		{"Microsoft", 20},
+		{"Java", 0},
+	}
+}

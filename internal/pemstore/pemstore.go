@@ -1,0 +1,179 @@
+// Package pemstore reads and writes Linux-style root stores: flat PEM
+// bundles (/etc/ssl/cert.pem, tls-ca-bundle.pem) and directories of
+// individual certificate files (/usr/share/ca-certificates).
+//
+// This format is the crux of the paper's §6: it can only express on-or-off
+// trust. Parsing therefore marks every certificate Trusted for the purposes
+// the caller says the bundle covers, and writing drops trust levels,
+// partial-distrust dates, and non-covered purposes — the exact fidelity
+// loss that produced the Symantec re-trust incidents.
+package pemstore
+
+import (
+	"bytes"
+	"encoding/pem"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// CertificateBlock is the PEM type for certificates.
+const CertificateBlock = "CERTIFICATE"
+
+// ParseBundle reads a concatenated PEM bundle. Every certificate becomes an
+// entry trusted for the listed purposes (callers pass just ServerAuth for a
+// purpose-split tls-ca-bundle.pem, or the multi-purpose set for a classic
+// combined bundle).
+func ParseBundle(r io.Reader, purposes ...store.Purpose) ([]*store.TrustEntry, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("pemstore: read bundle: %w", err)
+	}
+	var entries []*store.TrustEntry
+	for len(data) > 0 {
+		var block *pem.Block
+		block, data = pem.Decode(data)
+		if block == nil {
+			rest := bytes.TrimSpace(data)
+			if len(rest) != 0 {
+				return nil, fmt.Errorf("pemstore: trailing garbage after PEM blocks (%d bytes)", len(rest))
+			}
+			break
+		}
+		if block.Type != CertificateBlock {
+			continue // bundles occasionally carry unrelated blocks; skip
+		}
+		e, err := store.NewTrustedEntry(block.Bytes, purposes...)
+		if err != nil {
+			return nil, fmt.Errorf("pemstore: certificate %d: %w", len(entries), err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// WriteBundle writes entries trusted for filter (if filter is non-empty,
+// only entries trusted for at least one filter purpose are written) as a
+// concatenated PEM bundle. Trust metadata is irrecoverably dropped; that is
+// the format's defining limitation.
+func WriteBundle(w io.Writer, entries []*store.TrustEntry, filter ...store.Purpose) error {
+	for _, e := range entries {
+		if !matchesFilter(e, filter) {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# %s\n", e.Label); err != nil {
+			return err
+		}
+		if err := pem.Encode(w, &pem.Block{Type: CertificateBlock, Bytes: e.DER}); err != nil {
+			return fmt.Errorf("pemstore: encode %q: %w", e.Label, err)
+		}
+	}
+	return nil
+}
+
+func matchesFilter(e *store.TrustEntry, filter []store.Purpose) bool {
+	if len(filter) == 0 {
+		return true
+	}
+	for _, p := range filter {
+		if e.TrustedFor(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// BundleBytes is WriteBundle into a byte slice.
+func BundleBytes(entries []*store.TrustEntry, filter ...store.Purpose) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, entries, filter...); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ReadDir reads a directory of individual .crt/.pem certificate files, the
+// /usr/share/ca-certificates layout. File names become entry labels.
+func ReadDir(dir string, purposes ...store.Purpose) ([]*store.TrustEntry, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("pemstore: %w", err)
+	}
+	var names []string
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		switch strings.ToLower(filepath.Ext(de.Name())) {
+		case ".crt", ".pem", ".cer":
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	var entries []*store.TrustEntry
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("pemstore: %w", err)
+		}
+		es, err := ParseBundle(f, purposes...)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("pemstore: %s: %w", name, err)
+		}
+		for _, e := range es {
+			e.Label = strings.TrimSuffix(name, filepath.Ext(name))
+			entries = append(entries, e)
+		}
+	}
+	return entries, nil
+}
+
+// WriteDir writes each entry as an individual PEM file named after its
+// label (sanitized) in dir, creating dir if needed.
+func WriteDir(dir string, entries []*store.TrustEntry, filter ...store.Purpose) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("pemstore: %w", err)
+	}
+	seen := make(map[string]int)
+	for _, e := range entries {
+		if !matchesFilter(e, filter) {
+			continue
+		}
+		name := sanitizeName(e.Label)
+		if n := seen[name]; n > 0 {
+			name = fmt.Sprintf("%s_%d", name, n)
+		}
+		seen[sanitizeName(e.Label)]++
+		path := filepath.Join(dir, name+".crt")
+		var buf bytes.Buffer
+		if err := pem.Encode(&buf, &pem.Block{Type: CertificateBlock, Bytes: e.DER}); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("pemstore: %w", err)
+		}
+	}
+	return nil
+}
+
+func sanitizeName(label string) string {
+	var b strings.Builder
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "certificate"
+	}
+	return b.String()
+}

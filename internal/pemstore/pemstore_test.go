@@ -1,0 +1,220 @@
+package pemstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+func TestBundleRoundTrip(t *testing.T) {
+	in := testcerts.Entries(4, store.ServerAuth)
+	data, err := BundleBytes(in)
+	if err != nil {
+		t.Fatalf("BundleBytes: %v", err)
+	}
+	out, err := ParseBundle(bytes.NewReader(data), store.ServerAuth)
+	if err != nil {
+		t.Fatalf("ParseBundle: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("entries = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Fingerprint != in[i].Fingerprint {
+			t.Errorf("entry %d fingerprint mismatch", i)
+		}
+		if !out[i].TrustedFor(store.ServerAuth) {
+			t.Errorf("entry %d lost trust", i)
+		}
+	}
+}
+
+func TestBundleDropsTrustMetadata(t *testing.T) {
+	// The format's defining limitation: partial distrust cannot survive a
+	// PEM round trip (the Symantec problem from §6.2).
+	in := testcerts.Entries(1, store.ServerAuth)
+	in[0].SetDistrustAfter(store.ServerAuth, mustDate(t, "2020-09-01"))
+	data, err := BundleBytes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseBundle(bytes.NewReader(data), store.ServerAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out[0].DistrustAfterFor(store.ServerAuth); ok {
+		t.Error("distrust-after impossibly survived a PEM round trip")
+	}
+}
+
+func TestWriteBundleFilter(t *testing.T) {
+	entries := testcerts.Entries(2, store.ServerAuth)
+	emailOnly := testcerts.Entries(3, store.EmailProtection)[2]
+	entries = append(entries, emailOnly)
+
+	data, err := BundleBytes(entries, store.ServerAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseBundle(bytes.NewReader(data), store.ServerAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Errorf("filtered bundle has %d entries, want 2", len(out))
+	}
+	// No filter writes everything.
+	all, err := BundleBytes(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outAll, err := ParseBundle(bytes.NewReader(all), store.ServerAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outAll) != 3 {
+		t.Errorf("unfiltered bundle has %d entries, want 3", len(outAll))
+	}
+}
+
+func TestParseBundleSkipsForeignBlocks(t *testing.T) {
+	in := testcerts.Entries(1, store.ServerAuth)
+	data, err := BundleBytes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := "-----BEGIN PUBLIC KEY-----\nAAAA\n-----END PUBLIC KEY-----\n" + string(data)
+	out, err := ParseBundle(strings.NewReader(doc), store.ServerAuth)
+	if err != nil {
+		t.Fatalf("ParseBundle: %v", err)
+	}
+	if len(out) != 1 {
+		t.Errorf("entries = %d, want 1", len(out))
+	}
+}
+
+func TestParseBundleTrailingGarbage(t *testing.T) {
+	in := testcerts.Entries(1, store.ServerAuth)
+	data, err := BundleBytes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data) + "\nthis is not pem\n"
+	if _, err := ParseBundle(strings.NewReader(doc), store.ServerAuth); err == nil {
+		t.Error("trailing garbage should be rejected")
+	}
+}
+
+func TestParseBundleCorruptCertificate(t *testing.T) {
+	doc := "-----BEGIN CERTIFICATE-----\nAAAA\n-----END CERTIFICATE-----\n"
+	if _, err := ParseBundle(strings.NewReader(doc), store.ServerAuth); err == nil {
+		t.Error("corrupt certificate should be rejected")
+	}
+}
+
+func TestParseBundleEmpty(t *testing.T) {
+	out, err := ParseBundle(strings.NewReader(""), store.ServerAuth)
+	if err != nil {
+		t.Fatalf("empty bundle: %v", err)
+	}
+	if len(out) != 0 {
+		t.Errorf("entries = %d", len(out))
+	}
+}
+
+func TestDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := testcerts.Entries(3, store.ServerAuth)
+	if err := WriteDir(dir, in); err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	out, err := ReadDir(dir, store.ServerAuth)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("entries = %d, want 3", len(out))
+	}
+	inFPs := map[string]bool{}
+	for _, e := range in {
+		inFPs[e.Fingerprint.String()] = true
+	}
+	for _, e := range out {
+		if !inFPs[e.Fingerprint.String()] {
+			t.Errorf("unexpected entry %s", e.Fingerprint.Short())
+		}
+	}
+}
+
+func TestWriteDirDuplicateLabels(t *testing.T) {
+	dir := t.TempDir()
+	in := testcerts.Entries(2, store.ServerAuth)
+	in[0].Label = "Same Name"
+	in[1].Label = "Same Name"
+	if err := WriteDir(dir, in); err != nil {
+		t.Fatal(err)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != 2 {
+		t.Errorf("files = %d, want 2 (duplicate labels must not clobber)", len(des))
+	}
+}
+
+func TestReadDirIgnoresOtherFiles(t *testing.T) {
+	dir := t.TempDir()
+	in := testcerts.Entries(1, store.ServerAuth)
+	if err := WriteDir(dir, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "subdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadDir(dir, store.ServerAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Errorf("entries = %d, want 1", len(out))
+	}
+}
+
+func TestReadDirMissing(t *testing.T) {
+	if _, err := ReadDir("/nonexistent/certainly/missing", store.ServerAuth); err == nil {
+		t.Error("missing directory should error")
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"GlobalSign Root CA":  "GlobalSign_Root_CA",
+		"weird/path\\name":    "weird_path_name",
+		"":                    "certificate",
+		"dots.and-dashes_ok1": "dots.and-dashes_ok1",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func mustDate(t *testing.T, s string) time.Time {
+	t.Helper()
+	d, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,77 @@
+package pemstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/store"
+)
+
+// Purpose-split bundle file names, following the RHEL/AmazonLinux
+// extracted-bundle convention the paper's §7 recommends as the short-term
+// fix for multi-purpose root stores.
+var purposeBundleNames = map[store.Purpose]string{
+	store.ServerAuth:      "tls-ca-bundle.pem",
+	store.EmailProtection: "email-ca-bundle.pem",
+	store.CodeSigning:     "objsign-ca-bundle.pem",
+}
+
+// WritePurposeBundles writes one single-purpose PEM bundle per purpose into
+// dir (tls-ca-bundle.pem, email-ca-bundle.pem, objsign-ca-bundle.pem),
+// each containing only the entries trusted for that purpose.
+func WritePurposeBundles(dir string, entries []*store.TrustEntry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("pemstore: %w", err)
+	}
+	for p, name := range purposeBundleNames {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("pemstore: %w", err)
+		}
+		err = WriteBundle(f, entries, p)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("pemstore: write %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// ReadPurposeBundles reads a purpose-split directory back into entries with
+// per-purpose trust reconstructed — unlike a combined bundle, the split
+// layout preserves which purpose each root was trusted for.
+func ReadPurposeBundles(dir string) ([]*store.TrustEntry, error) {
+	merged := map[string]*store.TrustEntry{}
+	var order []string
+	for p, name := range purposeBundleNames {
+		f, err := os.Open(filepath.Join(dir, name))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pemstore: %w", err)
+		}
+		es, perr := ParseBundle(f, p)
+		f.Close()
+		if perr != nil {
+			return nil, fmt.Errorf("pemstore: %s: %w", name, perr)
+		}
+		for _, e := range es {
+			key := e.Fingerprint.String()
+			if prev, ok := merged[key]; ok {
+				prev.SetTrust(p, store.Trusted)
+				continue
+			}
+			merged[key] = e
+			order = append(order, key)
+		}
+	}
+	out := make([]*store.TrustEntry, 0, len(order))
+	for _, key := range order {
+		out = append(out, merged[key])
+	}
+	return out, nil
+}

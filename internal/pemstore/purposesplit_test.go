@@ -1,0 +1,104 @@
+package pemstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+func TestPurposeBundlesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	roots := testcerts.Roots(4)
+	tlsOnly, _ := store.NewTrustedEntry(roots[0].DER, store.ServerAuth)
+	emailOnly, _ := store.NewTrustedEntry(roots[1].DER, store.EmailProtection)
+	both, _ := store.NewTrustedEntry(roots[2].DER, store.ServerAuth, store.EmailProtection)
+	code, _ := store.NewTrustedEntry(roots[3].DER, store.CodeSigning)
+	in := []*store.TrustEntry{tlsOnly, emailOnly, both, code}
+
+	if err := WritePurposeBundles(dir, in); err != nil {
+		t.Fatalf("WritePurposeBundles: %v", err)
+	}
+	for _, name := range []string{"tls-ca-bundle.pem", "email-ca-bundle.pem", "objsign-ca-bundle.pem"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("bundle %s missing: %v", name, err)
+		}
+	}
+
+	out, err := ReadPurposeBundles(dir)
+	if err != nil {
+		t.Fatalf("ReadPurposeBundles: %v", err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("entries = %d, want 4", len(out))
+	}
+	byFP := map[string]*store.TrustEntry{}
+	for _, e := range out {
+		byFP[e.Fingerprint.String()] = e
+	}
+	check := func(src *store.TrustEntry, wantTLS, wantEmail, wantCode bool) {
+		t.Helper()
+		e := byFP[src.Fingerprint.String()]
+		if e == nil {
+			t.Fatalf("entry %s missing", src.Fingerprint.Short())
+		}
+		if e.TrustedFor(store.ServerAuth) != wantTLS {
+			t.Errorf("%s TLS trust = %v", src.Fingerprint.Short(), e.TrustedFor(store.ServerAuth))
+		}
+		if e.TrustedFor(store.EmailProtection) != wantEmail {
+			t.Errorf("%s email trust = %v", src.Fingerprint.Short(), e.TrustedFor(store.EmailProtection))
+		}
+		if e.TrustedFor(store.CodeSigning) != wantCode {
+			t.Errorf("%s code trust = %v", src.Fingerprint.Short(), e.TrustedFor(store.CodeSigning))
+		}
+	}
+	// The split layout preserves purposes a combined bundle would conflate.
+	check(tlsOnly, true, false, false)
+	check(emailOnly, false, true, false)
+	check(both, true, true, false)
+	check(code, false, false, true)
+}
+
+func TestReadPurposeBundlesPartialLayout(t *testing.T) {
+	dir := t.TempDir()
+	in := testcerts.Entries(2, store.ServerAuth)
+	// Only the TLS bundle exists.
+	f, err := os.Create(filepath.Join(dir, "tls-ca-bundle.pem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBundle(f, in, store.ServerAuth); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out, err := ReadPurposeBundles(dir)
+	if err != nil {
+		t.Fatalf("partial layout should read: %v", err)
+	}
+	if len(out) != 2 {
+		t.Errorf("entries = %d", len(out))
+	}
+}
+
+func TestReadPurposeBundlesEmptyDir(t *testing.T) {
+	out, err := ReadPurposeBundles(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("entries = %d", len(out))
+	}
+}
+
+func TestReadPurposeBundlesCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "tls-ca-bundle.pem"),
+		[]byte("-----BEGIN CERTIFICATE-----\nAAAA\n-----END CERTIFICATE-----\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPurposeBundles(dir); err == nil {
+		t.Error("corrupt bundle should error")
+	}
+}

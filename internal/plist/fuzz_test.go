@@ -1,0 +1,26 @@
+package plist
+
+import "testing"
+
+// FuzzUnmarshal hardens the XML plist decoder.
+func FuzzUnmarshal(f *testing.F) {
+	seed, err := Marshal(Dict{"k": "v", "n": int64(3), "a": Array{true, []byte{1}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte("<plist><dict/></plist>"))
+	f.Add([]byte("<plist><integer>1e9</integer></plist>"))
+	f.Add([]byte("not xml at all"))
+	f.Add([]byte("<plist><array><string>&amp;</string></array></plist>"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if _, err := Marshal(v); err != nil {
+			t.Fatalf("re-marshal of parsed plist failed: %v", err)
+		}
+	})
+}

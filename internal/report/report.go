@@ -1,0 +1,145 @@
+// Package report renders analysis results as aligned text tables and
+// simple ASCII series plots — the presentation layer shared by the CLI
+// tools, examples and benchmark harness when regenerating the paper's
+// tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	var rule []string
+	for _, wd := range widths {
+		rule = append(rule, strings.Repeat("-", wd))
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// Series is a named sequence of (label, value) points rendered as an ASCII
+// bar chart — enough to eyeball the shape of a paper figure in a terminal.
+type Series struct {
+	Title  string
+	labels []string
+	values []float64
+}
+
+// NewSeries creates a series.
+func NewSeries(title string) *Series { return &Series{Title: title} }
+
+// Add appends a point.
+func (s *Series) Add(label string, value float64) {
+	s.labels = append(s.labels, label)
+	s.values = append(s.values, value)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.values) }
+
+// Render writes the bar chart, scaling bars to maxWidth characters.
+func (s *Series) Render(w io.Writer, maxWidth int) error {
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	var max float64
+	labelW := 0
+	for i, v := range s.values {
+		if v > max {
+			max = v
+		}
+		if len(s.labels[i]) > labelW {
+			labelW = len(s.labels[i])
+		}
+	}
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n", s.Title)
+	}
+	for i, v := range s.values {
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(maxWidth))
+		}
+		fmt.Fprintf(&b, "%-*s  %8.2f  %s\n", labelW, s.labels[i], v, strings.Repeat("#", n))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders to a string with default width.
+func (s *Series) String() string {
+	var b strings.Builder
+	_ = s.Render(&b, 50)
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("My Title", "Name", "Count")
+	tbl.AddRow("alpha", 1)
+	tbl.AddRow("much-longer-name", 12345)
+	tbl.AddRow("floats", 3.14159)
+	out := tbl.String()
+
+	if !strings.Contains(out, "My Title") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "Name") || !strings.Contains(out, "Count") {
+		t.Error("headers missing")
+	}
+	if !strings.Contains(out, "much-longer-name") {
+		t.Error("row missing")
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Error("float should format with two decimals")
+	}
+	if strings.Contains(out, "3.14159") {
+		t.Error("float should be truncated to two decimals")
+	}
+	// The rule line must be as wide as the widest cell.
+	lines := strings.Split(out, "\n")
+	var rule string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "-") {
+			rule = l
+			break
+		}
+	}
+	if !strings.Contains(rule, strings.Repeat("-", len("much-longer-name"))) {
+		t.Errorf("rule too narrow: %q", rule)
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("", "A", "B")
+	tbl.AddRow("x", "y")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3 (header, rule, row)", len(lines))
+	}
+	// Column B starts at the same offset in every line.
+	idx := strings.Index(lines[0], "B")
+	for _, l := range lines[1:] {
+		if len(l) <= idx {
+			t.Fatalf("line %q shorter than header", l)
+		}
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tbl := NewTable("Empty", "Col")
+	out := tbl.String()
+	if !strings.Contains(out, "Col") {
+		t.Error("headers should render for empty tables")
+	}
+	if tbl.Len() != 0 {
+		t.Error("Len should be 0")
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := NewSeries("Stale")
+	s.Add("Alpine", 0.73)
+	s.Add("AmazonLinux", 4.83)
+	out := s.String()
+	if !strings.Contains(out, "Stale") || !strings.Contains(out, "Alpine") {
+		t.Error("series labels missing")
+	}
+	// The largest value gets the longest bar.
+	var alpineBar, amazonBar int
+	for _, l := range strings.Split(out, "\n") {
+		bar := strings.Count(l, "#")
+		if strings.Contains(l, "Alpine ") || strings.HasPrefix(l, "Alpine") {
+			alpineBar = bar
+		}
+		if strings.Contains(l, "AmazonLinux") {
+			amazonBar = bar
+		}
+	}
+	if amazonBar <= alpineBar {
+		t.Errorf("bar scaling wrong: alpine=%d amazon=%d", alpineBar, amazonBar)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSeriesZeroValues(t *testing.T) {
+	s := NewSeries("Zeros")
+	s.Add("a", 0)
+	s.Add("b", 0)
+	out := s.String()
+	if strings.Contains(out, "#") {
+		t.Error("zero values should have no bars")
+	}
+}
+
+func TestSeriesDefaultWidth(t *testing.T) {
+	s := NewSeries("W")
+	s.Add("x", 1)
+	var b strings.Builder
+	if err := s.Render(&b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), "#") != 50 {
+		t.Errorf("default width should be 50, got %d", strings.Count(b.String(), "#"))
+	}
+}

@@ -1,0 +1,112 @@
+// Package setdist computes set distances between root-store snapshots —
+// the Jaccard distance the paper uses both for ordination (Figure 1) and
+// for matching derivative snapshots to their closest NSS version
+// (Figure 3).
+package setdist
+
+import (
+	"repro/internal/certutil"
+	"repro/internal/linalg"
+	"repro/internal/store"
+)
+
+// Jaccard returns the Jaccard distance 1 - |A∩B| / |A∪B| between two
+// fingerprint sets. Two empty sets are at distance 0.
+func Jaccard(a, b map[certutil.Fingerprint]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for fp := range a {
+		if b[fp] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return 1 - float64(inter)/float64(union)
+}
+
+// Overlap returns the overlap coefficient |A∩B| / min(|A|,|B|); 1 when one
+// set contains the other, 0 for disjoint sets. Both empty → 1.
+func Overlap(a, b map[certutil.Fingerprint]bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		if len(a) == 0 && len(b) == 0 {
+			return 1
+		}
+		return 0
+	}
+	inter := 0
+	for fp := range a {
+		if b[fp] {
+			inter++
+		}
+	}
+	min := len(a)
+	if len(b) < min {
+		min = len(b)
+	}
+	return float64(inter) / float64(min)
+}
+
+// SnapshotJaccard is Jaccard over the purpose-trusted sets of two snapshots.
+func SnapshotJaccard(a, b *store.Snapshot, p store.Purpose) float64 {
+	return Jaccard(a.TrustedSet(p), b.TrustedSet(p))
+}
+
+// Metric is a set distance over fingerprint sets; it must be symmetric,
+// non-negative, and zero on identical sets.
+type Metric func(a, b map[certutil.Fingerprint]bool) float64
+
+// OverlapDistance is 1 - Overlap: zero when one set contains the other.
+// Used by the distance-metric ablation; it under-separates stores of very
+// different sizes (a superset store looks identical to its subset).
+func OverlapDistance(a, b map[certutil.Fingerprint]bool) float64 {
+	return 1 - Overlap(a, b)
+}
+
+// DistanceMatrix computes the pairwise Jaccard distance matrix over the
+// purpose-trusted sets of the snapshots, the input to MDS.
+func DistanceMatrix(snapshots []*store.Snapshot, p store.Purpose) *linalg.Matrix {
+	return DistanceMatrixWith(snapshots, p, Jaccard)
+}
+
+// DistanceMatrixWith is DistanceMatrix under an arbitrary metric.
+func DistanceMatrixWith(snapshots []*store.Snapshot, p store.Purpose, metric Metric) *linalg.Matrix {
+	if metric == nil {
+		metric = Jaccard
+	}
+	n := len(snapshots)
+	sets := make([]map[certutil.Fingerprint]bool, n)
+	for i, s := range snapshots {
+		sets[i] = s.TrustedSet(p)
+	}
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := metric(sets[i], sets[j])
+			m.Set(i, j, d)
+			m.Set(j, i, d)
+		}
+	}
+	return m
+}
+
+// ClosestSnapshot returns the index in candidates whose purpose-trusted set
+// is nearest (minimum Jaccard distance) to target, along with the distance.
+// Ties break toward the earliest candidate. It returns -1 for an empty
+// candidate list. This is the paper's derivative→NSS version matching
+// (§6.1).
+func ClosestSnapshot(target *store.Snapshot, candidates []*store.Snapshot, p store.Purpose) (int, float64) {
+	if len(candidates) == 0 {
+		return -1, 0
+	}
+	tset := target.TrustedSet(p)
+	bestIdx, bestDist := -1, 2.0
+	for i, c := range candidates {
+		d := Jaccard(tset, c.TrustedSet(p))
+		if d < bestDist {
+			bestIdx, bestDist = i, d
+		}
+	}
+	return bestIdx, bestDist
+}

@@ -1,0 +1,170 @@
+package setdist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/certutil"
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+func fpset(ids ...byte) map[certutil.Fingerprint]bool {
+	out := make(map[certutil.Fingerprint]bool)
+	for _, id := range ids {
+		out[certutil.SHA256Fingerprint([]byte{id})] = true
+	}
+	return out
+}
+
+func TestJaccardKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b map[certutil.Fingerprint]bool
+		want float64
+	}{
+		{fpset(1, 2, 3), fpset(1, 2, 3), 0},
+		{fpset(1, 2), fpset(3, 4), 1},
+		{fpset(1, 2, 3), fpset(2, 3, 4), 0.5},
+		{fpset(), fpset(), 0},
+		{fpset(1), fpset(), 1},
+		{fpset(1, 2, 3, 4), fpset(1), 0.75},
+	}
+	for i, c := range cases {
+		if got := Jaccard(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: Jaccard = %f, want %f", i, got, c.want)
+		}
+	}
+}
+
+func TestJaccardProperties(t *testing.T) {
+	gen := func(seed int64) map[certutil.Fingerprint]bool {
+		out := make(map[certutil.Fingerprint]bool)
+		x := uint64(seed)
+		n := int(x%8) + 1
+		for i := 0; i < n; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			out[certutil.SHA256Fingerprint([]byte{byte(x % 16)})] = true
+		}
+		return out
+	}
+	prop := func(s1, s2 int64) bool {
+		a, b := gen(s1), gen(s2)
+		dab, dba := Jaccard(a, b), Jaccard(b, a)
+		if dab != dba { // symmetric
+			return false
+		}
+		if dab < 0 || dab > 1 { // bounded
+			return false
+		}
+		return Jaccard(a, a) == 0 // identity
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	cases := []struct {
+		a, b map[certutil.Fingerprint]bool
+		want float64
+	}{
+		{fpset(1, 2, 3), fpset(1, 2), 1}, // containment
+		{fpset(1, 2), fpset(3, 4), 0},
+		{fpset(1, 2), fpset(2, 3), 0.5},
+		{fpset(), fpset(), 1},
+		{fpset(1), fpset(), 0},
+	}
+	for i, c := range cases {
+		if got := Overlap(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: Overlap = %f, want %f", i, got, c.want)
+		}
+	}
+}
+
+func snap(t *testing.T, provider string, day int, rootIdx ...int) *store.Snapshot {
+	t.Helper()
+	maxIdx := 0
+	for _, i := range rootIdx {
+		if i > maxIdx {
+			maxIdx = i
+		}
+	}
+	rs := testcerts.Roots(maxIdx + 1)
+	s := store.NewSnapshot(provider, "v", time.Date(2020, 1, day, 0, 0, 0, 0, time.UTC))
+	for _, i := range rootIdx {
+		e, err := store.NewTrustedEntry(rs[i].DER, store.ServerAuth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Add(e)
+	}
+	return s
+}
+
+func TestSnapshotJaccard(t *testing.T) {
+	a := snap(t, "NSS", 1, 0, 1, 2)
+	b := snap(t, "Debian", 2, 1, 2, 3)
+	if got := SnapshotJaccard(a, b, store.ServerAuth); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("SnapshotJaccard = %f, want 0.5", got)
+	}
+	if got := SnapshotJaccard(a, a, store.ServerAuth); got != 0 {
+		t.Errorf("self distance = %f", got)
+	}
+}
+
+func TestDistanceMatrix(t *testing.T) {
+	snaps := []*store.Snapshot{
+		snap(t, "A", 1, 0, 1),
+		snap(t, "B", 2, 0, 1),
+		snap(t, "C", 3, 2, 3),
+	}
+	m := DistanceMatrix(snaps, store.ServerAuth)
+	if m.Rows != 3 || m.Cols != 3 {
+		t.Fatalf("matrix %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(0, 1) != 0 {
+		t.Errorf("identical snapshots distance = %f", m.At(0, 1))
+	}
+	if m.At(0, 2) != 1 {
+		t.Errorf("disjoint snapshots distance = %f", m.At(0, 2))
+	}
+	if !m.IsSymmetric(0) {
+		t.Error("distance matrix must be symmetric")
+	}
+	for i := 0; i < 3; i++ {
+		if m.At(i, i) != 0 {
+			t.Error("diagonal must be zero")
+		}
+	}
+}
+
+func TestClosestSnapshot(t *testing.T) {
+	target := snap(t, "Debian", 10, 0, 1, 2)
+	candidates := []*store.Snapshot{
+		snap(t, "NSS", 1, 0),          // far
+		snap(t, "NSS", 2, 0, 1, 2),    // exact
+		snap(t, "NSS", 3, 0, 1, 2, 3), // close
+	}
+	idx, dist := ClosestSnapshot(target, candidates, store.ServerAuth)
+	if idx != 1 || dist != 0 {
+		t.Errorf("ClosestSnapshot = %d, %f", idx, dist)
+	}
+	idx, _ = ClosestSnapshot(target, nil, store.ServerAuth)
+	if idx != -1 {
+		t.Errorf("empty candidates should give -1, got %d", idx)
+	}
+}
+
+func TestClosestSnapshotTieBreaksEarliest(t *testing.T) {
+	target := snap(t, "X", 10, 0, 1)
+	candidates := []*store.Snapshot{
+		snap(t, "NSS", 1, 0, 1),
+		snap(t, "NSS", 2, 0, 1), // same distance
+	}
+	idx, _ := ClosestSnapshot(target, candidates, store.ServerAuth)
+	if idx != 0 {
+		t.Errorf("tie should break to earliest, got %d", idx)
+	}
+}

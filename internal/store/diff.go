@@ -1,0 +1,121 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/certutil"
+)
+
+// TrustChange records a trust-metadata change for a certificate present in
+// both snapshots — e.g. NSS applying server-distrust-after to a Symantec
+// root without removing it.
+type TrustChange struct {
+	Fingerprint certutil.Fingerprint
+	Label       string
+	Purpose     Purpose
+	Old, New    TrustLevel
+	// DistrustAfterSet is true when the change introduced or altered a
+	// partial-distrust date for the purpose.
+	DistrustAfterSet bool
+	DistrustAfter    time.Time
+}
+
+// String renders the change for logs.
+func (c TrustChange) String() string {
+	s := fmt.Sprintf("%s %s %s: %s -> %s", c.Fingerprint.Short(), c.Label, c.Purpose, c.Old, c.New)
+	if c.DistrustAfterSet {
+		s += fmt.Sprintf(" (distrust-after %s)", c.DistrustAfter.Format("2006-01-02"))
+	}
+	return s
+}
+
+// Diff is the difference between two snapshots.
+type Diff struct {
+	// Added / Removed hold entries present in only the new / old snapshot.
+	Added   []*TrustEntry
+	Removed []*TrustEntry
+	// TrustChanges holds per-purpose trust transitions for retained
+	// certificates.
+	TrustChanges []TrustChange
+}
+
+// Empty reports whether the snapshots are identical under the diff.
+func (d Diff) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0 && len(d.TrustChanges) == 0
+}
+
+// String summarizes the diff.
+func (d Diff) String() string {
+	return fmt.Sprintf("+%d -%d ~%d", len(d.Added), len(d.Removed), len(d.TrustChanges))
+}
+
+// DiffSnapshots computes new-relative-to-old membership and trust changes.
+func DiffSnapshots(old, new *Snapshot) Diff {
+	var d Diff
+	for _, e := range new.Entries() {
+		prev, ok := old.Lookup(e.Fingerprint)
+		if !ok {
+			d.Added = append(d.Added, e)
+			continue
+		}
+		for _, p := range AllPurposes {
+			oldLevel, newLevel := prev.TrustFor(p), e.TrustFor(p)
+			oldDA, hadDA := prev.DistrustAfterFor(p)
+			newDA, hasDA := e.DistrustAfterFor(p)
+			daChanged := hasDA && (!hadDA || !oldDA.Equal(newDA))
+			if oldLevel != newLevel || daChanged {
+				tc := TrustChange{
+					Fingerprint: e.Fingerprint,
+					Label:       e.Label,
+					Purpose:     p,
+					Old:         oldLevel,
+					New:         newLevel,
+				}
+				if daChanged {
+					tc.DistrustAfterSet = true
+					tc.DistrustAfter = newDA
+				}
+				d.TrustChanges = append(d.TrustChanges, tc)
+			}
+		}
+	}
+	for _, e := range old.Entries() {
+		if _, ok := new.Lookup(e.Fingerprint); !ok {
+			d.Removed = append(d.Removed, e)
+		}
+	}
+	return d
+}
+
+// SetDiff compares the purpose-trusted sets of two snapshots: fingerprints
+// only in a, only in b, and in both. This is the root-membership view
+// Figure 4 plots for derivatives against NSS.
+func SetDiff(a, b *Snapshot, p Purpose) (onlyA, onlyB, both []certutil.Fingerprint) {
+	setA, setB := a.TrustedSet(p), b.TrustedSet(p)
+	for fp := range setA {
+		if setB[fp] {
+			both = append(both, fp)
+		} else {
+			onlyA = append(onlyA, fp)
+		}
+	}
+	for fp := range setB {
+		if !setA[fp] {
+			onlyB = append(onlyB, fp)
+		}
+	}
+	sortFingerprints(onlyA)
+	sortFingerprints(onlyB)
+	sortFingerprints(both)
+	return onlyA, onlyB, both
+}
+
+func sortFingerprints(fps []certutil.Fingerprint) {
+	for i := 1; i < len(fps); i++ {
+		for j := i; j > 0 && strings.Compare(fps[j].String(), fps[j-1].String()) < 0; j-- {
+			fps[j], fps[j-1] = fps[j-1], fps[j]
+		}
+	}
+}

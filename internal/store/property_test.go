@@ -1,0 +1,176 @@
+package store_test
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+// randomSnapshot builds a snapshot whose membership and trust levels are a
+// deterministic function of the seed.
+func date(y, m, d int) time.Time { return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC) }
+
+func randomSnapshot(t testing.TB, seed uint64, provider string) *store.Snapshot {
+	t.Helper()
+	rs := testcerts.Roots(12)
+	s := store.NewSnapshot(provider, "prop", date(2020, 1, 1))
+	x := seed
+	next := func() uint64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return x >> 33
+	}
+	for _, r := range rs {
+		if next()%2 == 0 {
+			continue
+		}
+		e, err := store.NewEntry(r.DER)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range store.AllPurposes {
+			switch next() % 4 {
+			case 0:
+				e.SetTrust(p, store.Trusted)
+			case 1:
+				e.SetTrust(p, store.MustVerify)
+			case 2:
+				e.SetTrust(p, store.Distrusted)
+			}
+		}
+		if next()%3 == 0 {
+			e.SetDistrustAfter(store.ServerAuth, date(2019, int(next()%12)+1, 1))
+		}
+		s.Add(e)
+	}
+	return s
+}
+
+// TestDiffProperties checks the algebra of snapshot diffs on random pairs:
+// reversal swaps added/removed, self-diff is empty, and |added| - |removed|
+// equals the size delta.
+func TestDiffProperties(t *testing.T) {
+	prop := func(seedA, seedB uint64) bool {
+		a := randomSnapshot(t, seedA, "A")
+		b := randomSnapshot(t, seedB, "B")
+
+		ab := store.DiffSnapshots(a, b)
+		ba := store.DiffSnapshots(b, a)
+		if len(ab.Added) != len(ba.Removed) || len(ab.Removed) != len(ba.Added) {
+			return false
+		}
+		if len(ab.Added)-len(ab.Removed) != b.Len()-a.Len() {
+			return false
+		}
+		if !store.DiffSnapshots(a, a.Clone()).Empty() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetDiffProperties checks the set-diff partition: onlyA, onlyB and
+// both are disjoint and cover both trusted sets exactly.
+func TestSetDiffProperties(t *testing.T) {
+	prop := func(seedA, seedB uint64) bool {
+		a := randomSnapshot(t, seedA, "A")
+		b := randomSnapshot(t, seedB, "B")
+		onlyA, onlyB, both := store.SetDiff(a, b, store.ServerAuth)
+		if len(onlyA)+len(both) != len(a.TrustedSet(store.ServerAuth)) {
+			return false
+		}
+		if len(onlyB)+len(both) != len(b.TrustedSet(store.ServerAuth)) {
+			return false
+		}
+		seen := map[string]int{}
+		for _, fp := range onlyA {
+			seen[fp.String()]++
+		}
+		for _, fp := range onlyB {
+			seen[fp.String()]++
+		}
+		for _, fp := range both {
+			seen[fp.String()]++
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false // partitions must be disjoint
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistoryAtMonotonic checks History.At: the result's date never
+// exceeds the query instant and is the maximum such snapshot.
+func TestHistoryAtMonotonic(t *testing.T) {
+	h := store.NewHistory("P")
+	for m := 1; m <= 12; m++ {
+		s := randomSnapshot(t, uint64(m), "P")
+		s.Date = date(2020, m, 15)
+		s.Version = s.Date.Format("2006-01")
+		if err := h.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prop := func(dayOffset uint16) bool {
+		at := date(2020, 1, 1).Add(time.Duration(dayOffset%500) * 24 * time.Hour)
+		got := h.At(at)
+		if got == nil {
+			return at.Before(date(2020, 1, 15))
+		}
+		if got.Date.After(at) {
+			return false
+		}
+		for _, s := range h.Snapshots() {
+			if s.Date.After(got.Date) && !s.Date.After(at) {
+				return false // a later eligible snapshot existed
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloneInvariant checks Clone is a true deep copy under random
+// mutation.
+func TestCloneInvariant(t *testing.T) {
+	prop := func(seed uint64, purposeIdx uint8) bool {
+		s := randomSnapshot(t, seed, "P")
+		if s.Len() == 0 {
+			return true
+		}
+		c := s.Clone()
+		p := store.AllPurposes[int(purposeIdx)%len(store.AllPurposes)]
+		for _, e := range c.Entries() {
+			e.SetTrust(p, store.Distrusted)
+			e.SetDistrustAfter(p, date(2021, 1, 1))
+		}
+		// Original unchanged: its trusted set must match a fresh build.
+		fresh := randomSnapshot(t, seed, "P")
+		wantSet := fresh.TrustedSet(p)
+		gotSet := s.TrustedSet(p)
+		if len(wantSet) != len(gotSet) {
+			return false
+		}
+		for fp := range wantSet {
+			if !gotSet[fp] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

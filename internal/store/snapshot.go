@@ -1,0 +1,302 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/certutil"
+)
+
+// Snapshot is one root store at one point in time: the paper's unit of
+// measurement (619 snapshots across ten providers).
+type Snapshot struct {
+	// Provider names the root-store provider ("NSS", "Debian", ...).
+	Provider string
+	// Version is the provider's release label ("3.53", "20200601", ...).
+	Version string
+	// Date approximates the release date (§3.1: treated as coarse).
+	Date time.Time
+
+	entries []*TrustEntry
+	byFP    map[certutil.Fingerprint]*TrustEntry
+}
+
+// NewSnapshot creates an empty snapshot.
+func NewSnapshot(provider, version string, date time.Time) *Snapshot {
+	return &Snapshot{
+		Provider: provider,
+		Version:  version,
+		Date:     date,
+		byFP:     make(map[certutil.Fingerprint]*TrustEntry),
+	}
+}
+
+// Add inserts an entry, replacing any previous entry with the same
+// fingerprint (matching how stores themselves are keyed by certificate).
+func (s *Snapshot) Add(e *TrustEntry) {
+	if prev, ok := s.byFP[e.Fingerprint]; ok {
+		for i, x := range s.entries {
+			if x == prev {
+				s.entries[i] = e
+				break
+			}
+		}
+	} else {
+		s.entries = append(s.entries, e)
+	}
+	s.byFP[e.Fingerprint] = e
+}
+
+// Remove deletes the entry with the fingerprint; it reports whether an entry
+// was present.
+func (s *Snapshot) Remove(fp certutil.Fingerprint) bool {
+	e, ok := s.byFP[fp]
+	if !ok {
+		return false
+	}
+	delete(s.byFP, fp)
+	for i, x := range s.entries {
+		if x == e {
+			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Lookup returns the entry with the fingerprint, if present.
+func (s *Snapshot) Lookup(fp certutil.Fingerprint) (*TrustEntry, bool) {
+	e, ok := s.byFP[fp]
+	return e, ok
+}
+
+// Len returns the number of entries.
+func (s *Snapshot) Len() int { return len(s.entries) }
+
+// Entries returns the entries sorted by fingerprint. The returned slice is
+// fresh; entries are shared.
+func (s *Snapshot) Entries() []*TrustEntry {
+	out := append([]*TrustEntry(nil), s.entries...)
+	sortEntries(out)
+	return out
+}
+
+// TrustedSet returns the fingerprints trusted for the purpose, the set the
+// similarity analyses operate on.
+func (s *Snapshot) TrustedSet(p Purpose) map[certutil.Fingerprint]bool {
+	set := make(map[certutil.Fingerprint]bool)
+	for _, e := range s.entries {
+		if e.TrustedFor(p) {
+			set[e.Fingerprint] = true
+		}
+	}
+	return set
+}
+
+// TrustedCount returns the number of entries trusted for the purpose.
+func (s *Snapshot) TrustedCount(p Purpose) int {
+	n := 0
+	for _, e := range s.entries {
+		if e.TrustedFor(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// ExpiredCount returns how many entries trusted for the purpose are expired
+// as of the snapshot date (Table 3's "Avg. Expired" metric).
+func (s *Snapshot) ExpiredCount(p Purpose) int {
+	n := 0
+	for _, e := range s.entries {
+		if e.TrustedFor(p) && certutil.ExpiredAt(e.Cert, s.Date) {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone deep-copies the snapshot.
+func (s *Snapshot) Clone() *Snapshot {
+	c := NewSnapshot(s.Provider, s.Version, s.Date)
+	for _, e := range s.entries {
+		c.Add(e.Clone())
+	}
+	return c
+}
+
+// Key identifies the snapshot in logs and plots.
+func (s *Snapshot) Key() string {
+	return fmt.Sprintf("%s@%s(%s)", s.Provider, s.Version, s.Date.Format("2006-01-02"))
+}
+
+// History is a provider's time-ordered sequence of snapshots.
+type History struct {
+	Provider  string
+	snapshots []*Snapshot
+}
+
+// NewHistory creates an empty history for a provider.
+func NewHistory(provider string) *History { return &History{Provider: provider} }
+
+// Append inserts a snapshot keeping the history date-ordered.
+func (h *History) Append(s *Snapshot) error {
+	if s.Provider != h.Provider {
+		return fmt.Errorf("store: snapshot provider %q does not match history %q", s.Provider, h.Provider)
+	}
+	h.snapshots = append(h.snapshots, s)
+	sort.SliceStable(h.snapshots, func(i, j int) bool {
+		return h.snapshots[i].Date.Before(h.snapshots[j].Date)
+	})
+	return nil
+}
+
+// Len returns the number of snapshots.
+func (h *History) Len() int { return len(h.snapshots) }
+
+// Snapshots returns the date-ordered snapshots (shared, do not mutate order).
+func (h *History) Snapshots() []*Snapshot {
+	return append([]*Snapshot(nil), h.snapshots...)
+}
+
+// At returns the snapshot in force at the instant: the latest snapshot whose
+// date is not after t, or nil when t precedes the history.
+func (h *History) At(t time.Time) *Snapshot {
+	var cur *Snapshot
+	for _, s := range h.snapshots {
+		if s.Date.After(t) {
+			break
+		}
+		cur = s
+	}
+	return cur
+}
+
+// Latest returns the most recent snapshot, or nil for an empty history.
+func (h *History) Latest() *Snapshot {
+	if len(h.snapshots) == 0 {
+		return nil
+	}
+	return h.snapshots[len(h.snapshots)-1]
+}
+
+// First returns the earliest snapshot, or nil for an empty history.
+func (h *History) First() *Snapshot {
+	if len(h.snapshots) == 0 {
+		return nil
+	}
+	return h.snapshots[0]
+}
+
+// Range returns snapshots with Date in [from, to] inclusive.
+func (h *History) Range(from, to time.Time) []*Snapshot {
+	var out []*Snapshot
+	for _, s := range h.snapshots {
+		if !s.Date.Before(from) && !s.Date.After(to) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// EverTrusted returns the union of fingerprints ever trusted for the purpose
+// across the history — the basis of the exclusive-roots analysis (Table 6).
+func (h *History) EverTrusted(p Purpose) map[certutil.Fingerprint]bool {
+	set := make(map[certutil.Fingerprint]bool)
+	for _, s := range h.snapshots {
+		for fp := range s.TrustedSet(p) {
+			set[fp] = true
+		}
+	}
+	return set
+}
+
+// TrustedUntil returns, for a fingerprint, the date of the last snapshot that
+// still trusted it for the purpose, and whether it is still trusted in the
+// latest snapshot. This drives the removal-lag analysis (Table 4).
+func (h *History) TrustedUntil(fp certutil.Fingerprint, p Purpose) (last time.Time, stillTrusted bool, everTrusted bool) {
+	for _, s := range h.snapshots {
+		if e, ok := s.Lookup(fp); ok && e.TrustedFor(p) {
+			last = s.Date
+			everTrusted = true
+			stillTrusted = true
+		} else {
+			stillTrusted = false
+		}
+	}
+	if !everTrusted {
+		return time.Time{}, false, false
+	}
+	return last, stillTrusted, true
+}
+
+// FirstTrusted returns the date of the first snapshot trusting fp for p.
+func (h *History) FirstTrusted(fp certutil.Fingerprint, p Purpose) (time.Time, bool) {
+	for _, s := range h.snapshots {
+		if e, ok := s.Lookup(fp); ok && e.TrustedFor(p) {
+			return s.Date, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// Database maps providers to histories — the paper's whole dataset.
+type Database struct {
+	histories map[string]*History
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database { return &Database{histories: make(map[string]*History)} }
+
+// AddSnapshot files a snapshot under its provider, creating the history on
+// first use.
+func (db *Database) AddSnapshot(s *Snapshot) error {
+	h, ok := db.histories[s.Provider]
+	if !ok {
+		h = NewHistory(s.Provider)
+		db.histories[s.Provider] = h
+	}
+	return h.Append(s)
+}
+
+// History returns the provider's history, or nil if absent.
+func (db *Database) History(provider string) *History { return db.histories[provider] }
+
+// Providers returns the provider names, sorted.
+func (db *Database) Providers() []string {
+	out := make([]string, 0, len(db.histories))
+	for p := range db.histories {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalSnapshots counts snapshots across all providers (the paper's 619).
+func (db *Database) TotalSnapshots() int {
+	n := 0
+	for _, h := range db.histories {
+		n += h.Len()
+	}
+	return n
+}
+
+// AllSnapshots returns every snapshot, ordered by provider then date.
+func (db *Database) AllSnapshots() []*Snapshot {
+	var out []*Snapshot
+	for _, p := range db.Providers() {
+		out = append(out, db.histories[p].Snapshots()...)
+	}
+	return out
+}
+
+// UniqueRoots counts distinct fingerprints ever trusted for the purpose by
+// the provider (Table 2's "# Uniq" column counts distinct certificates).
+func (db *Database) UniqueRoots(provider string, p Purpose) int {
+	h := db.History(provider)
+	if h == nil {
+		return 0
+	}
+	return len(h.EverTrusted(p))
+}

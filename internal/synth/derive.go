@@ -1,0 +1,210 @@
+package synth
+
+import (
+	"time"
+
+	"repro/internal/paperdata"
+	"repro/internal/store"
+)
+
+// DerivativeLagDays is the calibrated copy lag per derivative, in days.
+// These produce Figure 3's "substantial versions behind" ordering:
+// Alpine closest to NSS, AmazonLinux worst.
+var DerivativeLagDays = map[string]int{
+	paperdata.Alpine:      70,
+	paperdata.Debian:      360,
+	paperdata.Ubuntu:      360,
+	paperdata.NodeJS:      370,
+	paperdata.Android:     700,
+	paperdata.AmazonLinux: 355,
+}
+
+// neverIncluded records roots a derivative excluded even though NSS shipped
+// them (§6.2 "Customized trust": Android never included PSPProcert).
+var neverIncluded = map[string][]string{
+	paperdata.Android: {"PSPProcert"},
+}
+
+// buildDerivative lag-copies the NSS schedule into a derivative provider
+// and applies the provider's bespoke modifications. The copy is inherently
+// lossy: derivative stores are flat certificate lists, so partial-distrust
+// annotations vanish and only TLS membership survives — the paper's core
+// finding about derivative formats.
+func buildDerivative(u *Universe, nss *providerSchedule, name string) *providerSchedule {
+	info := providerInfo(name)
+	lag := time.Duration(DerivativeLagDays[name]) * 24 * time.Hour
+	ps := newSchedule(name, info.From, endOfMonth(info.To))
+	ps.grantEventsOff = true
+
+	excluded := map[string]bool{}
+	for _, inc := range neverIncluded[name] {
+		for _, ca := range u.ByIncident(inc) {
+			excluded[ca.Name] = true
+		}
+	}
+
+	// Lag-copy every NSS ServerAuth grant. Annotations are dropped (the
+	// format cannot express them).
+	for caName, grants := range nss.grants {
+		if excluded[caName] {
+			continue
+		}
+		for _, g := range grants {
+			if !hasPurpose(g.purposes, store.ServerAuth) {
+				continue
+			}
+			from := g.from.Add(lag)
+			to := g.to
+			if !to.IsZero() {
+				to = to.Add(lag)
+			}
+			ps.add(caName, from, to, store.ServerAuth)
+		}
+	}
+
+	// Incident overrides: where Table 4 gives this derivative's own
+	// removal date, it supersedes the lagged copy.
+	for _, inc := range paperdata.Incidents() {
+		r, ok := response(inc, name)
+		if !ok {
+			continue
+		}
+		for i, ca := range u.ByIncident(inc.Name) {
+			if excluded[ca.Name] {
+				continue
+			}
+			if i >= r.Certs {
+				// The store never carried this certificate (e.g. Android
+				// only ever had one of the two CNNIC roots), so the
+				// lag-copied grant must go entirely.
+				delete(ps.grants, ca.Name)
+				continue
+			}
+			end := r.TrustedUntil
+			if r.StillTrusted {
+				end = time.Time{}
+			}
+			replaceGrantEnd(ps, ca.Name, end)
+			ps.pin(end)
+		}
+	}
+
+	applyDerivativeMods(u, ps, name, lag)
+	return ps
+}
+
+func hasPurpose(purposes []store.Purpose, p store.Purpose) bool {
+	for _, x := range purposes {
+		if x == p {
+			return true
+		}
+	}
+	return false
+}
+
+// replaceGrantEnd rewrites the CA's grants to a single interval ending at
+// `end` (zero = open), keeping the earliest start.
+func replaceGrantEnd(ps *providerSchedule, caName string, end time.Time) {
+	gs := ps.grants[caName]
+	if len(gs) == 0 {
+		return
+	}
+	start := gs[0].from
+	for _, g := range gs {
+		if g.from.Before(start) {
+			start = g.from
+		}
+	}
+	ps.grants[caName] = []grant{{from: start, to: end, purposes: []store.Purpose{store.ServerAuth}}}
+}
+
+// applyDerivativeMods layers each derivative's documented customizations
+// (§6.2) over the lag-copied base.
+func applyDerivativeMods(u *Universe, ps *providerSchedule, name string, lag time.Duration) {
+	emailOnly := u.ByCategory(CatEmailOnly)
+	symantec := symantecCohort(u)
+
+	switch name {
+	case paperdata.Debian, paperdata.Ubuntu:
+		// Non-NSS roots from the first snapshot until 2015.
+		for _, ca := range u.ByCategory(CatNonNSS) {
+			if ca.Name == "NonNSS Thawte Premium Server" || ca.Name == "ValiCert Legacy" {
+				continue // AmazonLinux's and NodeJS's own additions
+			}
+			ps.add(ca.Name, ps.rangeFrom, date(2015, 6, 1), store.ServerAuth)
+		}
+		// Email-signing conflation: all 19 NSS email-only roots TLS-trusted
+		// until the 2017 cutover to TLS-only copying.
+		for _, ca := range emailOnly {
+			ps.add(ca.Name, ps.rangeFrom, date(2017, 1, 15), store.ServerAuth)
+		}
+		ps.pin(date(2015, 6, 1), date(2017, 1, 15))
+		// Symantec: premature full removal of eleven of the twelve roots
+		// days after NSS 3.53 (GeoTrust Universal CA 2 analog retained),
+		// then re-addition after breakage complaints.
+		for i, ca := range symantec {
+			if i == len(symantec)-1 {
+				continue // the curiously retained root keeps its lagged grant
+			}
+			// Replace the lagged grant with: trusted until 2020-07-01,
+			// re-added 2020-10-01 onward.
+			start := ps.rangeFrom
+			if gs := ps.grants[ca.Name]; len(gs) > 0 {
+				start = gs[0].from
+			}
+			ps.grants[ca.Name] = []grant{
+				{from: start, to: date(2020, 7, 1), purposes: []store.Purpose{store.ServerAuth}},
+				{from: date(2020, 10, 1), purposes: []store.Purpose{store.ServerAuth}},
+			}
+		}
+		ps.pin(date(2020, 7, 1), date(2020, 10, 1))
+
+	case paperdata.AmazonLinux:
+		// Sixteen 1024-bit roots re-added 2016-10 through 2018-12 after
+		// NSS had removed them in 2015.
+		for _, ca := range u.ByCategory(CatLegacyRSA) {
+			ps.add(ca.Name, date(2016, 10, 1), date(2018, 12, 15), store.ServerAuth)
+		}
+		// A brief 2018 window re-adding thirteen expired / CA-requested
+		// removals.
+		readds := u.ByCategory(CatExpiring)
+		if len(readds) > 13 {
+			readds = readds[:13]
+		}
+		for _, ca := range readds {
+			ps.add(ca.Name, date(2018, 3, 1), date(2018, 9, 15), store.ServerAuth)
+		}
+		// Thawte Premium Server CA: trusted 2016-10 until just before its
+		// 2020-12 expiry.
+		ps.add("NonNSS Thawte Premium Server", date(2016, 10, 1), date(2020, 12, 15), store.ServerAuth)
+		ps.pin(date(2018, 3, 1), date(2018, 9, 15), date(2018, 12, 15), date(2020, 12, 15))
+
+	case paperdata.NodeJS:
+		// ValiCert re-added for OpenSSL chain building.
+		ps.add("ValiCert Legacy", ps.rangeFrom, time.Time{}, store.ServerAuth)
+		// NSS 3.53 skipped: the TWCA, SK ID and three retired Symantec
+		// removals never landed.
+		for _, incName := range []string{"TWCA", "SKID", "SymantecRetired"} {
+			for _, ca := range u.ByIncident(incName) {
+				replaceGrantEnd(ps, ca.Name, time.Time{})
+			}
+		}
+
+	case paperdata.Alpine:
+		// Four email-only roots TLS-trusted until 2020.
+		for i, ca := range emailOnly {
+			if i >= 4 {
+				break
+			}
+			ps.add(ca.Name, ps.rangeFrom, date(2020, 3, 1), store.ServerAuth)
+		}
+		// Manual removal of the expired AddTrust root at its expiry,
+		// ahead of any NSS version bump.
+		replaceGrantEnd(ps, "AddTrust External", date(2020, 5, 30))
+		ps.pin(date(2020, 3, 1), date(2020, 5, 30))
+
+	case paperdata.Android:
+		// Android's proactive CNNIC and WoSign removals are Table 4
+		// responses, already applied. PSPProcert exclusion handled above.
+	}
+}

@@ -1,0 +1,291 @@
+package synth
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/paperdata"
+	"repro/internal/store"
+)
+
+// Key NSS dates used across schedules.
+var (
+	// nssV53 is the NSS 3.53 release implementing Symantec partial
+	// distrust (bug 1618402/1618404) plus the TWCA and SK ID removals.
+	nssV53 = date(2020, 6, 26)
+	// nssSymantecRemoval is the final removal of ten Symantec roots
+	// (bug 1670769).
+	nssSymantecRemoval = date(2020, 12, 11)
+	// symantecDistrustAfter is the issuance cutoff recorded in
+	// CKA_NSS_SERVER_DISTRUST_AFTER.
+	symantecDistrustAfter = date(2019, 9, 1)
+)
+
+var bothPurposes = []store.Purpose{store.ServerAuth, store.EmailProtection}
+
+// endOfMonth extends a month-precision Table 2 date to the month's last
+// day, so events the paper dates inside a provider's final month (e.g.
+// AmazonLinux's 2021-03-26 Certinomis removal) still fall in-window.
+func endOfMonth(t time.Time) time.Time {
+	return t.AddDate(0, 1, -1)
+}
+
+func providerInfo(name string) paperdata.ProviderInfo {
+	for _, p := range paperdata.Providers() {
+		if p.Name == name {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("synth: unknown provider %q", name))
+}
+
+func hygiene(program string) paperdata.HygieneRow {
+	for _, h := range paperdata.Hygiene() {
+		if h.Program == program {
+			return h
+		}
+	}
+	panic(fmt.Sprintf("synth: no hygiene row for %q", program))
+}
+
+// response returns the Table 4 response of a store to an incident, if any.
+func response(inc paperdata.Incident, storeName string) (paperdata.StoreResponse, bool) {
+	for _, r := range inc.Responses {
+		if r.Store == storeName {
+			return r, true
+		}
+	}
+	return paperdata.StoreResponse{}, false
+}
+
+// joinDate converts a CA's nominal join year to a program-specific
+// inclusion date; delayMonths models each program's inclusion latency.
+func joinDate(ca *CA, delayMonths int) time.Time {
+	return date(ca.JoinYear, 3, 1).AddDate(0, delayMonths, 0)
+}
+
+// buildNSS constructs the NSS schedule: the reference store everything else
+// derives from.
+func buildNSS(u *Universe) *providerSchedule {
+	info := providerInfo(paperdata.NSS)
+	hyg := hygiene(paperdata.NSS)
+	ps := newSchedule(paperdata.NSS, info.From, endOfMonth(info.To))
+
+	for _, ca := range u.ByCategory(CatMainstream) {
+		ps.add(ca.Name, joinDate(ca, 0), time.Time{}, bothPurposes...)
+	}
+	for _, ca := range u.ByCategory(CatLegacyMD5) {
+		ps.add(ca.Name, info.From, hyg.MD5Removal, bothPurposes...)
+	}
+	for _, ca := range u.ByCategory(CatLegacyRSA) {
+		ps.add(ca.Name, info.From, hyg.RSA1024Removal, bothPurposes...)
+	}
+	// NSS drops expired roots promptly: within ~4 months of expiry.
+	for _, ca := range u.ByCategory(CatExpiring) {
+		ps.add(ca.Name, joinDate(ca, 0), ca.Root.Cert.NotAfter.AddDate(0, 4, 0), bothPurposes...)
+	}
+	// The retained-legacy roots: NSS trusted them only 2000-2008.
+	for _, ca := range u.ByCategory(CatMSLegacy) {
+		ps.add(ca.Name, info.From, date(2008, 6, 1), bothPurposes...)
+	}
+	// Email-only roots: never TLS trust in NSS.
+	for _, ca := range u.ByCategory(CatEmailOnly) {
+		ps.add(ca.Name, date(2005, 6, 1), time.Time{}, store.EmailProtection)
+	}
+	// NSS's single exclusive root (Microsec ECC).
+	for _, ca := range u.ByCategory(CatExclusive) {
+		if ca.Program == paperdata.NSS {
+			ps.add(ca.Name, date(2019, 8, 1), time.Time{}, bothPurposes...)
+		}
+	}
+	// Incidents: trusted from a year before Table 4's earliest mention,
+	// removed on the NSS removal date.
+	for _, inc := range paperdata.Incidents() {
+		for _, ca := range u.ByIncident(inc.Name) {
+			ps.add(ca.Name, joinDate(ca, 0), inc.NSSRemoval, bothPurposes...)
+		}
+	}
+	// TWCA and SK ID leave in v53 (policy violation / CA request).
+	for _, ca := range u.ByIncident("TWCA") {
+		ps.add(ca.Name, joinDate(ca, 0), nssV53, bothPurposes...)
+	}
+	for _, ca := range u.ByIncident("SKID") {
+		ps.add(ca.Name, joinDate(ca, 0), nssV53, bothPurposes...)
+	}
+	// Symantec: three retired outright in v53; twelve annotated in v53 and
+	// ten of those removed in December 2020.
+	for _, ca := range u.ByIncident("SymantecRetired") {
+		ps.add(ca.Name, joinDate(ca, 0), nssV53, bothPurposes...)
+	}
+	symantec := symantecCohort(u)
+	for i, ca := range symantec {
+		end := time.Time{}
+		if i < 10 {
+			end = nssSymantecRemoval
+		}
+		ps.add(ca.Name, joinDate(ca, 0), end, bothPurposes...)
+		ps.annotate(ca.Name, nssV53, store.ServerAuth, symantecDistrustAfter)
+	}
+	return ps
+}
+
+// symantecCohort returns the twelve partial-distrust Symantec roots
+// (excluding the three retired ones).
+func symantecCohort(u *Universe) []*CA {
+	var out []*CA
+	for _, ca := range u.ByCategory(CatSymantec) {
+		if ca.Incident == "" {
+			out = append(out, ca)
+		}
+	}
+	return out
+}
+
+// buildMicrosoft constructs the Microsoft schedule: the largest and most
+// permissive store.
+func buildMicrosoft(u *Universe) *providerSchedule {
+	info := providerInfo(paperdata.Microsoft)
+	hyg := hygiene(paperdata.Microsoft)
+	ps := newSchedule(paperdata.Microsoft, info.From, endOfMonth(info.To))
+
+	for _, ca := range u.ByCategory(CatMainstream) {
+		ps.add(ca.Name, joinDate(ca, 9), time.Time{}, bothPurposes...)
+	}
+	for _, ca := range u.ByCategory(CatLegacyMD5) {
+		ps.add(ca.Name, info.From, hyg.MD5Removal, bothPurposes...)
+	}
+	for _, ca := range u.ByCategory(CatLegacyRSA) {
+		ps.add(ca.Name, info.From, hyg.RSA1024Removal, bothPurposes...)
+	}
+	// Microsoft keeps expired roots for years (Table 3: ~10 expired per
+	// snapshot).
+	for _, ca := range u.ByCategory(CatExpiring) {
+		ps.add(ca.Name, joinDate(ca, 6), ca.Root.Cert.NotAfter.AddDate(4, 0, 0), bothPurposes...)
+	}
+	// Email-only roots: Microsoft trusts them, restricted to email.
+	for _, ca := range u.ByCategory(CatEmailOnly) {
+		ps.add(ca.Name, date(2007, 1, 1), time.Time{}, store.EmailProtection)
+	}
+	// The non-TLS bulk: email + code signing only.
+	for _, ca := range u.ByCategory(CatMSExtra) {
+		ps.add(ca.Name, joinDate(ca, 0), time.Time{}, store.EmailProtection, store.CodeSigning)
+	}
+	// The Apple/Microsoft shared block.
+	for _, ca := range u.ByCategory(CatAppleExtra) {
+		ps.add(ca.Name, joinDate(ca, 12), time.Time{}, bothPurposes...)
+	}
+	// Roots NSS dropped in 2008 that Microsoft retains to this day.
+	for _, ca := range u.ByCategory(CatMSLegacy) {
+		ps.add(ca.Name, joinDate(ca, 0), time.Time{}, bothPurposes...)
+	}
+	// Microsoft's thirty TLS-exclusive roots.
+	for _, ca := range u.ByCategory(CatExclusive) {
+		if ca.Program == paperdata.Microsoft {
+			ps.add(ca.Name, joinDate(ca, 0), time.Time{}, bothPurposes...)
+		}
+	}
+	// Incident responses per Table 4. Absence of a response row means the
+	// store never trusted the roots (e.g. PSPProcert).
+	for _, inc := range paperdata.Incidents() {
+		r, ok := response(inc, paperdata.Microsoft)
+		if !ok {
+			continue
+		}
+		cas := u.ByIncident(inc.Name)
+		for i, ca := range cas {
+			if i >= r.Certs {
+				break // store only ever trusted r.Certs of them
+			}
+			end := r.TrustedUntil
+			if r.StillTrusted {
+				end = time.Time{}
+			}
+			ps.add(ca.Name, joinDate(ca, 3), end, bothPurposes...)
+		}
+	}
+	// Symantec stays trusted in Microsoft through the study window.
+	for _, ca := range u.ByCategory(CatSymantec) {
+		ps.add(ca.Name, joinDate(ca, 6), time.Time{}, bothPurposes...)
+	}
+	return ps
+}
+
+// buildApple constructs the Apple schedule.
+func buildApple(u *Universe) *providerSchedule {
+	info := providerInfo(paperdata.Apple)
+	hyg := hygiene(paperdata.Apple)
+	ps := newSchedule(paperdata.Apple, info.From, endOfMonth(info.To))
+
+	for _, ca := range u.ByCategory(CatMainstream) {
+		ps.add(ca.Name, joinDate(ca, 4), time.Time{}, bothPurposes...)
+	}
+	for _, ca := range u.ByCategory(CatLegacyMD5) {
+		ps.add(ca.Name, info.From, hyg.MD5Removal, bothPurposes...)
+	}
+	for _, ca := range u.ByCategory(CatLegacyRSA) {
+		ps.add(ca.Name, info.From, hyg.RSA1024Removal, bothPurposes...)
+	}
+	// Apple removes expired roots within about 18 months.
+	for _, ca := range u.ByCategory(CatExpiring) {
+		ps.add(ca.Name, joinDate(ca, 2), ca.Root.Cert.NotAfter.AddDate(1, 6, 0), bothPurposes...)
+	}
+	// Apple's wider store: everything trusted for everything (no default
+	// purpose restrictions — §5.2's critique).
+	for _, ca := range u.ByCategory(CatAppleExtra) {
+		ps.add(ca.Name, joinDate(ca, 0), time.Time{}, store.ServerAuth, store.EmailProtection, store.CodeSigning)
+	}
+	for _, ca := range u.ByCategory(CatExclusive) {
+		if ca.Program == paperdata.Apple {
+			ps.add(ca.Name, joinDate(ca, 0), time.Time{}, store.ServerAuth, store.EmailProtection, store.CodeSigning)
+		}
+	}
+	for _, inc := range paperdata.Incidents() {
+		r, ok := response(inc, paperdata.Apple)
+		if !ok {
+			continue
+		}
+		for i, ca := range u.ByIncident(inc.Name) {
+			if i >= r.Certs {
+				break
+			}
+			end := r.TrustedUntil
+			if r.StillTrusted {
+				end = time.Time{}
+			}
+			ps.add(ca.Name, joinDate(ca, 2), end, bothPurposes...)
+		}
+	}
+	return ps
+}
+
+// buildJava constructs the Java schedule: the smallest store, starting in
+// 2018.
+func buildJava(u *Universe) *providerSchedule {
+	info := providerInfo(paperdata.Java)
+	hyg := hygiene(paperdata.Java)
+	ps := newSchedule(paperdata.Java, info.From, endOfMonth(info.To))
+
+	// Java trusts the pre-2011 mainstream cohorts only (smallest store).
+	for _, ca := range u.ByCategory(CatMainstream) {
+		if ca.JoinYear <= 2006 {
+			ps.add(ca.Name, info.From, time.Time{}, bothPurposes...)
+		}
+	}
+	for _, ca := range u.ByCategory(CatLegacyMD5) {
+		ps.add(ca.Name, info.From, hyg.MD5Removal, bothPurposes...)
+	}
+	for _, ca := range u.ByCategory(CatLegacyRSA) {
+		ps.add(ca.Name, info.From, hyg.RSA1024Removal, bothPurposes...)
+	}
+	// Java keeps a couple of expiring roots briefly.
+	for i, ca := range u.ByCategory(CatExpiring) {
+		if i%4 == 0 && ca.Root.Cert.NotAfter.After(info.From) {
+			ps.add(ca.Name, info.From, ca.Root.Cert.NotAfter.AddDate(0, 10, 0), bothPurposes...)
+		}
+	}
+	// Symantec: Java trusted them and dropped them quietly in 2021.
+	for _, ca := range symantecCohort(u) {
+		ps.add(ca.Name, info.From, date(2021, 1, 15), bothPurposes...)
+	}
+	return ps
+}

@@ -1,0 +1,180 @@
+package synth
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/store"
+)
+
+// distrustAnno is a partial-distrust annotation: from appliedFrom onward,
+// snapshots carry DistrustAfter[purpose] = value (NSS's
+// CKA_NSS_SERVER_DISTRUST_AFTER semantics).
+type distrustAnno struct {
+	appliedFrom time.Time
+	purpose     store.Purpose
+	value       time.Time
+}
+
+// grant is one contiguous trust interval for a CA in one provider.
+// Dates are inclusive on both ends; a zero `to` means open-ended.
+type grant struct {
+	from, to time.Time
+	purposes []store.Purpose
+	annos    []distrustAnno
+}
+
+func (g grant) contains(at time.Time) bool {
+	if at.Before(g.from) {
+		return false
+	}
+	return g.to.IsZero() || !at.After(g.to)
+}
+
+// providerSchedule is a provider's full trust plan: per-CA grants plus the
+// provider's publication window.
+type providerSchedule struct {
+	provider           string
+	rangeFrom, rangeTo time.Time
+	grants             map[string][]grant
+	// extraEvents collects change dates beyond grant boundaries.
+	extraEvents []time.Time
+	// grantEventsOff suppresses grant boundaries as snapshot triggers.
+	// Programs publish a release whenever membership changes, but
+	// derivatives only materialize upstream changes at their own sparse
+	// releases — modelling that is what makes Figure 3's staleness real.
+	// Pinned dates (incident responses, bespoke mods) still force a
+	// release.
+	grantEventsOff bool
+}
+
+func newSchedule(provider string, from, to time.Time) *providerSchedule {
+	return &providerSchedule{
+		provider:  provider,
+		rangeFrom: from,
+		rangeTo:   to,
+		grants:    make(map[string][]grant),
+	}
+}
+
+// add records a grant. A zero `to` leaves the CA trusted through the end of
+// the history.
+func (ps *providerSchedule) add(ca string, from, to time.Time, purposes ...store.Purpose) {
+	ps.grants[ca] = append(ps.grants[ca], grant{from: from, to: to, purposes: purposes})
+}
+
+// pin forces snapshot emission at the given dates (used by derivative
+// overrides whose dates are real release dates from the paper).
+func (ps *providerSchedule) pin(dates ...time.Time) {
+	for _, d := range dates {
+		if !d.IsZero() {
+			ps.extraEvents = append(ps.extraEvents, d, d.AddDate(0, 0, 1))
+		}
+	}
+}
+
+// annotate attaches a partial-distrust annotation to the CA's grants.
+func (ps *providerSchedule) annotate(ca string, appliedFrom time.Time, p store.Purpose, value time.Time) {
+	gs := ps.grants[ca]
+	for i := range gs {
+		gs[i].annos = append(gs[i].annos, distrustAnno{appliedFrom: appliedFrom, purpose: p, value: value})
+	}
+	ps.extraEvents = append(ps.extraEvents, appliedFrom)
+}
+
+// stateAt materializes the provider's snapshot at an instant.
+func (ps *providerSchedule) stateAt(u *Universe, version string, at time.Time) *store.Snapshot {
+	s := store.NewSnapshot(ps.provider, version, at)
+	// Deterministic CA order.
+	names := make([]string, 0, len(ps.grants))
+	for name := range ps.grants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ca := u.Lookup(name)
+		if ca == nil {
+			continue
+		}
+		for _, g := range ps.grants[name] {
+			if !g.contains(at) {
+				continue
+			}
+			e := ca.Entry()
+			for _, p := range g.purposes {
+				e.SetTrust(p, store.Trusted)
+			}
+			for _, a := range g.annos {
+				if !at.Before(a.appliedFrom) {
+					e.SetDistrustAfter(a.purpose, a.value)
+				}
+			}
+			s.Add(e)
+			break
+		}
+	}
+	return s
+}
+
+// eventDates returns every date the provider's contents change, clamped to
+// its publication window, sorted and de-duplicated.
+func (ps *providerSchedule) eventDates() []time.Time {
+	seen := map[time.Time]bool{}
+	var out []time.Time
+	record := func(t time.Time) {
+		if t.IsZero() || t.Before(ps.rangeFrom) || t.After(ps.rangeTo) {
+			return
+		}
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	if !ps.grantEventsOff {
+		for _, gs := range ps.grants {
+			for _, g := range gs {
+				record(g.from)
+				if !g.to.IsZero() {
+					// The change is visible the day after the last trusted day.
+					record(g.to)
+					record(g.to.AddDate(0, 0, 1))
+				}
+			}
+		}
+	}
+	for _, t := range ps.extraEvents {
+		record(t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+// snapshotDates merges an even cadence of `count` dates across the
+// publication window with all event dates, so every membership change is
+// observable and the snapshot count approximates the paper's Table 2.
+func (ps *providerSchedule) snapshotDates(count int) []time.Time {
+	seen := map[time.Time]bool{}
+	var out []time.Time
+	add := func(t time.Time) {
+		if t.Before(ps.rangeFrom) || t.After(ps.rangeTo) {
+			return
+		}
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	if count < 2 {
+		count = 2
+	}
+	span := ps.rangeTo.Sub(ps.rangeFrom)
+	for i := 0; i < count; i++ {
+		frac := float64(i) / float64(count-1)
+		add(ps.rangeFrom.Add(time.Duration(frac * float64(span))).Truncate(24 * time.Hour))
+	}
+	for _, t := range ps.eventDates() {
+		add(t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}

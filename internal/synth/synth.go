@@ -1,0 +1,80 @@
+package synth
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/paperdata"
+	"repro/internal/store"
+)
+
+// Ecosystem is the generated corpus: the CA universe plus the full
+// snapshot database for all ten providers.
+type Ecosystem struct {
+	Universe *Universe
+	DB       *store.Database
+	// Schedules exposes the per-provider trust plans for white-box tests
+	// and ablations.
+	Schedules map[string]*providerSchedule
+}
+
+// Generate builds the complete synthetic ecosystem deterministically from
+// a seed. The returned database holds roughly the paper's 619 snapshots
+// (Table 2 cadence plus one snapshot per membership-change date).
+func Generate(seed string) (*Ecosystem, error) {
+	u, err := NewUniverse(seed)
+	if err != nil {
+		return nil, err
+	}
+	eco := &Ecosystem{
+		Universe:  u,
+		DB:        store.NewDatabase(),
+		Schedules: make(map[string]*providerSchedule),
+	}
+
+	nss := buildNSS(u)
+	eco.Schedules[paperdata.NSS] = nss
+	eco.Schedules[paperdata.Microsoft] = buildMicrosoft(u)
+	eco.Schedules[paperdata.Apple] = buildApple(u)
+	eco.Schedules[paperdata.Java] = buildJava(u)
+	for _, name := range paperdata.Derivatives {
+		eco.Schedules[name] = buildDerivative(u, nss, name)
+	}
+
+	for _, info := range paperdata.Providers() {
+		ps, ok := eco.Schedules[info.Name]
+		if !ok {
+			return nil, fmt.Errorf("synth: no schedule for provider %q", info.Name)
+		}
+		dates := ps.snapshotDates(info.Snapshots)
+		for i, d := range dates {
+			snap := ps.stateAt(u, fmt.Sprintf("%s-%03d", info.Name, i), d)
+			if err := eco.DB.AddSnapshot(snap); err != nil {
+				return nil, fmt.Errorf("synth: %s snapshot %d: %w", info.Name, i, err)
+			}
+		}
+	}
+	return eco, nil
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*Ecosystem{}
+)
+
+// Cached returns a process-wide shared ecosystem for the seed, generating
+// it on first use. The result MUST be treated as read-only: analyses,
+// examples and benchmarks all share it. Use Generate for a private copy.
+func Cached(seed string) (*Ecosystem, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if e, ok := cache[seed]; ok {
+		return e, nil
+	}
+	e, err := Generate(seed)
+	if err != nil {
+		return nil, err
+	}
+	cache[seed] = e
+	return e, nil
+}

@@ -1,0 +1,373 @@
+package synth
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/paperdata"
+	"repro/internal/store"
+)
+
+var (
+	ecoOnce sync.Once
+	eco     *Ecosystem
+	ecoErr  error
+)
+
+// ecosystem generates the corpus once per test process (it is the heavy
+// fixture every test here shares).
+func ecosystem(t testing.TB) *Ecosystem {
+	t.Helper()
+	ecoOnce.Do(func() {
+		eco, ecoErr = Generate("synth-test")
+	})
+	if ecoErr != nil {
+		t.Fatalf("Generate: %v", ecoErr)
+	}
+	return eco
+}
+
+func TestGenerateProviders(t *testing.T) {
+	e := ecosystem(t)
+	provs := e.DB.Providers()
+	if len(provs) != 10 {
+		t.Fatalf("providers = %d, want 10: %v", len(provs), provs)
+	}
+	for _, info := range paperdata.Providers() {
+		h := e.DB.History(info.Name)
+		if h == nil {
+			t.Fatalf("no history for %s", info.Name)
+		}
+		if h.Len() < info.Snapshots {
+			t.Errorf("%s: %d snapshots, want >= %d", info.Name, h.Len(), info.Snapshots)
+		}
+		// Publication window respected.
+		if h.First().Date.Before(info.From) || h.Latest().Date.After(info.To.AddDate(0, 1, 0)) {
+			t.Errorf("%s: snapshots outside window %s..%s", info.Name,
+				h.First().Date.Format("2006-01"), h.Latest().Date.Format("2006-01"))
+		}
+	}
+	if total := e.DB.TotalSnapshots(); total < paperdata.TotalSnapshots {
+		t.Errorf("total snapshots = %d, want >= %d", total, paperdata.TotalSnapshots)
+	}
+}
+
+func TestStoreSizeOrdering(t *testing.T) {
+	e := ecosystem(t)
+	avgSize := func(p string) float64 {
+		h := e.DB.History(p)
+		sum := 0
+		for _, s := range h.Snapshots() {
+			sum += s.Len()
+		}
+		return float64(sum) / float64(h.Len())
+	}
+	ms, apple, nss, java := avgSize(paperdata.Microsoft), avgSize(paperdata.Apple), avgSize(paperdata.NSS), avgSize(paperdata.Java)
+	// Table 3 ordering: Microsoft > Apple > NSS > Java.
+	if !(ms > apple && apple > nss && nss > java) {
+		t.Errorf("avg size ordering wrong: MS=%.1f Apple=%.1f NSS=%.1f Java=%.1f", ms, apple, nss, java)
+	}
+}
+
+func TestExpiredRootsOrdering(t *testing.T) {
+	e := ecosystem(t)
+	avgExpired := func(p string) float64 {
+		h := e.DB.History(p)
+		sum := 0
+		for _, s := range h.Snapshots() {
+			sum += s.ExpiredCount(store.ServerAuth)
+		}
+		return float64(sum) / float64(h.Len())
+	}
+	ms, apple, nss := avgExpired(paperdata.Microsoft), avgExpired(paperdata.Apple), avgExpired(paperdata.NSS)
+	if !(ms > apple && apple > nss) {
+		t.Errorf("avg expired ordering wrong: MS=%.2f Apple=%.2f NSS=%.2f", ms, apple, nss)
+	}
+}
+
+func TestIncidentRemovalDatesReproduced(t *testing.T) {
+	e := ecosystem(t)
+	for _, inc := range paperdata.Incidents() {
+		cas := e.Universe.ByIncident(inc.Name)
+		if len(cas) != inc.NSSCerts {
+			t.Fatalf("%s: %d CAs minted, want %d", inc.Name, len(cas), inc.NSSCerts)
+		}
+		// NSS removal.
+		nssHist := e.DB.History(paperdata.NSS)
+		fp := store.TrustEntry{}
+		_ = fp
+		for _, ca := range cas {
+			entry := ca.Entry()
+			last, still, ever := nssHist.TrustedUntil(entry.Fingerprint, store.ServerAuth)
+			if !ever {
+				t.Errorf("%s: %s never trusted by NSS", inc.Name, ca.Name)
+				continue
+			}
+			if still {
+				t.Errorf("%s: %s still trusted by NSS", inc.Name, ca.Name)
+				continue
+			}
+			if !last.Equal(inc.NSSRemoval) {
+				t.Errorf("%s: NSS trusted %s until %s, want %s", inc.Name, ca.Name,
+					last.Format("2006-01-02"), inc.NSSRemoval.Format("2006-01-02"))
+			}
+		}
+		// Per-store responses.
+		for _, r := range inc.Responses {
+			h := e.DB.History(r.Store)
+			if h == nil {
+				t.Fatalf("no history for %s", r.Store)
+			}
+			for i, ca := range cas {
+				if i >= r.Certs {
+					break
+				}
+				entry := ca.Entry()
+				last, still, ever := h.TrustedUntil(entry.Fingerprint, store.ServerAuth)
+				if !ever {
+					t.Errorf("%s/%s: %s never trusted", inc.Name, r.Store, ca.Name)
+					continue
+				}
+				if r.StillTrusted {
+					if !still {
+						t.Errorf("%s/%s: %s should still be trusted", inc.Name, r.Store, ca.Name)
+					}
+					continue
+				}
+				if still {
+					t.Errorf("%s/%s: %s unexpectedly still trusted", inc.Name, r.Store, ca.Name)
+					continue
+				}
+				if !last.Equal(r.TrustedUntil) && r.Note == "" {
+					t.Errorf("%s/%s: trusted until %s, want %s", inc.Name, r.Store,
+						last.Format("2006-01-02"), r.TrustedUntil.Format("2006-01-02"))
+				}
+			}
+		}
+	}
+}
+
+func TestAndroidNeverIncludedProcert(t *testing.T) {
+	e := ecosystem(t)
+	h := e.DB.History(paperdata.Android)
+	for _, ca := range e.Universe.ByIncident("PSPProcert") {
+		if _, _, ever := h.TrustedUntil(ca.Entry().Fingerprint, store.ServerAuth); ever {
+			t.Errorf("Android should never have trusted %s", ca.Name)
+		}
+	}
+}
+
+func TestSymantecPartialDistrustInNSSOnly(t *testing.T) {
+	e := ecosystem(t)
+	symantec := symantecCohort(e.Universe)
+	if len(symantec) != 12 {
+		t.Fatalf("symantec cohort = %d, want 12", len(symantec))
+	}
+	after := time.Date(2020, 8, 1, 0, 0, 0, 0, time.UTC)
+
+	nssSnap := e.DB.History(paperdata.NSS).At(after)
+	annotated := 0
+	for _, ca := range symantec {
+		if entry, ok := nssSnap.Lookup(ca.Entry().Fingerprint); ok {
+			if _, has := entry.DistrustAfterFor(store.ServerAuth); has {
+				annotated++
+			}
+		}
+	}
+	if annotated != 12 {
+		t.Errorf("NSS snapshot after v53 has %d annotated Symantec roots, want 12", annotated)
+	}
+
+	// Derivatives cannot express the annotation: their snapshots carry
+	// fully-trusted Symantec roots (or none at all).
+	for _, deriv := range []string{paperdata.NodeJS, paperdata.AmazonLinux} {
+		snap := e.DB.History(deriv).At(after)
+		if snap == nil {
+			continue
+		}
+		for _, ca := range symantec {
+			if entry, ok := snap.Lookup(ca.Entry().Fingerprint); ok {
+				if _, has := entry.DistrustAfterFor(store.ServerAuth); has {
+					t.Errorf("%s carries a partial-distrust annotation it cannot express", deriv)
+				}
+			}
+		}
+	}
+}
+
+func TestDebianSymantecReAdd(t *testing.T) {
+	e := ecosystem(t)
+	h := e.DB.History(paperdata.Debian)
+	symantec := symantecCohort(e.Universe)
+	removedRoot := symantec[0].Entry().Fingerprint
+	keptRoot := symantec[len(symantec)-1].Entry().Fingerprint
+
+	gapSnap := h.At(time.Date(2020, 8, 15, 0, 0, 0, 0, time.UTC))
+	if gapSnap == nil {
+		t.Fatal("no Debian snapshot in the gap window")
+	}
+	if _, ok := gapSnap.Lookup(removedRoot); ok {
+		t.Error("Debian should have removed the Symantec root in the gap window")
+	}
+	if _, ok := gapSnap.Lookup(keptRoot); !ok {
+		t.Error("Debian should have curiously retained one Symantec root")
+	}
+	lateSnap := h.At(time.Date(2020, 12, 1, 0, 0, 0, 0, time.UTC))
+	if _, ok := lateSnap.Lookup(removedRoot); !ok {
+		t.Error("Debian should have re-added the Symantec root after complaints")
+	}
+}
+
+func TestNodeJSPreservesV53Removals(t *testing.T) {
+	e := ecosystem(t)
+	h := e.DB.History(paperdata.NodeJS)
+	latest := h.Latest()
+	for _, incName := range []string{"TWCA", "SKID"} {
+		for _, ca := range e.Universe.ByIncident(incName) {
+			if _, ok := latest.Lookup(ca.Entry().Fingerprint); !ok {
+				t.Errorf("NodeJS should preserve %s after skipping NSS v53", ca.Name)
+			}
+		}
+	}
+	// NSS itself removed them.
+	nssLatest := e.DB.History(paperdata.NSS).Latest()
+	for _, ca := range e.Universe.ByIncident("TWCA") {
+		if _, ok := nssLatest.Lookup(ca.Entry().Fingerprint); ok {
+			t.Error("NSS should have removed TWCA in v53")
+		}
+	}
+}
+
+func TestAmazonReAdds1024BitRoots(t *testing.T) {
+	e := ecosystem(t)
+	h := e.DB.History(paperdata.AmazonLinux)
+	mid2017 := h.At(time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC))
+	if mid2017 == nil {
+		t.Fatal("no AmazonLinux snapshot mid-2017")
+	}
+	count := 0
+	for _, ca := range e.Universe.ByCategory(CatLegacyRSA) {
+		if _, ok := mid2017.Lookup(ca.Entry().Fingerprint); ok {
+			count++
+		}
+	}
+	if count != 16 {
+		t.Errorf("AmazonLinux mid-2017 has %d legacy 1024-bit roots, want 16", count)
+	}
+	// NSS removed them back in 2015.
+	nss2016 := e.DB.History(paperdata.NSS).At(time.Date(2016, 6, 1, 0, 0, 0, 0, time.UTC))
+	for _, ca := range e.Universe.ByCategory(CatLegacyRSA) {
+		if _, ok := nss2016.Lookup(ca.Entry().Fingerprint); ok {
+			t.Fatal("NSS should have purged 1024-bit roots by mid-2016")
+		}
+	}
+}
+
+func TestEmailConflation(t *testing.T) {
+	e := ecosystem(t)
+	emailOnly := e.Universe.ByCategory(CatEmailOnly)
+	if len(emailOnly) != 19 {
+		t.Fatalf("email-only cohort = %d, want 19", len(emailOnly))
+	}
+	// NSS never TLS-trusts them.
+	nssLatest := e.DB.History(paperdata.NSS).Latest()
+	for _, ca := range emailOnly {
+		if entry, ok := nssLatest.Lookup(ca.Entry().Fingerprint); ok {
+			if entry.TrustedFor(store.ServerAuth) {
+				t.Fatalf("NSS TLS-trusts email-only root %s", ca.Name)
+			}
+		}
+	}
+	// Debian TLS-trusted all 19 before 2017.
+	deb2016 := e.DB.History(paperdata.Debian).At(time.Date(2016, 6, 1, 0, 0, 0, 0, time.UTC))
+	n := 0
+	for _, ca := range emailOnly {
+		if entry, ok := deb2016.Lookup(ca.Entry().Fingerprint); ok && entry.TrustedFor(store.ServerAuth) {
+			n++
+		}
+	}
+	if n != 19 {
+		t.Errorf("Debian 2016 TLS-trusts %d email-only roots, want 19", n)
+	}
+	// And stopped after the cutover.
+	deb2018 := e.DB.History(paperdata.Debian).At(time.Date(2018, 6, 1, 0, 0, 0, 0, time.UTC))
+	n = 0
+	for _, ca := range emailOnly {
+		if entry, ok := deb2018.Lookup(ca.Entry().Fingerprint); ok && entry.TrustedFor(store.ServerAuth) {
+			n++
+		}
+	}
+	if n != 0 {
+		t.Errorf("Debian 2018 still TLS-trusts %d email-only roots", n)
+	}
+	// Alpine: four until 2020.
+	alp2019 := e.DB.History(paperdata.Alpine).At(time.Date(2019, 9, 1, 0, 0, 0, 0, time.UTC))
+	n = 0
+	for _, ca := range emailOnly {
+		if entry, ok := alp2019.Lookup(ca.Entry().Fingerprint); ok && entry.TrustedFor(store.ServerAuth) {
+			n++
+		}
+	}
+	if n != 4 {
+		t.Errorf("Alpine 2019 TLS-trusts %d email-only roots, want 4", n)
+	}
+}
+
+func TestExclusiveRootsPlacement(t *testing.T) {
+	e := ecosystem(t)
+	latestByProg := map[string]*store.Snapshot{}
+	for _, prog := range paperdata.IndependentPrograms {
+		latestByProg[prog] = e.DB.History(prog).Latest()
+	}
+	for _, ca := range e.Universe.ByCategory(CatExclusive) {
+		fp := ca.Entry().Fingerprint
+		for prog, snap := range latestByProg {
+			entry, ok := snap.Lookup(fp)
+			tlsTrusted := ok && entry.TrustedFor(store.ServerAuth)
+			if prog == ca.Program && !tlsTrusted {
+				t.Errorf("%s missing from its own program %s", ca.Name, prog)
+			}
+			if prog != ca.Program && tlsTrusted {
+				t.Errorf("%s leaked into %s", ca.Name, prog)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := ecosystem(t)
+	b, err := Generate("synth-test") // same seed as the shared fixture
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := a.DB.History(paperdata.NSS).Latest()
+	sb := b.DB.History(paperdata.NSS).Latest()
+	if sa.Len() != sb.Len() {
+		t.Fatalf("same seed produced different NSS sizes: %d vs %d", sa.Len(), sb.Len())
+	}
+	for _, entry := range sa.Entries() {
+		if _, ok := sb.Lookup(entry.Fingerprint); !ok {
+			// RSA certificates are fully deterministic. ECDSA roots carry
+			// nondeterministic signature nonces, so only their absence
+			// from the *name* space would be a bug, not their bytes.
+			if entry.Cert.PublicKeyAlgorithm.String() == "RSA" {
+				t.Errorf("RSA root %s differs across same-seed runs", entry.Label)
+			}
+		}
+	}
+}
+
+func TestCachedSharesInstance(t *testing.T) {
+	a, err := Cached("cache-test-synth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cached("cache-test-synth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Cached should return the same instance for the same seed")
+	}
+}

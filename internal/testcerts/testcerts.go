@@ -1,0 +1,61 @@
+// Package testcerts provides a process-wide cache of minted test root
+// certificates so the many codec and analysis test suites do not each pay
+// key-generation cost. Tests only — not part of the library API surface.
+package testcerts
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/certgen"
+	"repro/internal/store"
+)
+
+var (
+	mu    sync.Mutex
+	pool  = certgen.NewKeyPool("testcerts")
+	cache []*certgen.Root
+)
+
+// Roots returns n distinct ECDSA test roots, minting lazily.
+func Roots(n int) []*certgen.Root {
+	mu.Lock()
+	defer mu.Unlock()
+	for len(cache) < n {
+		i := len(cache)
+		r, err := certgen.NewRoot(pool, certgen.RootSpec{
+			Name:      fmt.Sprintf("Shared Test Root %03d", i),
+			Org:       "Test Fixtures",
+			Country:   "US",
+			Key:       certgen.ECDSA256,
+			Sig:       certgen.ECDSAWithSHA256,
+			NotBefore: time.Date(2008, 1, 1, 0, 0, 0, 0, time.UTC),
+			NotAfter:  time.Date(2038, 1, 1, 0, 0, 0, 0, time.UTC),
+			KeyIndex:  i,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("testcerts: mint root %d: %v", i, err))
+		}
+		cache = append(cache, r)
+	}
+	return cache[:n]
+}
+
+// Entries returns n trust entries over the shared roots, each trusted for
+// the given purposes.
+func Entries(n int, purposes ...store.Purpose) []*store.TrustEntry {
+	rs := Roots(n)
+	out := make([]*store.TrustEntry, 0, n)
+	for _, r := range rs {
+		e, err := store.NewTrustedEntry(r.DER, purposes...)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Pool exposes the shared key pool for tests that issue leaves.
+func Pool() *certgen.KeyPool { return pool }

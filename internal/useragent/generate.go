@@ -1,0 +1,170 @@
+package useragent
+
+import (
+	"fmt"
+)
+
+// SampleRow is one row of the paper's Table 1: a (OS, client) pair with the
+// number of distinct versions observed among the top-200 UAs and whether
+// the paper collected the root store behind it.
+type SampleRow struct {
+	OS       OS
+	Browser  Browser
+	Versions int
+	Included bool
+}
+
+// PaperSample returns the paper's Table 1 verbatim: the top-200 User-Agent
+// population of a major CDN (April 7, 2021), grouped by OS and client.
+// The rows sum to 200 with 154 (77.0%) included.
+func PaperSample() []SampleRow {
+	return []SampleRow{
+		// Android
+		{OSAndroid, BrowserChromeMobile, 48, true},
+		{OSAndroid, BrowserSamsung, 2, false},
+		{OSAndroid, BrowserAndroidBrowser, 3, false},
+		{OSAndroid, BrowserFirefoxMobile, 1, true},
+		{OSAndroid, BrowserChromeWebView, 1, false},
+		{OSAndroid, BrowserChrome, 1, true},
+		// Windows
+		{OSWindows, BrowserChrome, 23, true},
+		{OSWindows, BrowserFirefox, 7, true},
+		{OSWindows, BrowserElectron, 6, true},
+		{OSWindows, BrowserOpera, 4, true},
+		{OSWindows, BrowserEdge, 4, true},
+		{OSWindows, BrowserYandex, 3, false},
+		{OSWindows, BrowserIE, 3, true},
+		// iOS
+		{OSIOS, BrowserMobileSafari, 18, true},
+		{OSIOS, BrowserWKWebView, 4, true},
+		{OSIOS, BrowserChromeIOS, 2, true},
+		{OSIOS, BrowserGoogleApp, 2, false},
+		// macOS
+		{OSMacOS, BrowserSafari, 15, true},
+		{OSMacOS, BrowserChrome, 14, true},
+		{OSMacOS, BrowserFirefox, 2, true},
+		{OSMacOS, BrowserAppleMail, 1, false},
+		{OSMacOS, BrowserElectron, 1, true},
+		// ChromeOS
+		{OSChromeOS, BrowserChrome, 8, false},
+		// Linux
+		{OSLinux, BrowserChrome, 2, false},
+		{OSLinux, BrowserSafari, 1, false},
+		{OSLinux, BrowserFirefox, 1, true},
+		{OSLinux, BrowserSamsung, 1, false},
+		// Unknown platform
+		{OSUnknown, BrowserOkhttp, 3, false},
+		{OSUnknown, BrowserUnknown, 2, false},
+		{OSWindows, BrowserCryptoAPI, 1, false},
+		// API clients
+		{OSUnknown, BrowserAPIClient, 16, false},
+	}
+}
+
+// Generate expands the sample rows into concrete User-Agent strings, one
+// per (row, version) pair — a synthetic top-200 list whose marginals match
+// the paper's. Version numbers are deterministic.
+func Generate(rows []SampleRow) []string {
+	var out []string
+	for _, row := range rows {
+		for v := 0; v < row.Versions; v++ {
+			out = append(out, uaString(row, v))
+		}
+	}
+	return out
+}
+
+// uaString renders a realistic UA string for the row's client/OS at a
+// synthetic version index.
+func uaString(row SampleRow, v int) string {
+	chromeVer := fmt.Sprintf("%d.0.%d.%d", 60+v, 3000+v*7, 80+v)
+	switch row.Browser {
+	case BrowserChromeMobile:
+		return fmt.Sprintf("Mozilla/5.0 (Linux; Android 11; Pixel %d) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/%s Mobile Safari/537.36", 3+v%5, chromeVer)
+	case BrowserChromeWebView:
+		return fmt.Sprintf("Mozilla/5.0 (Linux; Android 10; SM-G97%d; wv) AppleWebKit/537.36 (KHTML, like Gecko) Version/4.0 Chrome/%s Mobile Safari/537.36", v%10, chromeVer)
+	case BrowserChrome:
+		switch row.OS {
+		case OSWindows:
+			return fmt.Sprintf("Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/%s Safari/537.36", chromeVer)
+		case OSMacOS:
+			return fmt.Sprintf("Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_%d) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/%s Safari/537.36", v%8, chromeVer)
+		case OSChromeOS:
+			return fmt.Sprintf("Mozilla/5.0 (X11; CrOS x86_64 1385%d.0.0) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/%s Safari/537.36", v, chromeVer)
+		case OSLinux:
+			return fmt.Sprintf("Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/%s Safari/537.36", chromeVer)
+		case OSAndroid:
+			// Desktop-mode Chrome on Android (no Mobile token).
+			return fmt.Sprintf("Mozilla/5.0 (Linux; Android 11) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/%s Safari/537.36", chromeVer)
+		}
+	case BrowserChromeIOS:
+		return fmt.Sprintf("Mozilla/5.0 (iPhone; CPU iPhone OS 14_%d like Mac OS X) AppleWebKit/605.1.15 (KHTML, like Gecko) CriOS/%d.0.4389.%d Mobile/15E148 Safari/604.1", v%7, 85+v, 70+v)
+	case BrowserFirefox:
+		switch row.OS {
+		case OSWindows:
+			return fmt.Sprintf("Mozilla/5.0 (Windows NT 10.0; Win64; x64; rv:%d.0) Gecko/20100101 Firefox/%d.0", 78+v, 78+v)
+		case OSMacOS:
+			return fmt.Sprintf("Mozilla/5.0 (Macintosh; Intel Mac OS X 10.15; rv:%d.0) Gecko/20100101 Firefox/%d.0", 80+v, 80+v)
+		case OSLinux:
+			return fmt.Sprintf("Mozilla/5.0 (X11; Linux x86_64; rv:%d.0) Gecko/20100101 Firefox/%d.0", 78+v, 78+v)
+		}
+	case BrowserFirefoxMobile:
+		return fmt.Sprintf("Mozilla/5.0 (Android 11; Mobile; rv:%d.0) Gecko/%d.0 Firefox/%d.0", 86+v, 86+v, 86+v)
+	case BrowserMobileSafari:
+		return fmt.Sprintf("Mozilla/5.0 (iPhone; CPU iPhone OS 14_%d like Mac OS X) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/14.%d.1 Mobile/15E148 Safari/604.1", v%8, v)
+	case BrowserWKWebView:
+		return fmt.Sprintf("Mozilla/5.0 (iPhone; CPU iPhone OS 14_%d like Mac OS X) AppleWebKit/605.1.15 (KHTML, like Gecko) Mobile/15E%d", v%8, 140+v)
+	case BrowserSafari:
+		if row.OS == OSLinux {
+			// The sample's odd "Safari on Linux" row: a spoofed/embedded agent.
+			return fmt.Sprintf("Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/13.1.%d Safari/605.1.15", v%3)
+		}
+		return fmt.Sprintf("Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_%d) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/14.%d.1 Safari/605.1.15", v%8, v)
+	case BrowserEdge:
+		return fmt.Sprintf("Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/%s Safari/537.36 Edg/%d.0.%d.%d", chromeVer, 88+v, 700+v, 50+v)
+	case BrowserIE:
+		return fmt.Sprintf("Mozilla/5.0 (Windows NT 6.1; WOW64; Trident/7.0; rv:11.0) like Gecko MSIE %d.0", 9+v)
+	case BrowserOpera:
+		return fmt.Sprintf("Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/%s Safari/537.36 OPR/%d.0.%d.%d", chromeVer, 74+v, 3900+v, 60+v)
+	case BrowserYandex:
+		return fmt.Sprintf("Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/%s YaBrowser/%d.2.0 Safari/537.36", chromeVer, 21+v)
+	case BrowserSamsung:
+		if row.OS == OSLinux {
+			return fmt.Sprintf("Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) SamsungBrowser/%d.0 Chrome/%s Safari/537.36", 13+v, chromeVer)
+		}
+		return fmt.Sprintf("Mozilla/5.0 (Linux; Android 11; SAMSUNG SM-G99%d) AppleWebKit/537.36 (KHTML, like Gecko) SamsungBrowser/%d.0 Chrome/%s Mobile Safari/537.36", v%10, 13+v, chromeVer)
+	case BrowserAndroidBrowser:
+		return fmt.Sprintf("Mozilla/5.0 (Linux; U; Android 4.%d; en-us; GT-I950%d Build/JDQ39) AppleWebKit/534.30 (KHTML, like Gecko) Version/4.0 Mobile Safari/534.30", v%5, v%10)
+	case BrowserElectron:
+		switch row.OS {
+		case OSWindows:
+			return fmt.Sprintf("Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) SomeApp/1.%d.0 Chrome/%s Electron/%d.1.0 Safari/537.36", v, chromeVer, 11+v)
+		case OSMacOS:
+			return fmt.Sprintf("Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_%d) AppleWebKit/537.36 (KHTML, like Gecko) SomeApp/1.%d.0 Chrome/%s Electron/%d.1.0 Safari/537.36", v%8, v, chromeVer, 11+v)
+		}
+	case BrowserGoogleApp:
+		return fmt.Sprintf("Mozilla/5.0 (iPhone; CPU iPhone OS 14_%d like Mac OS X) AppleWebKit/605.1.15 (KHTML, like Gecko) GSA/143.%d.3668 Mobile/15E148 Safari/604.1", v%7, v)
+	case BrowserOkhttp:
+		return fmt.Sprintf("okhttp/4.%d.0", 7+v)
+	case BrowserCryptoAPI:
+		return fmt.Sprintf("Microsoft-CryptoAPI/10.0.%d", 19041+v)
+	case BrowserAppleMail:
+		return fmt.Sprintf("Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_%d) AppleWebKit/605.1.15 (KHTML, like Gecko) Mail/3654.%d", v%8, 60+v)
+	case BrowserAPIClient:
+		clients := []string{
+			"curl/7.%d.0", "python-requests/2.%d.0", "Go-http-client/1.1",
+			"Java/11.0.%d", "Apache-HttpClient/4.5.%d", "axios/0.2%d.0",
+			"Wget/1.%d", "node-fetch/1.%d", "Dalvik/2.1.0 (Linux; U; Android 1%d)",
+			"PostmanRuntime/7.%d.0", "GuzzleHttp/7.%d", "libwww-perl/6.%d",
+			"Python-urllib/3.%d", "aws-sdk-go/1.%d.0", "Ruby", "insomnia/2021.%d",
+		}
+		tmpl := clients[v%len(clients)]
+		if tmpl == "Ruby" || tmpl == "Go-http-client/1.1" {
+			return tmpl
+		}
+		return fmt.Sprintf(tmpl, 60+v)
+	case BrowserUnknown:
+		return fmt.Sprintf("CustomAgent-%d", v)
+	}
+	return fmt.Sprintf("UnmodeledAgent/%d", v)
+}

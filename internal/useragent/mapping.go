@@ -1,0 +1,133 @@
+package useragent
+
+// Provider names the root-store provider a client draws trust anchors
+// from. Values match internal/store provider names.
+type Provider string
+
+// Providers in the paper's dataset, plus sentinels for untraceable agents.
+const (
+	ProviderNSS       Provider = "NSS"
+	ProviderMicrosoft Provider = "Microsoft"
+	ProviderApple     Provider = "Apple"
+	ProviderAndroid   Provider = "Android"
+	ProviderNodeJS    Provider = "NodeJS"
+	ProviderJava      Provider = "Java"
+	ProviderLinux     Provider = "Linux" // some Linux distribution's store
+	ProviderUnknown   Provider = ""      // could not be determined
+)
+
+// Family is the independent root program a provider ultimately derives its
+// roots from — the paper's four-cluster finding (Figure 1).
+type Family string
+
+// The four independent root programs.
+const (
+	FamilyNSS       Family = "Mozilla"
+	FamilyMicrosoft Family = "Microsoft"
+	FamilyApple     Family = "Apple"
+	FamilyJava      Family = "Java"
+	FamilyUnknown   Family = ""
+)
+
+// FamilyOf rolls a provider up to its root program. Linux distributions,
+// Android and NodeJS all derive from NSS (§6); the paper found no
+// exceptions.
+func FamilyOf(p Provider) Family {
+	switch p {
+	case ProviderNSS, ProviderAndroid, ProviderNodeJS, ProviderLinux:
+		return FamilyNSS
+	case ProviderMicrosoft:
+		return FamilyMicrosoft
+	case ProviderApple:
+		return FamilyApple
+	case ProviderJava:
+		return FamilyJava
+	default:
+		return FamilyUnknown
+	}
+}
+
+// MapResult explains a provider determination.
+type MapResult struct {
+	Provider Provider
+	// Traceable is false when the paper could not (and we cannot)
+	// determine the store: unknown clients, proprietary browsers without
+	// source history, API clients with build-time configuration.
+	Traceable bool
+	// Reason is a human-readable justification, mirroring Table 1 and
+	// Table 5's "Details" columns.
+	Reason string
+}
+
+// MapToProvider applies the paper's client→root-store rules (§3, Appendix
+// A) to a parsed agent.
+func MapToProvider(a Agent) MapResult {
+	switch a.Browser {
+	case BrowserFirefox, BrowserFirefoxMobile:
+		// Firefox ships NSS everywhere.
+		return MapResult{ProviderNSS, true, "Firefox uses NSS on all platforms"}
+	case BrowserFirefoxIOS, BrowserChromeIOS, BrowserMobileSafari, BrowserWKWebView:
+		// Apple prohibits custom root stores on iOS.
+		return MapResult{ProviderApple, true, "iOS clients must use the Apple store"}
+	case BrowserSafari:
+		if a.OS != OSMacOS {
+			// "Safari" on Linux/other is a spoofed or embedded agent; the
+			// paper could not trace it (Table 1 lists it as not included).
+			return MapResult{ProviderUnknown, false, "Safari UA on non-Apple platform is untraceable"}
+		}
+		return MapResult{ProviderApple, true, "Safari uses the macOS keychain"}
+	case BrowserAppleMail:
+		// Listed "no" in Table 1: Mail is excluded from the UA analysis.
+		return MapResult{ProviderApple, false, "Apple Mail excluded from sample"}
+	case BrowserIE, BrowserEdge:
+		return MapResult{ProviderMicrosoft, true, "IE/Edge use Windows system certificates"}
+	case BrowserElectron:
+		// Electron bundles NodeJS, whose root store its net stack uses by
+		// default; the paper includes Electron (Table 1 "yes") through
+		// that NodeJS lineage, which is what makes the NSS family share
+		// come out at 34%.
+		return MapResult{ProviderNodeJS, true, "Electron ships the NodeJS root store"}
+	case BrowserOpera:
+		// Post-2013 Opera is Chromium: system roots.
+		switch a.OS {
+		case OSWindows:
+			return MapResult{ProviderMicrosoft, true, "Opera (Chromium) uses system store"}
+		case OSMacOS:
+			return MapResult{ProviderApple, true, "Opera (Chromium) uses system store"}
+		default:
+			return MapResult{ProviderUnknown, false, "Opera on untracked platform"}
+		}
+	case BrowserChrome, BrowserChromeMobile:
+		// Chrome inherited the OS store during the study window.
+		switch a.OS {
+		case OSWindows:
+			return MapResult{ProviderMicrosoft, true, "Chrome uses Windows system store"}
+		case OSMacOS:
+			return MapResult{ProviderApple, true, "Chrome uses macOS system store"}
+		case OSAndroid:
+			return MapResult{ProviderAndroid, true, "Chrome uses the Android system store"}
+		case OSChromeOS:
+			return MapResult{ProviderUnknown, false, "ChromeOS has no public root store history"}
+		case OSLinux:
+			return MapResult{ProviderUnknown, false, "Linux distribution store unidentifiable from UA"}
+		default:
+			return MapResult{ProviderUnknown, false, "Chrome on unknown platform"}
+		}
+	case BrowserChromeWebView:
+		return MapResult{ProviderUnknown, false, "WebView apps may customize trust"}
+	case BrowserSamsung, BrowserYandex:
+		return MapResult{ProviderUnknown, false, "no public source history"}
+	case BrowserAndroidBrowser:
+		return MapResult{ProviderUnknown, false, "legacy Android browser excluded"}
+	case BrowserGoogleApp:
+		return MapResult{ProviderUnknown, false, "Google app excluded"}
+	case BrowserOkhttp:
+		return MapResult{ProviderUnknown, false, "okhttp uses platform TLS; app unidentifiable"}
+	case BrowserCryptoAPI:
+		return MapResult{ProviderUnknown, false, "CryptoAPI updater, not a TLS user agent"}
+	case BrowserAPIClient:
+		return MapResult{ProviderUnknown, false, "API client with build-time trust configuration"}
+	default:
+		return MapResult{ProviderUnknown, false, "unrecognized user agent"}
+	}
+}

@@ -1,0 +1,219 @@
+// Package useragent parses HTTP User-Agent strings into (client, OS) pairs
+// and maps them to the root-store provider the client actually uses — the
+// paper's methodology for Table 1 and the ecosystem pyramid of Figure 2.
+// It also contains a weighted traffic generator calibrated to the paper's
+// published top-200 CDN sample, substituting for the proprietary CDN data.
+package useragent
+
+import (
+	"strings"
+)
+
+// Browser identifies the client software family.
+type Browser string
+
+// Client families found in the paper's top-200 sample.
+const (
+	BrowserChrome         Browser = "Chrome"
+	BrowserChromeMobile   Browser = "Chrome Mobile"
+	BrowserChromeWebView  Browser = "Chrome Mobile WebView"
+	BrowserChromeIOS      Browser = "Chrome Mobile iOS"
+	BrowserFirefox        Browser = "Firefox"
+	BrowserFirefoxMobile  Browser = "Firefox Mobile"
+	BrowserFirefoxIOS     Browser = "Firefox iOS"
+	BrowserSafari         Browser = "Safari"
+	BrowserMobileSafari   Browser = "Mobile Safari"
+	BrowserWKWebView      Browser = "WKWebView"
+	BrowserEdge           Browser = "Edge"
+	BrowserIE             Browser = "IE"
+	BrowserOpera          Browser = "Opera"
+	BrowserYandex         Browser = "Yandex Browser"
+	BrowserSamsung        Browser = "Samsung Internet"
+	BrowserAndroidBrowser Browser = "Android"
+	BrowserElectron       Browser = "Electron"
+	BrowserOkhttp         Browser = "okhttp"
+	BrowserCryptoAPI      Browser = "CryptoAPI"
+	BrowserGoogleApp      Browser = "Google"
+	BrowserAppleMail      Browser = "Apple Mail"
+	BrowserAPIClient      Browser = "API Client"
+	BrowserUnknown        Browser = "Unknown"
+)
+
+// OS identifies the operating system family.
+type OS string
+
+// Operating systems found in the sample.
+const (
+	OSWindows  OS = "Windows"
+	OSMacOS    OS = "Mac OS X"
+	OSIOS      OS = "iOS"
+	OSAndroid  OS = "Android"
+	OSLinux    OS = "Linux"
+	OSChromeOS OS = "ChromeOS"
+	OSUnknown  OS = "Unknown"
+)
+
+// Agent is a parsed User-Agent.
+type Agent struct {
+	Browser Browser
+	OS      OS
+	// Version is the client's major version string when present.
+	Version string
+	// Raw preserves the input.
+	Raw string
+}
+
+// Parse classifies a User-Agent string. The precedence order matters:
+// almost every Chromium derivative embeds "Chrome/", and everything under
+// the sun claims "Mozilla/5.0", so specific markers are tested before
+// generic ones — the same care the paper's manual investigation applied.
+func Parse(ua string) Agent {
+	a := Agent{Raw: ua, Browser: BrowserUnknown, OS: OSUnknown}
+	a.OS = parseOS(ua)
+
+	switch {
+	case ua == "":
+		a.Browser = BrowserUnknown
+	case strings.HasPrefix(ua, "okhttp/"):
+		a.Browser = BrowserOkhttp
+		a.Version = versionAfter(ua, "okhttp/")
+	case strings.Contains(ua, "Microsoft-CryptoAPI"):
+		a.Browser = BrowserCryptoAPI
+		a.Version = versionAfter(ua, "Microsoft-CryptoAPI/")
+	case isAPIClient(ua):
+		a.Browser = BrowserAPIClient
+	case strings.Contains(ua, "Electron/"):
+		a.Browser = BrowserElectron
+		a.Version = versionAfter(ua, "Electron/")
+	case strings.Contains(ua, "YaBrowser/"):
+		a.Browser = BrowserYandex
+		a.Version = versionAfter(ua, "YaBrowser/")
+	case strings.Contains(ua, "SamsungBrowser/"):
+		a.Browser = BrowserSamsung
+		a.Version = versionAfter(ua, "SamsungBrowser/")
+	case strings.Contains(ua, "Edg/") || strings.Contains(ua, "Edge/") || strings.Contains(ua, "EdgA/"):
+		a.Browser = BrowserEdge
+		for _, marker := range []string{"Edg/", "Edge/", "EdgA/"} {
+			if strings.Contains(ua, marker) {
+				a.Version = versionAfter(ua, marker)
+				break
+			}
+		}
+	case strings.Contains(ua, "OPR/") || strings.Contains(ua, "Opera/"):
+		a.Browser = BrowserOpera
+		if strings.Contains(ua, "OPR/") {
+			a.Version = versionAfter(ua, "OPR/")
+		} else {
+			a.Version = versionAfter(ua, "Opera/")
+		}
+	case strings.Contains(ua, "CriOS/"):
+		a.Browser = BrowserChromeIOS
+		a.Version = versionAfter(ua, "CriOS/")
+	case strings.Contains(ua, "FxiOS/"):
+		a.Browser = BrowserFirefoxIOS
+		a.Version = versionAfter(ua, "FxiOS/")
+	case strings.Contains(ua, "GSA/"):
+		a.Browser = BrowserGoogleApp
+		a.Version = versionAfter(ua, "GSA/")
+	case strings.Contains(ua, "Firefox/"):
+		if a.OS == OSAndroid {
+			a.Browser = BrowserFirefoxMobile
+		} else {
+			a.Browser = BrowserFirefox
+		}
+		a.Version = versionAfter(ua, "Firefox/")
+	case strings.Contains(ua, "MSIE ") || strings.Contains(ua, "Trident/"):
+		a.Browser = BrowserIE
+		if strings.Contains(ua, "MSIE ") {
+			a.Version = versionAfter(ua, "MSIE ")
+		}
+	case strings.Contains(ua, "Chrome/"):
+		a.Version = versionAfter(ua, "Chrome/")
+		switch {
+		case a.OS == OSAndroid && strings.Contains(ua, "; wv)"):
+			a.Browser = BrowserChromeWebView
+		case a.OS == OSAndroid && strings.Contains(ua, "Mobile"):
+			a.Browser = BrowserChromeMobile
+		default:
+			a.Browser = BrowserChrome
+		}
+	case strings.Contains(ua, "Mobile/") && strings.Contains(ua, "AppleWebKit/") && !strings.Contains(ua, "Safari/"):
+		// WebKit without the Safari token: an embedded WKWebView.
+		a.Browser = BrowserWKWebView
+	case strings.Contains(ua, "Safari/") && strings.Contains(ua, "Version/"):
+		switch a.OS {
+		case OSIOS:
+			a.Browser = BrowserMobileSafari
+		case OSAndroid:
+			// The legacy Android stock browser carries WebKit's
+			// Version/Safari tokens but is not Safari.
+			a.Browser = BrowserAndroidBrowser
+		default:
+			a.Browser = BrowserSafari
+		}
+		a.Version = versionAfter(ua, "Version/")
+	case strings.Contains(ua, "Android") && strings.Contains(ua, "AppleWebKit/"):
+		a.Browser = BrowserAndroidBrowser
+	case strings.Contains(ua, "Mail/") && a.OS == OSMacOS:
+		a.Browser = BrowserAppleMail
+	}
+	return a
+}
+
+func parseOS(ua string) OS {
+	switch {
+	case strings.Contains(ua, "Windows NT") || strings.Contains(ua, "Windows;") || strings.HasPrefix(ua, "Microsoft"):
+		return OSWindows
+	case strings.Contains(ua, "CrOS"):
+		return OSChromeOS
+	case strings.Contains(ua, "Android"):
+		return OSAndroid
+	case strings.Contains(ua, "iPhone") || strings.Contains(ua, "iPad") || strings.Contains(ua, "iPod") || strings.Contains(ua, "like Mac OS X"):
+		return OSIOS
+	case strings.Contains(ua, "Mac OS X") || strings.Contains(ua, "Macintosh"):
+		return OSMacOS
+	case strings.Contains(ua, "Linux") || strings.Contains(ua, "X11;"):
+		return OSLinux
+	default:
+		return OSUnknown
+	}
+}
+
+// isAPIClient recognizes the non-browser HTTP clients common in CDN logs.
+func isAPIClient(ua string) bool {
+	prefixes := []string{
+		"curl/", "Wget/", "python-requests/", "Python-urllib/", "Go-http-client/",
+		"Java/", "Apache-HttpClient/", "axios/", "node-fetch/", "aws-sdk-",
+		"Dalvik/", "libwww-perl/", "Ruby", "PostmanRuntime/", "insomnia/",
+		"GuzzleHttp/",
+	}
+	for _, p := range prefixes {
+		if strings.HasPrefix(ua, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// versionAfter extracts the dotted-numeric token following a marker and
+// returns its major component.
+func versionAfter(ua, marker string) string {
+	i := strings.Index(ua, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := ua[i+len(marker):]
+	end := 0
+	for end < len(rest) {
+		c := rest[end]
+		if (c < '0' || c > '9') && c != '.' {
+			break
+		}
+		end++
+	}
+	token := rest[:end]
+	if dot := strings.IndexByte(token, '.'); dot >= 0 {
+		return token[:dot]
+	}
+	return token
+}

@@ -1,0 +1,253 @@
+package useragent
+
+import (
+	"testing"
+)
+
+func TestParseKnownStrings(t *testing.T) {
+	cases := []struct {
+		ua      string
+		browser Browser
+		os      OS
+		version string
+	}{
+		{
+			"Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/89.0.4389.82 Safari/537.36",
+			BrowserChrome, OSWindows, "89",
+		},
+		{
+			"Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_7) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/14.0.3 Safari/605.1.15",
+			BrowserSafari, OSMacOS, "14",
+		},
+		{
+			"Mozilla/5.0 (iPhone; CPU iPhone OS 14_4 like Mac OS X) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/14.0 Mobile/15E148 Safari/604.1",
+			BrowserMobileSafari, OSIOS, "14",
+		},
+		{
+			"Mozilla/5.0 (Windows NT 10.0; Win64; x64; rv:86.0) Gecko/20100101 Firefox/86.0",
+			BrowserFirefox, OSWindows, "86",
+		},
+		{
+			"Mozilla/5.0 (Android 11; Mobile; rv:86.0) Gecko/86.0 Firefox/86.0",
+			BrowserFirefoxMobile, OSAndroid, "86",
+		},
+		{
+			"Mozilla/5.0 (Linux; Android 11; Pixel 4) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/89.0.4389.86 Mobile Safari/537.36",
+			BrowserChromeMobile, OSAndroid, "89",
+		},
+		{
+			"Mozilla/5.0 (Linux; Android 10; SM-G973F; wv) AppleWebKit/537.36 (KHTML, like Gecko) Version/4.0 Chrome/88.0.4324.181 Mobile Safari/537.36",
+			BrowserChromeWebView, OSAndroid, "88",
+		},
+		{
+			"Mozilla/5.0 (iPhone; CPU iPhone OS 14_4 like Mac OS X) AppleWebKit/605.1.15 (KHTML, like Gecko) CriOS/87.0.4280.77 Mobile/15E148 Safari/604.1",
+			BrowserChromeIOS, OSIOS, "87",
+		},
+		{
+			"Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/88.0.705.50 Safari/537.36 Edg/88.0.705.50",
+			BrowserEdge, OSWindows, "88",
+		},
+		{
+			"Mozilla/5.0 (Windows NT 6.1; WOW64; Trident/7.0; rv:11.0) like Gecko",
+			BrowserIE, OSWindows, "",
+		},
+		{
+			"Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/88.0.4324.182 Safari/537.36 OPR/74.0.3911.160",
+			BrowserOpera, OSWindows, "74",
+		},
+		{
+			"Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/88.0.4324.182 YaBrowser/21.2.0 Safari/537.36",
+			BrowserYandex, OSWindows, "21",
+		},
+		{
+			"Mozilla/5.0 (Linux; Android 11; SAMSUNG SM-G991B) AppleWebKit/537.36 (KHTML, like Gecko) SamsungBrowser/13.2 Chrome/83.0.4103.106 Mobile Safari/537.36",
+			BrowserSamsung, OSAndroid, "13",
+		},
+		{
+			"Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Slack/4.12.2 Chrome/87.0.4280.141 Electron/11.1.1 Safari/537.36",
+			BrowserElectron, OSWindows, "11",
+		},
+		{
+			"okhttp/4.9.0",
+			BrowserOkhttp, OSUnknown, "4",
+		},
+		{
+			"Microsoft-CryptoAPI/10.0",
+			BrowserCryptoAPI, OSWindows, "10",
+		},
+		{
+			"curl/7.68.0",
+			BrowserAPIClient, OSUnknown, "",
+		},
+		{
+			"python-requests/2.25.1",
+			BrowserAPIClient, OSUnknown, "",
+		},
+		{
+			"Mozilla/5.0 (X11; CrOS x86_64 13854.0.0) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/90.0.4430.41 Safari/537.36",
+			BrowserChrome, OSChromeOS, "90",
+		},
+		{
+			"Mozilla/5.0 (X11; Linux x86_64; rv:78.0) Gecko/20100101 Firefox/78.0",
+			BrowserFirefox, OSLinux, "78",
+		},
+		{
+			"", BrowserUnknown, OSUnknown, "",
+		},
+	}
+	for _, c := range cases {
+		got := Parse(c.ua)
+		if got.Browser != c.browser {
+			t.Errorf("Parse(%q).Browser = %q, want %q", c.ua, got.Browser, c.browser)
+		}
+		if got.OS != c.os {
+			t.Errorf("Parse(%q).OS = %q, want %q", c.ua, got.OS, c.os)
+		}
+		if c.version != "" && got.Version != c.version {
+			t.Errorf("Parse(%q).Version = %q, want %q", c.ua, got.Version, c.version)
+		}
+	}
+}
+
+func TestPaperSampleTotals(t *testing.T) {
+	rows := PaperSample()
+	total, included := 0, 0
+	for _, r := range rows {
+		total += r.Versions
+		if r.Included {
+			included += r.Versions
+		}
+	}
+	if total != 200 {
+		t.Errorf("sample total = %d, want 200", total)
+	}
+	if included != 154 {
+		t.Errorf("included = %d, want 154 (77.0%%)", included)
+	}
+}
+
+func TestGenerateRoundTripsThroughParser(t *testing.T) {
+	// Every generated UA must be classified back to its row's (browser, OS):
+	// the generator and parser are two halves of the Table 1 pipeline.
+	for _, row := range PaperSample() {
+		if row.Browser == BrowserUnknown || row.Browser == BrowserAPIClient {
+			continue // classified by exclusion, checked separately
+		}
+		for v := 0; v < row.Versions; v++ {
+			ua := uaString(row, v)
+			got := Parse(ua)
+			if got.Browser != row.Browser {
+				t.Errorf("row %s/%s v%d: parsed browser %q from %q", row.OS, row.Browser, v, got.Browser, ua)
+			}
+			if got.OS != row.OS {
+				t.Errorf("row %s/%s v%d: parsed OS %q from %q", row.OS, row.Browser, v, got.OS, ua)
+			}
+		}
+	}
+}
+
+func TestGenerateAPIClientsClassified(t *testing.T) {
+	row := SampleRow{OSUnknown, BrowserAPIClient, 16, false}
+	for v := 0; v < row.Versions; v++ {
+		ua := uaString(row, v)
+		got := Parse(ua)
+		if got.Browser != BrowserAPIClient && got.Browser != BrowserUnknown {
+			t.Errorf("API client %q parsed as %q", ua, got.Browser)
+		}
+	}
+}
+
+func TestGenerateCount(t *testing.T) {
+	uas := Generate(PaperSample())
+	if len(uas) != 200 {
+		t.Errorf("generated %d UAs, want 200", len(uas))
+	}
+	seen := map[string]bool{}
+	dups := 0
+	for _, ua := range uas {
+		if seen[ua] {
+			dups++
+		}
+		seen[ua] = true
+	}
+	if dups > 0 {
+		t.Errorf("%d duplicate UA strings generated", dups)
+	}
+}
+
+func TestMapToProviderRules(t *testing.T) {
+	cases := []struct {
+		browser   Browser
+		os        OS
+		provider  Provider
+		traceable bool
+	}{
+		{BrowserFirefox, OSWindows, ProviderNSS, true},
+		{BrowserFirefox, OSLinux, ProviderNSS, true},
+		{BrowserFirefoxMobile, OSAndroid, ProviderNSS, true},
+		{BrowserChrome, OSWindows, ProviderMicrosoft, true},
+		{BrowserChrome, OSMacOS, ProviderApple, true},
+		{BrowserChromeMobile, OSAndroid, ProviderAndroid, true},
+		{BrowserChrome, OSChromeOS, ProviderUnknown, false},
+		{BrowserChrome, OSLinux, ProviderUnknown, false},
+		{BrowserChromeIOS, OSIOS, ProviderApple, true},
+		{BrowserMobileSafari, OSIOS, ProviderApple, true},
+		{BrowserWKWebView, OSIOS, ProviderApple, true},
+		{BrowserSafari, OSMacOS, ProviderApple, true},
+		{BrowserSafari, OSLinux, ProviderUnknown, false},
+		{BrowserEdge, OSWindows, ProviderMicrosoft, true},
+		{BrowserIE, OSWindows, ProviderMicrosoft, true},
+		{BrowserOpera, OSWindows, ProviderMicrosoft, true},
+		{BrowserElectron, OSWindows, ProviderNodeJS, true},
+		{BrowserElectron, OSMacOS, ProviderNodeJS, true},
+		{BrowserYandex, OSWindows, ProviderUnknown, false},
+		{BrowserSamsung, OSAndroid, ProviderUnknown, false},
+		{BrowserOkhttp, OSUnknown, ProviderUnknown, false},
+		{BrowserAPIClient, OSUnknown, ProviderUnknown, false},
+		{BrowserCryptoAPI, OSWindows, ProviderUnknown, false},
+	}
+	for _, c := range cases {
+		got := MapToProvider(Agent{Browser: c.browser, OS: c.os})
+		if got.Provider != c.provider || got.Traceable != c.traceable {
+			t.Errorf("MapToProvider(%s on %s) = (%q, %v), want (%q, %v)",
+				c.browser, c.os, got.Provider, got.Traceable, c.provider, c.traceable)
+		}
+		if got.Reason == "" {
+			t.Errorf("MapToProvider(%s on %s) has empty reason", c.browser, c.os)
+		}
+	}
+}
+
+func TestFamilyRollup(t *testing.T) {
+	cases := map[Provider]Family{
+		ProviderNSS:       FamilyNSS,
+		ProviderAndroid:   FamilyNSS,
+		ProviderNodeJS:    FamilyNSS,
+		ProviderLinux:     FamilyNSS,
+		ProviderMicrosoft: FamilyMicrosoft,
+		ProviderApple:     FamilyApple,
+		ProviderJava:      FamilyJava,
+		ProviderUnknown:   FamilyUnknown,
+	}
+	for p, want := range cases {
+		if got := FamilyOf(p); got != want {
+			t.Errorf("FamilyOf(%q) = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestCoverageMatchesPaper(t *testing.T) {
+	// Running the full pipeline over the generated sample must reproduce
+	// Table 1's bottom line: 77% of the top-200 traceable.
+	uas := Generate(PaperSample())
+	traced := 0
+	for _, ua := range uas {
+		if MapToProvider(Parse(ua)).Traceable {
+			traced++
+		}
+	}
+	pct := float64(traced) / float64(len(uas)) * 100
+	if pct < 74 || pct > 80 {
+		t.Errorf("traceable = %d/200 (%.1f%%), paper reports 77.0%%", traced, pct)
+	}
+}

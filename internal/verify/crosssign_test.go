@@ -1,0 +1,100 @@
+package verify
+
+import (
+	"crypto/x509"
+	"testing"
+
+	"repro/internal/certgen"
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+// TestCrossSignedChainBridgesTrust reproduces the paper's cross-signing
+// concern (§5.3 Certinomis/StartCom): a client that trusts only root B can
+// still validate leaves issued under root A once a B-signed cross
+// certificate for A circulates — so distrusting A's self-signed root alone
+// does not cut the trust path.
+func TestCrossSignedChainBridgesTrust(t *testing.T) {
+	roots := testcerts.Roots(2)
+	subject, issuer := roots[0], roots[1]
+
+	// Leaf under the subject root.
+	leafDER, _, err := subject.IssueLeaf(testcerts.Pool(), certgen.LeafSpec{
+		CommonName: "bridged.example.test",
+		DNSNames:   []string{"bridged.example.test"},
+		NotBefore:  ts(2019, 1, 1),
+		NotAfter:   ts(2021, 1, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := x509.ParseCertificate(leafDER)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cross-certificate: subject's key signed by issuer.
+	xDER, err := certgen.CrossSign(subject, issuer, ts(2018, 1, 1), ts(2028, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xcert, err := x509.ParseCertificate(xDER)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Store trusting only the issuer.
+	issuerOnly, err := store.NewTrustedEntry(issuer.DER, store.ServerAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(snapWith(t, issuerOnly))
+
+	// Without the cross cert the chain dangles.
+	res := v.Verify(Request{Leaf: leaf, Purpose: store.ServerAuth, At: ts(2020, 1, 1)})
+	if res.Outcome != NoAnchor {
+		t.Fatalf("without cross cert: outcome = %v", res.Outcome)
+	}
+
+	// With it, the leaf validates against a store that never contained
+	// the subject root.
+	res = v.Verify(Request{
+		Leaf:          leaf,
+		Intermediates: []*x509.Certificate{xcert},
+		Purpose:       store.ServerAuth,
+		At:            ts(2020, 1, 1),
+	})
+	if res.Outcome != OK {
+		t.Fatalf("with cross cert: outcome = %v (%v)", res.Outcome, res.Err)
+	}
+	if res.Anchor == nil || res.Anchor.Fingerprint != issuerOnly.Fingerprint {
+		t.Error("chain should anchor at the issuer root")
+	}
+
+	// Distrusting the subject's self-signed root does NOT help: the store
+	// never had it. Only distrusting the issuer (or revoking the cross
+	// cert) cuts the path — the paper's point about Certinomis.
+	subjectEntry, _ := store.NewTrustedEntry(subject.DER)
+	subjectEntry.SetTrust(store.ServerAuth, store.Distrusted)
+	both := snapWith(t, issuerOnly, subjectEntry)
+	res = New(both).Verify(Request{
+		Leaf:          leaf,
+		Intermediates: []*x509.Certificate{xcert},
+		Purpose:       store.ServerAuth,
+		At:            ts(2020, 1, 1),
+	})
+	if res.Outcome != OK {
+		t.Fatalf("distrusting the subject root should not cut the cross-signed path: %v", res.Outcome)
+	}
+}
+
+// TestCrossSignErrors covers input validation.
+func TestCrossSignErrors(t *testing.T) {
+	roots := testcerts.Roots(1)
+	if _, err := certgen.CrossSign(nil, roots[0], ts(2020, 1, 1), ts(2021, 1, 1)); err == nil {
+		t.Error("nil subject should error")
+	}
+	if _, err := certgen.CrossSign(roots[0], nil, ts(2020, 1, 1), ts(2021, 1, 1)); err == nil {
+		t.Error("nil issuer should error")
+	}
+}

@@ -1,0 +1,188 @@
+// Package verify performs purpose- and time-aware certificate chain
+// verification against a root-store snapshot. It is the client-side
+// substrate that turns the paper's root-store comparisons into observable
+// authentication outcomes: the same chain can verify under NSS semantics
+// (which honour server-distrust-after partial distrust) and fail — or
+// wrongly succeed — under a derivative's flattened on-or-off copy, which is
+// exactly the Symantec failure mode §6.2 documents.
+package verify
+
+import (
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/certutil"
+	"repro/internal/store"
+)
+
+// Outcome is the result of verifying a chain.
+type Outcome int
+
+// Verification outcomes.
+const (
+	// OK: the chain verifies to a trusted root for the purpose.
+	OK Outcome = iota
+	// NoAnchor: no chain to any root in the store.
+	NoAnchor
+	// AnchorNotTrusted: chain reaches a root present in the store but not
+	// trusted for the requested purpose (or explicitly distrusted).
+	AnchorNotTrusted
+	// AnchorPartialDistrust: chain reaches a trusted root whose partial
+	// distrust cutoff precedes the leaf's issuance date.
+	AnchorPartialDistrust
+	// Expired: the leaf is outside its validity window at the
+	// verification time.
+	Expired
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case NoAnchor:
+		return "no-anchor"
+	case AnchorNotTrusted:
+		return "anchor-not-trusted"
+	case AnchorPartialDistrust:
+		return "anchor-partial-distrust"
+	case Expired:
+		return "expired"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Result carries the outcome plus diagnostics.
+type Result struct {
+	Outcome Outcome
+	// Anchor is the trust entry the chain terminated at, when one was
+	// found.
+	Anchor *store.TrustEntry
+	// Err is the underlying x509 error for NoAnchor/Expired.
+	Err error
+}
+
+// Verifier verifies chains against one snapshot.
+type Verifier struct {
+	snapshot *store.Snapshot
+	// pools per purpose, built lazily.
+	pools map[store.Purpose]*x509.CertPool
+}
+
+// New creates a verifier over a snapshot.
+func New(s *store.Snapshot) *Verifier {
+	return &Verifier{snapshot: s, pools: make(map[store.Purpose]*x509.CertPool)}
+}
+
+// Pool returns the x509.CertPool of roots trusted for the purpose — what a
+// TLS client would install as tls.Config.RootCAs.
+func (v *Verifier) Pool(p store.Purpose) *x509.CertPool {
+	if pool, ok := v.pools[p]; ok {
+		return pool
+	}
+	pool := x509.NewCertPool()
+	for _, e := range v.snapshot.Entries() {
+		if e.TrustedFor(p) {
+			pool.AddCert(e.Cert)
+		}
+	}
+	v.pools[p] = pool
+	return pool
+}
+
+// Request describes one verification.
+type Request struct {
+	// Leaf is the end-entity certificate.
+	Leaf *x509.Certificate
+	// Intermediates are any additional chain certificates.
+	Intermediates []*x509.Certificate
+	// Purpose is the trust purpose to verify for.
+	Purpose store.Purpose
+	// DNSName, when set, is matched against the leaf.
+	DNSName string
+	// At is the verification time (defaults to the snapshot date).
+	At time.Time
+}
+
+// Verify checks a chain against the snapshot, honouring trust purposes and
+// partial-distrust cutoffs.
+func (v *Verifier) Verify(req Request) Result {
+	at := req.At
+	if at.IsZero() {
+		at = v.snapshot.Date
+	}
+
+	// Build a pool of every certificate in the store — including ones not
+	// trusted for the purpose — so we can distinguish "no chain at all"
+	// from "chain to an untrusted anchor".
+	allPool := x509.NewCertPool()
+	for _, e := range v.snapshot.Entries() {
+		allPool.AddCert(e.Cert)
+	}
+	inter := x509.NewCertPool()
+	for _, c := range req.Intermediates {
+		inter.AddCert(c)
+	}
+
+	eku := []x509.ExtKeyUsage{x509.ExtKeyUsageAny}
+	chains, err := req.Leaf.Verify(x509.VerifyOptions{
+		Roots:         allPool,
+		Intermediates: inter,
+		DNSName:       req.DNSName,
+		CurrentTime:   at,
+		KeyUsages:     eku,
+	})
+	if err != nil {
+		var invalid x509.CertificateInvalidError
+		if errors.As(err, &invalid) && invalid.Reason == x509.Expired {
+			return Result{Outcome: Expired, Err: err}
+		}
+		return Result{Outcome: NoAnchor, Err: err}
+	}
+
+	// Evaluate every candidate chain; accept if any terminates at an
+	// anchor trusted for the purpose and not partially distrusted for
+	// this leaf.
+	var best Result
+	best.Outcome = NoAnchor
+	for _, chain := range chains {
+		root := chain[len(chain)-1]
+		entry, ok := v.snapshot.Lookup(certutil.SHA256Fingerprint(root.Raw))
+		if !ok {
+			continue
+		}
+		switch entry.TrustFor(req.Purpose) {
+		case store.Trusted:
+			if cutoff, has := entry.DistrustAfterFor(req.Purpose); has && req.Leaf.NotBefore.After(cutoff) {
+				best = better(best, Result{Outcome: AnchorPartialDistrust, Anchor: entry})
+				continue
+			}
+			return Result{Outcome: OK, Anchor: entry}
+		default:
+			best = better(best, Result{Outcome: AnchorNotTrusted, Anchor: entry})
+		}
+	}
+	return best
+}
+
+// better keeps the most informative failure: partial distrust beats
+// not-trusted beats no-anchor.
+func better(a, b Result) Result {
+	rank := func(o Outcome) int {
+		switch o {
+		case AnchorPartialDistrust:
+			return 2
+		case AnchorNotTrusted:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if rank(b.Outcome) > rank(a.Outcome) {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,210 @@
+package verify
+
+import (
+	"crypto/x509"
+	"testing"
+	"time"
+
+	"repro/internal/certgen"
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+func ts(y, m, d int) time.Time { return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC) }
+
+// leafUnder mints a leaf under the given shared test root.
+func leafUnder(t *testing.T, root *certgen.Root, cn string, nb, na time.Time) *x509.Certificate {
+	t.Helper()
+	der, _, err := root.IssueLeaf(testcerts.Pool(), certgen.LeafSpec{
+		CommonName: cn,
+		DNSNames:   []string{cn},
+		NotBefore:  nb,
+		NotAfter:   na,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return leaf
+}
+
+func snapWith(t *testing.T, entries ...*store.TrustEntry) *store.Snapshot {
+	t.Helper()
+	s := store.NewSnapshot("Test", "v1", ts(2020, 6, 1))
+	for _, e := range entries {
+		s.Add(e)
+	}
+	return s
+}
+
+func TestVerifyOK(t *testing.T) {
+	root := testcerts.Roots(1)[0]
+	e, _ := store.NewTrustedEntry(root.DER, store.ServerAuth)
+	v := New(snapWith(t, e))
+	leaf := leafUnder(t, root, "ok.example.test", ts(2019, 1, 1), ts(2021, 1, 1))
+	res := v.Verify(Request{Leaf: leaf, Purpose: store.ServerAuth, DNSName: "ok.example.test"})
+	if res.Outcome != OK {
+		t.Fatalf("outcome = %v (%v)", res.Outcome, res.Err)
+	}
+	if res.Anchor == nil || res.Anchor.Fingerprint != e.Fingerprint {
+		t.Error("anchor not reported")
+	}
+}
+
+func TestVerifyNoAnchor(t *testing.T) {
+	roots := testcerts.Roots(2)
+	inStore, _ := store.NewTrustedEntry(roots[0].DER, store.ServerAuth)
+	v := New(snapWith(t, inStore))
+	// Leaf under a root NOT in the store.
+	leaf := leafUnder(t, roots[1], "stranger.example.test", ts(2019, 1, 1), ts(2021, 1, 1))
+	res := v.Verify(Request{Leaf: leaf, Purpose: store.ServerAuth})
+	if res.Outcome != NoAnchor {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if res.Err == nil {
+		t.Error("NoAnchor should carry the x509 error")
+	}
+}
+
+func TestVerifyAnchorNotTrustedForPurpose(t *testing.T) {
+	root := testcerts.Roots(1)[0]
+	e, _ := store.NewTrustedEntry(root.DER, store.EmailProtection) // email only
+	v := New(snapWith(t, e))
+	leaf := leafUnder(t, root, "tls.example.test", ts(2019, 1, 1), ts(2021, 1, 1))
+	res := v.Verify(Request{Leaf: leaf, Purpose: store.ServerAuth})
+	if res.Outcome != AnchorNotTrusted {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	// But email verification succeeds.
+	res = v.Verify(Request{Leaf: leaf, Purpose: store.EmailProtection})
+	if res.Outcome != OK {
+		t.Fatalf("email outcome = %v", res.Outcome)
+	}
+}
+
+func TestVerifyPartialDistrust(t *testing.T) {
+	root := testcerts.Roots(1)[0]
+	e, _ := store.NewTrustedEntry(root.DER, store.ServerAuth)
+	cutoff := ts(2019, 9, 1)
+	e.SetDistrustAfter(store.ServerAuth, cutoff)
+	v := New(snapWith(t, e))
+
+	// Issued before the cutoff: still trusted (the partial in partial
+	// distrust).
+	oldLeaf := leafUnder(t, root, "old.example.test", ts(2019, 1, 1), ts(2021, 1, 1))
+	res := v.Verify(Request{Leaf: oldLeaf, Purpose: store.ServerAuth})
+	if res.Outcome != OK {
+		t.Fatalf("pre-cutoff outcome = %v", res.Outcome)
+	}
+
+	// Issued after the cutoff: rejected.
+	newLeaf := leafUnder(t, root, "new.example.test", ts(2020, 1, 1), ts(2021, 6, 1))
+	res = v.Verify(Request{Leaf: newLeaf, Purpose: store.ServerAuth})
+	if res.Outcome != AnchorPartialDistrust {
+		t.Fatalf("post-cutoff outcome = %v", res.Outcome)
+	}
+}
+
+func TestPartialDistrustLostInFlatCopy(t *testing.T) {
+	// The §6.2 failure mode end-to-end: the same post-cutoff leaf is
+	// rejected under NSS semantics but accepted under a derivative's
+	// flattened copy of the same store.
+	root := testcerts.Roots(1)[0]
+	nssEntry, _ := store.NewTrustedEntry(root.DER, store.ServerAuth)
+	nssEntry.SetDistrustAfter(store.ServerAuth, ts(2019, 9, 1))
+	flatEntry, _ := store.NewTrustedEntry(root.DER, store.ServerAuth) // annotation lost
+
+	leaf := leafUnder(t, root, "post.example.test", ts(2020, 1, 1), ts(2021, 6, 1))
+
+	nssResult := New(snapWith(t, nssEntry)).Verify(Request{Leaf: leaf, Purpose: store.ServerAuth})
+	flatResult := New(snapWith(t, flatEntry)).Verify(Request{Leaf: leaf, Purpose: store.ServerAuth})
+	if nssResult.Outcome != AnchorPartialDistrust {
+		t.Errorf("NSS semantics outcome = %v, want partial distrust", nssResult.Outcome)
+	}
+	if flatResult.Outcome != OK {
+		t.Errorf("flat-copy outcome = %v, want OK (the dangerous acceptance)", flatResult.Outcome)
+	}
+}
+
+func TestVerifyExpiredLeaf(t *testing.T) {
+	root := testcerts.Roots(1)[0]
+	e, _ := store.NewTrustedEntry(root.DER, store.ServerAuth)
+	v := New(snapWith(t, e))
+	leaf := leafUnder(t, root, "expired.example.test", ts(2015, 1, 1), ts(2016, 1, 1))
+	res := v.Verify(Request{Leaf: leaf, Purpose: store.ServerAuth, At: ts(2020, 6, 1)})
+	if res.Outcome != Expired {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+}
+
+func TestVerifyDNSMismatch(t *testing.T) {
+	root := testcerts.Roots(1)[0]
+	e, _ := store.NewTrustedEntry(root.DER, store.ServerAuth)
+	v := New(snapWith(t, e))
+	leaf := leafUnder(t, root, "right.example.test", ts(2019, 1, 1), ts(2021, 1, 1))
+	res := v.Verify(Request{Leaf: leaf, Purpose: store.ServerAuth, DNSName: "wrong.example.test"})
+	if res.Outcome == OK {
+		t.Fatal("DNS mismatch should not verify")
+	}
+}
+
+func TestVerifyDistrustedAnchor(t *testing.T) {
+	root := testcerts.Roots(1)[0]
+	e, _ := store.NewTrustedEntry(root.DER)
+	e.SetTrust(store.ServerAuth, store.Distrusted)
+	v := New(snapWith(t, e))
+	leaf := leafUnder(t, root, "d.example.test", ts(2019, 1, 1), ts(2021, 1, 1))
+	res := v.Verify(Request{Leaf: leaf, Purpose: store.ServerAuth})
+	if res.Outcome != AnchorNotTrusted {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+}
+
+func TestVerifyDefaultsToSnapshotDate(t *testing.T) {
+	root := testcerts.Roots(1)[0]
+	e, _ := store.NewTrustedEntry(root.DER, store.ServerAuth)
+	// Leaf valid only around the snapshot date.
+	leaf := leafUnder(t, root, "dated.example.test", ts(2020, 5, 1), ts(2020, 7, 1))
+	v := New(snapWith(t, e)) // snapshot dated 2020-06-01
+	if res := v.Verify(Request{Leaf: leaf, Purpose: store.ServerAuth}); res.Outcome != OK {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+}
+
+func TestPoolSizes(t *testing.T) {
+	roots := testcerts.Roots(3)
+	tls0, _ := store.NewTrustedEntry(roots[0].DER, store.ServerAuth)
+	tls1, _ := store.NewTrustedEntry(roots[1].DER, store.ServerAuth, store.EmailProtection)
+	email, _ := store.NewTrustedEntry(roots[2].DER, store.EmailProtection)
+	v := New(snapWith(t, tls0, tls1, email))
+
+	// CertPool has no length accessor; count via Subjects (deprecated but
+	// serviceable for tests against our own pool).
+	if got := len(v.Pool(store.ServerAuth).Subjects()); got != 2 {
+		t.Errorf("TLS pool = %d roots, want 2", got)
+	}
+	if got := len(v.Pool(store.EmailProtection).Subjects()); got != 2 {
+		t.Errorf("email pool = %d roots, want 2", got)
+	}
+	if got := len(v.Pool(store.CodeSigning).Subjects()); got != 0 {
+		t.Errorf("code-signing pool = %d roots, want 0", got)
+	}
+	// Cached pool identity.
+	if v.Pool(store.ServerAuth) != v.Pool(store.ServerAuth) {
+		t.Error("pool should be cached")
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		OK: "ok", NoAnchor: "no-anchor", AnchorNotTrusted: "anchor-not-trusted",
+		AnchorPartialDistrust: "anchor-partial-distrust", Expired: "expired",
+	} {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}

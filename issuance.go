@@ -1,0 +1,45 @@
+package trustroots
+
+import (
+	"time"
+
+	"repro/internal/certgen"
+	"repro/internal/synth"
+)
+
+// SyntheticCA is one certification authority from the generated universe.
+type SyntheticCA = synth.CA
+
+// LeafSpec describes an end-entity certificate to issue under a synthetic
+// CA — the client-side workload for verification experiments.
+type LeafSpec = certgen.LeafSpec
+
+// defaultLeafPool supplies leaf keys for IssueLeaf.
+var defaultLeafPool = certgen.NewKeyPool("trustroots/leaf-issuance")
+
+// IssueLeaf mints a TLS server certificate signed by the synthetic CA's
+// root, returning its DER encoding.
+func IssueLeaf(ca *SyntheticCA, cn string, notBefore, notAfter time.Time) ([]byte, error) {
+	der, _, err := ca.Root.IssueLeaf(defaultLeafPool, certgen.LeafSpec{
+		CommonName: cn,
+		DNSNames:   []string{cn},
+		NotBefore:  notBefore,
+		NotAfter:   notAfter,
+	})
+	return der, err
+}
+
+// IssueLeafWithKey mints a TLS server certificate and also returns the leaf
+// private key, for standing up live TLS servers in examples and tests.
+func IssueLeafWithKey(ca *SyntheticCA, cn string, notBefore, notAfter time.Time) (der []byte, key any, err error) {
+	d, signer, err := ca.Root.IssueLeaf(defaultLeafPool, certgen.LeafSpec{
+		CommonName: cn,
+		DNSNames:   []string{cn},
+		NotBefore:  notBefore,
+		NotAfter:   notAfter,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, signer, nil
+}

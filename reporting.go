@@ -1,0 +1,46 @@
+package trustroots
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/artifacts"
+)
+
+// RenderReport writes every reproduced table and figure of the paper, in
+// paper order, with the published values alongside for comparison.
+func RenderReport(w io.Writer, eco *Ecosystem) error {
+	return artifacts.NewContext(eco).RenderAll(w)
+}
+
+// RenderArtifact writes a single named artifact: table1, table2, table3,
+// table4, table5, table6, table7, figure1, figure2, figure3 or figure4.
+func RenderArtifact(w io.Writer, eco *Ecosystem, name string) error {
+	ctx := artifacts.NewContext(eco)
+	switch name {
+	case "table1":
+		return ctx.Table1(w)
+	case "table2":
+		return ctx.Table2(w)
+	case "table3":
+		return ctx.Table3(w)
+	case "table4":
+		return ctx.Table4(w)
+	case "table5":
+		return ctx.Table5(w)
+	case "table6":
+		return ctx.Table6(w)
+	case "table7":
+		return ctx.Table7(w)
+	case "figure1":
+		return ctx.Figure1(w)
+	case "figure2":
+		return ctx.Figure2(w)
+	case "figure3":
+		return ctx.Figure3(w)
+	case "figure4":
+		return ctx.Figure4(w)
+	default:
+		return fmt.Errorf("trustroots: unknown artifact %q", name)
+	}
+}

@@ -1,0 +1,128 @@
+// Package trustroots is a toolkit for collecting, parsing, comparing and
+// analyzing TLS trust-anchor stores ("root stores"), reproducing the
+// measurement pipeline of "Tracing Your Roots: Exploring the TLS Trust
+// Anchor Ecosystem" (IMC 2021).
+//
+// The library has four layers:
+//
+//   - Format codecs for every root-store format the paper collected:
+//     NSS certdata.txt, Microsoft authroot.stl bundles, Apple roots
+//     directories, Linux PEM bundles/directories, Java JKS keystores and
+//     NodeJS node_root_certs.h (see formats.go).
+//
+//   - A unified trust model (TrustEntry / Snapshot / History / Database)
+//     with per-purpose trust levels and NSS-style partial distrust.
+//
+//   - The analysis pipeline regenerating the paper's evaluation: UA→store
+//     mapping (Table 1), ordination clustering (Figure 1), the ecosystem
+//     pyramid (Figure 2), hygiene metrics (Table 3), removal-lag analysis
+//     (Table 4), derivative staleness (Figure 3) and diffs (Figure 4),
+//     exclusive roots (Table 6) and the NSS removal catalog (Table 7).
+//
+//   - A synthetic ecosystem generator, calibrated to the paper's published
+//     ground truth, standing in for the proprietary archives the authors
+//     scraped; and a purpose-aware chain verifier that turns store
+//     differences into observable TLS authentication outcomes.
+//
+// Quick start:
+//
+//	eco, err := trustroots.GenerateEcosystem("my-seed")
+//	if err != nil { ... }
+//	pipe := trustroots.NewPipeline(eco.DB)
+//	for _, row := range pipe.Hygiene(trustroots.IndependentPrograms) {
+//	    fmt.Printf("%s: %.1f roots avg\n", row.Program, row.AvgSize)
+//	}
+package trustroots
+
+import (
+	"repro/internal/core"
+	"repro/internal/paperdata"
+	"repro/internal/store"
+	"repro/internal/synth"
+)
+
+// Trust model re-exports.
+type (
+	// Purpose is a trust purpose (server auth, email, code signing,
+	// timestamping).
+	Purpose = store.Purpose
+	// TrustLevel is a store's per-purpose decision for a root.
+	TrustLevel = store.TrustLevel
+	// TrustEntry pairs a root certificate with trust metadata.
+	TrustEntry = store.TrustEntry
+	// Snapshot is one root store at one point in time.
+	Snapshot = store.Snapshot
+	// History is a provider's dated snapshot sequence.
+	History = store.History
+	// Database maps providers to histories.
+	Database = store.Database
+	// Diff is a snapshot-to-snapshot difference.
+	Diff = store.Diff
+)
+
+// Purposes.
+const (
+	ServerAuth      = store.ServerAuth
+	EmailProtection = store.EmailProtection
+	CodeSigning     = store.CodeSigning
+	TimeStamping    = store.TimeStamping
+)
+
+// Trust levels.
+const (
+	Unspecified = store.Unspecified
+	Trusted     = store.Trusted
+	MustVerify  = store.MustVerify
+	Distrusted  = store.Distrusted
+)
+
+// Model constructors.
+var (
+	NewEntry        = store.NewEntry
+	NewTrustedEntry = store.NewTrustedEntry
+	NewSnapshot     = store.NewSnapshot
+	NewHistory      = store.NewHistory
+	NewDatabase     = store.NewDatabase
+	DiffSnapshots   = store.DiffSnapshots
+	SetDiff         = store.SetDiff
+)
+
+// Provider names used throughout the dataset.
+const (
+	NSS         = paperdata.NSS
+	Microsoft   = paperdata.Microsoft
+	Apple       = paperdata.Apple
+	Java        = paperdata.Java
+	Android     = paperdata.Android
+	NodeJS      = paperdata.NodeJS
+	Debian      = paperdata.Debian
+	Ubuntu      = paperdata.Ubuntu
+	Alpine      = paperdata.Alpine
+	AmazonLinux = paperdata.AmazonLinux
+)
+
+// IndependentPrograms lists the four root programs (Figure 1's clusters).
+var IndependentPrograms = paperdata.IndependentPrograms
+
+// Derivatives lists the NSS-derived providers in the dataset.
+var Derivatives = paperdata.Derivatives
+
+// Ecosystem is a generated synthetic corpus: the CA universe plus the full
+// ten-provider snapshot database.
+type Ecosystem = synth.Ecosystem
+
+// GenerateEcosystem builds the synthetic root-store ecosystem
+// deterministically from a seed (see DESIGN.md for the substitution this
+// makes for the paper's proprietary inputs).
+func GenerateEcosystem(seed string) (*Ecosystem, error) { return synth.Generate(seed) }
+
+// CachedEcosystem returns a process-shared, read-only ecosystem for the
+// seed; use GenerateEcosystem for a private mutable copy.
+func CachedEcosystem(seed string) (*Ecosystem, error) { return synth.Cached(seed) }
+
+// Pipeline is the paper's analysis pipeline over a snapshot database.
+type Pipeline = core.Pipeline
+
+// NewPipeline creates an analysis pipeline with the paper's defaults
+// (TLS server authentication, derivative→Mozilla family lineage).
+func NewPipeline(db *Database) *Pipeline { return core.New(db) }

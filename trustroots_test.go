@@ -1,0 +1,261 @@
+package trustroots_test
+
+// Facade-level tests: exercise the public API surface end to end the way a
+// downstream consumer would, independent of the benchmark harness.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	trustroots "repro"
+)
+
+func facadeEco(t testing.TB) *trustroots.Ecosystem {
+	t.Helper()
+	eco, err := trustroots.CachedEcosystem("bench") // share the bench fixture
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eco
+}
+
+func TestFacadeModelConstruction(t *testing.T) {
+	eco := facadeEco(t)
+	der := eco.Universe.CAs[0].Root.DER
+
+	e, err := trustroots.NewTrustedEntry(der, trustroots.ServerAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.TrustedFor(trustroots.ServerAuth) {
+		t.Error("entry should be TLS-trusted")
+	}
+
+	s := trustroots.NewSnapshot("Mine", "v1", time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC))
+	s.Add(e)
+	db := trustroots.NewDatabase()
+	if err := db.AddSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	if db.TotalSnapshots() != 1 {
+		t.Error("database bookkeeping wrong")
+	}
+
+	d := trustroots.DiffSnapshots(s, s.Clone())
+	if !d.Empty() {
+		t.Error("self diff should be empty")
+	}
+}
+
+func TestFacadeCertdataRoundTrip(t *testing.T) {
+	eco := facadeEco(t)
+	nss := eco.DB.History(trustroots.NSS).Latest()
+	var buf bytes.Buffer
+	if err := trustroots.WriteCertdata(&buf, nss.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := trustroots.ParseCertdata(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != nss.Len() {
+		t.Errorf("round trip: %d entries, want %d", len(res.Entries), nss.Len())
+	}
+}
+
+func TestFacadeAllFormats(t *testing.T) {
+	eco := facadeEco(t)
+	entries := eco.DB.History(trustroots.NSS).Latest().Entries()[:5]
+	tmp := t.TempDir()
+
+	// PEM
+	var pemBuf bytes.Buffer
+	if err := trustroots.WritePEMBundle(&pemBuf, entries); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := trustroots.ParsePEMBundle(&pemBuf, trustroots.ServerAuth); err != nil || len(out) != 5 {
+		t.Fatalf("pem: %v, %d", err, len(out))
+	}
+	// PEM dir
+	if err := trustroots.WritePEMDir(filepath.Join(tmp, "pemdir"), entries); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := trustroots.ReadPEMDir(filepath.Join(tmp, "pemdir"), trustroots.ServerAuth); err != nil || len(out) != 5 {
+		t.Fatalf("pemdir: %v, %d", err, len(out))
+	}
+	// JKS
+	data, err := trustroots.WriteJKS(entries, "pw", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := trustroots.ParseJKS(data, "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jksEntries, err := trustroots.JKSEntries(ks, trustroots.ServerAuth); err != nil || len(jksEntries) != 5 {
+		t.Fatalf("jks: %v, %d", err, len(jksEntries))
+	}
+	// Authroot
+	authDir := filepath.Join(tmp, "authroot")
+	if err := trustroots.WriteAuthrootBundle(authDir, entries, 1, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if out, missing, err := trustroots.ReadAuthrootBundle(authDir); err != nil || len(missing) != 0 || len(out) != 5 {
+		t.Fatalf("authroot: %v, %d missing, %d entries", err, len(missing), len(out))
+	}
+	// Apple
+	appleDir := filepath.Join(tmp, "apple")
+	if err := trustroots.WriteAppleDir(appleDir, entries); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := trustroots.ReadAppleDir(appleDir); err != nil || len(out) != 5 {
+		t.Fatalf("apple: %v, %d", err, len(out))
+	}
+	// Node
+	var nodeBuf bytes.Buffer
+	if err := trustroots.WriteNodeCerts(&nodeBuf, entries); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := trustroots.ParseNodeCerts(&nodeBuf); err != nil {
+		t.Fatalf("node: %v", err)
+	} else {
+		tlsCount := 0
+		for _, e := range entries {
+			if e.TrustedFor(trustroots.ServerAuth) {
+				tlsCount++
+			}
+		}
+		if len(out) != tlsCount {
+			t.Fatalf("node: %d entries, want %d", len(out), tlsCount)
+		}
+	}
+	// Purpose-split bundles
+	splitDir := filepath.Join(tmp, "split")
+	if err := trustroots.WritePurposeBundles(splitDir, entries); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := trustroots.ReadPurposeBundles(splitDir); err != nil || len(out) == 0 {
+		t.Fatalf("split: %v, %d", err, len(out))
+	}
+}
+
+func TestFacadeSnapshotFromEntries(t *testing.T) {
+	eco := facadeEco(t)
+	entries := eco.DB.History(trustroots.NSS).Latest().Entries()[:3]
+	s := trustroots.SnapshotFromEntries("P", "v", time.Now(), entries)
+	if s.Len() != 3 || s.Provider != "P" {
+		t.Errorf("snapshot = %d entries, provider %q", s.Len(), s.Provider)
+	}
+}
+
+func TestFacadeUserAgentPipeline(t *testing.T) {
+	uas := trustroots.GenerateUAs(trustroots.PaperUASample())
+	t1 := trustroots.AnalyzeUserAgents(uas)
+	if t1.Included != 154 {
+		t.Errorf("included = %d, want 154", t1.Included)
+	}
+	a := trustroots.ParseUserAgent("Mozilla/5.0 (Windows NT 10.0; Win64; x64; rv:86.0) Gecko/20100101 Firefox/86.0")
+	m := trustroots.MapUserAgent(a)
+	if string(m.Provider) != trustroots.NSS || !m.Traceable {
+		t.Errorf("Firefox mapping = %+v", m)
+	}
+	f2 := trustroots.EcosystemShares(uas)
+	if f2.Total != 200 {
+		t.Errorf("shares total = %d", f2.Total)
+	}
+}
+
+func TestFacadeVerification(t *testing.T) {
+	eco := facadeEco(t)
+	nss := eco.DB.History(trustroots.NSS).Latest()
+	var anyTrusted *trustroots.TrustEntry
+	for _, e := range nss.Entries() {
+		if e.TrustedFor(trustroots.ServerAuth) {
+			if _, hasDA := e.DistrustAfterFor(trustroots.ServerAuth); !hasDA {
+				anyTrusted = e
+				break
+			}
+		}
+	}
+	if anyTrusted == nil {
+		t.Fatal("no unconstrained trusted root")
+	}
+	ca := eco.Universe.Lookup(anyTrusted.Label)
+	if ca == nil {
+		t.Fatalf("CA %q missing", anyTrusted.Label)
+	}
+	nb := nss.Date.AddDate(-1, 0, 0)
+	leafDER, err := trustroots.IssueLeaf(ca, "facade.example.test", nb, nb.AddDate(3, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := trustroots.NewEntry(leafDER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := trustroots.NewVerifier(nss)
+	res := v.Verify(trustroots.VerifyRequest{
+		Leaf:    leaf.Cert,
+		Purpose: trustroots.ServerAuth,
+		DNSName: "facade.example.test",
+	})
+	if res.Outcome != trustroots.VerifyOK {
+		t.Fatalf("outcome = %v (%v)", res.Outcome, res.Err)
+	}
+	if pool := trustroots.CertPoolFor(nss, trustroots.ServerAuth); pool == nil {
+		t.Fatal("nil cert pool")
+	}
+}
+
+func TestFacadeFingerprint(t *testing.T) {
+	fp := trustroots.FingerprintOf([]byte{1, 2, 3})
+	if len(fp.String()) != 64 {
+		t.Error("fingerprint hex length wrong")
+	}
+}
+
+func TestFacadeRenderArtifact(t *testing.T) {
+	eco := facadeEco(t)
+	var buf bytes.Buffer
+	if err := trustroots.RenderArtifact(&buf, eco, "table6"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty artifact")
+	}
+	if err := trustroots.RenderArtifact(&buf, eco, "nope"); err == nil {
+		t.Error("unknown artifact should error")
+	}
+}
+
+func TestFacadeAuditAndEngineering(t *testing.T) {
+	eco := facadeEco(t)
+	pipe := trustroots.NewPipeline(eco.DB)
+
+	report, err := pipe.AuditDerivative(trustroots.AmazonLinux, trustroots.NSS,
+		time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC), trustroots.AuditConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.CountByKind()[trustroots.FindingRetainedRemoval] == 0 {
+		t.Error("audit should flag retained removals")
+	}
+
+	nss := eco.DB.History(trustroots.NSS).Latest()
+	split := trustroots.SplitByPurpose(nss)
+	if split[trustroots.ServerAuth].Len() == 0 {
+		t.Error("TLS split empty")
+	}
+
+	removed := pipe.RemovedCAReport(trustroots.NSS, time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC))
+	if len(removed) == 0 {
+		t.Error("removed-CA report empty")
+	}
+}
+
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}
