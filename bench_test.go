@@ -8,7 +8,12 @@ package trustroots_test
 // tests. `go test -run TestReproduction -v` prints the artifacts themselves.
 
 import (
+	"bytes"
+	"encoding/json"
+	"encoding/pem"
 	"io"
+	"log/slog"
+	"net/http/httptest"
 	"os"
 	"sync"
 	"testing"
@@ -19,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mds"
 	"repro/internal/paperdata"
+	"repro/internal/service"
 	"repro/internal/setdist"
 	"repro/internal/useragent"
 	"repro/internal/verify"
@@ -300,6 +306,120 @@ func BenchmarkAblationPartialDistrust(b *testing.B) {
 			res := v.Verify(verify.Request{Leaf: leaf.Cert, Purpose: trustroots.ServerAuth, At: at})
 			if res.Outcome != verify.OK {
 				b.Fatalf("outcome = %v", res.Outcome)
+			}
+		}
+	})
+}
+
+// serviceVerifyFixture prepares a server over the bench corpus plus a
+// §6.2 chain (post-cutoff Symantec leaf) for the serving-layer benchmarks.
+func serviceVerifyFixture(b *testing.B) (*service.Server, []byte, []string) {
+	b.Helper()
+	ctx := benchContext(b)
+	eco := ctx.Eco
+
+	nssSnap := eco.DB.History(paperdata.NSS).At(ts(2020, 9, 15))
+	var anchor *trustroots.TrustEntry
+	for _, e := range nssSnap.Entries() {
+		if _, ok := e.DistrustAfterFor(trustroots.ServerAuth); ok {
+			anchor = e
+			break
+		}
+	}
+	if anchor == nil {
+		b.Fatal("no partially distrusted anchor")
+	}
+	ca := eco.Universe.Lookup(anchor.Label)
+	cutoff, _ := anchor.DistrustAfterFor(trustroots.ServerAuth)
+	leafDER, err := trustroots.IssueLeaf(ca, "bench.example.test", cutoff.AddDate(0, 1, 0), cutoff.AddDate(2, 0, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	chainPEM := string(pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: leafDER}))
+
+	var versions []string
+	for _, s := range eco.DB.History(paperdata.NSS).Snapshots() {
+		versions = append(versions, "NSS@"+s.Version)
+	}
+	srv := service.New(eco.DB, service.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+
+	body, err := json.Marshal(map[string]any{
+		"chain_pem": chainPEM, "stores": []string{"NSS"}, "at": "2020-11-15",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv, body, versions
+}
+
+func postServiceVerify(b *testing.B, srv *service.Server, body []byte) {
+	b.Helper()
+	req := httptest.NewRequest("POST", "/v1/verify", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		b.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// BenchmarkServiceVerify measures the POST /v1/verify hot path cache-cold
+// vs cache-warm. Cold rotates snapshot and chain-key per iteration so every
+// request misses the verdict LRU and periodically pays verifier (cert pool)
+// construction; warm repeats one request, which after the first hit is a
+// pure LRU recall. Warm/cold is the serving layer's caching win.
+func BenchmarkServiceVerify(b *testing.B) {
+	srv, body, versions := serviceVerifyFixture(b)
+
+	b.Run("cold", func(b *testing.B) {
+		// A fresh server so nothing is pre-built. Each iteration rotates
+		// the target snapshot (periodically paying verifier/pool
+		// construction) and perturbs the verification instant by one
+		// second (a distinct verdict key), so every request misses the
+		// LRU and runs a full chain verification.
+		cold := service.New(benchContext(b).Eco.DB, service.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+		var m map[string]any
+		if err := json.Unmarshal(body, &m); err != nil {
+			b.Fatal(err)
+		}
+		base := time.Date(2020, 11, 15, 0, 0, 0, 0, time.UTC)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m["stores"] = []string{versions[i%len(versions)]}
+			m["at"] = base.Add(time.Duration(i) * time.Second).Format(time.RFC3339)
+			raw, _ := json.Marshal(m)
+			postServiceVerify(b, cold, raw)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		postServiceVerify(b, srv, body) // prime the caches
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			postServiceVerify(b, srv, body)
+		}
+	})
+}
+
+// BenchmarkFingerprintIndex measures the global root index: one-time build
+// cost over the full corpus and steady-state lookup cost.
+func BenchmarkFingerprintIndex(b *testing.B) {
+	ctx := benchContext(b)
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ix := service.BuildIndex(ctx.Eco.DB); ix.Size() == 0 {
+				b.Fatal("empty index")
+			}
+		}
+	})
+	b.Run("lookup", func(b *testing.B) {
+		ix := service.BuildIndex(ctx.Eco.DB)
+		var fps []string
+		for _, e := range ctx.Eco.DB.History(paperdata.NSS).Latest().Entries() {
+			fps = append(fps, e.Fingerprint.String())
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := ix.Lookup(fps[i%len(fps)]); !ok {
+				b.Fatal("miss for an indexed root")
 			}
 		}
 	})

@@ -1,0 +1,105 @@
+// Command trustd serves the trust-anchor query & chain-verification API
+// over a root-store database: the paper's cross-store comparisons as an
+// online service.
+//
+// Usage:
+//
+//	trustd [-addr :8080] [-seed tracing-your-roots | -tree DIR] [flags]
+//
+// The database comes from the deterministic synthetic ecosystem (-seed) or
+// from an on-disk <provider>/<version>/ release tree (-tree), the same
+// layouts cmd/synthgen writes and internal/catalog ingests.
+//
+// Endpoints:
+//
+//	GET  /v1/providers                      providers + snapshot counts
+//	GET  /v1/providers/{p}/snapshots        one provider's release history
+//	GET  /v1/roots/{fingerprint}            who trusts this root (per purpose)
+//	GET  /v1/diff?a=REF&b=REF               added/removed/trust-changed roots
+//	POST /v1/verify                         per-store verdicts for a PEM chain
+//	GET  /healthz                           liveness + corpus size
+//	GET  /metrics                           expvar counters (JSON)
+//
+// Snapshot REFs are "Provider" (latest, or in force at ?at=) or
+// "Provider@Version". The server drains connections on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/service"
+	"repro/internal/store"
+	"repro/internal/synth"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.String("seed", "tracing-your-roots", "synthetic ecosystem seed (ignored with -tree)")
+	tree := flag.String("tree", "", "load snapshots from a <provider>/<version>/ directory tree instead of generating")
+	timeout := flag.Duration("timeout", service.DefaultRequestTimeout, "per-request timeout")
+	drain := flag.Duration("drain", 15*time.Second, "connection-drain budget on shutdown")
+	maxBody := flag.Int64("max-body", service.DefaultMaxBodyBytes, "request body size limit in bytes")
+	workers := flag.Int("workers", 0, "concurrent verification workers (0 = 2×CPU)")
+	cacheSize := flag.Int("verdict-cache", service.DefaultVerdictCacheSize, "verdict LRU capacity")
+	logJSON := flag.Bool("log-json", false, "emit JSON logs instead of text")
+	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	db, err := loadDatabase(*seed, *tree, logger)
+	if err != nil {
+		logger.Error("load database", "err", err)
+		os.Exit(1)
+	}
+
+	srv := service.New(db, service.Config{
+		MaxBodyBytes:     *maxBody,
+		RequestTimeout:   *timeout,
+		VerifyWorkers:    *workers,
+		VerdictCacheSize: *cacheSize,
+		Logger:           logger,
+	})
+	expvar.Publish("trustd", srv.Metrics().Map())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx, *addr, *drain); err != nil && err != http.ErrServerClosed {
+		logger.Error("serve", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("bye")
+}
+
+func loadDatabase(seed, tree string, logger *slog.Logger) (*store.Database, error) {
+	start := time.Now()
+	if tree != "" {
+		db, err := catalog.LoadTree(tree, catalog.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("ingest %s: %w", tree, err)
+		}
+		logger.Info("tree ingested", "dir", tree,
+			"snapshots", db.TotalSnapshots(), "elapsed", time.Since(start).Round(time.Millisecond))
+		return db, nil
+	}
+	eco, err := synth.Cached(seed)
+	if err != nil {
+		return nil, fmt.Errorf("generate ecosystem: %w", err)
+	}
+	logger.Info("ecosystem generated", "seed", seed,
+		"snapshots", eco.DB.TotalSnapshots(), "elapsed", time.Since(start).Round(time.Millisecond))
+	return eco.DB, nil
+}

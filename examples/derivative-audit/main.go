@@ -56,6 +56,14 @@ func main() {
 	fmt.Printf("NSS %s: root %q trusted, but leaves issued after %s are rejected\n",
 		nssSnap.Version, symantec.Label, cutoff.Format("2006-01-02"))
 
+	// The same root in Debian's copy, addressed by wire-format fingerprint:
+	// present, but the partial-distrust annotation is gone.
+	if deb, ok := debSnapNov.EntryByFingerprint(symantec.Fingerprint.String()); ok {
+		_, hasCutoff := deb.DistrustAfterFor(trustroots.ServerAuth)
+		fmt.Printf("Debian carries the same root (%s); distrust-after copied: %v\n",
+			deb.Fingerprint.Short(), hasCutoff)
+	}
+
 	// Issue a leaf after the cutoff from the same CA.
 	ca := eco.Universe.Lookup(symantec.Label)
 	if ca == nil {

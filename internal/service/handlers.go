@@ -1,0 +1,494 @@
+package service
+
+import (
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/hex"
+	"encoding/json"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/useragent"
+	"repro/internal/verify"
+)
+
+// apiError is the uniform error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Warn("encode response", "err", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// providerSummary is one row of GET /v1/providers.
+type providerSummary struct {
+	Name          string    `json:"name"`
+	Snapshots     int       `json:"snapshots"`
+	First         time.Time `json:"first"`
+	Latest        time.Time `json:"latest"`
+	LatestVersion string    `json:"latest_version"`
+	LatestRoots   int       `json:"latest_roots"`
+}
+
+type providersResponse struct {
+	Providers      []providerSummary `json:"providers"`
+	TotalSnapshots int               `json:"total_snapshots"`
+	IndexedRoots   int               `json:"indexed_roots"`
+}
+
+func (s *Server) handleProviders(w http.ResponseWriter, r *http.Request) {
+	resp := providersResponse{
+		TotalSnapshots: s.db.TotalSnapshots(),
+		IndexedRoots:   s.index.Size(),
+	}
+	for _, name := range s.db.Providers() {
+		h := s.db.History(name)
+		latest := h.Latest()
+		resp.Providers = append(resp.Providers, providerSummary{
+			Name:          name,
+			Snapshots:     h.Len(),
+			First:         h.First().Date,
+			Latest:        latest.Date,
+			LatestVersion: latest.Version,
+			LatestRoots:   latest.Len(),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// snapshotSummary is one row of GET /v1/providers/{p}/snapshots.
+type snapshotSummary struct {
+	Version    string    `json:"version"`
+	Date       time.Time `json:"date"`
+	Roots      int       `json:"roots"`
+	TrustedTLS int       `json:"trusted_server_auth"`
+}
+
+type snapshotsResponse struct {
+	Provider  string            `json:"provider"`
+	Snapshots []snapshotSummary `json:"snapshots"`
+}
+
+func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("provider")
+	h := s.db.History(name)
+	if h == nil {
+		s.writeError(w, http.StatusNotFound, "unknown provider %q", name)
+		return
+	}
+	resp := snapshotsResponse{Provider: name}
+	for _, snap := range h.Snapshots() {
+		resp.Snapshots = append(resp.Snapshots, snapshotSummary{
+			Version:    snap.Version,
+			Date:       snap.Date,
+			Roots:      snap.Len(),
+			TrustedTLS: snap.TrustedCount(store.ServerAuth),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fingerprint")
+	info, ok := s.index.Lookup(fp)
+	if !ok {
+		// Distinguish malformed hex from a clean miss.
+		if !isHexFingerprint(fp) {
+			s.writeError(w, http.StatusBadRequest, "malformed fingerprint %q: want 64 hex chars", fp)
+			return
+		}
+		s.writeError(w, http.StatusNotFound, "no store ever contained root %s", fp)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+func isHexFingerprint(s string) bool {
+	s = strings.ReplaceAll(strings.TrimSpace(s), ":", "")
+	if len(s) != 2*sha256.Size {
+		return false
+	}
+	_, err := hex.DecodeString(s)
+	return err == nil
+}
+
+// rootRef is a membership row in the diff response.
+type rootRef struct {
+	Fingerprint string `json:"fingerprint"`
+	Label       string `json:"label,omitempty"`
+}
+
+type trustChangeRow struct {
+	Fingerprint   string     `json:"fingerprint"`
+	Label         string     `json:"label,omitempty"`
+	Purpose       string     `json:"purpose"`
+	Old           string     `json:"old"`
+	New           string     `json:"new"`
+	DistrustAfter *time.Time `json:"distrust_after,omitempty"`
+}
+
+type diffResponse struct {
+	A            string           `json:"a"`
+	B            string           `json:"b"`
+	Added        []rootRef        `json:"added"`
+	Removed      []rootRef        `json:"removed"`
+	TrustChanges []trustChangeRow `json:"trust_changes"`
+}
+
+// handleDiff serves GET /v1/diff?a=Provider[@Version]&b=Provider[@Version]:
+// membership and trust changes of b relative to a.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	aRef, bRef := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	if aRef == "" || bRef == "" {
+		s.writeError(w, http.StatusBadRequest, "diff requires both ?a= and ?b= snapshot refs (Provider or Provider@Version)")
+		return
+	}
+	at, err := parseAt(r.URL.Query().Get("at"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	a, err := s.resolveSnapshot(aRef, at)
+	if err != nil {
+		s.writeRefError(w, err)
+		return
+	}
+	b, err := s.resolveSnapshot(bRef, at)
+	if err != nil {
+		s.writeRefError(w, err)
+		return
+	}
+	d := store.DiffSnapshots(a, b)
+	resp := diffResponse{A: a.Key(), B: b.Key()}
+	for _, e := range d.Added {
+		resp.Added = append(resp.Added, rootRef{e.Fingerprint.String(), e.Label})
+	}
+	for _, e := range d.Removed {
+		resp.Removed = append(resp.Removed, rootRef{e.Fingerprint.String(), e.Label})
+	}
+	for _, tc := range d.TrustChanges {
+		row := trustChangeRow{
+			Fingerprint: tc.Fingerprint.String(),
+			Label:       tc.Label,
+			Purpose:     tc.Purpose.String(),
+			Old:         tc.Old.String(),
+			New:         tc.New.String(),
+		}
+		if tc.DistrustAfterSet {
+			t := tc.DistrustAfter
+			row.DistrustAfter = &t
+		}
+		resp.TrustChanges = append(resp.TrustChanges, row)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// refError distinguishes unknown references (404) from malformed ones (400).
+type refError struct {
+	notFound bool
+	msg      string
+}
+
+func (e *refError) Error() string { return e.msg }
+
+func (s *Server) writeRefError(w http.ResponseWriter, err error) {
+	var re *refError
+	if errors.As(err, &re) && re.notFound {
+		s.writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.writeError(w, http.StatusBadRequest, "%v", err)
+}
+
+// resolveSnapshot resolves "Provider" (snapshot in force at `at`, latest
+// when at is zero) or "Provider@Version" (exact release).
+func (s *Server) resolveSnapshot(ref string, at time.Time) (*store.Snapshot, error) {
+	provider, version, hasVersion := strings.Cut(ref, "@")
+	h := s.db.History(provider)
+	if h == nil {
+		return nil, &refError{notFound: true, msg: fmt.Sprintf("unknown provider %q", provider)}
+	}
+	if hasVersion {
+		for _, snap := range h.Snapshots() {
+			if snap.Version == version {
+				return snap, nil
+			}
+		}
+		return nil, &refError{notFound: true, msg: fmt.Sprintf("provider %q has no version %q", provider, version)}
+	}
+	if !at.IsZero() {
+		if snap := h.At(at); snap != nil {
+			return snap, nil
+		}
+		return nil, &refError{notFound: true, msg: fmt.Sprintf("provider %q has no snapshot at %s", provider, at.Format("2006-01-02"))}
+	}
+	return h.Latest(), nil
+}
+
+// parseAt accepts RFC 3339 or bare dates.
+func parseAt(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	for _, layout := range []string{time.RFC3339, "2006-01-02"} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("invalid time %q: want RFC 3339 or YYYY-MM-DD", s)
+}
+
+// verifyRequest is the POST /v1/verify body.
+type verifyRequest struct {
+	// ChainPEM holds the chain, leaf first, as concatenated PEM blocks.
+	ChainPEM string `json:"chain_pem"`
+	// Purpose defaults to server-auth.
+	Purpose string `json:"purpose,omitempty"`
+	DNSName string `json:"dns_name,omitempty"`
+	// UserAgent, when set, is routed through the paper's UA → provider
+	// mapping and that provider's store joins the fan-out.
+	UserAgent string `json:"user_agent,omitempty"`
+	// Stores lists snapshot refs ("NSS", "Debian@Debian-007"); empty plus
+	// no user_agent means every provider.
+	Stores []string `json:"stores,omitempty"`
+	// At is the verification instant (RFC 3339 or YYYY-MM-DD); each
+	// snapshot's own date when empty.
+	At string `json:"at,omitempty"`
+}
+
+// uaInfo reports how the User-Agent was routed.
+type uaInfo struct {
+	Browser   string `json:"browser"`
+	OS        string `json:"os"`
+	Provider  string `json:"provider,omitempty"`
+	Traceable bool   `json:"traceable"`
+	Reason    string `json:"reason"`
+}
+
+// storeVerdict is one store's view of the chain — the row the whole service
+// exists to serve.
+type storeVerdict struct {
+	Store             string    `json:"store"`
+	Provider          string    `json:"provider"`
+	Date              time.Time `json:"date"`
+	Outcome           string    `json:"outcome"`
+	AnchorFingerprint string    `json:"anchor,omitempty"`
+	AnchorLabel       string    `json:"anchor_label,omitempty"`
+	Error             string    `json:"error,omitempty"`
+	Cached            bool      `json:"cached,omitempty"`
+}
+
+type verifyResponse struct {
+	ChainSHA256 string         `json:"chain_sha256"`
+	Purpose     string         `json:"purpose"`
+	At          *time.Time     `json:"at,omitempty"`
+	UserAgent   *uaInfo        `json:"user_agent,omitempty"`
+	Verdicts    []storeVerdict `json:"verdicts"`
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req verifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+
+	leaf, intermediates, chainHash, err := parseChainPEM(req.ChainPEM)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	purpose := store.ServerAuth
+	if req.Purpose != "" {
+		purpose, err = store.ParsePurpose(req.Purpose)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	at, err := parseAt(req.At)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	resp := verifyResponse{ChainSHA256: chainHash, Purpose: purpose.String()}
+	if !at.IsZero() {
+		resp.At = &at
+	}
+
+	refs := append([]string(nil), req.Stores...)
+	if req.UserAgent != "" {
+		agent := useragent.Parse(req.UserAgent)
+		mapped := useragent.MapToProvider(agent)
+		resp.UserAgent = &uaInfo{
+			Browser:   string(agent.Browser),
+			OS:        string(agent.OS),
+			Provider:  string(mapped.Provider),
+			Traceable: mapped.Traceable,
+			Reason:    mapped.Reason,
+		}
+		if mapped.Traceable {
+			refs = append(refs, string(mapped.Provider))
+		} else if len(refs) == 0 {
+			// The paper could not trace this client to a store and the
+			// caller named no fallback: nothing to verify against.
+			s.writeJSON(w, http.StatusUnprocessableEntity, resp)
+			return
+		}
+	}
+	if len(refs) == 0 {
+		refs = s.db.Providers()
+	}
+
+	snaps := make([]*store.Snapshot, 0, len(refs))
+	seen := map[string]bool{}
+	for _, ref := range refs {
+		snap, err := s.resolveSnapshot(ref, at)
+		if err != nil {
+			s.writeRefError(w, err)
+			return
+		}
+		if !seen[snap.Key()] {
+			seen[snap.Key()] = true
+			snaps = append(snaps, snap)
+		}
+	}
+
+	resp.Verdicts = s.fanoutVerify(r, snaps, verify.Request{
+		Leaf:          leaf,
+		Intermediates: intermediates,
+		Purpose:       purpose,
+		DNSName:       req.DNSName,
+		At:            at,
+	}, chainHash)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// fanoutVerify verifies the chain against every snapshot concurrently,
+// bounded by the worker semaphore and the request context.
+func (s *Server) fanoutVerify(r *http.Request, snaps []*store.Snapshot, vreq verify.Request, chainHash string) []storeVerdict {
+	ctx := r.Context()
+	out := make([]storeVerdict, len(snaps))
+	var wg sync.WaitGroup
+	for i, snap := range snaps {
+		wg.Add(1)
+		go func(i int, snap *store.Snapshot) {
+			defer wg.Done()
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			case <-ctx.Done():
+				out[i] = storeVerdict{
+					Store: snap.Key(), Provider: snap.Provider, Date: snap.Date,
+					Outcome: "timeout", Error: ctx.Err().Error(),
+				}
+				return
+			}
+			out[i] = s.verdictFor(snap, vreq, chainHash)
+		}(i, snap)
+	}
+	wg.Wait()
+	for i := range out {
+		s.metrics.outcomes.Add(out[i].Outcome, 1)
+		s.metrics.verified.Add(1)
+	}
+	return out
+}
+
+// verdictFor computes (or recalls) one store's verdict.
+func (s *Server) verdictFor(snap *store.Snapshot, vreq verify.Request, chainHash string) storeVerdict {
+	at := vreq.At
+	if at.IsZero() {
+		at = snap.Date
+	}
+	key := strings.Join([]string{chainHash, snap.Key(), vreq.Purpose.String(), vreq.DNSName, at.UTC().Format(time.RFC3339)}, "|")
+	if v, ok := s.verdicts.get(key); ok {
+		s.metrics.cacheEvent("verdict", true)
+		v.Cached = true
+		return v
+	}
+	s.metrics.cacheEvent("verdict", false)
+
+	res := s.verifiers.get(snap).Verify(vreq)
+	v := storeVerdict{
+		Store:    snap.Key(),
+		Provider: snap.Provider,
+		Date:     snap.Date,
+		Outcome:  res.Outcome.String(),
+	}
+	if res.Anchor != nil {
+		v.AnchorFingerprint = res.Anchor.Fingerprint.String()
+		v.AnchorLabel = res.Anchor.Label
+	}
+	if res.Err != nil {
+		v.Error = res.Err.Error()
+	}
+	s.verdicts.put(key, v)
+	return v
+}
+
+// parseChainPEM decodes the chain (leaf first) and hashes the concatenated
+// DER — the verdict-cache identity of the chain.
+func parseChainPEM(chainPEM string) (leaf *x509.Certificate, intermediates []*x509.Certificate, chainHash string, err error) {
+	rest := []byte(chainPEM)
+	h := sha256.New()
+	var certs []*x509.Certificate
+	for {
+		var block *pem.Block
+		block, rest = pem.Decode(rest)
+		if block == nil {
+			break
+		}
+		if block.Type != "CERTIFICATE" {
+			continue
+		}
+		cert, perr := x509.ParseCertificate(block.Bytes)
+		if perr != nil {
+			return nil, nil, "", fmt.Errorf("certificate %d in chain_pem: %v", len(certs), perr)
+		}
+		h.Write(cert.Raw)
+		certs = append(certs, cert)
+	}
+	if len(certs) == 0 {
+		return nil, nil, "", errors.New("chain_pem contains no CERTIFICATE blocks")
+	}
+	return certs[0], certs[1:], hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// healthResponse is GET /healthz.
+type healthResponse struct {
+	Status       string `json:"status"`
+	Providers    int    `json:"providers"`
+	Snapshots    int    `json:"snapshots"`
+	IndexedRoots int    `json:"indexed_roots"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, healthResponse{
+		Status:       "ok",
+		Providers:    len(s.db.Providers()),
+		Snapshots:    s.db.TotalSnapshots(),
+		IndexedRoots: s.index.Size(),
+	})
+}

@@ -1,0 +1,104 @@
+package service
+
+// This file holds the global root index: a SHA-256-fingerprint →
+// (provider, version) inverted index across every snapshot in the database.
+// It answers the paper's central question — "who trusts this root, for what,
+// and with what caveats?" — in one map lookup instead of scanning 619
+// snapshots' entries per query.
+
+import (
+	"time"
+
+	"repro/internal/certutil"
+	"repro/internal/store"
+)
+
+// Presence records one snapshot's view of one root.
+type Presence struct {
+	Provider string    `json:"provider"`
+	Version  string    `json:"version"`
+	Date     time.Time `json:"date"`
+	// Trust maps purpose name → trust level name for every purpose the
+	// snapshot specifies.
+	Trust map[string]string `json:"trust,omitempty"`
+	// DistrustAfter maps purpose name → partial-distrust cutoff.
+	DistrustAfter map[string]time.Time `json:"distrust_after,omitempty"`
+}
+
+// RootInfo is everything the index knows about one fingerprint.
+type RootInfo struct {
+	Fingerprint string     `json:"fingerprint"`
+	Label       string     `json:"label,omitempty"`
+	Subject     string     `json:"subject,omitempty"`
+	NotBefore   time.Time  `json:"not_before"`
+	NotAfter    time.Time  `json:"not_after"`
+	Presences   []Presence `json:"presences"`
+	// Providers is the deduplicated provider list, a quick "who trusts
+	// this" summary.
+	Providers []string `json:"providers"`
+}
+
+// RootIndex is the inverted index. It is built once at startup and
+// immutable afterwards, so concurrent readers need no locking.
+type RootIndex struct {
+	byFP  map[certutil.Fingerprint]*RootInfo
+	roots int
+}
+
+// BuildIndex walks every snapshot of every provider.
+func BuildIndex(db *store.Database) *RootIndex {
+	ix := &RootIndex{byFP: make(map[certutil.Fingerprint]*RootInfo)}
+	for _, snap := range db.AllSnapshots() {
+		for _, e := range snap.Entries() {
+			info, ok := ix.byFP[e.Fingerprint]
+			if !ok {
+				info = &RootInfo{
+					Fingerprint: e.Fingerprint.String(),
+					Label:       e.Label,
+					Subject:     certutil.DisplayName(e.Cert),
+					NotBefore:   e.Cert.NotBefore,
+					NotAfter:    e.Cert.NotAfter,
+				}
+				ix.byFP[e.Fingerprint] = info
+			}
+			info.Presences = append(info.Presences, presenceOf(snap, e))
+			if n := len(info.Providers); n == 0 || info.Providers[n-1] != snap.Provider {
+				info.Providers = append(info.Providers, snap.Provider)
+			}
+		}
+	}
+	ix.roots = len(ix.byFP)
+	return ix
+}
+
+func presenceOf(snap *store.Snapshot, e *store.TrustEntry) Presence {
+	p := Presence{Provider: snap.Provider, Version: snap.Version, Date: snap.Date}
+	for _, purpose := range store.AllPurposes {
+		if l := e.TrustFor(purpose); l != store.Unspecified {
+			if p.Trust == nil {
+				p.Trust = make(map[string]string)
+			}
+			p.Trust[purpose.String()] = l.String()
+		}
+		if cutoff, ok := e.DistrustAfterFor(purpose); ok {
+			if p.DistrustAfter == nil {
+				p.DistrustAfter = make(map[string]time.Time)
+			}
+			p.DistrustAfter[purpose.String()] = cutoff
+		}
+	}
+	return p
+}
+
+// Lookup resolves a hex fingerprint (optionally colon-separated).
+func (ix *RootIndex) Lookup(hexFP string) (*RootInfo, bool) {
+	fp, err := certutil.ParseFingerprint(hexFP)
+	if err != nil {
+		return nil, false
+	}
+	info, ok := ix.byFP[fp]
+	return info, ok
+}
+
+// Size returns the number of distinct roots indexed.
+func (ix *RootIndex) Size() int { return ix.roots }

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (inclusive) of the request-latency
+// histogram, in milliseconds. The last bucket is open-ended.
+var latencyBuckets = []float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// Metrics aggregates the server's expvar counters. Each Server owns a
+// private expvar.Map rather than publishing process globals, so multiple
+// servers (tests, embedded use) never collide on expvar names; cmd/trustd
+// publishes the map under "trustd" for the standard /debug/vars view.
+type Metrics struct {
+	root *expvar.Map
+
+	requests  *expvar.Map // per route: "GET /v1/providers" → count
+	status    *expvar.Map // per status class: "2xx" → count
+	outcomes  *expvar.Map // per verify outcome: "ok", "no-anchor", ...
+	cache     *expvar.Map // verifier/verdict cache hit/miss counters
+	latency   *expvar.Map // histogram bucket → count ("le_25ms", "le_inf")
+	inFlight  *expvar.Int
+	verified  *expvar.Int // total per-store verdicts computed (incl. cached)
+	rejected  *expvar.Int // requests refused before verification (4xx)
+	uptime    *expvar.String
+	startedAt time.Time
+}
+
+func newMetrics() *Metrics {
+	m := &Metrics{
+		root:      new(expvar.Map).Init(),
+		requests:  new(expvar.Map).Init(),
+		status:    new(expvar.Map).Init(),
+		outcomes:  new(expvar.Map).Init(),
+		cache:     new(expvar.Map).Init(),
+		latency:   new(expvar.Map).Init(),
+		inFlight:  new(expvar.Int),
+		verified:  new(expvar.Int),
+		rejected:  new(expvar.Int),
+		uptime:    new(expvar.String),
+		startedAt: time.Now(),
+	}
+	m.root.Set("requests", m.requests)
+	m.root.Set("status", m.status)
+	m.root.Set("verify_outcomes", m.outcomes)
+	m.root.Set("cache", m.cache)
+	m.root.Set("latency_ms", m.latency)
+	m.root.Set("in_flight", m.inFlight)
+	m.root.Set("verdicts_total", m.verified)
+	m.root.Set("rejected_total", m.rejected)
+	m.root.Set("uptime", m.uptime)
+	return m
+}
+
+// Map exposes the metric tree, e.g. for expvar.Publish in cmd/trustd.
+func (m *Metrics) Map() *expvar.Map { return m.root }
+
+func (m *Metrics) observeLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	for _, le := range latencyBuckets {
+		if ms <= le {
+			m.latency.Add(fmt.Sprintf("le_%gms", le), 1)
+			return
+		}
+	}
+	m.latency.Add("le_inf", 1)
+}
+
+func (m *Metrics) cacheEvent(name string, hit bool) {
+	if hit {
+		m.cache.Add(name+"_hits", 1)
+	} else {
+		m.cache.Add(name+"_misses", 1)
+	}
+}
+
+// CacheHits returns a cache counter's current value (test hook).
+func (m *Metrics) CacheHits(name string) int64 {
+	if v, ok := m.cache.Get(name + "_hits").(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
+
+// RequestCount returns a route counter's current value (test hook).
+func (m *Metrics) RequestCount(route string) int64 {
+	if v, ok := m.requests.Get(route).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting, in-flight tracking and
+// the latency histogram. route is the mux pattern ("POST /v1/verify").
+func (m *Metrics) instrument(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.inFlight.Add(1)
+		defer m.inFlight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		m.requests.Add(route, 1)
+		m.status.Add(fmt.Sprintf("%dxx", rec.code/100), 1)
+		if rec.code >= 400 && rec.code < 500 {
+			m.rejected.Add(1)
+		}
+		m.observeLatency(time.Since(start))
+	})
+}
+
+// handler serves the metric tree as JSON — the expvar wire format, scoped to
+// this server's map.
+func (m *Metrics) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.uptime.Set(time.Since(m.startedAt).Round(time.Millisecond).String())
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintln(w, m.root.String())
+	})
+}

@@ -1,0 +1,185 @@
+// Package service is the serving layer over the trust-anchor database: a
+// concurrent HTTP API answering the question the offline pipeline only
+// answers in batch — which stores trust this root, and does this chain
+// verify, as seen by each client's root store (§6–§7 made queryable).
+//
+// The subsystem is stdlib-only (net/http, log/slog, expvar) like the rest
+// of the module. Design notes:
+//
+//   - A global fingerprint → (provider, version) inverted index is built
+//     once at startup (RootIndex); reads need no locks.
+//   - verify.Verifier construction (cert-pool building) is the expensive
+//     step, so verifiers are cached per snapshot in a sharded read-through
+//     cache; verdicts are additionally memoized in an LRU keyed on
+//     (chain-hash, snapshot, purpose, dns, time).
+//   - POST /v1/verify fans out across the requested stores under a bounded
+//     worker semaphore and honours per-request context timeouts.
+package service
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/store"
+)
+
+// defaultWorkers sizes the verify semaphore: chain verification is CPU-bound
+// (signature checks), so a small multiple of the core count saturates the
+// machine without unbounded goroutine pileup.
+func defaultWorkers() int {
+	if n := 2 * runtime.NumCPU(); n > 4 {
+		return n
+	}
+	return 4
+}
+
+// Config tunes the server. The zero value is usable; see the Default*
+// constants.
+type Config struct {
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// RequestTimeout bounds each request's context (default 10s).
+	RequestTimeout time.Duration
+	// VerifyWorkers bounds concurrent per-store verifications across ALL
+	// in-flight verify requests (default 2×NumCPU, min 4).
+	VerifyWorkers int
+	// VerdictCacheSize is the LRU capacity (default 4096 verdicts).
+	VerdictCacheSize int
+	// Logger receives request logs; slog.Default() when nil.
+	Logger *slog.Logger
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxBodyBytes     = 1 << 20
+	DefaultRequestTimeout   = 10 * time.Second
+	DefaultVerdictCacheSize = 4096
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.VerifyWorkers <= 0 {
+		c.VerifyWorkers = defaultWorkers()
+	}
+	if c.VerdictCacheSize <= 0 {
+		c.VerdictCacheSize = DefaultVerdictCacheSize
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server serves the trust-anchor API over one immutable database.
+type Server struct {
+	cfg       Config
+	db        *store.Database
+	index     *RootIndex
+	verifiers *verifierCache
+	verdicts  *lruCache
+	sem       chan struct{}
+	metrics   *Metrics
+	log       *slog.Logger
+	mux       *http.ServeMux
+	handler   http.Handler
+}
+
+// New builds a server over the database: indexes every snapshot and wires
+// the routes. The database must not be mutated afterwards.
+func New(db *store.Database, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		db:      db,
+		metrics: newMetrics(),
+		log:     cfg.Logger,
+		sem:     make(chan struct{}, cfg.VerifyWorkers),
+		mux:     http.NewServeMux(),
+	}
+	s.verifiers = newVerifierCache(s.metrics)
+	s.verdicts = newLRUCache(cfg.VerdictCacheSize)
+
+	start := time.Now()
+	s.index = BuildIndex(db)
+	s.log.Info("index built",
+		"roots", s.index.Size(),
+		"snapshots", db.TotalSnapshots(),
+		"providers", len(db.Providers()),
+		"elapsed", time.Since(start).Round(time.Millisecond))
+
+	s.route("GET /v1/providers", s.handleProviders)
+	s.route("GET /v1/providers/{provider}/snapshots", s.handleSnapshots)
+	s.route("GET /v1/roots/{fingerprint}", s.handleRoot)
+	s.route("GET /v1/diff", s.handleDiff)
+	s.route("POST /v1/verify", s.handleVerify)
+	s.mux.Handle("GET /healthz", http.HandlerFunc(s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.metrics.handler())
+	s.handler = s.withTimeout(s.mux)
+	return s
+}
+
+// route registers an instrumented handler under a Go 1.22 mux pattern.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, s.metrics.instrument(pattern, h))
+}
+
+// Handler returns the root handler: the instrumented mux behind the
+// request-timeout and body-limit middleware. Suitable for httptest.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics exposes the server's counters (cmd/trustd publishes them; tests
+// assert on them).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Index exposes the root index (benchmarks and embedded callers).
+func (s *Server) Index() *RootIndex { return s.index }
+
+// withTimeout bounds every request's context and caps its body size.
+func (s *Server) withTimeout(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// Run serves on addr until ctx is cancelled, then drains connections for up
+// to drain before forcing the listener closed. This is the cmd/trustd
+// serving loop; tests use Handler with httptest instead.
+func (s *Server) Run(ctx context.Context, addr string, drain time.Duration) error {
+	// Note: no BaseContext tied to ctx — in-flight requests must outlive
+	// the cancellation so Shutdown can drain them.
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	s.log.Info("listening", "addr", addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.log.Info("shutting down", "drain", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		s.log.Warn("forced close after drain timeout", "err", err)
+		return srv.Close()
+	}
+	return nil
+}

@@ -71,6 +71,18 @@ func (s *Snapshot) Lookup(fp certutil.Fingerprint) (*TrustEntry, bool) {
 	return e, ok
 }
 
+// EntryByFingerprint looks up an entry by its SHA-256 fingerprint rendered
+// as hex (optionally colon-separated, any case). It is the string-keyed
+// companion to Lookup for callers holding wire-format fingerprints — API
+// handlers, CLIs — who would otherwise linear-scan Entries().
+func (s *Snapshot) EntryByFingerprint(sha256 string) (*TrustEntry, bool) {
+	fp, err := certutil.ParseFingerprint(sha256)
+	if err != nil {
+		return nil, false
+	}
+	return s.Lookup(fp)
+}
+
 // Len returns the number of entries.
 func (s *Snapshot) Len() int { return len(s.entries) }
 

@@ -169,6 +169,31 @@ func TestSnapshotAddLookupRemove(t *testing.T) {
 	}
 }
 
+func TestSnapshotEntryByFingerprint(t *testing.T) {
+	rs := roots(t, 2)
+	s := NewSnapshot("NSS", "3.50", date(2020, 1, 1))
+	e := entry(t, rs[0], ServerAuth)
+	s.Add(e)
+
+	hex := e.Fingerprint.String()
+	got, ok := s.EntryByFingerprint(hex)
+	if !ok || got != e {
+		t.Fatalf("EntryByFingerprint(%q) = %v, %v", hex, got, ok)
+	}
+	// Colon-separated and upper-case renderings resolve too.
+	withColons := hex[:2] + ":" + hex[2:4] + ":" + hex[4:]
+	if _, ok := s.EntryByFingerprint(withColons); !ok {
+		t.Error("colon-separated fingerprint not accepted")
+	}
+	// Absent and malformed inputs miss without panicking.
+	if _, ok := s.EntryByFingerprint(entry(t, rs[1], ServerAuth).Fingerprint.String()); ok {
+		t.Error("absent fingerprint reported present")
+	}
+	if _, ok := s.EntryByFingerprint("not-hex"); ok {
+		t.Error("malformed fingerprint reported present")
+	}
+}
+
 func TestSnapshotAddReplaces(t *testing.T) {
 	r := roots(t, 1)[0]
 	s := NewSnapshot("NSS", "3.50", date(2020, 1, 1))

@@ -1,0 +1,46 @@
+package verify
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+// TestVerifierConcurrent is the -race regression for the lazily built pools:
+// Pool and Verify used to write v.pools unsynchronized, so any concurrent
+// caller (exactly the serving layer's access pattern) raced.
+func TestVerifierConcurrent(t *testing.T) {
+	t.Parallel()
+	root := testcerts.Roots(1)[0]
+	e, _ := store.NewTrustedEntry(root.DER, store.ServerAuth, store.EmailProtection)
+	v := New(snapWith(t, e))
+	leaf := leafUnder(t, root, "race.example.test", ts(2019, 1, 1), ts(2021, 1, 1))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				p := store.AllPurposes[(i+j)%len(store.AllPurposes)]
+				if v.Pool(p) == nil {
+					t.Error("nil pool")
+					return
+				}
+				res := v.Verify(Request{Leaf: leaf, Purpose: store.ServerAuth})
+				if res.Outcome != OK {
+					t.Errorf("outcome = %v", res.Outcome)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Cached pool identity must survive the stampede.
+	if v.Pool(store.ServerAuth) != v.Pool(store.ServerAuth) {
+		t.Error("pool not cached")
+	}
+}

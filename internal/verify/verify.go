@@ -11,6 +11,7 @@ import (
 	"crypto/x509"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/certutil"
@@ -65,11 +66,17 @@ type Result struct {
 	Err error
 }
 
-// Verifier verifies chains against one snapshot.
+// Verifier verifies chains against one snapshot. It is safe for concurrent
+// use: pools are built lazily under a lock and immutable once published.
 type Verifier struct {
 	snapshot *store.Snapshot
+
+	mu sync.RWMutex
 	// pools per purpose, built lazily.
 	pools map[store.Purpose]*x509.CertPool
+	// all holds every certificate in the store regardless of trust, used
+	// by Verify to distinguish "no chain" from "chain to untrusted anchor".
+	all *x509.CertPool
 }
 
 // New creates a verifier over a snapshot.
@@ -80,10 +87,18 @@ func New(s *store.Snapshot) *Verifier {
 // Pool returns the x509.CertPool of roots trusted for the purpose — what a
 // TLS client would install as tls.Config.RootCAs.
 func (v *Verifier) Pool(p store.Purpose) *x509.CertPool {
+	v.mu.RLock()
+	pool, ok := v.pools[p]
+	v.mu.RUnlock()
+	if ok {
+		return pool
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if pool, ok := v.pools[p]; ok {
 		return pool
 	}
-	pool := x509.NewCertPool()
+	pool = x509.NewCertPool()
 	for _, e := range v.snapshot.Entries() {
 		if e.TrustedFor(p) {
 			pool.AddCert(e.Cert)
@@ -91,6 +106,28 @@ func (v *Verifier) Pool(p store.Purpose) *x509.CertPool {
 	}
 	v.pools[p] = pool
 	return pool
+}
+
+// allPool returns the pool of every certificate in the store, building it
+// once. Verify is called per request in serving contexts, so rebuilding this
+// pool per call would dominate the hot path.
+func (v *Verifier) allPool() *x509.CertPool {
+	v.mu.RLock()
+	pool := v.all
+	v.mu.RUnlock()
+	if pool != nil {
+		return pool
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.all == nil {
+		pool := x509.NewCertPool()
+		for _, e := range v.snapshot.Entries() {
+			pool.AddCert(e.Cert)
+		}
+		v.all = pool
+	}
+	return v.all
 }
 
 // Request describes one verification.
@@ -115,13 +152,10 @@ func (v *Verifier) Verify(req Request) Result {
 		at = v.snapshot.Date
 	}
 
-	// Build a pool of every certificate in the store — including ones not
+	// Chain against every certificate in the store — including ones not
 	// trusted for the purpose — so we can distinguish "no chain at all"
 	// from "chain to an untrusted anchor".
-	allPool := x509.NewCertPool()
-	for _, e := range v.snapshot.Entries() {
-		allPool.AddCert(e.Cert)
-	}
+	allPool := v.allPool()
 	inter := x509.NewCertPool()
 	for _, c := range req.Intermediates {
 		inter.AddCert(c)
