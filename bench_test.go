@@ -83,6 +83,7 @@ func BenchmarkTable1UserAgents(b *testing.B) {
 // BenchmarkTable2Dataset measures the dataset summary over all providers.
 func BenchmarkTable2Dataset(b *testing.B) {
 	ctx := benchContext(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows := ctx.Pipe.DatasetSummary()
@@ -96,6 +97,7 @@ func BenchmarkTable2Dataset(b *testing.B) {
 // SMACOF embedding, clustering.
 func BenchmarkFigure1MDS(b *testing.B) {
 	ctx := benchContext(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ord, err := ctx.Pipe.Ordinate(core.DefaultOrdinationConfig())
@@ -124,6 +126,7 @@ func BenchmarkFigure2Ecosystem(b *testing.B) {
 // programs' full histories.
 func BenchmarkTable3Hygiene(b *testing.B) {
 	ctx := benchContext(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows := ctx.Pipe.Hygiene(paperdata.IndependentPrograms)
@@ -137,6 +140,7 @@ func BenchmarkTable3Hygiene(b *testing.B) {
 func BenchmarkTable4RemovalLag(b *testing.B) {
 	ctx := benchContext(b)
 	specs := ctx.IncidentSpecs()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows := ctx.Pipe.RemovalLag(specs)
@@ -150,6 +154,7 @@ func BenchmarkTable4RemovalLag(b *testing.B) {
 // derivatives.
 func BenchmarkFigure3Staleness(b *testing.B) {
 	ctx := benchContext(b)
+	b.ReportAllocs()
 	from, to := ts(2015, 1, 1), ts(2021, 4, 30)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -164,6 +169,7 @@ func BenchmarkFigure3Staleness(b *testing.B) {
 // diff series.
 func BenchmarkFigure4DerivativeDiffs(b *testing.B) {
 	ctx := benchContext(b)
+	b.ReportAllocs()
 	categorize := ctx.Categorize()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -191,6 +197,7 @@ func BenchmarkTable5Survey(b *testing.B) {
 // BenchmarkTable6Exclusive measures the program-exclusive root analysis.
 func BenchmarkTable6Exclusive(b *testing.B) {
 	ctx := benchContext(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		counts := ctx.Pipe.ExclusiveCounts(paperdata.IndependentPrograms)
@@ -204,6 +211,7 @@ func BenchmarkTable6Exclusive(b *testing.B) {
 // history.
 func BenchmarkTable7NSSRemovals(b *testing.B) {
 	ctx := benchContext(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		events := ctx.Pipe.RemovalCatalog(paperdata.NSS, ts(2010, 1, 1), nil)
@@ -238,6 +246,42 @@ func BenchmarkAblationMDS(b *testing.B) {
 			classical, _ := mds.Classical(dist, 2)
 			if res.Stress > classical.Stress+1e-9 {
 				b.Fatal("SMACOF should not be worse than its own initialization")
+			}
+		}
+	})
+}
+
+// BenchmarkDistanceMatrix isolates the pairwise-distance stage of Figure 1
+// and compares the map-based reference against the interned-bitset engine,
+// serial and with the worker pool — the tentpole speedup, measured without
+// the MDS stages on top.
+func BenchmarkDistanceMatrix(b *testing.B) {
+	ctx := benchContext(b)
+	cfg := core.DefaultOrdinationConfig()
+	snaps := ctxSnapshots(ctx, cfg)
+	p := ctx.Pipe.Purpose
+
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if m := setdist.DistanceMatrixMap(snaps, p, nil); m.Rows != len(snaps) {
+				b.Fatalf("rows = %d", m.Rows)
+			}
+		}
+	})
+	b.Run("bitset-serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if m := setdist.DistanceMatrixBits(snaps, p, nil, 1); m.Rows != len(snaps) {
+				b.Fatalf("rows = %d", m.Rows)
+			}
+		}
+	})
+	b.Run("bitset", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if m := setdist.DistanceMatrix(snaps, p); m.Rows != len(snaps) {
+				b.Fatalf("rows = %d", m.Rows)
 			}
 		}
 	})

@@ -1,0 +1,148 @@
+// Package bitset provides a packed bitmap over dense uint32 IDs — the
+// representation the analysis hot path uses for trusted-root sets. A root
+// store holds tens to hundreds of roots out of a corpus universe of a few
+// hundred distinct fingerprints, so once fingerprints are interned to dense
+// IDs an entire trusted set fits in a handful of machine words and the
+// set algebra the paper's comparisons need (|A∩B|, |A∪B|) collapses to
+// word-wise AND/OR plus popcount.
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// Set is a bitmap keyed by dense uint32 IDs. The zero value is an empty
+// set ready for use. A Set is not safe for concurrent mutation, but any
+// number of readers may share one once populated.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set pre-sized to hold IDs below capacity without
+// reallocating.
+func New(capacity int) *Set {
+	if capacity <= 0 {
+		return &Set{}
+	}
+	return &Set{words: make([]uint64, (capacity+wordBits-1)/wordBits)}
+}
+
+// Add inserts id into the set, growing the backing array as needed.
+func (s *Set) Add(id uint32) {
+	w := int(id / wordBits)
+	if w >= len(s.words) {
+		grown := make([]uint64, w+1)
+		copy(grown, s.words)
+		s.words = grown
+	}
+	s.words[w] |= 1 << (id % wordBits)
+}
+
+// Contains reports whether id is in the set.
+func (s *Set) Contains(id uint32) bool {
+	w := int(id / wordBits)
+	return w < len(s.words) && s.words[w]&(1<<(id%wordBits)) != 0
+}
+
+// Count returns the set cardinality.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IntersectCount returns |s ∩ o| without materializing the intersection.
+func (s *Set) IntersectCount(o *Set) int {
+	a, b := s.words, o.words
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	n := 0
+	for i, w := range a {
+		n += bits.OnesCount64(w & b[i])
+	}
+	return n
+}
+
+// UnionCount returns |s ∪ o| without materializing the union.
+func (s *Set) UnionCount(o *Set) int {
+	a, b := s.words, o.words
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	n := 0
+	for i, w := range a {
+		n += bits.OnesCount64(w | b[i])
+	}
+	for _, w := range b[len(a):] {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Union returns a new set holding s ∪ o.
+func (s *Set) Union(o *Set) *Set {
+	a, b := s.words, o.words
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	out := make([]uint64, len(b))
+	for i, w := range a {
+		out[i] = w | b[i]
+	}
+	copy(out[len(a):], b[len(a):])
+	return &Set{words: out}
+}
+
+// Intersect returns a new set holding s ∩ o.
+func (s *Set) Intersect(o *Set) *Set {
+	a, b := s.words, o.words
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	out := make([]uint64, len(a))
+	for i, w := range a {
+		out[i] = w & b[i]
+	}
+	return &Set{words: out}
+}
+
+// Equal reports whether the two sets hold exactly the same IDs,
+// regardless of backing-array lengths.
+func (s *Set) Equal(o *Set) bool {
+	a, b := s.words, o.words
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for i, w := range a {
+		if w != b[i] {
+			return false
+		}
+	}
+	for _, w := range b[len(a):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IDs returns the member IDs in ascending order.
+func (s *Set) IDs() []uint32 {
+	out := make([]uint32, 0, s.Count())
+	for wi, w := range s.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			out = append(out, uint32(wi*wordBits+bit))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	return &Set{words: append([]uint64(nil), s.words...)}
+}

@@ -1,0 +1,156 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func setOf(ids ...uint32) *Set {
+	s := &Set{}
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+func TestAddContainsCount(t *testing.T) {
+	s := New(10)
+	ids := []uint32{0, 1, 63, 64, 65, 200, 1000}
+	for _, id := range ids {
+		s.Add(id)
+	}
+	for _, id := range ids {
+		if !s.Contains(id) {
+			t.Errorf("Contains(%d) = false after Add", id)
+		}
+	}
+	if s.Contains(2) || s.Contains(999) {
+		t.Error("Contains reports absent IDs")
+	}
+	if got := s.Count(); got != len(ids) {
+		t.Errorf("Count = %d, want %d", got, len(ids))
+	}
+	s.Add(63) // idempotent
+	if got := s.Count(); got != len(ids) {
+		t.Errorf("Count after re-Add = %d, want %d", got, len(ids))
+	}
+}
+
+func TestSetAlgebraMixedLengths(t *testing.T) {
+	a := setOf(1, 2, 3, 64)
+	b := setOf(2, 3, 4, 500) // longer backing array
+	if got := a.IntersectCount(b); got != 2 {
+		t.Errorf("IntersectCount = %d, want 2", got)
+	}
+	if got := b.IntersectCount(a); got != 2 {
+		t.Errorf("IntersectCount (swapped) = %d, want 2", got)
+	}
+	if got := a.UnionCount(b); got != 6 {
+		t.Errorf("UnionCount = %d, want 6", got)
+	}
+	if got := b.UnionCount(a); got != 6 {
+		t.Errorf("UnionCount (swapped) = %d, want 6", got)
+	}
+	u := a.Union(b)
+	if u.Count() != 6 || !u.Contains(500) || !u.Contains(1) {
+		t.Errorf("Union wrong: %v", u.IDs())
+	}
+	in := a.Intersect(b)
+	if in.Count() != 2 || !in.Contains(2) || !in.Contains(3) {
+		t.Errorf("Intersect wrong: %v", in.IDs())
+	}
+}
+
+func TestEqualIgnoresTrailingZeroWords(t *testing.T) {
+	a := setOf(1, 70)
+	b := setOf(1, 70)
+	b.Add(900)
+	if a.Equal(b) || b.Equal(a) {
+		t.Error("sets with different members compare equal")
+	}
+	c := setOf(1, 70)
+	c.Add(900)
+	// Remove 900 by rebuilding the long array with a zero tail.
+	c.words[len(c.words)-1] = 0
+	if !a.Equal(c) || !c.Equal(a) {
+		t.Error("trailing zero words must not affect equality")
+	}
+	var empty Set
+	if !empty.Equal(&Set{}) {
+		t.Error("two empty sets must be equal")
+	}
+}
+
+func TestIDsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ref := make(map[uint32]bool)
+	s := &Set{}
+	for i := 0; i < 500; i++ {
+		id := uint32(rng.Intn(2000))
+		ref[id] = true
+		s.Add(id)
+	}
+	ids := s.IDs()
+	if len(ids) != len(ref) {
+		t.Fatalf("IDs len = %d, want %d", len(ids), len(ref))
+	}
+	for i, id := range ids {
+		if !ref[id] {
+			t.Errorf("IDs[%d] = %d not in reference", i, id)
+		}
+		if i > 0 && ids[i-1] >= id {
+			t.Errorf("IDs not strictly ascending at %d", i)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := setOf(1, 2, 3)
+	c := a.Clone()
+	c.Add(100)
+	if a.Contains(100) {
+		t.Error("Clone shares backing array")
+	}
+	if !c.Contains(1) {
+		t.Error("Clone lost members")
+	}
+}
+
+// TestAgainstMapReference drives the whole API against a map[uint32]bool
+// model with random operations.
+func TestAgainstMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		refA, refB := make(map[uint32]bool), make(map[uint32]bool)
+		a, b := &Set{}, &Set{}
+		for i := 0; i < rng.Intn(300); i++ {
+			id := uint32(rng.Intn(600))
+			refA[id] = true
+			a.Add(id)
+		}
+		for i := 0; i < rng.Intn(300); i++ {
+			id := uint32(rng.Intn(600))
+			refB[id] = true
+			b.Add(id)
+		}
+		inter, union := 0, len(refA)+len(refB)
+		for id := range refA {
+			if refB[id] {
+				inter++
+			}
+		}
+		union -= inter
+		if got := a.IntersectCount(b); got != inter {
+			t.Fatalf("trial %d: IntersectCount = %d, want %d", trial, got, inter)
+		}
+		if got := a.UnionCount(b); got != union {
+			t.Fatalf("trial %d: UnionCount = %d, want %d", trial, got, union)
+		}
+		if got := a.Union(b).Count(); got != union {
+			t.Fatalf("trial %d: Union.Count = %d, want %d", trial, got, union)
+		}
+		if got := a.Intersect(b).Count(); got != inter {
+			t.Fatalf("trial %d: Intersect.Count = %d, want %d", trial, got, inter)
+		}
+	}
+}

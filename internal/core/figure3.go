@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/setdist"
@@ -147,11 +148,23 @@ func (p *Pipeline) DerivativeStaleness(derivative, upstream string, from, to tim
 }
 
 // AllDerivativeStaleness runs Figure 3 for every derivative in the
-// family map sharing the upstream's family, over the window.
+// family map sharing the upstream's family, over the window. The series
+// are independent, so each derivative runs in its own goroutine; the
+// result keeps the input order.
 func (p *Pipeline) AllDerivativeStaleness(upstream string, derivatives []string, from, to time.Time) []*Staleness {
-	var out []*Staleness
-	for _, d := range derivatives {
-		if s := p.DerivativeStaleness(d, upstream, from, to); s != nil {
+	results := make([]*Staleness, len(derivatives))
+	var wg sync.WaitGroup
+	wg.Add(len(derivatives))
+	for i, d := range derivatives {
+		go func(i int, d string) {
+			defer wg.Done()
+			results[i] = p.DerivativeStaleness(d, upstream, from, to)
+		}(i, d)
+	}
+	wg.Wait()
+	out := make([]*Staleness, 0, len(derivatives))
+	for _, s := range results {
+		if s != nil {
 			out = append(out, s)
 		}
 	}

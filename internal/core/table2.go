@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/certutil"
 )
 
@@ -57,36 +58,28 @@ type snapshotRef struct {
 // UniqueStates returns the provider's substantial versions in date order:
 // consecutive snapshots with identical purpose-trusted sets collapse into
 // one state. This is both Table 2's "# Uniq" and the version axis of
-// Figure 3.
+// Figure 3. The equality scan runs on memoized trusted bitsets, so only
+// the state transitions (a few dozen per provider) materialize a map.
 func (p *Pipeline) UniqueStates(provider string) []StateVersion {
 	h := p.DB.History(provider)
 	if h == nil {
 		return nil
 	}
+	in := p.DB.Interner()
 	var states []StateVersion
+	var last *bitset.Set
 	for _, s := range h.Snapshots() {
-		set := s.TrustedSet(p.Purpose)
-		if len(states) > 0 && setsEqual(states[len(states)-1].Set, set) {
+		bits := s.TrustedBits(p.Purpose, in)
+		if last != nil && bits.Equal(last) {
 			continue
 		}
 		states = append(states, StateVersion{
 			Index:    len(states),
 			Date:     s.Date,
-			Set:      set,
+			Set:      s.TrustedSet(p.Purpose),
 			Snapshot: snapshotRef{Provider: s.Provider, Version: s.Version},
 		})
+		last = bits
 	}
 	return states
-}
-
-func setsEqual(a, b map[certutil.Fingerprint]bool) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for fp := range a {
-		if !b[fp] {
-			return false
-		}
-	}
-	return true
 }

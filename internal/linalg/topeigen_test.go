@@ -1,0 +1,129 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomSymmetric builds a random symmetric matrix with a few dominant
+// eigenvalues, the shape the double-centered Gram matrices have.
+func randomSymmetric(n int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64() / float64(n)
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	// Plant dominant structure: a couple of strong rank-1 components.
+	for c := 0; c < 3; c++ {
+		vec := make([]float64, n)
+		for i := range vec {
+			vec[i] = rng.NormFloat64()
+		}
+		var norm float64
+		for _, v := range vec {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		scale := float64(20 - 5*c)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Data[i*n+j] += scale * vec[i] * vec[j] / (norm * norm)
+			}
+		}
+	}
+	return m
+}
+
+// TestTopEigenMatchesJacobi is the property test: on random symmetric
+// matrices the iterative solver must agree with the full Jacobi reference
+// on the leading eigenvalues and eigenspaces.
+func TestTopEigenMatchesJacobi(t *testing.T) {
+	for _, n := range []int{40, 80, 150} {
+		for seed := int64(0); seed < 3; seed++ {
+			m := randomSymmetric(n, seed)
+			k := 2
+			got, err := TopEigen(m, k)
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			want, err := SymmetricEigen(m, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := 0; c < k; c++ {
+				if math.Abs(got.Values[c]-want.Values[c]) > 1e-7*math.Max(1, math.Abs(want.Values[c])) {
+					t.Errorf("n=%d seed=%d: eigenvalue %d = %g, want %g", n, seed, c, got.Values[c], want.Values[c])
+				}
+				// Eigenvector agreement up to sign (planted spectra here
+				// are non-degenerate).
+				var dot float64
+				for r := 0; r < n; r++ {
+					dot += got.Vectors.At(r, c) * want.Vectors.At(r, c)
+				}
+				if math.Abs(math.Abs(dot)-1) > 1e-6 {
+					t.Errorf("n=%d seed=%d: eigenvector %d alignment |dot| = %g", n, seed, c, math.Abs(dot))
+				}
+			}
+		}
+	}
+}
+
+// TestTopEigenResidual checks the defining property A·v = λ·v directly on
+// a larger matrix, independent of the reference decomposition.
+func TestTopEigenResidual(t *testing.T) {
+	n := 300
+	m := randomSymmetric(n, 99)
+	eig, err := TopEigen(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		var res, scale float64
+		for i := 0; i < n; i++ {
+			var av float64
+			for j := 0; j < n; j++ {
+				av += m.At(i, j) * eig.Vectors.At(j, c)
+			}
+			d := av - eig.Values[c]*eig.Vectors.At(i, c)
+			res += d * d
+			scale += av * av
+		}
+		if math.Sqrt(res) > 1e-6*math.Max(1, math.Sqrt(scale)) {
+			t.Errorf("eigenpair %d residual %g too large", c, math.Sqrt(res))
+		}
+	}
+	if eig.Values[0] < eig.Values[1] {
+		t.Error("eigenvalues not descending")
+	}
+}
+
+// TestTopEigenSmallAndEdge covers the exact-fallback paths.
+func TestTopEigenSmallAndEdge(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.Set(0, 0, 2)
+	m.Set(1, 1, 1)
+	m.Set(2, 2, -1)
+	eig, err := TopEigen(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eig.Values[0]-2) > 1e-9 || math.Abs(eig.Values[1]-1) > 1e-9 {
+		t.Errorf("diagonal eigenvalues = %v", eig.Values)
+	}
+	zero := NewMatrix(50, 50)
+	eig, err = TopEigen(zero, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eig.Values[0] != 0 || eig.Values[1] != 0 {
+		t.Errorf("zero-matrix eigenvalues = %v", eig.Values)
+	}
+	if _, err := TopEigen(NewMatrix(2, 3), 1); err == nil {
+		t.Error("non-square must fail")
+	}
+}

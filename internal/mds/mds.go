@@ -94,7 +94,9 @@ func Classical(d *linalg.Matrix, dims int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	eig, err := linalg.SymmetricEigen(b, 0)
+	// Only the top dims eigenpairs are consumed; TopEigen gets them by
+	// block orthogonal iteration instead of a full O(n³) decomposition.
+	eig, err := linalg.TopEigen(b, dims)
 	if err != nil {
 		return nil, err
 	}
@@ -155,6 +157,7 @@ func guttman(d *linalg.Matrix, x *linalg.Matrix) *linalg.Matrix {
 	next := linalg.NewMatrix(n, dims)
 	brow := make([]float64, n)
 	for i := 0; i < n; i++ {
+		drow := d.Data[i*n : (i+1)*n]
 		var diag float64
 		for j := 0; j < n; j++ {
 			if i == j {
@@ -163,19 +166,25 @@ func guttman(d *linalg.Matrix, x *linalg.Matrix) *linalg.Matrix {
 			}
 			dist := pointDist(x, i, j)
 			if dist > 1e-12 {
-				brow[j] = -d.At(i, j) / dist
+				brow[j] = -drow[j] / dist
 			} else {
 				brow[j] = 0
 			}
 			diag -= brow[j]
 		}
 		brow[i] = diag
-		for c := 0; c < dims; c++ {
-			var s float64
-			for j := 0; j < n; j++ {
-				s += brow[j] * x.At(j, c)
+		out := next.Data[i*dims : (i+1)*dims]
+		for j, bj := range brow {
+			if bj == 0 {
+				continue
 			}
-			next.Set(i, c, s/float64(n))
+			xrow := x.Data[j*dims : (j+1)*dims]
+			for c := 0; c < dims; c++ {
+				out[c] += bj * xrow[c]
+			}
+		}
+		for c := 0; c < dims; c++ {
+			out[c] /= float64(n)
 		}
 	}
 	return next
@@ -183,8 +192,9 @@ func guttman(d *linalg.Matrix, x *linalg.Matrix) *linalg.Matrix {
 
 func pointDist(x *linalg.Matrix, i, j int) float64 {
 	var s float64
+	ri, rj := i*x.Cols, j*x.Cols
 	for c := 0; c < x.Cols; c++ {
-		diff := x.At(i, c) - x.At(j, c)
+		diff := x.Data[ri+c] - x.Data[rj+c]
 		s += diff * diff
 	}
 	return math.Sqrt(s)

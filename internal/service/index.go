@@ -38,20 +38,29 @@ type RootInfo struct {
 	Providers []string `json:"providers"`
 }
 
-// RootIndex is the inverted index. It is built once at startup and
-// immutable afterwards, so concurrent readers need no locking.
+// RootIndex is the inverted index. Fingerprints are resolved through the
+// database's interner to dense uint32 IDs — the same ID space the
+// analysis bitsets use — so the info table is a flat slice instead of a
+// 32-byte-keyed map. It is built once at startup and immutable
+// afterwards, so concurrent readers need no locking.
 type RootIndex struct {
-	byFP  map[certutil.Fingerprint]*RootInfo
-	roots int
+	interner *store.Interner
+	infos    []*RootInfo // indexed by interned ID; nil gaps are legal
+	roots    int
 }
 
 // BuildIndex walks every snapshot of every provider.
 func BuildIndex(db *store.Database) *RootIndex {
-	ix := &RootIndex{byFP: make(map[certutil.Fingerprint]*RootInfo)}
+	in := db.Interner()
+	ix := &RootIndex{interner: in, infos: make([]*RootInfo, in.Len())}
 	for _, snap := range db.AllSnapshots() {
 		for _, e := range snap.Entries() {
-			info, ok := ix.byFP[e.Fingerprint]
-			if !ok {
+			id := int(in.ID(e.Fingerprint))
+			for id >= len(ix.infos) {
+				ix.infos = append(ix.infos, nil)
+			}
+			info := ix.infos[id]
+			if info == nil {
 				info = &RootInfo{
 					Fingerprint: e.Fingerprint.String(),
 					Label:       e.Label,
@@ -59,7 +68,8 @@ func BuildIndex(db *store.Database) *RootIndex {
 					NotBefore:   e.Cert.NotBefore,
 					NotAfter:    e.Cert.NotAfter,
 				}
-				ix.byFP[e.Fingerprint] = info
+				ix.infos[id] = info
+				ix.roots++
 			}
 			info.Presences = append(info.Presences, presenceOf(snap, e))
 			if n := len(info.Providers); n == 0 || info.Providers[n-1] != snap.Provider {
@@ -67,7 +77,6 @@ func BuildIndex(db *store.Database) *RootIndex {
 			}
 		}
 	}
-	ix.roots = len(ix.byFP)
 	return ix
 }
 
@@ -96,8 +105,11 @@ func (ix *RootIndex) Lookup(hexFP string) (*RootInfo, bool) {
 	if err != nil {
 		return nil, false
 	}
-	info, ok := ix.byFP[fp]
-	return info, ok
+	id, ok := ix.interner.LookupID(fp)
+	if !ok || int(id) >= len(ix.infos) || ix.infos[id] == nil {
+		return nil, false
+	}
+	return ix.infos[id], true
 }
 
 // Size returns the number of distinct roots indexed.

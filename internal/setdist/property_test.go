@@ -1,0 +1,169 @@
+package setdist
+
+// Property tests proving the bitset fast path is an exact drop-in for the
+// map-based reference semantics: same metrics bit-for-bit (both divide the
+// same two integers), same set algebra, same distance matrices.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/certutil"
+	"repro/internal/store"
+)
+
+// internPair builds the map and bitset views of the same fingerprint set
+// under a shared interner.
+func internPair(in *store.Interner, ids []byte) (map[certutil.Fingerprint]bool, *bitset.Set) {
+	m := make(map[certutil.Fingerprint]bool)
+	bs := bitset.New(in.Len() + len(ids))
+	for _, id := range ids {
+		fp := certutil.SHA256Fingerprint([]byte{id})
+		m[fp] = true
+		bs.Add(in.ID(fp))
+	}
+	return m, bs
+}
+
+func randomIDs(rng *rand.Rand) []byte {
+	n := rng.Intn(40)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Intn(64))
+	}
+	return out
+}
+
+// TestBitMetricsMatchMapReference checks, over random set pairs, that every
+// bitset metric returns the exact float64 the map reference returns, and
+// that bitset union/intersection reproduce the reference set algebra.
+func TestBitMetricsMatchMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := store.NewInterner()
+	for trial := 0; trial < 500; trial++ {
+		ma, ba := internPair(in, randomIDs(rng))
+		mb, bb := internPair(in, randomIDs(rng))
+
+		if got, want := BitJaccard(ba, bb), Jaccard(ma, mb); got != want {
+			t.Fatalf("trial %d: BitJaccard = %v, Jaccard = %v", trial, got, want)
+		}
+		if got, want := BitOverlap(ba, bb), Overlap(ma, mb); got != want {
+			t.Fatalf("trial %d: BitOverlap = %v, Overlap = %v", trial, got, want)
+		}
+		if got, want := BitOverlapDistance(ba, bb), OverlapDistance(ma, mb); got != want {
+			t.Fatalf("trial %d: BitOverlapDistance = %v, OverlapDistance = %v", trial, got, want)
+		}
+
+		// Set algebra: union and intersection round-trip through the
+		// interner to the exact reference maps.
+		union := make(map[certutil.Fingerprint]bool, len(ma)+len(mb))
+		inter := make(map[certutil.Fingerprint]bool)
+		for fp := range ma {
+			union[fp] = true
+			if mb[fp] {
+				inter[fp] = true
+			}
+		}
+		for fp := range mb {
+			union[fp] = true
+		}
+		if got := in.FingerprintSet(ba.Union(bb)); !sameSet(got, union) {
+			t.Fatalf("trial %d: bitset union mismatch: %d vs %d", trial, len(got), len(union))
+		}
+		if got := in.FingerprintSet(ba.Intersect(bb)); !sameSet(got, inter) {
+			t.Fatalf("trial %d: bitset intersection mismatch: %d vs %d", trial, len(got), len(inter))
+		}
+		if ba.UnionCount(bb) != len(union) || ba.IntersectCount(bb) != len(inter) {
+			t.Fatalf("trial %d: popcounts disagree with reference sizes", trial)
+		}
+	}
+}
+
+func sameSet(a, b map[certutil.Fingerprint]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for fp := range a {
+		if !b[fp] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBitJaccardQuick is the testing/quick variant: arbitrary byte slices
+// as membership draws, exact agreement required.
+func TestBitJaccardQuick(t *testing.T) {
+	in := store.NewInterner()
+	prop := func(rawA, rawB []byte) bool {
+		ma, ba := internPair(in, rawA)
+		mb, bb := internPair(in, rawB)
+		return BitJaccard(ba, bb) == Jaccard(ma, mb) &&
+			BitOverlap(ba, bb) == Overlap(ma, mb)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzBitJaccardMatchesMap fuzzes the metric equivalence with
+// attacker-chosen membership bytes.
+func FuzzBitJaccardMatchesMap(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4})
+	f.Add([]byte{}, []byte{0})
+	f.Add([]byte{255, 255, 0}, []byte{})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		in := store.NewInterner()
+		ma, ba := internPair(in, rawA)
+		mb, bb := internPair(in, rawB)
+		if got, want := BitJaccard(ba, bb), Jaccard(ma, mb); got != want {
+			t.Fatalf("BitJaccard = %v, map Jaccard = %v", got, want)
+		}
+		if got, want := BitOverlap(ba, bb), Overlap(ma, mb); got != want {
+			t.Fatalf("BitOverlap = %v, map Overlap = %v", got, want)
+		}
+	})
+}
+
+// TestDistanceMatrixVariantsAgree proves the bitset matrix (serial and
+// parallel) equals the serial map reference cell-for-cell on real
+// snapshots.
+func TestDistanceMatrixVariantsAgree(t *testing.T) {
+	snaps := []*store.Snapshot{
+		snap(t, "A", 1, 0, 1, 2, 3),
+		snap(t, "B", 2, 0, 1, 2),
+		snap(t, "C", 3, 2, 3, 4, 5),
+		snap(t, "D", 4, 6),
+		snap(t, "E", 5),
+		snap(t, "F", 6, 0, 1, 2, 3, 4, 5, 6),
+	}
+	want := DistanceMatrixMap(snaps, store.ServerAuth, nil)
+	for _, workers := range []int{1, 4} {
+		got := DistanceMatrixBits(snaps, store.ServerAuth, nil, workers)
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("workers=%d: shape %dx%d, want %dx%d", workers, got.Rows, got.Cols, want.Rows, want.Cols)
+		}
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("workers=%d: cell %d = %v, want %v", workers, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+	// The public entry point must agree too.
+	got := DistanceMatrix(snaps, store.ServerAuth)
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("DistanceMatrix cell %d = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	// And the overlap ablation metric under the map fan-out path.
+	wantOv := DistanceMatrixMap(snaps, store.ServerAuth, OverlapDistance)
+	gotOv := DistanceMatrixWith(snaps, store.ServerAuth, OverlapDistance)
+	for i := range gotOv.Data {
+		if gotOv.Data[i] != wantOv.Data[i] {
+			t.Fatalf("overlap cell %d = %v, want %v", i, gotOv.Data[i], wantOv.Data[i])
+		}
+	}
+}

@@ -2,9 +2,23 @@
 // the Jaccard distance the paper uses both for ordination (Figure 1) and
 // for matching derivative snapshots to their closest NSS version
 // (Figure 3).
+//
+// Two implementations coexist. The map-based Jaccard/Overlap metrics are
+// the reference semantics, kept for the distance-metric ablation and as
+// the oracle the property tests compare against. The hot path — the
+// pairwise distance matrix behind Figure 1 and the closest-version
+// matcher behind Figure 3 — runs on interned, bitset-backed trusted sets
+// (store.Snapshot.TrustedBits): intersection and union collapse to
+// word-wise AND/OR plus popcount, and pair computation fans out across
+// GOMAXPROCS workers.
 package setdist
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitset"
 	"repro/internal/certutil"
 	"repro/internal/linalg"
 	"repro/internal/store"
@@ -16,12 +30,7 @@ func Jaccard(a, b map[certutil.Fingerprint]bool) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 0
 	}
-	inter := 0
-	for fp := range a {
-		if b[fp] {
-			inter++
-		}
-	}
+	inter := intersectionSize(a, b)
 	union := len(a) + len(b) - inter
 	return 1 - float64(inter)/float64(union)
 }
@@ -35,17 +44,27 @@ func Overlap(a, b map[certutil.Fingerprint]bool) float64 {
 		}
 		return 0
 	}
+	min := len(a)
+	if len(b) < min {
+		min = len(b)
+	}
+	return float64(intersectionSize(a, b)) / float64(min)
+}
+
+// intersectionSize walks the smaller set probing the larger, so a
+// lopsided pair (a large Microsoft snapshot against a tiny Java one)
+// costs the small side, not the large.
+func intersectionSize(a, b map[certutil.Fingerprint]bool) int {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
 	inter := 0
 	for fp := range a {
 		if b[fp] {
 			inter++
 		}
 	}
-	min := len(a)
-	if len(b) < min {
-		min = len(b)
-	}
-	return float64(inter) / float64(min)
+	return inter
 }
 
 // SnapshotJaccard is Jaccard over the purpose-trusted sets of two snapshots.
@@ -64,14 +83,77 @@ func OverlapDistance(a, b map[certutil.Fingerprint]bool) float64 {
 	return 1 - Overlap(a, b)
 }
 
-// DistanceMatrix computes the pairwise Jaccard distance matrix over the
-// purpose-trusted sets of the snapshots, the input to MDS.
-func DistanceMatrix(snapshots []*store.Snapshot, p store.Purpose) *linalg.Matrix {
-	return DistanceMatrixWith(snapshots, p, Jaccard)
+// BitMetric is a set distance over bitsets; the bitset twin of Metric.
+type BitMetric func(a, b *bitset.Set) float64
+
+// BitJaccard is Jaccard over bitsets: exact, word-level popcount
+// arithmetic, numerically identical to the map reference (both divide the
+// same two integers).
+func BitJaccard(a, b *bitset.Set) float64 {
+	inter := a.IntersectCount(b)
+	union := a.Count() + b.Count() - inter
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
 }
 
-// DistanceMatrixWith is DistanceMatrix under an arbitrary metric.
+// BitOverlap is the overlap coefficient over bitsets.
+func BitOverlap(a, b *bitset.Set) float64 {
+	ca, cb := a.Count(), b.Count()
+	if ca == 0 || cb == 0 {
+		if ca == 0 && cb == 0 {
+			return 1
+		}
+		return 0
+	}
+	min := ca
+	if cb < min {
+		min = cb
+	}
+	return float64(a.IntersectCount(b)) / float64(min)
+}
+
+// BitOverlapDistance is 1 - BitOverlap.
+func BitOverlapDistance(a, b *bitset.Set) float64 {
+	return 1 - BitOverlap(a, b)
+}
+
+// DistanceMatrix computes the pairwise Jaccard distance matrix over the
+// purpose-trusted sets of the snapshots, the input to MDS. It runs on the
+// bitset fast path with GOMAXPROCS workers.
+func DistanceMatrix(snapshots []*store.Snapshot, p store.Purpose) *linalg.Matrix {
+	return DistanceMatrixWith(snapshots, p, nil)
+}
+
+// DistanceMatrixWith is DistanceMatrix under an arbitrary metric. A nil
+// metric selects Jaccard on the bitset fast path; a non-nil metric runs
+// over map sets (the reference representation), still fanned out over
+// workers.
 func DistanceMatrixWith(snapshots []*store.Snapshot, p store.Purpose, metric Metric) *linalg.Matrix {
+	if metric == nil {
+		return DistanceMatrixBits(snapshots, p, BitJaccard, 0)
+	}
+	n := len(snapshots)
+	sets := make([]map[certutil.Fingerprint]bool, n)
+	for i, s := range snapshots {
+		sets[i] = s.TrustedSet(p)
+	}
+	m := linalg.NewMatrix(n, n)
+	parallelRows(n, 0, func(i int) {
+		for j := i + 1; j < n; j++ {
+			d := metric(sets[i], sets[j])
+			m.Set(i, j, d)
+			m.Set(j, i, d)
+		}
+	})
+	return m
+}
+
+// DistanceMatrixMap is the serial map-based reference implementation,
+// kept for the ablation benchmarks and the property tests that prove the
+// bitset path bit-for-bit equivalent. A nil metric means Jaccard.
+func DistanceMatrixMap(snapshots []*store.Snapshot, p store.Purpose, metric Metric) *linalg.Matrix {
 	if metric == nil {
 		metric = Jaccard
 	}
@@ -91,19 +173,106 @@ func DistanceMatrixWith(snapshots []*store.Snapshot, p store.Purpose, metric Met
 	return m
 }
 
+// DistanceMatrixBits computes the pairwise distance matrix on memoized
+// trusted bitsets under bm (nil means BitJaccard), fanning rows out over
+// the given worker count (0 means GOMAXPROCS).
+func DistanceMatrixBits(snapshots []*store.Snapshot, p store.Purpose, bm BitMetric, workers int) *linalg.Matrix {
+	if bm == nil {
+		bm = BitJaccard
+	}
+	n := len(snapshots)
+	in := sharedInterner(snapshots)
+	// Materialize (and memoize) every trusted bitset before fanning out,
+	// so the pair loop is pure read-only popcount work.
+	sets := make([]*bitset.Set, n)
+	for i, s := range snapshots {
+		sets[i] = s.TrustedBits(p, in)
+	}
+	m := linalg.NewMatrix(n, n)
+	parallelRows(n, workers, func(i int) {
+		for j := i + 1; j < n; j++ {
+			d := bm(sets[i], sets[j])
+			m.Set(i, j, d)
+			m.Set(j, i, d)
+		}
+	})
+	return m
+}
+
+// parallelRows runs f(i) for i in [0,n) across workers goroutines,
+// balancing the triangular row costs with an atomic row counter. Workers
+// write disjoint matrix cells, so no further synchronization is needed.
+func parallelRows(n, workers int, f func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// sharedInterner picks the ID space for a cross-snapshot comparison: the
+// single interner every attached snapshot shares (the owning database's —
+// memoized bits apply), or a fresh one when the snapshots straddle
+// databases (correct, just uncached).
+func sharedInterner(snapshots []*store.Snapshot) *store.Interner {
+	var common *store.Interner
+	for _, s := range snapshots {
+		in := s.Interner()
+		if in == nil {
+			continue
+		}
+		if common == nil {
+			common = in
+		} else if common != in {
+			return store.NewInterner()
+		}
+	}
+	if common == nil {
+		common = store.NewInterner()
+	}
+	return common
+}
+
 // ClosestSnapshot returns the index in candidates whose purpose-trusted set
 // is nearest (minimum Jaccard distance) to target, along with the distance.
 // Ties break toward the earliest candidate. It returns -1 for an empty
 // candidate list. This is the paper's derivative→NSS version matching
-// (§6.1).
+// (§6.1). It runs on the bitset fast path.
 func ClosestSnapshot(target *store.Snapshot, candidates []*store.Snapshot, p store.Purpose) (int, float64) {
 	if len(candidates) == 0 {
 		return -1, 0
 	}
-	tset := target.TrustedSet(p)
+	all := make([]*store.Snapshot, 0, len(candidates)+1)
+	all = append(all, target)
+	all = append(all, candidates...)
+	in := sharedInterner(all)
+	tset := target.TrustedBits(p, in)
 	bestIdx, bestDist := -1, 2.0
 	for i, c := range candidates {
-		d := Jaccard(tset, c.TrustedSet(p))
+		d := BitJaccard(tset, c.TrustedBits(p, in))
 		if d < bestDist {
 			bestIdx, bestDist = i, d
 		}

@@ -1,0 +1,87 @@
+package store
+
+// This file holds the fingerprint interner: the bridge between the
+// 32-byte SHA-256 fingerprints the model is keyed by and the dense uint32
+// IDs the bitset-backed analysis hot path operates on. A Database owns
+// one interner shared by every snapshot filed under it, so any two
+// snapshots from the same database produce ID-compatible bitsets.
+
+import (
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/certutil"
+)
+
+// Interner assigns dense uint32 IDs to fingerprints on first sight. It is
+// safe for concurrent use; IDs are stable for the interner's lifetime.
+type Interner struct {
+	mu  sync.RWMutex
+	ids map[certutil.Fingerprint]uint32
+	fps []certutil.Fingerprint
+}
+
+// NewInterner creates an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[certutil.Fingerprint]uint32)}
+}
+
+// ID returns the dense ID for fp, assigning the next free one on first
+// sight.
+func (in *Interner) ID(fp certutil.Fingerprint) uint32 {
+	in.mu.RLock()
+	id, ok := in.ids[fp]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok = in.ids[fp]; ok {
+		return id
+	}
+	id = uint32(len(in.fps))
+	in.ids[fp] = id
+	in.fps = append(in.fps, fp)
+	return id
+}
+
+// LookupID returns the ID previously assigned to fp, if any, without
+// assigning one.
+func (in *Interner) LookupID(fp certutil.Fingerprint) (uint32, bool) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	id, ok := in.ids[fp]
+	return id, ok
+}
+
+// FingerprintOf is the inverse of ID.
+func (in *Interner) FingerprintOf(id uint32) (certutil.Fingerprint, bool) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if int(id) >= len(in.fps) {
+		return certutil.Fingerprint{}, false
+	}
+	return in.fps[id], true
+}
+
+// Len returns how many distinct fingerprints have been interned.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.fps)
+}
+
+// FingerprintSet converts a bitset of interned IDs back to the map form
+// the reference analyses consume.
+func (in *Interner) FingerprintSet(s *bitset.Set) map[certutil.Fingerprint]bool {
+	out := make(map[certutil.Fingerprint]bool, s.Count())
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	for _, id := range s.IDs() {
+		if int(id) < len(in.fps) {
+			out[in.fps[id]] = true
+		}
+	}
+	return out
+}

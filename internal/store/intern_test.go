@@ -1,0 +1,148 @@
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/certutil"
+)
+
+func TestInternerAssignsDenseStableIDs(t *testing.T) {
+	in := NewInterner()
+	fps := make([]certutil.Fingerprint, 10)
+	for i := range fps {
+		fps[i] = certutil.SHA256Fingerprint([]byte{byte(i)})
+	}
+	for i, fp := range fps {
+		if id := in.ID(fp); id != uint32(i) {
+			t.Fatalf("ID(%d) = %d on first sight", i, id)
+		}
+	}
+	for i, fp := range fps {
+		if id := in.ID(fp); id != uint32(i) {
+			t.Fatalf("ID(%d) = %d on repeat", i, id)
+		}
+		if got, ok := in.FingerprintOf(uint32(i)); !ok || got != fp {
+			t.Fatalf("FingerprintOf(%d) mismatch", i)
+		}
+	}
+	if in.Len() != len(fps) {
+		t.Fatalf("Len = %d, want %d", in.Len(), len(fps))
+	}
+	if _, ok := in.LookupID(certutil.SHA256Fingerprint([]byte{99})); ok {
+		t.Fatal("LookupID must not assign")
+	}
+	if _, ok := in.FingerprintOf(uint32(len(fps))); ok {
+		t.Fatal("FingerprintOf out of range must miss")
+	}
+}
+
+func TestInternerFingerprintSetRoundTrip(t *testing.T) {
+	in := NewInterner()
+	want := make(map[certutil.Fingerprint]bool)
+	bs := bitset.New(8)
+	for i := 0; i < 8; i += 2 {
+		fp := certutil.SHA256Fingerprint([]byte{byte(i)})
+		want[fp] = true
+		bs.Add(in.ID(fp))
+	}
+	got := in.FingerprintSet(bs)
+	if len(got) != len(want) {
+		t.Fatalf("round trip size %d, want %d", len(got), len(want))
+	}
+	for fp := range want {
+		if !got[fp] {
+			t.Fatalf("missing %s", fp)
+		}
+	}
+}
+
+// TestTrustedBitsMatchesTrustedSet pins the memoized bitset view to the
+// reference map view across purposes, including after mutation.
+func TestTrustedBitsMatchesTrustedSet(t *testing.T) {
+	rs := roots(t, 6)
+	s := NewSnapshot("NSS", "1", date(2020, 1, 1))
+	for i, r := range rs {
+		if i%2 == 0 {
+			s.Add(entry(t, r, ServerAuth))
+		} else {
+			s.Add(entry(t, r, EmailProtection))
+		}
+	}
+	in := NewInterner()
+	for _, p := range AllPurposes {
+		want := s.TrustedSet(p)
+		got := in.FingerprintSet(s.TrustedBits(p, in))
+		if len(got) != len(want) {
+			t.Fatalf("%v: bits %d roots, map %d", p, len(got), len(want))
+		}
+		for fp := range want {
+			if !got[fp] {
+				t.Fatalf("%v: bits missing %s", p, fp)
+			}
+		}
+	}
+	// Mutation must invalidate the cache.
+	before := s.TrustedBits(ServerAuth, in).Count()
+	s.Remove(certutil.SHA256Fingerprint(rs[0].DER))
+	after := s.TrustedBits(ServerAuth, in).Count()
+	if after != before-1 {
+		t.Fatalf("after Remove: %d trusted, want %d", after, before-1)
+	}
+}
+
+// TestTrustedBitsConcurrent hammers the memoized trusted-bitset cache from
+// 32 goroutines (run under -race in CI): all readers must observe the same
+// canonical bitset contents whether they hit the database interner, the
+// nil shortcut, or a private interner.
+func TestTrustedBitsConcurrent(t *testing.T) {
+	rs := roots(t, 12)
+	db := NewDatabase()
+	s := NewSnapshot("NSS", "1", date(2020, 1, 1))
+	for _, r := range rs {
+		s.Add(entry(t, r, ServerAuth, EmailProtection))
+	}
+	if err := db.AddSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	in := db.Interner()
+
+	const goroutines = 32
+	const rounds = 200
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				var bits *bitset.Set
+				switch g % 3 {
+				case 0:
+					bits = s.TrustedBits(ServerAuth, in)
+				case 1:
+					bits = s.TrustedBits(ServerAuth, nil) // attached-interner shortcut
+				default:
+					bits = s.TrustedBits(EmailProtection, in)
+				}
+				want := len(rs)
+				if got := bits.Count(); got != want {
+					errs <- "count mismatch"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	// After the stampede, the cache must hold one canonical set per
+	// purpose: repeated calls return the same pointer.
+	if s.TrustedBits(ServerAuth, in) != s.TrustedBits(ServerAuth, in) {
+		t.Fatal("memoized bitset not canonical")
+	}
+}

@@ -3,8 +3,10 @@ package store
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/certutil"
 )
 
@@ -20,6 +22,14 @@ type Snapshot struct {
 
 	entries []*TrustEntry
 	byFP    map[certutil.Fingerprint]*TrustEntry
+
+	// bitsMu guards the memoized trusted bitsets and the attached
+	// interner. The cache is invalidated by Add/Remove and by attachment
+	// to a different interner; entries themselves are immutable once
+	// added (by the same convention that shares *x509.Certificate).
+	bitsMu      sync.RWMutex
+	interner    *Interner
+	trustedBits [numPurposes]*bitset.Set
 }
 
 // NewSnapshot creates an empty snapshot.
@@ -46,6 +56,7 @@ func (s *Snapshot) Add(e *TrustEntry) {
 		s.entries = append(s.entries, e)
 	}
 	s.byFP[e.Fingerprint] = e
+	s.invalidateBits()
 }
 
 // Remove deletes the entry with the fingerprint; it reports whether an entry
@@ -62,6 +73,7 @@ func (s *Snapshot) Remove(fp certutil.Fingerprint) bool {
 			break
 		}
 	}
+	s.invalidateBits()
 	return true
 }
 
@@ -104,6 +116,80 @@ func (s *Snapshot) TrustedSet(p Purpose) map[certutil.Fingerprint]bool {
 		}
 	}
 	return set
+}
+
+// TrustedBits returns the purpose-trusted set as a bitset of IDs drawn
+// from in, the hot-path counterpart of TrustedSet. When in is nil the
+// snapshot's attached interner is used (snapshots filed in a Database are
+// attached to its interner; a bare snapshot self-attaches a private one).
+// The result is memoized per purpose against the attached interner and
+// safe for any number of concurrent readers; callers must treat the
+// returned set as immutable.
+func (s *Snapshot) TrustedBits(p Purpose, in *Interner) *bitset.Set {
+	s.bitsMu.RLock()
+	attached := s.interner
+	if (in == nil || in == attached) && attached != nil {
+		if b := s.trustedBits[p]; b != nil {
+			s.bitsMu.RUnlock()
+			return b
+		}
+	}
+	s.bitsMu.RUnlock()
+
+	if in == nil {
+		s.bitsMu.Lock()
+		if s.interner == nil {
+			s.interner = NewInterner()
+		}
+		in = s.interner
+		s.bitsMu.Unlock()
+	}
+
+	b := bitset.New(in.Len())
+	for _, e := range s.entries {
+		if e.TrustedFor(p) {
+			b.Add(in.ID(e.Fingerprint))
+		}
+	}
+
+	s.bitsMu.Lock()
+	if in == s.interner {
+		if cached := s.trustedBits[p]; cached != nil {
+			b = cached // another goroutine won the race; keep one canonical set
+		} else {
+			s.trustedBits[p] = b
+		}
+	}
+	s.bitsMu.Unlock()
+	return b
+}
+
+// Interner returns the interner the snapshot's memoized bitsets are keyed
+// by — the database's once filed, nil for a bare snapshot that has never
+// computed bits.
+func (s *Snapshot) Interner() *Interner {
+	s.bitsMu.RLock()
+	defer s.bitsMu.RUnlock()
+	return s.interner
+}
+
+// attachInterner pins the snapshot's bitset cache to in (the owning
+// database's interner), dropping any bits memoized against another.
+func (s *Snapshot) attachInterner(in *Interner) {
+	s.bitsMu.Lock()
+	if s.interner != in {
+		s.interner = in
+		s.trustedBits = [numPurposes]*bitset.Set{}
+	}
+	s.bitsMu.Unlock()
+}
+
+// invalidateBits drops the memoized trusted bitsets after a membership
+// change.
+func (s *Snapshot) invalidateBits() {
+	s.bitsMu.Lock()
+	s.trustedBits = [numPurposes]*bitset.Set{}
+	s.bitsMu.Unlock()
 }
 
 // TrustedCount returns the number of entries trusted for the purpose.
@@ -217,8 +303,10 @@ func (h *History) Range(from, to time.Time) []*Snapshot {
 func (h *History) EverTrusted(p Purpose) map[certutil.Fingerprint]bool {
 	set := make(map[certutil.Fingerprint]bool)
 	for _, s := range h.snapshots {
-		for fp := range s.TrustedSet(p) {
-			set[fp] = true
+		for _, e := range s.entries {
+			if e.TrustedFor(p) {
+				set[e.Fingerprint] = true
+			}
 		}
 	}
 	return set
@@ -256,10 +344,18 @@ func (h *History) FirstTrusted(fp certutil.Fingerprint, p Purpose) (time.Time, b
 // Database maps providers to histories — the paper's whole dataset.
 type Database struct {
 	histories map[string]*History
+	interner  *Interner
 }
 
 // NewDatabase creates an empty database.
-func NewDatabase() *Database { return &Database{histories: make(map[string]*History)} }
+func NewDatabase() *Database {
+	return &Database{histories: make(map[string]*History), interner: NewInterner()}
+}
+
+// Interner returns the database's fingerprint interner. Every snapshot
+// filed via AddSnapshot shares it, so their TrustedBits are
+// ID-compatible.
+func (db *Database) Interner() *Interner { return db.interner }
 
 // AddSnapshot files a snapshot under its provider, creating the history on
 // first use.
@@ -269,7 +365,11 @@ func (db *Database) AddSnapshot(s *Snapshot) error {
 		h = NewHistory(s.Provider)
 		db.histories[s.Provider] = h
 	}
-	return h.Append(s)
+	if err := h.Append(s); err != nil {
+		return err
+	}
+	s.attachInterner(db.interner)
+	return nil
 }
 
 // History returns the provider's history, or nil if absent.
