@@ -9,6 +9,13 @@
 // With -artifact, only the named artifact is printed (table1, table2,
 // figure1, figure2, table3, table4, figure3, figure4, table5, table6,
 // table7).
+//
+// ecosystem computes everything from a generated in-memory corpus. To run
+// against store files on disk instead, lay them out as the snapshot tree
+// described by internal/catalog's TreeLayout
+// (<root>/<provider>/<version>/<store files>) — cmd/synthgen writes the
+// generated corpus in exactly that shape, and cmd/trustd -watch and
+// cmd/rootwatch consume it.
 package main
 
 import (

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/applestore"
 	"repro/internal/authroot"
+	"repro/internal/catalog"
 	"repro/internal/certdata"
 	"repro/internal/certutil"
 	"repro/internal/core"
@@ -292,7 +293,12 @@ func usage() {
   rootstore inspect -format F PATH
   rootstore diff    -format F [-format2 G] PATH PATH2
   rootstore audit   -format F [-format2 G] DERIVATIVE UPSTREAM
-  rootstore convert -format F -to G PATH OUT`)
+  rootstore convert -format F -to G PATH OUT
+
+rootstore works on single store files. To manage whole release histories,
+lay files out as a snapshot tree and point trustd -watch / rootwatch at it:
+
+`+catalog.TreeLayout)
 	os.Exit(2)
 }
 

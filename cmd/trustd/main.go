@@ -17,11 +17,18 @@
 //	GET  /v1/roots/{fingerprint}            who trusts this root (per purpose)
 //	GET  /v1/diff?a=REF&b=REF               added/removed/trust-changed roots
 //	POST /v1/verify                         per-store verdicts for a PEM chain
+//	GET  /v1/events                         change-event replay (with -watch)
+//	GET  /v1/events/watch                   live change stream, SSE (with -watch)
 //	GET  /healthz                           liveness + corpus size
 //	GET  /metrics                           expvar counters (JSON)
 //
 // Snapshot REFs are "Provider" (latest, or in force at ?at=) or
 // "Provider@Version". The server drains connections on SIGINT/SIGTERM.
+//
+// With -watch (requires -tree), trustd keeps polling the tree and
+// hot-swaps the serving database whenever a snapshot directory appears or
+// changes — in-flight requests finish on the old database, new ones see
+// the new one, and every change becomes a classified event on /v1/events.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -40,6 +48,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/synth"
+	"repro/internal/tracker"
 )
 
 func main() {
@@ -52,6 +61,10 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent verification workers (0 = 2×CPU)")
 	cacheSize := flag.Int("verdict-cache", service.DefaultVerdictCacheSize, "verdict LRU capacity")
 	logJSON := flag.Bool("log-json", false, "emit JSON logs instead of text")
+	watch := flag.Bool("watch", false, "keep polling -tree and hot-reload on snapshot changes")
+	pollInterval := flag.Duration("poll-interval", tracker.DefaultInterval, "tree poll cadence with -watch")
+	settle := flag.Duration("settle", 2*time.Second, "how long a new snapshot dir must be quiescent before ingest")
+	eventsJSONL := flag.String("events-jsonl", "", "append change events to this JSONL file (with -watch)")
 	flag.Parse()
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
@@ -60,10 +73,30 @@ func main() {
 	}
 	logger := slog.New(handler)
 
-	db, err := loadDatabase(*seed, *tree, logger)
-	if err != nil {
-		logger.Error("load database", "err", err)
+	if *watch && *tree == "" {
+		logger.Error("-watch requires -tree (a directory to poll)")
 		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var db *store.Database
+	var trk *tracker.Tracker
+	if *watch {
+		var err error
+		trk, db, err = startTracker(*tree, *pollInterval, *settle, *eventsJSONL, logger)
+		if err != nil {
+			logger.Error("start tracker", "err", err)
+			os.Exit(1)
+		}
+	} else {
+		var err error
+		db, err = loadDatabase(*seed, *tree, logger)
+		if err != nil {
+			logger.Error("load database", "err", err)
+			os.Exit(1)
+		}
 	}
 
 	srv := service.New(db, service.Config{
@@ -75,13 +108,60 @@ func main() {
 	})
 	expvar.Publish("trustd", srv.Metrics().Map())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if trk != nil {
+		srv.AttachEvents(trk)
+		watchSrv.Store(srv)
+		go trk.Run(ctx)
+		logger.Info("watching", "tree", *tree, "interval", *pollInterval)
+	}
+
 	if err := srv.Run(ctx, *addr, *drain); err != nil && err != http.ErrServerClosed {
 		logger.Error("serve", "err", err)
 		os.Exit(1)
 	}
 	logger.Info("bye")
+}
+
+// watchSrv breaks the construction cycle between tracker and server: the
+// tracker's OnReload needs the server, but the server needs the tracker's
+// first ingested database. Reloads before the server exists are dropped
+// (the server is then built from the same database anyway).
+var watchSrv atomic.Pointer[service.Server]
+
+// startTracker builds the tracker over the tree, performs the initial
+// ingest (replaying history into the event log) and returns the first
+// database to serve.
+func startTracker(tree string, interval, settle time.Duration, eventsPath string, logger *slog.Logger) (*tracker.Tracker, *store.Database, error) {
+	var log *tracker.Log
+	if eventsPath != "" {
+		var err error
+		log, err = tracker.NewLog(tracker.LogOptions{Path: eventsPath})
+		if err != nil {
+			return nil, nil, fmt.Errorf("open event log: %w", err)
+		}
+	}
+	trk, err := tracker.New(tracker.Config{
+		Source:   tracker.NewDirSource(tree, settle),
+		Interval: interval,
+		Log:      log,
+		Logger:   logger,
+		OnReload: func(db *store.Database) {
+			if s := watchSrv.Load(); s != nil {
+				s.Swap(db)
+			}
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	n, err := trk.Rescan()
+	if err != nil {
+		return nil, nil, fmt.Errorf("initial ingest of %s: %w", tree, err)
+	}
+	logger.Info("tree ingested", "dir", tree, "snapshots", n,
+		"events", trk.LastSeq(), "elapsed", time.Since(start).Round(time.Millisecond))
+	return trk, trk.Database(), nil
 }
 
 func loadDatabase(seed, tree string, logger *slog.Logger) (*store.Database, error) {

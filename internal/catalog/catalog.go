@@ -28,6 +28,17 @@ import (
 	"repro/internal/store"
 )
 
+// TreeLayout documents the snapshot-tree layout every disk-facing tool in
+// this module shares — catalog.LoadTree ingests it, cmd/synthgen writes it,
+// and internal/tracker watches it. Keep cmd help texts pointing here rather
+// than restating the shape.
+const TreeLayout = `<root>/<provider>/<version>/<store files>
+  one snapshot per version directory, auto-detected format
+  (certdata.txt, authroot.stl, cacerts.jks, node_root_certs.h,
+  tls-ca-bundle.pem / purpose-split bundles, Apple roots dir);
+  version directories named like dates (2006-01-02, 20060102, 2006-01)
+  date the snapshot, otherwise file mtime is used`
+
 // Format identifies a detected on-disk root-store format.
 type Format string
 

@@ -1,0 +1,163 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/tracker"
+)
+
+// EventFeed is what /v1/events and /v1/events/watch serve from. It is the
+// read side of internal/tracker's change-event log: *tracker.Tracker
+// satisfies it, and tests can substitute a fake.
+type EventFeed interface {
+	// Replay returns the retained events matching the filter, oldest first.
+	Replay(f tracker.Filter) []tracker.Event
+	// Subscribe registers a live listener; cancel must be idempotent.
+	Subscribe(buffer int) (<-chan tracker.Event, func())
+	// LastSeq is the sequence number of the newest event ever appended.
+	LastSeq() uint64
+}
+
+// eventsResponse is the /v1/events envelope.
+type eventsResponse struct {
+	Events  []tracker.Event `json:"events"`
+	Count   int             `json:"count"`
+	LastSeq uint64          `json:"last_seq"`
+}
+
+// eventFilter parses the shared query parameters of both event endpoints:
+// provider, type, min_severity, since (exclusive seq), fingerprint, limit.
+func eventFilter(r *http.Request) (tracker.Filter, error) {
+	q := r.URL.Query()
+	f := tracker.Filter{
+		Provider:    q.Get("provider"),
+		Type:        tracker.Type(q.Get("type")),
+		Fingerprint: q.Get("fingerprint"),
+	}
+	if v := q.Get("min_severity"); v != "" {
+		sev, err := tracker.ParseSeverity(v)
+		if err != nil {
+			return f, fmt.Errorf("min_severity: %w", err)
+		}
+		f.MinSeverity = sev
+	}
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return f, fmt.Errorf("since must be a sequence number: %q", v)
+		}
+		f.SinceSeq = n
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return f, fmt.Errorf("limit must be a non-negative integer: %q", v)
+		}
+		f.Limit = n
+	}
+	return f, nil
+}
+
+// handleEvents replays the change-event log. 404s when the server runs
+// without a tracker attached (static, non-watching deployment).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.events == nil {
+		s.writeError(w, http.StatusNotFound, "no event feed attached: start with -watch")
+		return
+	}
+	f, err := eventFilter(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	evs := s.events.Replay(f)
+	s.writeJSON(w, http.StatusOK, eventsResponse{
+		Events:  evs,
+		Count:   len(evs),
+		LastSeq: s.events.LastSeq(),
+	})
+}
+
+// watchHeartbeat keeps intermediaries from reaping an idle SSE stream.
+const watchHeartbeat = 15 * time.Second
+
+// handleEventsWatch streams change events as Server-Sent Events. The
+// subscribe-then-replay order closes the classic gap: we register the live
+// subscription first, replay the backlog the filter selects, then forward
+// live events, dropping any whose seq we already replayed. Clients resume
+// with ?since=<last seen id>.
+func (s *Server) handleEventsWatch(w http.ResponseWriter, r *http.Request) {
+	if s.events == nil {
+		s.writeError(w, http.StatusNotFound, "no event feed attached: start with -watch")
+		return
+	}
+	f, err := eventFilter(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rc := http.NewResponseController(w)
+
+	live, cancel := s.events.Subscribe(64)
+	defer cancel()
+	s.metrics.watchers.Add(1)
+	defer s.metrics.watchers.Add(-1)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	lastSent := f.SinceSeq
+	send := func(ev tracker.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+			return false
+		}
+		if err := rc.Flush(); err != nil {
+			return false
+		}
+		if ev.Seq > lastSent {
+			lastSent = ev.Seq
+		}
+		return true
+	}
+	for _, ev := range s.events.Replay(f) {
+		if !send(ev) {
+			return
+		}
+	}
+
+	heartbeat := time.NewTicker(watchHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		case ev, open := <-live:
+			if !open {
+				return
+			}
+			// The replay above may have covered this event already.
+			if ev.Seq <= lastSent || !f.Match(ev) {
+				continue
+			}
+			if !send(ev) {
+				return
+			}
+		}
+	}
+}

@@ -52,12 +52,13 @@ type providersResponse struct {
 }
 
 func (s *Server) handleProviders(w http.ResponseWriter, r *http.Request) {
+	st := s.cur()
 	resp := providersResponse{
-		TotalSnapshots: s.db.TotalSnapshots(),
-		IndexedRoots:   s.index.Size(),
+		TotalSnapshots: st.db.TotalSnapshots(),
+		IndexedRoots:   st.index.Size(),
 	}
-	for _, name := range s.db.Providers() {
-		h := s.db.History(name)
+	for _, name := range st.db.Providers() {
+		h := st.db.History(name)
 		latest := h.Latest()
 		resp.Providers = append(resp.Providers, providerSummary{
 			Name:          name,
@@ -86,7 +87,7 @@ type snapshotsResponse struct {
 
 func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("provider")
-	h := s.db.History(name)
+	h := s.cur().db.History(name)
 	if h == nil {
 		s.writeError(w, http.StatusNotFound, "unknown provider %q", name)
 		return
@@ -105,7 +106,7 @@ func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
 	fp := r.PathValue("fingerprint")
-	info, ok := s.index.Lookup(fp)
+	info, ok := s.cur().index.Lookup(fp)
 	if !ok {
 		// Distinguish malformed hex from a clean miss.
 		if !isHexFingerprint(fp) {
@@ -134,12 +135,13 @@ type rootRef struct {
 }
 
 type trustChangeRow struct {
-	Fingerprint   string     `json:"fingerprint"`
-	Label         string     `json:"label,omitempty"`
-	Purpose       string     `json:"purpose"`
-	Old           string     `json:"old"`
-	New           string     `json:"new"`
-	DistrustAfter *time.Time `json:"distrust_after,omitempty"`
+	Fingerprint          string     `json:"fingerprint"`
+	Label                string     `json:"label,omitempty"`
+	Purpose              string     `json:"purpose"`
+	Old                  string     `json:"old"`
+	New                  string     `json:"new"`
+	DistrustAfter        *time.Time `json:"distrust_after,omitempty"`
+	DistrustAfterCleared bool       `json:"distrust_after_cleared,omitempty"`
 }
 
 type diffResponse struct {
@@ -163,12 +165,13 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	a, err := s.resolveSnapshot(aRef, at)
+	st := s.cur()
+	a, err := st.resolveSnapshot(aRef, at)
 	if err != nil {
 		s.writeRefError(w, err)
 		return
 	}
-	b, err := s.resolveSnapshot(bRef, at)
+	b, err := st.resolveSnapshot(bRef, at)
 	if err != nil {
 		s.writeRefError(w, err)
 		return
@@ -193,6 +196,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 			t := tc.DistrustAfter
 			row.DistrustAfter = &t
 		}
+		row.DistrustAfterCleared = tc.DistrustAfterCleared
 		resp.TrustChanges = append(resp.TrustChanges, row)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
@@ -216,10 +220,11 @@ func (s *Server) writeRefError(w http.ResponseWriter, err error) {
 }
 
 // resolveSnapshot resolves "Provider" (snapshot in force at `at`, latest
-// when at is zero) or "Provider@Version" (exact release).
-func (s *Server) resolveSnapshot(ref string, at time.Time) (*store.Snapshot, error) {
+// when at is zero) or "Provider@Version" (exact release) within one
+// serving generation.
+func (st *dbState) resolveSnapshot(ref string, at time.Time) (*store.Snapshot, error) {
 	provider, version, hasVersion := strings.Cut(ref, "@")
-	h := s.db.History(provider)
+	h := st.db.History(provider)
 	if h == nil {
 		return nil, &refError{notFound: true, msg: fmt.Sprintf("unknown provider %q", provider)}
 	}
@@ -357,14 +362,15 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	st := s.cur()
 	if len(refs) == 0 {
-		refs = s.db.Providers()
+		refs = st.db.Providers()
 	}
 
 	snaps := make([]*store.Snapshot, 0, len(refs))
 	seen := map[string]bool{}
 	for _, ref := range refs {
-		snap, err := s.resolveSnapshot(ref, at)
+		snap, err := st.resolveSnapshot(ref, at)
 		if err != nil {
 			s.writeRefError(w, err)
 			return
@@ -375,7 +381,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	resp.Verdicts = s.fanoutVerify(r, snaps, verify.Request{
+	resp.Verdicts = s.fanoutVerify(r, st, snaps, verify.Request{
 		Leaf:          leaf,
 		Intermediates: intermediates,
 		Purpose:       purpose,
@@ -386,8 +392,10 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 }
 
 // fanoutVerify verifies the chain against every snapshot concurrently,
-// bounded by the worker semaphore and the request context.
-func (s *Server) fanoutVerify(r *http.Request, snaps []*store.Snapshot, vreq verify.Request, chainHash string) []storeVerdict {
+// bounded by the worker semaphore and the request context. The whole
+// fan-out runs against one serving generation (st), so a hot swap cannot
+// mix verdicts from two databases in one response.
+func (s *Server) fanoutVerify(r *http.Request, st *dbState, snaps []*store.Snapshot, vreq verify.Request, chainHash string) []storeVerdict {
 	ctx := r.Context()
 	out := make([]storeVerdict, len(snaps))
 	var wg sync.WaitGroup
@@ -405,7 +413,7 @@ func (s *Server) fanoutVerify(r *http.Request, snaps []*store.Snapshot, vreq ver
 				}
 				return
 			}
-			out[i] = s.verdictFor(snap, vreq, chainHash)
+			out[i] = s.verdictFor(st, snap, vreq, chainHash)
 		}(i, snap)
 	}
 	wg.Wait()
@@ -416,21 +424,22 @@ func (s *Server) fanoutVerify(r *http.Request, snaps []*store.Snapshot, vreq ver
 	return out
 }
 
-// verdictFor computes (or recalls) one store's verdict.
-func (s *Server) verdictFor(snap *store.Snapshot, vreq verify.Request, chainHash string) storeVerdict {
+// verdictFor computes (or recalls) one store's verdict using the
+// generation's caches.
+func (s *Server) verdictFor(st *dbState, snap *store.Snapshot, vreq verify.Request, chainHash string) storeVerdict {
 	at := vreq.At
 	if at.IsZero() {
 		at = snap.Date
 	}
 	key := strings.Join([]string{chainHash, snap.Key(), vreq.Purpose.String(), vreq.DNSName, at.UTC().Format(time.RFC3339)}, "|")
-	if v, ok := s.verdicts.get(key); ok {
+	if v, ok := st.verdicts.get(key); ok {
 		s.metrics.cacheEvent("verdict", true)
 		v.Cached = true
 		return v
 	}
 	s.metrics.cacheEvent("verdict", false)
 
-	res := s.verifiers.get(snap).Verify(vreq)
+	res := st.verifiers.get(snap).Verify(vreq)
 	v := storeVerdict{
 		Store:    snap.Key(),
 		Provider: snap.Provider,
@@ -444,7 +453,7 @@ func (s *Server) verdictFor(snap *store.Snapshot, vreq verify.Request, chainHash
 	if res.Err != nil {
 		v.Error = res.Err.Error()
 	}
-	s.verdicts.put(key, v)
+	st.verdicts.put(key, v)
 	return v
 }
 
@@ -485,10 +494,11 @@ type healthResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.cur()
 	s.writeJSON(w, http.StatusOK, healthResponse{
 		Status:       "ok",
-		Providers:    len(s.db.Providers()),
-		Snapshots:    s.db.TotalSnapshots(),
-		IndexedRoots: s.index.Size(),
+		Providers:    len(st.db.Providers()),
+		Snapshots:    st.db.TotalSnapshots(),
+		IndexedRoots: st.index.Size(),
 	})
 }

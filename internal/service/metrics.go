@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"repro/internal/store"
 )
 
 // latencyBuckets are the upper bounds (inclusive) of the request-latency
@@ -23,9 +25,13 @@ type Metrics struct {
 	outcomes  *expvar.Map // per verify outcome: "ok", "no-anchor", ...
 	cache     *expvar.Map // verifier/verdict cache hit/miss counters
 	latency   *expvar.Map // histogram bucket → count ("le_25ms", "le_inf")
+	lag       *expvar.Map // per provider: seconds since its latest snapshot date
 	inFlight  *expvar.Int
 	verified  *expvar.Int // total per-store verdicts computed (incl. cached)
 	rejected  *expvar.Int // requests refused before verification (4xx)
+	reloads   *expvar.Int // hot swaps installed after the initial database
+	watchers  *expvar.Int // live /v1/events/watch streams
+	lastLoad  *expvar.String
 	uptime    *expvar.String
 	startedAt time.Time
 }
@@ -38,9 +44,13 @@ func newMetrics() *Metrics {
 		outcomes:  new(expvar.Map).Init(),
 		cache:     new(expvar.Map).Init(),
 		latency:   new(expvar.Map).Init(),
+		lag:       new(expvar.Map).Init(),
 		inFlight:  new(expvar.Int),
 		verified:  new(expvar.Int),
 		rejected:  new(expvar.Int),
+		reloads:   new(expvar.Int),
+		watchers:  new(expvar.Int),
+		lastLoad:  new(expvar.String),
 		uptime:    new(expvar.String),
 		startedAt: time.Now(),
 	}
@@ -49,11 +59,51 @@ func newMetrics() *Metrics {
 	m.root.Set("verify_outcomes", m.outcomes)
 	m.root.Set("cache", m.cache)
 	m.root.Set("latency_ms", m.latency)
+	m.root.Set("provider_lag_seconds", m.lag)
 	m.root.Set("in_flight", m.inFlight)
 	m.root.Set("verdicts_total", m.verified)
 	m.root.Set("rejected_total", m.rejected)
+	m.root.Set("reloads_total", m.reloads)
+	m.root.Set("event_watchers", m.watchers)
+	m.root.Set("last_reload", m.lastLoad)
 	m.root.Set("uptime", m.uptime)
 	return m
+}
+
+// recordReload refreshes the per-provider freshness gauges from the
+// database being installed: for each provider, the seconds between its
+// latest snapshot date and now. A provider whose gauge keeps growing is a
+// store we have stopped receiving snapshots for — the live version of the
+// paper's update-lag observation.
+func (m *Metrics) recordReload(db *store.Database) {
+	now := time.Now()
+	for _, name := range db.Providers() {
+		h := db.History(name)
+		if h == nil {
+			continue
+		}
+		snaps := h.Snapshots()
+		if len(snaps) == 0 {
+			continue
+		}
+		latest := snaps[len(snaps)-1].Date
+		g := new(expvar.Int)
+		g.Set(int64(now.Sub(latest) / time.Second))
+		m.lag.Set(name, g)
+	}
+	m.lastLoad.Set(now.UTC().Format(time.RFC3339))
+}
+
+// ReloadCount returns the number of hot swaps installed (test hook).
+func (m *Metrics) ReloadCount() int64 { return m.reloads.Value() }
+
+// ProviderLagSeconds returns a provider's freshness gauge (test hook);
+// -1 when the provider has no gauge yet.
+func (m *Metrics) ProviderLagSeconds(provider string) int64 {
+	if v, ok := m.lag.Get(provider).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return -1
 }
 
 // Map exposes the metric tree, e.g. for expvar.Publish in cmd/trustd.
@@ -104,6 +154,10 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// Flusher — the SSE watch endpoint streams through this wrapper.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // instrument wraps a handler with request counting, in-flight tracking and
 // the latency histogram. route is the mux pattern ("POST /v1/verify").

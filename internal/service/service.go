@@ -6,14 +6,22 @@
 // The subsystem is stdlib-only (net/http, log/slog, expvar) like the rest
 // of the module. Design notes:
 //
-//   - A global fingerprint → (provider, version) inverted index is built
-//     once at startup (RootIndex); reads need no locks.
+//   - The database, its fingerprint → (provider, version) inverted index
+//     (RootIndex) and the caches keyed on its snapshots live together in
+//     one immutable state struct behind an atomic pointer. Reads need no
+//     locks; Swap installs a freshly ingested database without dropping a
+//     single in-flight request — the hot-reload path internal/tracker
+//     drives.
 //   - verify.Verifier construction (cert-pool building) is the expensive
 //     step, so verifiers are cached per snapshot in a sharded read-through
 //     cache; verdicts are additionally memoized in an LRU keyed on
-//     (chain-hash, snapshot, purpose, dns, time).
+//     (chain-hash, snapshot, purpose, dns, time). Both caches belong to
+//     the state they were built against and are dropped wholesale on swap,
+//     so a re-ingested snapshot can never serve stale verdicts.
 //   - POST /v1/verify fans out across the requested stores under a bounded
 //     worker semaphore and honours per-request context timeouts.
+//   - GET /v1/events replays the tracker's change-event log and
+//     /v1/events/watch streams it live (SSE) when a tracker is attached.
 package service
 
 import (
@@ -21,6 +29,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/store"
@@ -43,6 +52,9 @@ type Config struct {
 	MaxBodyBytes int64
 	// RequestTimeout bounds each request's context (default 10s).
 	RequestTimeout time.Duration
+	// WatchTimeout bounds an /v1/events/watch stream (default 5m) —
+	// watch requests are exempt from RequestTimeout by design.
+	WatchTimeout time.Duration
 	// VerifyWorkers bounds concurrent per-store verifications across ALL
 	// in-flight verify requests (default 2×NumCPU, min 4).
 	VerifyWorkers int
@@ -56,6 +68,7 @@ type Config struct {
 const (
 	DefaultMaxBodyBytes     = 1 << 20
 	DefaultRequestTimeout   = 10 * time.Second
+	DefaultWatchTimeout     = 5 * time.Minute
 	DefaultVerdictCacheSize = 4096
 )
 
@@ -65,6 +78,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.WatchTimeout <= 0 {
+		c.WatchTimeout = DefaultWatchTimeout
 	}
 	if c.VerifyWorkers <= 0 {
 		c.VerifyWorkers = defaultWorkers()
@@ -78,53 +94,91 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves the trust-anchor API over one immutable database.
-type Server struct {
-	cfg       Config
+// dbState is one immutable serving generation: a database, the index built
+// over it, and the caches keyed on its snapshots. Handlers load it once at
+// entry and use that generation for the whole request, so a concurrent
+// Swap can never show a request half of one database and half of another.
+type dbState struct {
 	db        *store.Database
 	index     *RootIndex
 	verifiers *verifierCache
 	verdicts  *lruCache
-	sem       chan struct{}
-	metrics   *Metrics
-	log       *slog.Logger
-	mux       *http.ServeMux
-	handler   http.Handler
+}
+
+// Server serves the trust-anchor API over an atomically swappable database.
+type Server struct {
+	cfg     Config
+	state   atomic.Pointer[dbState]
+	events  EventFeed
+	sem     chan struct{}
+	metrics *Metrics
+	log     *slog.Logger
+	mux     *http.ServeMux
+	handler http.Handler
 }
 
 // New builds a server over the database: indexes every snapshot and wires
-// the routes. The database must not be mutated afterwards.
+// the routes. The database must not be mutated after being handed over;
+// replace it wholesale with Swap.
 func New(db *store.Database, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		db:      db,
 		metrics: newMetrics(),
 		log:     cfg.Logger,
 		sem:     make(chan struct{}, cfg.VerifyWorkers),
 		mux:     http.NewServeMux(),
 	}
-	s.verifiers = newVerifierCache(s.metrics)
-	s.verdicts = newLRUCache(cfg.VerdictCacheSize)
-
-	start := time.Now()
-	s.index = BuildIndex(db)
-	s.log.Info("index built",
-		"roots", s.index.Size(),
-		"snapshots", db.TotalSnapshots(),
-		"providers", len(db.Providers()),
-		"elapsed", time.Since(start).Round(time.Millisecond))
+	s.install(db)
 
 	s.route("GET /v1/providers", s.handleProviders)
 	s.route("GET /v1/providers/{provider}/snapshots", s.handleSnapshots)
 	s.route("GET /v1/roots/{fingerprint}", s.handleRoot)
 	s.route("GET /v1/diff", s.handleDiff)
 	s.route("POST /v1/verify", s.handleVerify)
+	s.route("GET /v1/events", s.handleEvents)
+	s.route("GET /v1/events/watch", s.handleEventsWatch)
 	s.mux.Handle("GET /healthz", http.HandlerFunc(s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.metrics.handler())
 	s.handler = s.withTimeout(s.mux)
 	return s
 }
+
+// install indexes db and publishes it as the current serving state.
+func (s *Server) install(db *store.Database) {
+	start := time.Now()
+	st := &dbState{
+		db:        db,
+		index:     BuildIndex(db),
+		verifiers: newVerifierCache(s.metrics),
+		verdicts:  newLRUCache(s.cfg.VerdictCacheSize),
+	}
+	s.state.Store(st)
+	s.metrics.recordReload(db)
+	s.log.Info("index built",
+		"roots", st.index.Size(),
+		"snapshots", db.TotalSnapshots(),
+		"providers", len(db.Providers()),
+		"elapsed", time.Since(start).Round(time.Millisecond))
+}
+
+// Swap atomically replaces the serving database with a freshly ingested
+// one. In-flight requests finish against the generation they started on;
+// new requests see the new database immediately. This is the tracker's
+// OnReload hook — trustd keeps answering mid-reload with no lock on any
+// read path.
+func (s *Server) Swap(db *store.Database) {
+	s.install(db)
+	s.metrics.reloads.Add(1)
+}
+
+// cur returns the current serving generation.
+func (s *Server) cur() *dbState { return s.state.Load() }
+
+// AttachEvents wires a change-event feed (normally *tracker.Tracker) into
+// /v1/events and /v1/events/watch. Call before serving; not safe to change
+// while requests are in flight.
+func (s *Server) AttachEvents(feed EventFeed) { s.events = feed }
 
 // route registers an instrumented handler under a Go 1.22 mux pattern.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
@@ -139,13 +193,21 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // assert on them).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Index exposes the root index (benchmarks and embedded callers).
-func (s *Server) Index() *RootIndex { return s.index }
+// Index exposes the current root index (benchmarks and embedded callers).
+func (s *Server) Index() *RootIndex { return s.cur().index }
+
+// watchPath is exempt from the request timeout: it is a deliberate
+// long-lived stream bounded by Config.WatchTimeout instead.
+const watchPath = "/v1/events/watch"
 
 // withTimeout bounds every request's context and caps its body size.
 func (s *Server) withTimeout(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		timeout := s.cfg.RequestTimeout
+		if r.URL.Path == watchPath {
+			timeout = s.cfg.WatchTimeout
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)

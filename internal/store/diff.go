@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -20,6 +21,11 @@ type TrustChange struct {
 	// partial-distrust date for the purpose.
 	DistrustAfterSet bool
 	DistrustAfter    time.Time
+	// DistrustAfterCleared is true when the old snapshot carried a
+	// partial-distrust date for the purpose and the new one dropped it —
+	// a re-trust, which relying parties care about as much as the
+	// distrust itself.
+	DistrustAfterCleared bool
 }
 
 // String renders the change for logs.
@@ -27,6 +33,9 @@ func (c TrustChange) String() string {
 	s := fmt.Sprintf("%s %s %s: %s -> %s", c.Fingerprint.Short(), c.Label, c.Purpose, c.Old, c.New)
 	if c.DistrustAfterSet {
 		s += fmt.Sprintf(" (distrust-after %s)", c.DistrustAfter.Format("2006-01-02"))
+	}
+	if c.DistrustAfterCleared {
+		s += " (distrust-after cleared)"
 	}
 	return s
 }
@@ -52,6 +61,9 @@ func (d Diff) String() string {
 }
 
 // DiffSnapshots computes new-relative-to-old membership and trust changes.
+// Added and Removed are sorted by fingerprint and TrustChanges by
+// (fingerprint, purpose), so diff output — and the change events built from
+// it — is byte-stable across runs regardless of map iteration order.
 func DiffSnapshots(old, new *Snapshot) Diff {
 	var d Diff
 	for _, e := range new.Entries() {
@@ -64,8 +76,9 @@ func DiffSnapshots(old, new *Snapshot) Diff {
 			oldLevel, newLevel := prev.TrustFor(p), e.TrustFor(p)
 			oldDA, hadDA := prev.DistrustAfterFor(p)
 			newDA, hasDA := e.DistrustAfterFor(p)
-			daChanged := hasDA && (!hadDA || !oldDA.Equal(newDA))
-			if oldLevel != newLevel || daChanged {
+			daSet := hasDA && (!hadDA || !oldDA.Equal(newDA))
+			daCleared := hadDA && !hasDA
+			if oldLevel != newLevel || daSet || daCleared {
 				tc := TrustChange{
 					Fingerprint: e.Fingerprint,
 					Label:       e.Label,
@@ -73,10 +86,11 @@ func DiffSnapshots(old, new *Snapshot) Diff {
 					Old:         oldLevel,
 					New:         newLevel,
 				}
-				if daChanged {
+				if daSet {
 					tc.DistrustAfterSet = true
 					tc.DistrustAfter = newDA
 				}
+				tc.DistrustAfterCleared = daCleared
 				d.TrustChanges = append(d.TrustChanges, tc)
 			}
 		}
@@ -86,6 +100,15 @@ func DiffSnapshots(old, new *Snapshot) Diff {
 			d.Removed = append(d.Removed, e)
 		}
 	}
+	sortEntries(d.Added)
+	sortEntries(d.Removed)
+	sort.Slice(d.TrustChanges, func(i, j int) bool {
+		a, b := d.TrustChanges[i], d.TrustChanges[j]
+		if c := strings.Compare(a.Fingerprint.String(), b.Fingerprint.String()); c != 0 {
+			return c < 0
+		}
+		return a.Purpose < b.Purpose
+	})
 	return d
 }
 

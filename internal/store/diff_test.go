@@ -1,0 +1,156 @@
+package store
+
+// Edge-case coverage for DiffSnapshots' trust-change detection and its
+// ordering guarantees — the contract internal/tracker builds change events
+// on, so golden event payloads must not wobble with map iteration order.
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// pair builds old/new snapshots over the same root and hands the entries to
+// the caller for mutation before diffing.
+func pair(t *testing.T, mutate func(oldE, newE *TrustEntry)) Diff {
+	t.Helper()
+	r := roots(t, 1)[0]
+	oldE := entry(t, r, ServerAuth)
+	newE := entry(t, r, ServerAuth)
+	mutate(oldE, newE)
+	old := NewSnapshot("NSS", "a", date(2020, 1, 1))
+	old.Add(oldE)
+	nw := NewSnapshot("NSS", "b", date(2020, 6, 1))
+	nw.Add(newE)
+	return DiffSnapshots(old, nw)
+}
+
+func TestDiffDistrustAfterIntroduced(t *testing.T) {
+	d := pair(t, func(_, newE *TrustEntry) {
+		newE.SetDistrustAfter(ServerAuth, date(2020, 9, 1))
+	})
+	if len(d.TrustChanges) != 1 {
+		t.Fatalf("trust changes = %d, want 1", len(d.TrustChanges))
+	}
+	tc := d.TrustChanges[0]
+	if !tc.DistrustAfterSet || tc.DistrustAfterCleared || !tc.DistrustAfter.Equal(date(2020, 9, 1)) {
+		t.Errorf("introduced distrust-after misreported: %s", tc)
+	}
+	if tc.Old != Trusted || tc.New != Trusted {
+		t.Errorf("levels = %s -> %s, want trusted on both sides", tc.Old, tc.New)
+	}
+}
+
+func TestDiffDistrustAfterAltered(t *testing.T) {
+	d := pair(t, func(oldE, newE *TrustEntry) {
+		oldE.SetDistrustAfter(ServerAuth, date(2020, 9, 1))
+		newE.SetDistrustAfter(ServerAuth, date(2021, 3, 1))
+	})
+	if len(d.TrustChanges) != 1 {
+		t.Fatalf("trust changes = %d, want 1", len(d.TrustChanges))
+	}
+	tc := d.TrustChanges[0]
+	if !tc.DistrustAfterSet || !tc.DistrustAfter.Equal(date(2021, 3, 1)) {
+		t.Errorf("altered distrust-after misreported: %s", tc)
+	}
+}
+
+func TestDiffDistrustAfterUnchangedIsQuiet(t *testing.T) {
+	d := pair(t, func(oldE, newE *TrustEntry) {
+		oldE.SetDistrustAfter(ServerAuth, date(2020, 9, 1))
+		newE.SetDistrustAfter(ServerAuth, date(2020, 9, 1))
+	})
+	if !d.Empty() {
+		t.Errorf("identical distrust-after produced changes: %s", d)
+	}
+}
+
+func TestDiffDistrustAfterCleared(t *testing.T) {
+	d := pair(t, func(oldE, _ *TrustEntry) {
+		oldE.SetDistrustAfter(ServerAuth, date(2020, 9, 1))
+	})
+	if len(d.TrustChanges) != 1 {
+		t.Fatalf("trust changes = %d, want 1 (re-trust is a change)", len(d.TrustChanges))
+	}
+	tc := d.TrustChanges[0]
+	if !tc.DistrustAfterCleared || tc.DistrustAfterSet {
+		t.Errorf("cleared distrust-after misreported: %s", tc)
+	}
+}
+
+func TestDiffPurposeAddedToRetainedRoot(t *testing.T) {
+	d := pair(t, func(_, newE *TrustEntry) {
+		newE.SetTrust(EmailProtection, Trusted)
+	})
+	if len(d.Added)+len(d.Removed) != 0 {
+		t.Fatalf("membership changed: %s", d)
+	}
+	if len(d.TrustChanges) != 1 {
+		t.Fatalf("trust changes = %d, want 1", len(d.TrustChanges))
+	}
+	tc := d.TrustChanges[0]
+	if tc.Purpose != EmailProtection || tc.Old != Unspecified || tc.New != Trusted {
+		t.Errorf("purpose grant misreported: %s", tc)
+	}
+}
+
+func TestDiffLabelOnlyChangeIsQuiet(t *testing.T) {
+	d := pair(t, func(_, newE *TrustEntry) {
+		newE.Label = "Renamed CA Root"
+	})
+	if !d.Empty() {
+		t.Errorf("label-only change produced events: %s", d)
+	}
+}
+
+// TestDiffDeterministicOrder checks the sort contract: added/removed by
+// fingerprint, trust changes by (fingerprint, purpose), identical across
+// repeated runs.
+func TestDiffDeterministicOrder(t *testing.T) {
+	rs := roots(t, 6)
+	old := NewSnapshot("NSS", "a", date(2020, 1, 1))
+	nw := NewSnapshot("NSS", "b", date(2020, 6, 1))
+	// rs[0..2] only in new (added); rs[3..5] only in old (removed).
+	for _, r := range rs[:3] {
+		nw.Add(entry(t, r, ServerAuth))
+	}
+	for _, r := range rs[3:] {
+		old.Add(entry(t, r, ServerAuth))
+	}
+	// One shared root with changes on two purposes.
+	shared := roots(t, 7)[6]
+	old.Add(entry(t, shared, ServerAuth))
+	e := entry(t, shared, ServerAuth)
+	e.SetTrust(EmailProtection, Trusted)
+	e.SetDistrustAfter(ServerAuth, date(2020, 9, 1))
+	nw.Add(e)
+
+	var prev Diff
+	for run := 0; run < 5; run++ {
+		d := DiffSnapshots(old, nw)
+		for _, list := range [][]*TrustEntry{d.Added, d.Removed} {
+			if !sort.SliceIsSorted(list, func(i, j int) bool {
+				return strings.Compare(list[i].Fingerprint.String(), list[j].Fingerprint.String()) < 0
+			}) {
+				t.Fatalf("run %d: membership list unsorted", run)
+			}
+		}
+		if !sort.SliceIsSorted(d.TrustChanges, func(i, j int) bool {
+			a, b := d.TrustChanges[i], d.TrustChanges[j]
+			if c := strings.Compare(a.Fingerprint.String(), b.Fingerprint.String()); c != 0 {
+				return c < 0
+			}
+			return a.Purpose < b.Purpose
+		}) {
+			t.Fatalf("run %d: trust changes unsorted", run)
+		}
+		if run > 0 {
+			for i := range d.TrustChanges {
+				if d.TrustChanges[i] != prev.TrustChanges[i] {
+					t.Fatalf("run %d: trust change %d differs from run %d", run, i, run-1)
+				}
+			}
+		}
+		prev = d
+	}
+}

@@ -1,0 +1,82 @@
+package tracker
+
+import "sync"
+
+// Bus fans events out to subscribers. Publish never blocks: a subscriber
+// whose buffer is full loses the event and its drop counter increments —
+// slow consumers degrade themselves, not the ingest path. Subscribers that
+// need gapless history should replay the Log from their last seen sequence
+// number instead (the /v1/events?since= pattern).
+type Bus struct {
+	mu   sync.Mutex
+	subs map[uint64]*subscriber
+	next uint64
+}
+
+type subscriber struct {
+	ch      chan Event
+	dropped uint64
+}
+
+// NewBus creates an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[uint64]*subscriber)}
+}
+
+// Subscribe registers a subscriber with the given channel buffer (minimum
+// 1) and returns its event channel plus a cancel function. Cancel closes
+// the channel; it is safe to call more than once.
+func (b *Bus) Subscribe(buffer int) (<-chan Event, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	b.mu.Lock()
+	id := b.next
+	b.next++
+	sub := &subscriber{ch: make(chan Event, buffer)}
+	b.subs[id] = sub
+	b.mu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			b.mu.Lock()
+			delete(b.subs, id)
+			b.mu.Unlock()
+			close(sub.ch)
+		})
+	}
+	return sub.ch, cancel
+}
+
+// Publish delivers the event to every subscriber, dropping it for full
+// buffers.
+func (b *Bus) Publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, sub := range b.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped++
+		}
+	}
+}
+
+// Subscribers returns the current subscriber count.
+func (b *Bus) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Dropped sums events lost to full subscriber buffers.
+func (b *Bus) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var n uint64
+	for _, sub := range b.subs {
+		n += sub.dropped
+	}
+	return n
+}

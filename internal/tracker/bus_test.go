@@ -1,0 +1,79 @@
+package tracker
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBusFanout(t *testing.T) {
+	b := NewBus()
+	ch1, cancel1 := b.Subscribe(4)
+	ch2, cancel2 := b.Subscribe(4)
+	defer cancel2()
+
+	b.Publish(Event{Seq: 1, Type: RootRemoved})
+	if got := (<-ch1).Seq; got != 1 {
+		t.Errorf("sub1 got seq %d", got)
+	}
+	if got := (<-ch2).Seq; got != 1 {
+		t.Errorf("sub2 got seq %d", got)
+	}
+
+	cancel1()
+	cancel1() // idempotent
+	if _, open := <-ch1; open {
+		t.Error("cancelled channel still open")
+	}
+	b.Publish(Event{Seq: 2})
+	if got := (<-ch2).Seq; got != 2 {
+		t.Errorf("surviving sub got seq %d", got)
+	}
+	if b.Subscribers() != 1 {
+		t.Errorf("subscribers = %d, want 1", b.Subscribers())
+	}
+}
+
+func TestBusDropsWhenFull(t *testing.T) {
+	b := NewBus()
+	ch, cancel := b.Subscribe(1)
+	defer cancel()
+	b.Publish(Event{Seq: 1})
+	b.Publish(Event{Seq: 2}) // buffer full: dropped
+	if got := (<-ch).Seq; got != 1 {
+		t.Errorf("got seq %d, want 1", got)
+	}
+	if b.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", b.Dropped())
+	}
+}
+
+// TestBusConcurrentPublishSubscribe is a -race exercise: publishers,
+// subscribers and cancellations interleaving freely.
+func TestBusConcurrentPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				b.Publish(Event{Seq: uint64(i)})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				ch, cancel := b.Subscribe(2)
+				select {
+				case <-ch:
+				default:
+				}
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Subscribers() != 0 {
+		t.Errorf("leaked %d subscribers", b.Subscribers())
+	}
+}

@@ -1,0 +1,144 @@
+// Package tracker is the change-tracking subsystem between ingestion and
+// serving: it watches snapshot source trees, ingests new root-store
+// releases through internal/catalog, turns store.DiffSnapshots output into
+// structured change events with severities modeled on the paper's removal
+// triage (Tables 4 and 7), appends them to a replayable JSONL-persisted
+// event log, and fans them out to subscribers. cmd/trustd uses it to
+// hot-swap the serving database without dropping queries; cmd/rootwatch
+// tails it to recompute the paper's removal-responsiveness deltas live
+// instead of post-hoc.
+package tracker
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Type classifies a change event.
+type Type string
+
+// Event types. Membership and trust-metadata events are derived from
+// store.DiffSnapshots between a snapshot and its predecessor; every new
+// snapshot additionally yields one SnapshotIngested marker.
+const (
+	RootAdded            Type = "root-added"
+	RootRemoved          Type = "root-removed"
+	TrustChanged         Type = "trust-changed"
+	DistrustAfterSet     Type = "distrust-after-set"
+	DistrustAfterCleared Type = "distrust-after-cleared"
+	SnapshotIngested     Type = "snapshot-ingested"
+)
+
+// Severity grades an event, mirroring the paper's removal triage
+// (Appendix C / Table 7): high is the Mozilla-urgent class, medium the
+// non-urgent program-driven class, and notice/info are operational.
+type Severity int
+
+// Severity levels, ordered so comparisons express "at least".
+const (
+	SeverityInfo Severity = iota
+	SeverityNotice
+	SeverityMedium
+	SeverityHigh
+)
+
+var severityNames = [...]string{"info", "notice", "medium", "high"}
+
+// String names the severity.
+func (s Severity) String() string {
+	if int(s) >= 0 && int(s) < len(severityNames) {
+		return severityNames[s]
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// ParseSeverity is the inverse of String.
+func ParseSeverity(name string) (Severity, error) {
+	for i, n := range severityNames {
+		if n == name {
+			return Severity(i), nil
+		}
+	}
+	return 0, fmt.Errorf("tracker: unknown severity %q", name)
+}
+
+// MarshalJSON renders the severity name, keeping the JSONL log and the API
+// payloads readable.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses a severity name.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	v, err := ParseSeverity(name)
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// Event is one structured root-store change. Seq is assigned by the event
+// log and strictly increases; Date is the snapshot date the change became
+// visible (the paper's time axis), ObservedAt the wall-clock ingest time.
+type Event struct {
+	Seq      uint64   `json:"seq"`
+	Type     Type     `json:"type"`
+	Severity Severity `json:"severity"`
+
+	Provider string `json:"provider"`
+	// Version is the snapshot that introduced the change; PrevVersion the
+	// snapshot it was diffed against (empty for a provider's first).
+	Version     string    `json:"version"`
+	PrevVersion string    `json:"prev_version,omitempty"`
+	Date        time.Time `json:"date"`
+	ObservedAt  time.Time `json:"observed_at"`
+
+	// Root identity, absent for SnapshotIngested markers.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Label       string `json:"label,omitempty"`
+
+	// Trust transition detail for TrustChanged / DistrustAfter* events.
+	Purpose       string     `json:"purpose,omitempty"`
+	OldLevel      string     `json:"old,omitempty"`
+	NewLevel      string     `json:"new,omitempty"`
+	DistrustAfter *time.Time `json:"distrust_after,omitempty"`
+
+	// Holders lists the other providers still trusting the root (server
+	// auth) at the event date — the cross-store blast radius that drives
+	// removal severity.
+	Holders []string `json:"holders,omitempty"`
+
+	// Responsiveness: for removals, the lag in days behind the first
+	// store that dropped the same root — Table 4's per-store deltas,
+	// recomputed live. Zero lag marks the first remover itself.
+	LagDays      *int   `json:"lag_days,omitempty"`
+	FirstRemover string `json:"first_remover,omitempty"`
+
+	// Detail carries human-readable context (counts, formats).
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders the event for terminal tails.
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d %s [%s] %s@%s", e.Seq, e.Date.Format("2006-01-02"), e.Severity, e.Provider, e.Version)
+	switch e.Type {
+	case SnapshotIngested:
+		s += fmt.Sprintf(" %s (%s)", e.Type, e.Detail)
+	case TrustChanged:
+		s += fmt.Sprintf(" %s %.16s %s %s: %s -> %s", e.Type, e.Fingerprint, e.Label, e.Purpose, e.OldLevel, e.NewLevel)
+	case DistrustAfterSet:
+		s += fmt.Sprintf(" %s %.16s %s %s after %s", e.Type, e.Fingerprint, e.Label, e.Purpose, e.DistrustAfter.Format("2006-01-02"))
+	case DistrustAfterCleared:
+		s += fmt.Sprintf(" %s %.16s %s %s", e.Type, e.Fingerprint, e.Label, e.Purpose)
+	default:
+		s += fmt.Sprintf(" %s %.16s %s", e.Type, e.Fingerprint, e.Label)
+	}
+	if e.LagDays != nil && e.FirstRemover != "" && *e.LagDays > 0 {
+		s += fmt.Sprintf(" (+%dd after %s)", *e.LagDays, e.FirstRemover)
+	}
+	return s
+}

@@ -1,0 +1,206 @@
+package tracker
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// DefaultLogCap bounds the in-memory event window. The JSONL file (when
+// configured) keeps the full history; the cap only limits what Replay can
+// serve without re-reading disk.
+const DefaultLogCap = 65536
+
+// LogOptions tunes an event log.
+type LogOptions struct {
+	// Path, when non-empty, persists every event as one JSON line and —
+	// if the file already exists — reloads its events on open, so a
+	// restarted watcher resumes its sequence numbers and replay window.
+	Path string
+	// Cap bounds in-memory events (DefaultLogCap when 0). Oldest events
+	// are evicted from memory first; the JSONL file is never truncated.
+	Cap int
+}
+
+// Log is the replayable event log: an in-memory window plus optional
+// append-only JSONL persistence. Append assigns strictly increasing
+// sequence numbers; Replay filters the window. Safe for concurrent use.
+type Log struct {
+	mu      sync.RWMutex
+	events  []Event
+	nextSeq uint64
+	cap     int
+	file    *os.File
+	w       *bufio.Writer
+	evicted uint64 // events dropped from memory (still on disk)
+}
+
+// NewLog opens an event log, reloading any existing JSONL file at
+// opts.Path.
+func NewLog(opts LogOptions) (*Log, error) {
+	l := &Log{nextSeq: 1, cap: opts.Cap}
+	if l.cap <= 0 {
+		l.cap = DefaultLogCap
+	}
+	if opts.Path == "" {
+		return l, nil
+	}
+	if data, err := os.ReadFile(opts.Path); err == nil {
+		if err := l.load(data); err != nil {
+			return nil, fmt.Errorf("tracker: reload %s: %w", opts.Path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("tracker: %w", err)
+	}
+	f, err := os.OpenFile(opts.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tracker: %w", err)
+	}
+	l.file = f
+	l.w = bufio.NewWriter(f)
+	return l, nil
+}
+
+// load replays persisted JSONL bytes into the memory window.
+func (l *Log) load(data []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return err
+		}
+		l.events = append(l.events, ev)
+		if ev.Seq >= l.nextSeq {
+			l.nextSeq = ev.Seq + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	l.trim()
+	return nil
+}
+
+// Append stamps the event with the next sequence number, persists it and
+// returns the stamped copy.
+func (l *Log) Append(ev Event) (Event, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ev.Seq = l.nextSeq
+	l.nextSeq++
+	l.events = append(l.events, ev)
+	l.trim()
+	if l.w != nil {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			return ev, fmt.Errorf("tracker: marshal event: %w", err)
+		}
+		if _, err := l.w.Write(append(line, '\n')); err != nil {
+			return ev, fmt.Errorf("tracker: persist event: %w", err)
+		}
+		if err := l.w.Flush(); err != nil {
+			return ev, fmt.Errorf("tracker: persist event: %w", err)
+		}
+	}
+	return ev, nil
+}
+
+func (l *Log) trim() {
+	if over := len(l.events) - l.cap; over > 0 {
+		l.events = append([]Event(nil), l.events[over:]...)
+		l.evicted += uint64(over)
+	}
+}
+
+// Filter selects events for Replay. The zero value matches everything.
+type Filter struct {
+	Provider    string
+	Type        Type
+	MinSeverity Severity
+	// SinceSeq is exclusive: only events with Seq > SinceSeq match.
+	SinceSeq    uint64
+	Fingerprint string
+	// Limit caps the result from the tail (most recent kept); 0 = all.
+	Limit int
+}
+
+// Match reports whether the event passes the filter (ignoring Limit).
+func (f Filter) Match(ev Event) bool {
+	if f.Provider != "" && ev.Provider != f.Provider {
+		return false
+	}
+	if f.Type != "" && ev.Type != f.Type {
+		return false
+	}
+	if ev.Severity < f.MinSeverity {
+		return false
+	}
+	if ev.Seq <= f.SinceSeq {
+		return false
+	}
+	if f.Fingerprint != "" && ev.Fingerprint != f.Fingerprint {
+		return false
+	}
+	return true
+}
+
+// Replay returns the matching events in sequence order.
+func (l *Log) Replay(f Filter) []Event {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Event
+	for _, ev := range l.events {
+		if f.Match(ev) {
+			out = append(out, ev)
+		}
+	}
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = append([]Event(nil), out[len(out)-f.Limit:]...)
+	}
+	return out
+}
+
+// Len returns the in-memory event count.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.events)
+}
+
+// LastSeq returns the highest assigned sequence number (0 when empty).
+func (l *Log) LastSeq() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.nextSeq - 1
+}
+
+// Evicted returns how many events aged out of the memory window.
+func (l *Log) Evicted() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.evicted
+}
+
+// Close flushes and closes the JSONL file, if any.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		l.file.Close()
+		return err
+	}
+	err := l.file.Close()
+	l.file, l.w = nil, nil
+	return err
+}

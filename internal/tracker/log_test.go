@@ -1,0 +1,114 @@
+package tracker
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func ev(provider string, typ Type, sev Severity, fp string) Event {
+	return Event{
+		Type: typ, Severity: sev, Provider: provider, Version: "v",
+		Date: time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC), Fingerprint: fp,
+	}
+}
+
+func TestLogAppendAndFilters(t *testing.T) {
+	l, err := NewLog(LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(ev("NSS", RootRemoved, SeverityHigh, "aa"))
+	l.Append(ev("Debian", RootAdded, SeverityInfo, "bb"))
+	l.Append(ev("NSS", SnapshotIngested, SeverityInfo, ""))
+
+	if got := l.LastSeq(); got != 3 {
+		t.Fatalf("LastSeq = %d, want 3", got)
+	}
+	for i, e := range l.Replay(Filter{}) {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if got := len(l.Replay(Filter{Provider: "NSS"})); got != 2 {
+		t.Errorf("provider filter = %d, want 2", got)
+	}
+	if got := len(l.Replay(Filter{Type: RootRemoved})); got != 1 {
+		t.Errorf("type filter = %d, want 1", got)
+	}
+	if got := len(l.Replay(Filter{MinSeverity: SeverityMedium})); got != 1 {
+		t.Errorf("severity filter = %d, want 1", got)
+	}
+	if got := len(l.Replay(Filter{SinceSeq: 2})); got != 1 {
+		t.Errorf("since filter = %d, want 1", got)
+	}
+	if got := len(l.Replay(Filter{Fingerprint: "bb"})); got != 1 {
+		t.Errorf("fingerprint filter = %d, want 1", got)
+	}
+	if got := l.Replay(Filter{Limit: 2}); len(got) != 2 || got[0].Seq != 2 {
+		t.Errorf("limit filter keeps the tail: %+v", got)
+	}
+}
+
+func TestLogPersistAndReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	l, err := NewLog(LogOptions{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(ev("NSS", RootRemoved, SeverityHigh, "aa"))
+	l.Append(ev("NSS", RootAdded, SeverityInfo, "bb"))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := NewLog(LogOptions{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 2 || re.LastSeq() != 2 {
+		t.Fatalf("reloaded log: len=%d last=%d", re.Len(), re.LastSeq())
+	}
+	got := re.Replay(Filter{Type: RootRemoved})
+	if len(got) != 1 || got[0].Severity != SeverityHigh || got[0].Fingerprint != "aa" {
+		t.Fatalf("reloaded event mangled: %+v", got)
+	}
+	// Sequence numbering continues where the previous process stopped.
+	third, err := re.Append(ev("NSS", RootRemoved, SeverityMedium, "cc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Seq != 3 {
+		t.Errorf("resumed seq = %d, want 3", third.Seq)
+	}
+}
+
+func TestLogCapEvictsOldest(t *testing.T) {
+	l, err := NewLog(LogOptions{Cap: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		l.Append(ev("NSS", RootAdded, SeverityInfo, "x"))
+	}
+	if l.Len() != 3 || l.Evicted() != 2 {
+		t.Fatalf("len=%d evicted=%d, want 3/2", l.Len(), l.Evicted())
+	}
+	got := l.Replay(Filter{})
+	if got[0].Seq != 3 || got[len(got)-1].Seq != 5 {
+		t.Fatalf("window = [%d..%d], want [3..5]", got[0].Seq, got[len(got)-1].Seq)
+	}
+}
+
+func TestSeverityRoundTrip(t *testing.T) {
+	for _, s := range []Severity{SeverityInfo, SeverityNotice, SeverityMedium, SeverityHigh} {
+		got, err := ParseSeverity(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %s: %v %v", s, got, err)
+		}
+	}
+	if _, err := ParseSeverity("apocalyptic"); err == nil {
+		t.Error("unknown severity should not parse")
+	}
+}

@@ -1,0 +1,67 @@
+package tracker
+
+// Severity classification, modeled on the paper's removal triage: Table 7
+// grades NSS removals low/medium/high, and Table 4 shows that the removals
+// that matter most are the ones for roots other programs still carry —
+// those are the windows in which derivative users stay exposed. The
+// classifier therefore keys on cross-store presence at the event date plus
+// an optional external removal catalog (the CCADB "Removed CA Report"
+// analog core.CompareRemovals audits).
+
+import "repro/internal/store"
+
+// Classifier assigns severities to events.
+type Classifier struct {
+	// Listed marks fingerprints (lower-case hex) appearing in an external
+	// removal/incident catalog — the CCADB-listed analog. Removal of a
+	// listed root is always high severity.
+	Listed map[string]bool
+}
+
+// classify stamps ev.Severity. holders is the list of other providers
+// still trusting the root at the event date (already on the event).
+func (c Classifier) classify(ev *Event) {
+	switch ev.Type {
+	case RootRemoved:
+		// A removal while the root is CCADB-listed or still held by ≥2
+		// programs (remover + at least one other) is the paper's
+		// high-severity case: clients on the laggard stores keep
+		// accepting what the remover just distrusted.
+		if c.Listed[ev.Fingerprint] || len(ev.Holders) >= 1 {
+			ev.Severity = SeverityHigh
+		} else {
+			ev.Severity = SeverityMedium
+		}
+	case DistrustAfterSet:
+		// Symantec-style partial distrust: the root stays in the store
+		// but future issuance dies — always a deliberate, urgent program
+		// action (§6.2).
+		ev.Severity = SeverityHigh
+	case DistrustAfterCleared:
+		ev.Severity = SeverityNotice
+	case TrustChanged:
+		ev.Severity = trustChangeSeverity(ev.OldLevel, ev.NewLevel)
+	case RootAdded:
+		ev.Severity = SeverityInfo
+	case SnapshotIngested:
+		ev.Severity = SeverityInfo
+	}
+}
+
+// trustChangeSeverity grades a per-purpose level transition.
+func trustChangeSeverity(oldName, newName string) Severity {
+	old, _ := store.ParseTrustLevel(oldName)
+	nw, _ := store.ParseTrustLevel(newName)
+	switch {
+	case nw == store.Distrusted:
+		return SeverityHigh
+	case old == store.Trusted && nw != store.Trusted:
+		// Demotion from full anchor status (to must-verify/unspecified).
+		return SeverityMedium
+	case nw == store.Trusted && old != store.Trusted:
+		// A new trust grant widens the attack surface but breaks nobody.
+		return SeverityNotice
+	default:
+		return SeverityInfo
+	}
+}

@@ -1,0 +1,150 @@
+package tracker
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// SnapshotDir is one snapshot directory a source found: a
+// <root>/<provider>/<version>/ leaf in the layout internal/catalog
+// documents (catalog.TreeLayout).
+type SnapshotDir struct {
+	Provider string
+	Version  string
+	Path     string
+	// ModTime is the newest modification time across the directory and
+	// its files — the change stamp the tracker keys rescans on.
+	ModTime time.Time
+}
+
+// Key identifies the snapshot directory within its tree.
+func (d SnapshotDir) Key() string { return d.Provider + "/" + d.Version }
+
+// Source enumerates snapshot directories. DirSource polls a local tree;
+// the interface exists so a remote fetcher (rsync mirror, release-archive
+// crawler) can plug into the same tracker later: anything that can
+// materialize catalog's <provider>/<version>/ layout and report change
+// stamps qualifies.
+type Source interface {
+	// Root is the tree root handed to catalog.LoadTree on reload.
+	Root() string
+	// Scan lists the settled snapshot directories, sorted by
+	// (provider, version). Directories still being written (modified
+	// within the settle window) are omitted and picked up next scan.
+	Scan() ([]SnapshotDir, error)
+}
+
+// DirSource is an fsnotify-style mtime scanner over a local snapshot tree.
+// It keeps no OS watch descriptors — each Scan re-walks the two directory
+// levels, which for even a 619-snapshot archive is a few hundred stats —
+// and instead relies on the tracker's poll loop, trading latency (one poll
+// interval) for zero platform dependencies.
+type DirSource struct {
+	root string
+	// settle is how long a snapshot directory must be quiescent before it
+	// is reported; it papers over multi-file writers (authroot.stl plus
+	// its certs/, Apple roots dirs) being caught mid-copy.
+	settle time.Duration
+	now    func() time.Time
+}
+
+// NewDirSource watches root with the given settle window. A zero settle
+// reports directories immediately.
+func NewDirSource(root string, settle time.Duration) *DirSource {
+	return &DirSource{root: root, settle: settle, now: time.Now}
+}
+
+// Root returns the watched tree root.
+func (s *DirSource) Root() string { return s.root }
+
+// Scan implements Source.
+func (s *DirSource) Scan() ([]SnapshotDir, error) {
+	provs, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("tracker: scan %s: %w", s.root, err)
+	}
+	cutoff := s.now().Add(-s.settle)
+	var out []SnapshotDir
+	for _, prov := range provs {
+		if !prov.IsDir() {
+			continue
+		}
+		provDir := filepath.Join(s.root, prov.Name())
+		versions, err := os.ReadDir(provDir)
+		if err != nil {
+			return nil, fmt.Errorf("tracker: scan %s: %w", provDir, err)
+		}
+		for _, v := range versions {
+			if !v.IsDir() {
+				continue
+			}
+			dir := filepath.Join(provDir, v.Name())
+			stamp, empty, err := newestModTime(dir)
+			if err != nil {
+				return nil, err
+			}
+			if empty {
+				continue // nothing ingestable yet
+			}
+			if s.settle > 0 && stamp.After(cutoff) {
+				continue // still being written; next scan gets it
+			}
+			out = append(out, SnapshotDir{
+				Provider: prov.Name(),
+				Version:  v.Name(),
+				Path:     dir,
+				ModTime:  stamp,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out, nil
+}
+
+// newestModTime walks dir one level deep (snapshot formats nest at most
+// one subdirectory, e.g. authroot's certs/) and returns the newest mtime.
+func newestModTime(dir string) (stamp time.Time, empty bool, err error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return time.Time{}, false, fmt.Errorf("tracker: %w", err)
+	}
+	empty = true
+	consider := func(path string, de os.DirEntry) error {
+		info, err := de.Info()
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil // racing a writer; the next scan settles it
+			}
+			return fmt.Errorf("tracker: %w", err)
+		}
+		if info.ModTime().After(stamp) {
+			stamp = info.ModTime()
+		}
+		return nil
+	}
+	for _, de := range des {
+		empty = false
+		if err := consider(dir, de); err != nil {
+			return time.Time{}, false, err
+		}
+		if de.IsDir() {
+			sub := filepath.Join(dir, de.Name())
+			subs, err := os.ReadDir(sub)
+			if err != nil {
+				if os.IsNotExist(err) {
+					continue
+				}
+				return time.Time{}, false, fmt.Errorf("tracker: %w", err)
+			}
+			for _, sde := range subs {
+				if err := consider(sub, sde); err != nil {
+					return time.Time{}, false, err
+				}
+			}
+		}
+	}
+	return stamp, empty, nil
+}

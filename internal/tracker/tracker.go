@@ -1,0 +1,429 @@
+package tracker
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/store"
+)
+
+// DefaultInterval is the poll cadence when Config.Interval is zero.
+const DefaultInterval = 2 * time.Second
+
+// Config wires a Tracker.
+type Config struct {
+	// Source enumerates snapshot directories (required). DirSource polls
+	// a local catalog.TreeLayout tree.
+	Source Source
+	// Catalog tunes snapshot ingestion (JKS password, bundle purposes).
+	Catalog catalog.Options
+	// Interval is the poll cadence (DefaultInterval when 0).
+	Interval time.Duration
+	// Log receives events; a private in-memory log is created when nil.
+	Log *Log
+	// OnReload is called with the freshly ingested database after every
+	// change batch, before the batch's events are appended and published
+	// — the hot-swap hook cmd/trustd points at Server.Swap so queries
+	// never observe events for state they cannot see yet.
+	OnReload func(*store.Database)
+	// Classifier grades event severity (zero value: cross-store holders
+	// only, no external catalog).
+	Classifier Classifier
+	// Logger receives operational logs; slog.Default() when nil.
+	Logger *slog.Logger
+	// Now is the wall clock (test hook; time.Now when nil).
+	Now func() time.Time
+}
+
+// Tracker watches a snapshot source, ingests changes through the catalog,
+// and turns them into classified events. One Rescan is one atomic batch:
+// scan → full catalog reload → per-snapshot diffs → OnReload swap →
+// append + publish.
+type Tracker struct {
+	cfg Config
+	log *Log
+	bus *Bus
+
+	mu       sync.Mutex
+	seen     map[string]time.Time // SnapshotDir.Key() → change stamp
+	db       *store.Database
+	removals map[string]*removalRecord
+}
+
+// removalRecord is the live responsiveness ledger for one removed root:
+// who dropped it first and when each store followed — Table 4's deltas.
+type removalRecord struct {
+	label         string
+	firstProvider string
+	firstDate     time.Time
+	perProvider   map[string]time.Time
+}
+
+// New validates the config and returns an idle tracker; call Rescan (or
+// Run) to load the initial tree.
+func New(cfg Config) (*Tracker, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("tracker: Config.Source is required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	l := cfg.Log
+	if l == nil {
+		var err error
+		if l, err = NewLog(LogOptions{}); err != nil {
+			return nil, err
+		}
+	}
+	return &Tracker{
+		cfg:      cfg,
+		log:      l,
+		bus:      NewBus(),
+		seen:     make(map[string]time.Time),
+		removals: make(map[string]*removalRecord),
+	}, nil
+}
+
+// Log exposes the event log for replay.
+func (t *Tracker) Log() *Log { return t.log }
+
+// Subscribe attaches a live event listener (see Bus.Subscribe).
+func (t *Tracker) Subscribe(buffer int) (<-chan Event, func()) {
+	return t.bus.Subscribe(buffer)
+}
+
+// Replay delegates to the event log — with Subscribe and LastSeq it makes
+// *Tracker satisfy service.EventFeed.
+func (t *Tracker) Replay(f Filter) []Event { return t.log.Replay(f) }
+
+// LastSeq returns the newest event sequence number.
+func (t *Tracker) LastSeq() uint64 { return t.log.LastSeq() }
+
+// Database returns the most recently ingested database (nil before the
+// first successful Rescan). The returned database is immutable: every
+// reload builds a fresh one.
+func (t *Tracker) Database() *store.Database {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.db
+}
+
+// Lag reports, per provider, how far behind the wall clock the provider's
+// newest ingested snapshot is — the freshness gauge the serving layer
+// exports.
+func (t *Tracker) Lag() map[string]time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]time.Duration)
+	if t.db == nil {
+		return out
+	}
+	now := t.cfg.Now()
+	for _, p := range t.db.Providers() {
+		if latest := t.db.History(p).Latest(); latest != nil {
+			out[p] = now.Sub(latest.Date)
+		}
+	}
+	return out
+}
+
+// RemovalRow is one root's live responsiveness record.
+type RemovalRow struct {
+	Fingerprint   string         `json:"fingerprint"`
+	Label         string         `json:"label,omitempty"`
+	FirstProvider string         `json:"first_provider"`
+	FirstDate     time.Time      `json:"first_date"`
+	LagDays       map[string]int `json:"lag_days"`
+}
+
+// Responsiveness returns the removal ledger: for every root any store has
+// removed, each store's lag in days behind the first remover — the paper's
+// Table 4 deltas recomputed continuously from the event stream.
+func (t *Tracker) Responsiveness() []RemovalRow {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]RemovalRow, 0, len(t.removals))
+	for fp, rec := range t.removals {
+		row := RemovalRow{
+			Fingerprint:   fp,
+			Label:         rec.label,
+			FirstProvider: rec.firstProvider,
+			FirstDate:     rec.firstDate,
+			LagDays:       make(map[string]int, len(rec.perProvider)),
+		}
+		for prov, date := range rec.perProvider {
+			row.LagDays[prov] = lagDays(rec.firstDate, date)
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].FirstDate.Equal(out[j].FirstDate) {
+			return out[i].FirstDate.Before(out[j].FirstDate)
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}
+
+func lagDays(first, then time.Time) int {
+	return int(then.Sub(first).Hours() / 24)
+}
+
+// Run polls the source until ctx is cancelled. Scan or ingest errors are
+// logged and retried next tick (a half-written tree settles by itself);
+// only ctx cancellation ends the loop.
+func (t *Tracker) Run(ctx context.Context) error {
+	ticker := time.NewTicker(t.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		if n, err := t.Rescan(); err != nil {
+			t.cfg.Logger.Warn("rescan failed; will retry", "err", err)
+		} else if n > 0 {
+			t.cfg.Logger.Info("ingested", "snapshots", n, "events", t.log.LastSeq())
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+	}
+}
+
+// ingest pairs a changed snapshot with the snapshot to diff it against.
+type ingest struct {
+	snap *store.Snapshot
+	prev *store.Snapshot
+}
+
+// Rescan performs one scan/ingest cycle and returns how many new or
+// modified snapshots it processed. The first call ingests the whole tree,
+// replaying each provider's history into the event log chronologically —
+// which is exactly how the paper's post-hoc responsiveness tables become a
+// live ledger.
+func (t *Tracker) Rescan() (int, error) {
+	dirs, err := t.cfg.Source.Scan()
+	if err != nil {
+		return 0, err
+	}
+
+	t.mu.Lock()
+	var changed []SnapshotDir
+	for _, d := range dirs {
+		if stamp, ok := t.seen[d.Key()]; !ok || d.ModTime.After(stamp) {
+			changed = append(changed, d)
+		}
+	}
+	initial := t.db == nil
+	oldDB := t.db
+	t.mu.Unlock()
+
+	if len(changed) == 0 && !initial {
+		return 0, nil
+	}
+	if len(dirs) == 0 {
+		return 0, fmt.Errorf("tracker: %s holds no snapshot directories", t.cfg.Source.Root())
+	}
+
+	newDB, err := catalog.LoadTree(t.cfg.Source.Root(), t.cfg.Catalog)
+	if err != nil {
+		return 0, err
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	ingests := make([]ingest, 0, len(changed))
+	for _, d := range changed {
+		snap := snapshotByVersion(newDB, d.Provider, d.Version)
+		if snap == nil {
+			// The directory vanished between scan and reload; next scan
+			// reconciles.
+			continue
+		}
+		var prev *store.Snapshot
+		if _, wasSeen := t.seen[d.Key()]; wasSeen && oldDB != nil {
+			// Modified in place: diff against what we served before.
+			prev = snapshotByVersion(oldDB, d.Provider, d.Version)
+		} else {
+			prev = predecessorOf(newDB.History(d.Provider), snap)
+		}
+		ingests = append(ingests, ingest{snap: snap, prev: prev})
+		t.seen[d.Key()] = d.ModTime
+	}
+	// Chronological emission across providers keeps the removal ledger's
+	// "first remover" truthful during history replay.
+	sort.Slice(ingests, func(i, j int) bool {
+		a, b := ingests[i].snap, ingests[j].snap
+		if !a.Date.Equal(b.Date) {
+			return a.Date.Before(b.Date)
+		}
+		return a.Key() < b.Key()
+	})
+
+	t.db = newDB
+	if t.cfg.OnReload != nil {
+		t.cfg.OnReload(newDB)
+	}
+
+	observed := t.cfg.Now()
+	for _, ing := range ingests {
+		for _, ev := range t.eventsFor(ing.snap, ing.prev, newDB, observed) {
+			stamped, err := t.log.Append(ev)
+			if err != nil {
+				return len(ingests), err
+			}
+			t.bus.Publish(stamped)
+		}
+	}
+	return len(ingests), nil
+}
+
+// eventsFor builds the classified event batch for one new snapshot.
+// Callers hold t.mu.
+func (t *Tracker) eventsFor(snap, prev *store.Snapshot, db *store.Database, observed time.Time) []Event {
+	base := Event{
+		Provider:   snap.Provider,
+		Version:    snap.Version,
+		Date:       snap.Date,
+		ObservedAt: observed,
+	}
+	if prev != nil {
+		base.PrevVersion = prev.Version
+	}
+
+	marker := base
+	marker.Type = SnapshotIngested
+	marker.Detail = fmt.Sprintf("%d roots", snap.Len())
+	events := []Event{marker}
+
+	if prev == nil {
+		// A provider's first snapshot: the whole store "appearing" is an
+		// ingest marker, not hundreds of root-added events.
+		t.cfg.Classifier.classify(&events[0])
+		return events
+	}
+
+	d := store.DiffSnapshots(prev, snap)
+	events[0].Detail = fmt.Sprintf("%d roots, %s vs %s", snap.Len(), d, prev.Version)
+
+	for _, e := range d.Added {
+		ev := base
+		ev.Type = RootAdded
+		ev.Fingerprint = e.Fingerprint.String()
+		ev.Label = e.Label
+		events = append(events, ev)
+	}
+	for _, e := range d.Removed {
+		ev := base
+		ev.Type = RootRemoved
+		ev.Fingerprint = e.Fingerprint.String()
+		ev.Label = e.Label
+		ev.Holders = holdersOf(db, e.Fingerprint.String(), snap.Date, snap.Provider)
+		t.recordRemoval(&ev)
+		events = append(events, ev)
+	}
+	for _, tc := range d.TrustChanges {
+		ev := base
+		ev.Fingerprint = tc.Fingerprint.String()
+		ev.Label = tc.Label
+		ev.Purpose = tc.Purpose.String()
+		ev.OldLevel = tc.Old.String()
+		ev.NewLevel = tc.New.String()
+		switch {
+		case tc.DistrustAfterSet:
+			ev.Type = DistrustAfterSet
+			cutoff := tc.DistrustAfter
+			ev.DistrustAfter = &cutoff
+		case tc.DistrustAfterCleared:
+			ev.Type = DistrustAfterCleared
+		default:
+			ev.Type = TrustChanged
+		}
+		events = append(events, ev)
+	}
+	for i := range events {
+		t.cfg.Classifier.classify(&events[i])
+	}
+	return events
+}
+
+// recordRemoval updates the responsiveness ledger and stamps the event
+// with its lag behind the first remover. Callers hold t.mu.
+func (t *Tracker) recordRemoval(ev *Event) {
+	rec, ok := t.removals[ev.Fingerprint]
+	if !ok {
+		rec = &removalRecord{
+			label:         ev.Label,
+			firstProvider: ev.Provider,
+			firstDate:     ev.Date,
+			perProvider:   make(map[string]time.Time),
+		}
+		t.removals[ev.Fingerprint] = rec
+	}
+	if _, dup := rec.perProvider[ev.Provider]; !dup {
+		rec.perProvider[ev.Provider] = ev.Date
+	}
+	lag := lagDays(rec.firstDate, ev.Date)
+	ev.LagDays = &lag
+	ev.FirstRemover = rec.firstProvider
+}
+
+// holdersOf lists the other providers whose store in force at the event
+// date still trusts the root for server auth.
+func holdersOf(db *store.Database, fingerprint string, at time.Time, exclude string) []string {
+	var holders []string
+	for _, p := range db.Providers() {
+		if p == exclude {
+			continue
+		}
+		snap := db.History(p).At(at)
+		if snap == nil {
+			continue
+		}
+		if e, ok := snap.EntryByFingerprint(fingerprint); ok && e.TrustedFor(store.ServerAuth) {
+			holders = append(holders, p)
+		}
+	}
+	return holders
+}
+
+// snapshotByVersion finds a provider's snapshot by version label.
+func snapshotByVersion(db *store.Database, provider, version string) *store.Snapshot {
+	h := db.History(provider)
+	if h == nil {
+		return nil
+	}
+	for _, s := range h.Snapshots() {
+		if s.Version == version {
+			return s
+		}
+	}
+	return nil
+}
+
+// predecessorOf returns the snapshot immediately before snap in the
+// history's date order, nil for the first.
+func predecessorOf(h *store.History, snap *store.Snapshot) *store.Snapshot {
+	if h == nil {
+		return nil
+	}
+	var prev *store.Snapshot
+	for _, s := range h.Snapshots() {
+		if s == snap {
+			return prev
+		}
+		prev = s
+	}
+	return nil
+}
