@@ -37,6 +37,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/pemstore"
 	"repro/internal/store"
 	"repro/internal/testcerts"
@@ -51,6 +52,7 @@ func main() {
 	replay := flag.Bool("replay", false, "print the events of the initial historical ingest too")
 	minSeverity := flag.String("min-severity", "info", "only print events at or above this severity (info|notice|medium|high)")
 	jsonl := flag.String("jsonl", "", "persist events to this JSONL file (resumes sequence across runs)")
+	archivePath := flag.String("archive", "", "rootpack sidecar location for fast cold starts (default <tree>/.rootpack)")
 	table4 := flag.Bool("table4", true, "print the removal-responsiveness table on exit")
 	smoke := flag.Bool("smoke", false, "run a hermetic self-test and exit (0 = event pipeline works)")
 	flag.Parse()
@@ -78,6 +80,7 @@ func main() {
 	}
 	trk, err := tracker.New(tracker.Config{
 		Source:   tracker.NewDirSource(*tree, *settle),
+		Catalog:  catalog.Options{ArchivePath: *archivePath},
 		Interval: *interval,
 		Log:      log,
 		Logger:   logger,

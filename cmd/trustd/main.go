@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	trustd [-addr :8080] [-seed tracing-your-roots | -tree DIR] [flags]
+//	trustd [-addr :8080] [-seed tracing-your-roots | -tree DIR | -archive FILE] [flags]
 //
-// The database comes from the deterministic synthetic ecosystem (-seed) or
+// The database comes from the deterministic synthetic ecosystem (-seed),
 // from an on-disk <provider>/<version>/ release tree (-tree), the same
-// layouts cmd/synthgen writes and internal/catalog ingests.
+// layouts cmd/synthgen writes and internal/catalog ingests, or from a
+// compiled rootpack archive (-archive FILE, see cmd/rootpack) for
+// millisecond cold starts. With -tree, -archive instead overrides where the
+// sidecar cache lives (default <tree>/.rootpack).
 //
 // Endpoints:
 //
@@ -44,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/catalog"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -55,6 +59,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.String("seed", "tracing-your-roots", "synthetic ecosystem seed (ignored with -tree)")
 	tree := flag.String("tree", "", "load snapshots from a <provider>/<version>/ directory tree instead of generating")
+	archivePath := flag.String("archive", "", "rootpack archive: with -tree, the sidecar cache location (default <tree>/.rootpack); alone, a compiled archive to serve directly")
 	timeout := flag.Duration("timeout", service.DefaultRequestTimeout, "per-request timeout")
 	drain := flag.Duration("drain", 15*time.Second, "connection-drain budget on shutdown")
 	maxBody := flag.Int64("max-body", service.DefaultMaxBodyBytes, "request body size limit in bytes")
@@ -85,14 +90,14 @@ func main() {
 	var trk *tracker.Tracker
 	if *watch {
 		var err error
-		trk, db, err = startTracker(*tree, *pollInterval, *settle, *eventsJSONL, logger)
+		trk, db, err = startTracker(*tree, *archivePath, *pollInterval, *settle, *eventsJSONL, logger)
 		if err != nil {
 			logger.Error("start tracker", "err", err)
 			os.Exit(1)
 		}
 	} else {
 		var err error
-		db, err = loadDatabase(*seed, *tree, logger)
+		db, err = loadDatabase(*seed, *tree, *archivePath, logger)
 		if err != nil {
 			logger.Error("load database", "err", err)
 			os.Exit(1)
@@ -131,7 +136,7 @@ var watchSrv atomic.Pointer[service.Server]
 // startTracker builds the tracker over the tree, performs the initial
 // ingest (replaying history into the event log) and returns the first
 // database to serve.
-func startTracker(tree string, interval, settle time.Duration, eventsPath string, logger *slog.Logger) (*tracker.Tracker, *store.Database, error) {
+func startTracker(tree, archivePath string, interval, settle time.Duration, eventsPath string, logger *slog.Logger) (*tracker.Tracker, *store.Database, error) {
 	var log *tracker.Log
 	if eventsPath != "" {
 		var err error
@@ -142,6 +147,7 @@ func startTracker(tree string, interval, settle time.Duration, eventsPath string
 	}
 	trk, err := tracker.New(tracker.Config{
 		Source:   tracker.NewDirSource(tree, settle),
+		Catalog:  catalog.Options{ArchivePath: archivePath},
 		Interval: interval,
 		Log:      log,
 		Logger:   logger,
@@ -164,14 +170,23 @@ func startTracker(tree string, interval, settle time.Duration, eventsPath string
 	return trk, trk.Database(), nil
 }
 
-func loadDatabase(seed, tree string, logger *slog.Logger) (*store.Database, error) {
+func loadDatabase(seed, tree, archivePath string, logger *slog.Logger) (*store.Database, error) {
 	start := time.Now()
 	if tree != "" {
-		db, err := catalog.LoadTree(tree, catalog.Options{})
+		db, info, err := catalog.LoadTreeInfo(tree, catalog.Options{ArchivePath: archivePath})
 		if err != nil {
 			return nil, fmt.Errorf("ingest %s: %w", tree, err)
 		}
-		logger.Info("tree ingested", "dir", tree,
+		logger.Info("tree ingested", "dir", tree, "from_archive", info.FromArchive,
+			"snapshots", db.TotalSnapshots(), "elapsed", time.Since(start).Round(time.Millisecond))
+		return db, nil
+	}
+	if archivePath != "" {
+		db, err := archive.ReadFile(archivePath)
+		if err != nil {
+			return nil, fmt.Errorf("read archive %s: %w", archivePath, err)
+		}
+		logger.Info("archive loaded", "path", archivePath,
 			"snapshots", db.TotalSnapshots(), "elapsed", time.Since(start).Round(time.Millisecond))
 		return db, nil
 	}

@@ -1,0 +1,44 @@
+package archive
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the reader. The invariant: the
+// decoder never panics, and any input that decodes successfully is a
+// well-formed archive whose database re-encodes and decodes back to an
+// Equal database — corruption either fails loudly or does not exist.
+func FuzzDecode(f *testing.F) {
+	for seed := int64(0); seed < 3; seed++ {
+		db := randomDatabase(f, rand.New(rand.NewSource(seed)))
+		data, _ := encodeToBytes(f, db)
+		f.Add(data)
+		// Seed a few mutants so the fuzzer starts near the format's cliffs.
+		mut := append([]byte(nil), data...)
+		mut[len(mut)/2] ^= 0xFF
+		f.Add(mut)
+		f.Add(data[:len(data)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := decodeBytes(data)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := Encode(&buf, db, [HashLen]byte{}); err != nil {
+			t.Fatalf("decoded database fails to re-encode: %v", err)
+		}
+		back, err := decodeBytes(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded archive fails to decode: %v", err)
+		}
+		if err := Equal(db, back); err != nil {
+			t.Fatalf("decode→encode→decode not equal: %v", err)
+		}
+	})
+}

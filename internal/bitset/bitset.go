@@ -146,3 +146,20 @@ func (s *Set) IDs() []uint32 {
 func (s *Set) Clone() *Set {
 	return &Set{words: append([]uint64(nil), s.words...)}
 }
+
+// Words returns the packed 64-bit words with trailing zero words trimmed —
+// the canonical wire form internal/archive serializes. The returned slice
+// is fresh; mutating it does not affect the set.
+func (s *Set) Words() []uint64 {
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	return append([]uint64(nil), s.words[:n]...)
+}
+
+// FromWords reconstructs a set from packed words as produced by Words. The
+// slice is copied; the caller keeps ownership.
+func FromWords(words []uint64) *Set {
+	return &Set{words: append([]uint64(nil), words...)}
+}

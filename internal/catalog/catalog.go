@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"time"
 
@@ -61,6 +60,13 @@ type Options struct {
 	// BundlePurposes are the purposes a bare PEM bundle grants (default
 	// ServerAuth only, the tls-ca-bundle.pem semantics).
 	BundlePurposes []store.Purpose
+	// Archive selects sidecar caching: ArchiveAuto (default) serves
+	// LoadTree from a .rootpack sidecar when fresh and compiles one after
+	// each native parse; ArchiveOff disables both.
+	Archive ArchiveMode
+	// ArchivePath overrides the sidecar location (default
+	// <root>/.rootpack).
+	ArchivePath string
 }
 
 func (o Options) withDefaults() Options {
@@ -251,43 +257,14 @@ func pemPath(dir string) (string, error) {
 
 // LoadTree ingests a <root>/<provider>/<version>/ tree into a database.
 // Version directories named like dates (2006-01-02 or 20060102) provide
-// snapshot dates; otherwise file modification time is used. Versions load
-// in lexical order.
+// snapshot dates; otherwise file modification time is used. Snapshots are
+// parsed concurrently (bounded by GOMAXPROCS) and assembled in lexical
+// (provider, version) order, so the result is deterministic. Under
+// Options.Archive's default ArchiveAuto mode, a fresh .rootpack sidecar
+// short-circuits parsing entirely, and a successful parse compiles one.
 func LoadTree(root string, opts Options) (*store.Database, error) {
-	db := store.NewDatabase()
-	provs, err := os.ReadDir(root)
-	if err != nil {
-		return nil, fmt.Errorf("catalog: %w", err)
-	}
-	for _, prov := range provs {
-		if !prov.IsDir() {
-			continue
-		}
-		provDir := filepath.Join(root, prov.Name())
-		versions, err := os.ReadDir(provDir)
-		if err != nil {
-			return nil, fmt.Errorf("catalog: %w", err)
-		}
-		var names []string
-		for _, v := range versions {
-			if v.IsDir() {
-				names = append(names, v.Name())
-			}
-		}
-		sort.Strings(names)
-		for _, version := range names {
-			dir := filepath.Join(provDir, version)
-			date := dateForVersion(dir, version)
-			snap, _, err := LoadSnapshot(dir, prov.Name(), version, date, opts)
-			if err != nil {
-				return nil, fmt.Errorf("catalog: %s/%s: %w", prov.Name(), version, err)
-			}
-			if err := db.AddSnapshot(snap); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return db, nil
+	db, _, err := LoadTreeInfo(root, opts)
+	return db, err
 }
 
 func dateForVersion(dir, version string) time.Time {

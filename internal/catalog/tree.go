@@ -1,0 +1,282 @@
+package catalog
+
+// Tree-level ingestion: the parallel native-parse path and the rootpack
+// sidecar fast path LoadTree picks between.
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/store"
+)
+
+// ArchiveMode selects how LoadTree uses rootpack sidecars.
+type ArchiveMode int
+
+const (
+	// ArchiveAuto (the default) reads a sidecar archive when its recorded
+	// source hash matches the tree, and compiles one after a native parse —
+	// compile-on-ingest caching.
+	ArchiveAuto ArchiveMode = iota
+	// ArchiveOff always parses natively and never reads or writes sidecars.
+	ArchiveOff
+)
+
+// DefaultArchiveName is the sidecar file LoadTree maintains at the tree
+// root when Options.ArchivePath is empty. It is a plain file, so tree
+// scanners (which only descend provider directories) never mistake it for
+// a provider.
+const DefaultArchiveName = ".rootpack"
+
+// TreeInfo reports how a tree was loaded.
+type TreeInfo struct {
+	// FromArchive is true when the database came from a sidecar archive
+	// instead of native parsers.
+	FromArchive bool
+	// ArchivePath is the sidecar consulted (empty under ArchiveOff).
+	ArchivePath string
+	// TreeHash is the source tree's content hash — the staleness key.
+	TreeHash [archive.HashLen]byte
+	// ContentHash is the archive content hash of the loaded database, when
+	// known (read from or written to the sidecar).
+	ContentHash [archive.HashLen]byte
+}
+
+// versionJob is one version directory scheduled for ingestion.
+type versionJob struct {
+	provider string
+	version  string
+	dir      string
+	date     time.Time
+}
+
+// listVersionDirs enumerates the tree's version directories in the
+// deterministic (provider, version) lexical order every loader shares.
+func listVersionDirs(root string) ([]versionJob, error) {
+	provs, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	var jobs []versionJob
+	for _, prov := range provs {
+		if !prov.IsDir() {
+			continue
+		}
+		provDir := filepath.Join(root, prov.Name())
+		versions, err := os.ReadDir(provDir)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: %w", err)
+		}
+		for _, v := range versions {
+			if !v.IsDir() {
+				continue
+			}
+			dir := filepath.Join(provDir, v.Name())
+			jobs = append(jobs, versionJob{
+				provider: prov.Name(),
+				version:  v.Name(),
+				dir:      dir,
+				date:     dateForVersion(dir, v.Name()),
+			})
+		}
+	}
+	return jobs, nil
+}
+
+// loadJobs parses every version directory with a bounded worker pool and
+// assembles the database in job order, so the result (and any error
+// surfaced) is identical to a sequential load regardless of scheduling.
+func loadJobs(jobs []versionJob, opts Options) (*store.Database, error) {
+	snaps := make([]*store.Snapshot, len(jobs))
+	errs := make([]error, len(jobs))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers > 1 {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					snaps[i], _, errs[i] = LoadSnapshot(jobs[i].dir, jobs[i].provider, jobs[i].version, jobs[i].date, opts)
+				}
+			}()
+		}
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for i := range jobs {
+			snaps[i], _, errs[i] = LoadSnapshot(jobs[i].dir, jobs[i].provider, jobs[i].version, jobs[i].date, opts)
+		}
+	}
+
+	db := store.NewDatabase()
+	for i, j := range jobs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("catalog: %s/%s: %w", j.provider, j.version, errs[i])
+		}
+		if err := db.AddSnapshot(snaps[i]); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// TreeHash computes the content hash of a snapshot tree: every provider,
+// version, resolved snapshot date, file name, size and byte of content, in
+// the same deterministic order the loader ingests. It is the staleness key
+// a sidecar archive records as its source hash — any change that could
+// alter the loaded database changes the hash.
+func TreeHash(root string) ([archive.HashLen]byte, error) {
+	jobs, err := listVersionDirs(root)
+	if err != nil {
+		return [archive.HashLen]byte{}, err
+	}
+	return treeHashJobs(jobs)
+}
+
+func treeHashJobs(jobs []versionJob) ([archive.HashLen]byte, error) {
+	var zero [archive.HashLen]byte
+	h := sha256.New()
+	for _, j := range jobs {
+		fmt.Fprintf(h, "s\x00%s\x00%s\x00%d:%d\x00", j.provider, j.version, j.date.Unix(), j.date.Nanosecond())
+		if err := hashDir(h, j.dir, 1); err != nil {
+			return zero, err
+		}
+	}
+	var out [archive.HashLen]byte
+	h.Sum(out[:0])
+	return out, nil
+}
+
+// hashDir feeds dir's files (and one nested directory level — the deepest
+// any supported format goes, e.g. authroot's certs/) into h in lexical
+// order.
+func hashDir(h io.Writer, dir string, depth int) error {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	for _, de := range des {
+		path := filepath.Join(dir, de.Name())
+		if de.IsDir() {
+			if depth > 0 {
+				fmt.Fprintf(h, "d\x00%s\x00", de.Name())
+				if err := hashDir(h, path, depth-1); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("catalog: %w", err)
+		}
+		fmt.Fprintf(h, "f\x00%s\x00%d\x00", de.Name(), len(data))
+		h.Write(data)
+	}
+	return nil
+}
+
+// LoadVersionDir ingests a single <root>/<provider>/<version>/ directory
+// with the same date resolution LoadTree applies — the unit of work an
+// incremental reload re-parses for a changed snapshot.
+func LoadVersionDir(root, provider, version string, opts Options) (*store.Snapshot, Format, error) {
+	dir := filepath.Join(root, provider, version)
+	return LoadSnapshot(dir, provider, version, dateForVersion(dir, version), opts)
+}
+
+// LoadTreeInfo is LoadTree plus a report of how the tree was loaded:
+// whether the sidecar archive served the database, and under which hashes.
+func LoadTreeInfo(root string, opts Options) (*store.Database, *TreeInfo, error) {
+	opts = opts.withDefaults()
+	jobs, err := listVersionDirs(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	info := &TreeInfo{}
+	if opts.Archive == ArchiveOff {
+		db, err := loadJobs(jobs, opts)
+		return db, info, err
+	}
+
+	info.ArchivePath = opts.ArchivePath
+	if info.ArchivePath == "" {
+		info.ArchivePath = filepath.Join(root, DefaultArchiveName)
+	}
+	th, err := treeHashJobs(jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	info.TreeHash = th
+
+	if db, contentHash, ok := tryArchive(info.ArchivePath, th); ok {
+		info.FromArchive = true
+		info.ContentHash = contentHash
+		return db, info, nil
+	}
+
+	db, err := loadJobs(jobs, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Compile-on-ingest: cache what we just parsed. Best-effort — a
+	// read-only tree still loads, it just stays on the slow path.
+	if contentHash, werr := archive.WriteFile(info.ArchivePath, db, th); werr == nil {
+		info.ContentHash = contentHash
+	}
+	return db, info, nil
+}
+
+// tryArchive loads a sidecar if it exists and matches the tree hash. Any
+// failure — missing file, stale source hash, corruption, I/O error — is a
+// cache miss, never an error: the native parsers are the fallback.
+func tryArchive(path string, want [archive.HashLen]byte) (*store.Database, [archive.HashLen]byte, bool) {
+	var zero [archive.HashLen]byte
+	r, err := archive.Open(path)
+	if err != nil {
+		return nil, zero, false
+	}
+	defer r.Close()
+	if r.SourceHash() != want {
+		return nil, zero, false
+	}
+	db, err := r.Database()
+	if err != nil {
+		return nil, zero, false
+	}
+	return db, r.ContentHash(), true
+}
+
+// RefreshArchive recompiles the sidecar archive for root from an
+// already-loaded database (an incremental reloader's cheap way to keep
+// cold starts fast without re-parsing). No-op under ArchiveOff.
+func RefreshArchive(root string, db *store.Database, opts Options) error {
+	if opts.Archive == ArchiveOff {
+		return nil
+	}
+	th, err := TreeHash(root)
+	if err != nil {
+		return err
+	}
+	path := opts.ArchivePath
+	if path == "" {
+		path = filepath.Join(root, DefaultArchiveName)
+	}
+	_, err = archive.WriteFile(path, db, th)
+	return err
+}

@@ -1,0 +1,62 @@
+package service
+
+// HTTP revalidation for the read-only database views. Each serving
+// generation's ETag is the rootpack content hash of its database
+// (archive.HashDatabase) — deterministic, so two trustd replicas serving
+// the same tree emit the same tag, and any semantic change to any snapshot
+// moves it. The hash walks the whole database, so it is computed lazily on
+// the first conditional-capable response of a generation and cached for
+// the generation's lifetime; swap-heavy paths that never serve reads pay
+// nothing.
+
+import (
+	"encoding/hex"
+	"net/http"
+	"strings"
+
+	"repro/internal/archive"
+)
+
+// etag returns the generation's strong entity tag, or "" when the database
+// cannot be hashed (never expected; callers then skip revalidation).
+func (st *dbState) etag() string {
+	st.etagOnce.Do(func() {
+		if h, err := archive.HashDatabase(st.db); err == nil {
+			st.etagVal = `"` + hex.EncodeToString(h[:]) + `"`
+		}
+	})
+	return st.etagVal
+}
+
+// conditionalGet stamps the generation's ETag on the response and, when the
+// request's If-None-Match already names it, writes 304 Not Modified and
+// reports true. Handlers call it only once their own resolution succeeded,
+// so 400/404 semantics are untouched.
+func (s *Server) conditionalGet(w http.ResponseWriter, r *http.Request, st *dbState) bool {
+	tag := st.etag()
+	if tag == "" {
+		return false
+	}
+	w.Header().Set("ETag", tag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, tag) {
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
+}
+
+// etagMatch implements If-None-Match list matching: comma-separated
+// candidates, weak-validator prefixes compared weakly, and the "*"
+// wildcard.
+func etagMatch(header, tag string) bool {
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimSpace(c)
+		if c == "*" {
+			return true
+		}
+		if strings.TrimPrefix(c, "W/") == tag {
+			return true
+		}
+	}
+	return false
+}

@@ -53,6 +53,9 @@ type providersResponse struct {
 
 func (s *Server) handleProviders(w http.ResponseWriter, r *http.Request) {
 	st := s.cur()
+	if s.conditionalGet(w, r, st) {
+		return
+	}
 	resp := providersResponse{
 		TotalSnapshots: st.db.TotalSnapshots(),
 		IndexedRoots:   st.index.Size(),
@@ -106,7 +109,8 @@ func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
 	fp := r.PathValue("fingerprint")
-	info, ok := s.cur().index.Lookup(fp)
+	st := s.cur()
+	info, ok := st.index.Lookup(fp)
 	if !ok {
 		// Distinguish malformed hex from a clean miss.
 		if !isHexFingerprint(fp) {
@@ -114,6 +118,9 @@ func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.writeError(w, http.StatusNotFound, "no store ever contained root %s", fp)
+		return
+	}
+	if s.conditionalGet(w, r, st) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, info)
@@ -174,6 +181,9 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	b, err := st.resolveSnapshot(bRef, at)
 	if err != nil {
 		s.writeRefError(w, err)
+		return
+	}
+	if s.conditionalGet(w, r, st) {
 		return
 	}
 	d := store.DiffSnapshots(a, b)

@@ -29,6 +29,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -103,6 +104,11 @@ type dbState struct {
 	index     *RootIndex
 	verifiers *verifierCache
 	verdicts  *lruCache
+
+	// etagVal is the generation's entity tag — the archive content hash of
+	// db — computed lazily by dbState.etag on first conditional use.
+	etagOnce sync.Once
+	etagVal  string
 }
 
 // Server serves the trust-anchor API over an atomically swappable database.

@@ -224,6 +224,20 @@ func (s *Snapshot) Clone() *Snapshot {
 	return c
 }
 
+// ShareClone returns a fresh snapshot shell sharing the receiver's entry
+// pointers. Entries are immutable once ingested (the convention that already
+// shares *x509.Certificate), so sharing lets an incremental reload splice
+// unchanged snapshots into a new database without re-parsing anything —
+// while the fresh shell keeps the new database's interner attachment and
+// bitset memos from mutating the generation still being served.
+func (s *Snapshot) ShareClone() *Snapshot {
+	c := NewSnapshot(s.Provider, s.Version, s.Date)
+	for _, e := range s.entries {
+		c.Add(e)
+	}
+	return c
+}
+
 // Key identifies the snapshot in logs and plots.
 func (s *Snapshot) Key() string {
 	return fmt.Sprintf("%s@%s(%s)", s.Provider, s.Version, s.Date.Format("2006-01-02"))

@@ -16,8 +16,14 @@ type SnapshotDir struct {
 	Version  string
 	Path     string
 	// ModTime is the newest modification time across the directory and
-	// its files — the change stamp the tracker keys rescans on.
+	// its files. Together with Size it forms the change stamp the tracker
+	// keys rescans on.
 	ModTime time.Time
+	// Size is the total byte size of the directory's files (one nested
+	// level deep, like ModTime's walk). A same-second rewrite that mtime
+	// alone cannot distinguish still changes the stamp when the content
+	// length moves.
+	Size int64
 }
 
 // Key identifies the snapshot directory within its tree.
@@ -82,7 +88,7 @@ func (s *DirSource) Scan() ([]SnapshotDir, error) {
 				continue
 			}
 			dir := filepath.Join(provDir, v.Name())
-			stamp, empty, err := newestModTime(dir)
+			stamp, size, empty, err := newestModTime(dir)
 			if err != nil {
 				return nil, err
 			}
@@ -97,6 +103,7 @@ func (s *DirSource) Scan() ([]SnapshotDir, error) {
 				Version:  v.Name(),
 				Path:     dir,
 				ModTime:  stamp,
+				Size:     size,
 			})
 		}
 	}
@@ -105,11 +112,12 @@ func (s *DirSource) Scan() ([]SnapshotDir, error) {
 }
 
 // newestModTime walks dir one level deep (snapshot formats nest at most
-// one subdirectory, e.g. authroot's certs/) and returns the newest mtime.
-func newestModTime(dir string) (stamp time.Time, empty bool, err error) {
+// one subdirectory, e.g. authroot's certs/) and returns the newest mtime
+// plus the total file byte size.
+func newestModTime(dir string) (stamp time.Time, size int64, empty bool, err error) {
 	des, err := os.ReadDir(dir)
 	if err != nil {
-		return time.Time{}, false, fmt.Errorf("tracker: %w", err)
+		return time.Time{}, 0, false, fmt.Errorf("tracker: %w", err)
 	}
 	empty = true
 	consider := func(path string, de os.DirEntry) error {
@@ -123,12 +131,15 @@ func newestModTime(dir string) (stamp time.Time, empty bool, err error) {
 		if info.ModTime().After(stamp) {
 			stamp = info.ModTime()
 		}
+		if !de.IsDir() {
+			size += info.Size()
+		}
 		return nil
 	}
 	for _, de := range des {
 		empty = false
 		if err := consider(dir, de); err != nil {
-			return time.Time{}, false, err
+			return time.Time{}, 0, false, err
 		}
 		if de.IsDir() {
 			sub := filepath.Join(dir, de.Name())
@@ -137,14 +148,14 @@ func newestModTime(dir string) (stamp time.Time, empty bool, err error) {
 				if os.IsNotExist(err) {
 					continue
 				}
-				return time.Time{}, false, fmt.Errorf("tracker: %w", err)
+				return time.Time{}, 0, false, fmt.Errorf("tracker: %w", err)
 			}
 			for _, sde := range subs {
 				if err := consider(sub, sde); err != nil {
-					return time.Time{}, false, err
+					return time.Time{}, 0, false, err
 				}
 			}
 		}
 	}
-	return stamp, empty, nil
+	return stamp, size, empty, nil
 }

@@ -50,9 +50,22 @@ type Tracker struct {
 	bus *Bus
 
 	mu       sync.Mutex
-	seen     map[string]time.Time // SnapshotDir.Key() → change stamp
+	seen     map[string]stamp // SnapshotDir.Key() → change stamp
 	db       *store.Database
 	removals map[string]*removalRecord
+}
+
+// stamp is the change detector for one snapshot directory: a same-second
+// rewrite escapes mtime granularity but moves the size, and either moving
+// (in any direction — mtimes go backwards when trees are restored from
+// archives) marks the directory changed.
+type stamp struct {
+	mod  time.Time
+	size int64
+}
+
+func (s stamp) differs(d SnapshotDir) bool {
+	return !d.ModTime.Equal(s.mod) || d.Size != s.size
 }
 
 // removalRecord is the live responsiveness ledger for one removed root:
@@ -90,7 +103,7 @@ func New(cfg Config) (*Tracker, error) {
 		cfg:      cfg,
 		log:      l,
 		bus:      NewBus(),
-		seen:     make(map[string]time.Time),
+		seen:     make(map[string]stamp),
 		removals: make(map[string]*removalRecord),
 	}, nil
 }
@@ -210,38 +223,66 @@ type ingest struct {
 // modified snapshots it processed. The first call ingests the whole tree,
 // replaying each provider's history into the event log chronologically —
 // which is exactly how the paper's post-hoc responsiveness tables become a
-// live ledger.
+// live ledger. Subsequent calls reload incrementally: only changed
+// directories are re-parsed; every unchanged snapshot is shared with the
+// previous generation (store.Snapshot.ShareClone), so a single-provider
+// update costs one snapshot's parse no matter how large the tree is.
 func (t *Tracker) Rescan() (int, error) {
 	dirs, err := t.cfg.Source.Scan()
 	if err != nil {
 		return 0, err
 	}
 
+	present := make(map[string]bool, len(dirs))
+	for _, d := range dirs {
+		present[d.Key()] = true
+	}
+
 	t.mu.Lock()
 	var changed []SnapshotDir
 	for _, d := range dirs {
-		if stamp, ok := t.seen[d.Key()]; !ok || d.ModTime.After(stamp) {
+		if st, ok := t.seen[d.Key()]; !ok || st.differs(d) {
 			changed = append(changed, d)
+		}
+	}
+	vanished := false
+	for key := range t.seen {
+		if !present[key] {
+			vanished = true
+			break
 		}
 	}
 	initial := t.db == nil
 	oldDB := t.db
 	t.mu.Unlock()
 
-	if len(changed) == 0 && !initial {
+	if len(changed) == 0 && !vanished && !initial {
 		return 0, nil
 	}
 	if len(dirs) == 0 {
 		return 0, fmt.Errorf("tracker: %s holds no snapshot directories", t.cfg.Source.Root())
 	}
 
-	newDB, err := catalog.LoadTree(t.cfg.Source.Root(), t.cfg.Catalog)
+	var newDB *store.Database
+	if initial {
+		// Cold start: the catalog takes the fast path through a fresh
+		// sidecar archive when one exists.
+		newDB, err = catalog.LoadTree(t.cfg.Source.Root(), t.cfg.Catalog)
+	} else {
+		newDB, err = t.spliceReload(dirs, changed, oldDB)
+	}
 	if err != nil {
 		return 0, err
 	}
 
 	t.mu.Lock()
 	defer t.mu.Unlock()
+
+	for key := range t.seen {
+		if !present[key] {
+			delete(t.seen, key)
+		}
+	}
 
 	ingests := make([]ingest, 0, len(changed))
 	for _, d := range changed {
@@ -259,7 +300,7 @@ func (t *Tracker) Rescan() (int, error) {
 			prev = predecessorOf(newDB.History(d.Provider), snap)
 		}
 		ingests = append(ingests, ingest{snap: snap, prev: prev})
-		t.seen[d.Key()] = d.ModTime
+		t.seen[d.Key()] = stamp{mod: d.ModTime, size: d.Size}
 	}
 	// Chronological emission across providers keeps the removal ledger's
 	// "first remover" truthful during history replay.
@@ -287,6 +328,43 @@ func (t *Tracker) Rescan() (int, error) {
 		}
 	}
 	return len(ingests), nil
+}
+
+// spliceReload builds the next database generation by re-parsing only the
+// changed snapshot directories and sharing every other snapshot with the
+// previous generation. Sharing goes through ShareClone so the new
+// generation's interner attachment and bitset memos never touch snapshots
+// the old generation is still serving.
+func (t *Tracker) spliceReload(dirs, changed []SnapshotDir, oldDB *store.Database) (*store.Database, error) {
+	changedKeys := make(map[string]bool, len(changed))
+	for _, d := range changed {
+		changedKeys[d.Key()] = true
+	}
+	newDB := store.NewDatabase()
+	for _, d := range dirs {
+		var snap *store.Snapshot
+		if !changedKeys[d.Key()] && oldDB != nil {
+			if old := snapshotByVersion(oldDB, d.Provider, d.Version); old != nil {
+				snap = old.ShareClone()
+			}
+		}
+		if snap == nil {
+			s, _, err := catalog.LoadVersionDir(t.cfg.Source.Root(), d.Provider, d.Version, t.cfg.Catalog)
+			if err != nil {
+				return nil, fmt.Errorf("tracker: %s: %w", d.Key(), err)
+			}
+			snap = s
+		}
+		if err := newDB.AddSnapshot(snap); err != nil {
+			return nil, err
+		}
+	}
+	// Keep the next cold start fast: recompile the sidecar from the spliced
+	// database (best-effort; no-op under ArchiveOff).
+	if err := catalog.RefreshArchive(t.cfg.Source.Root(), newDB, t.cfg.Catalog); err != nil {
+		t.cfg.Logger.Warn("sidecar archive refresh failed", "err", err)
+	}
+	return newDB, nil
 }
 
 // eventsFor builds the classified event batch for one new snapshot.
