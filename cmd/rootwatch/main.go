@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -38,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/pemstore"
 	"repro/internal/store"
 	"repro/internal/testcerts"
@@ -55,6 +57,7 @@ func main() {
 	archivePath := flag.String("archive", "", "rootpack sidecar location for fast cold starts (default <tree>/.rootpack)")
 	table4 := flag.Bool("table4", true, "print the removal-responsiveness table on exit")
 	smoke := flag.Bool("smoke", false, "run a hermetic self-test and exit (0 = event pipeline works)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar and /debug/traces on this private address (off when empty)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -78,16 +81,23 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// Rescan traces (scan → parse/splice → classify) land in this ring,
+	// served on -debug-addr alongside pprof.
+	tracer := obs.NewTracer(obs.Options{Logger: logger})
 	trk, err := tracker.New(tracker.Config{
 		Source:   tracker.NewDirSource(*tree, *settle),
 		Catalog:  catalog.Options{ArchivePath: *archivePath},
 		Interval: *interval,
 		Log:      log,
 		Logger:   logger,
+		Tracer:   tracer,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rootwatch: %v\n", err)
 		os.Exit(1)
+	}
+	if *debugAddr != "" {
+		go runDebugServer(*debugAddr, tracer, logger)
 	}
 
 	// Subscribe before the first rescan so nothing slips between replay
@@ -130,6 +140,22 @@ func main() {
 
 	if *table4 {
 		printResponsiveness(trk.Responsiveness())
+	}
+}
+
+// runDebugServer serves the private diagnostics mux — pprof, expvar,
+// /debug/traces — for the life of the process. Failures are logged, never
+// fatal: losing pprof must not stop the watch.
+func runDebugServer(addr string, tracer *obs.Tracer, logger *slog.Logger) {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           obs.DebugMux(tracer),
+		ReadHeaderTimeout: 5 * time.Second,
+		MaxHeaderBytes:    1 << 16,
+	}
+	logger.Info("debug listener", "addr", addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		logger.Warn("debug listener failed", "err", err)
 	}
 }
 

@@ -24,6 +24,8 @@
 //	GET  /v1/events/watch                   live change stream, SSE (with -watch)
 //	GET  /healthz                           liveness + corpus size
 //	GET  /metrics                           expvar counters (JSON)
+//	GET  /metrics/prometheus                Prometheus text exposition
+//	GET  /debug/traces                      recent + slowest request traces
 //
 // Snapshot REFs are "Provider" (latest, or in force at ?at=) or
 // "Provider@Version". The server drains connections on SIGINT/SIGTERM.
@@ -32,6 +34,11 @@
 // hot-swaps the serving database whenever a snapshot directory appears or
 // changes — in-flight requests finish on the old database, new ones see
 // the new one, and every change becomes a classified event on /v1/events.
+//
+// -debug-addr starts a second, private listener with net/http/pprof, the
+// process expvar tree and /debug/traces — diagnostics that do not belong
+// on the public API address. -smoke runs a hermetic end-to-end self-test
+// (verify fan-out, trace propagation, Prometheus exposition) and exits.
 package main
 
 import (
@@ -49,6 +56,7 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/synth"
@@ -70,6 +78,8 @@ func main() {
 	pollInterval := flag.Duration("poll-interval", tracker.DefaultInterval, "tree poll cadence with -watch")
 	settle := flag.Duration("settle", 2*time.Second, "how long a new snapshot dir must be quiescent before ingest")
 	eventsJSONL := flag.String("events-jsonl", "", "append change events to this JSONL file (with -watch)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar and /debug/traces on this private address (off when empty)")
+	smoke := flag.Bool("smoke", false, "run a hermetic self-test of the serving + observability stack and exit")
 	flag.Parse()
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
@@ -78,6 +88,9 @@ func main() {
 	}
 	logger := slog.New(handler)
 
+	if *smoke {
+		os.Exit(runSmoke(logger))
+	}
 	if *watch && *tree == "" {
 		logger.Error("-watch requires -tree (a directory to poll)")
 		os.Exit(1)
@@ -86,11 +99,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// One tracer for the whole process: request traces from the server and
+	// rescan traces from the tracker land in the same /debug/traces ring.
+	tracer := obs.NewTracer(obs.Options{Logger: logger})
+
 	var db *store.Database
 	var trk *tracker.Tracker
 	if *watch {
 		var err error
-		trk, db, err = startTracker(*tree, *archivePath, *pollInterval, *settle, *eventsJSONL, logger)
+		trk, db, err = startTracker(*tree, *archivePath, *pollInterval, *settle, *eventsJSONL, tracer, logger)
 		if err != nil {
 			logger.Error("start tracker", "err", err)
 			os.Exit(1)
@@ -110,6 +127,7 @@ func main() {
 		VerifyWorkers:    *workers,
 		VerdictCacheSize: *cacheSize,
 		Logger:           logger,
+		Tracer:           tracer,
 	})
 	expvar.Publish("trustd", srv.Metrics().Map())
 
@@ -119,12 +137,37 @@ func main() {
 		go trk.Run(ctx)
 		logger.Info("watching", "tree", *tree, "interval", *pollInterval)
 	}
+	if *debugAddr != "" {
+		go runDebugServer(ctx, *debugAddr, tracer, logger)
+	}
 
 	if err := srv.Run(ctx, *addr, *drain); err != nil && err != http.ErrServerClosed {
 		logger.Error("serve", "err", err)
 		os.Exit(1)
 	}
 	logger.Info("bye")
+}
+
+// runDebugServer serves the private diagnostics mux — pprof, expvar,
+// /debug/traces — until ctx is cancelled. Failures are logged, never
+// fatal: losing pprof must not take the API down.
+func runDebugServer(ctx context.Context, addr string, tracer *obs.Tracer, logger *slog.Logger) {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           obs.DebugMux(tracer),
+		ReadHeaderTimeout: 5 * time.Second,
+		MaxHeaderBytes:    1 << 16,
+	}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+	logger.Info("debug listener", "addr", addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		logger.Warn("debug listener failed", "err", err)
+	}
 }
 
 // watchSrv breaks the construction cycle between tracker and server: the
@@ -136,7 +179,7 @@ var watchSrv atomic.Pointer[service.Server]
 // startTracker builds the tracker over the tree, performs the initial
 // ingest (replaying history into the event log) and returns the first
 // database to serve.
-func startTracker(tree, archivePath string, interval, settle time.Duration, eventsPath string, logger *slog.Logger) (*tracker.Tracker, *store.Database, error) {
+func startTracker(tree, archivePath string, interval, settle time.Duration, eventsPath string, tracer *obs.Tracer, logger *slog.Logger) (*tracker.Tracker, *store.Database, error) {
 	var log *tracker.Log
 	if eventsPath != "" {
 		var err error
@@ -151,6 +194,7 @@ func startTracker(tree, archivePath string, interval, settle time.Duration, even
 		Interval: interval,
 		Log:      log,
 		Logger:   logger,
+		Tracer:   tracer,
 		OnReload: func(db *store.Database) {
 			if s := watchSrv.Load(); s != nil {
 				s.Swap(db)

@@ -1,0 +1,222 @@
+package main
+
+// The -smoke self-test: a hermetic end-to-end drive of the serving and
+// observability stack against generated certificates. It builds a tiny
+// two-store database where the stores disagree, serves it on a loopback
+// listener, and makes real HTTP requests — the same wire path CI's curl
+// would take — asserting on verdict divergence, W3C trace propagation,
+// the /debug/traces span anatomy, and a lint-clean Prometheus exposition.
+
+import (
+	"bytes"
+	"encoding/json"
+	"encoding/pem"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/certgen"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+const smokeTraceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+func runSmoke(logger *slog.Logger) int {
+	if err := smoke(logger); err != nil {
+		logger.Error("trustd smoke: FAIL", "err", err)
+		return 1
+	}
+	fmt.Println("trustd smoke: OK")
+	return 0
+}
+
+func smoke(logger *slog.Logger) error {
+	db, chainPEM, err := smokeFixture()
+	if err != nil {
+		return err
+	}
+
+	tracer := obs.NewTracer(obs.Options{SlowThreshold: -1, Logger: logger})
+	srv := service.New(db, service.Config{Logger: logger, Tracer: tracer})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// 1. Verify fan-out with a remote trace parent: both stores answer,
+	// they disagree, and the response joins the caller's trace.
+	body, _ := json.Marshal(map[string]any{
+		"chain_pem": chainPEM,
+		"stores":    []string{"NSS", "Debian"},
+	})
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/verify", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", smokeTraceparent)
+	res, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("verify request: %w", err)
+	}
+	raw, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("verify status %d: %s", res.StatusCode, raw)
+	}
+	const wantTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	tp, err := obs.ParseTraceparent(res.Header.Get("Traceparent"))
+	if err != nil {
+		return fmt.Errorf("response Traceparent %q: %w", res.Header.Get("Traceparent"), err)
+	}
+	if tp.TraceID.String() != wantTrace {
+		return fmt.Errorf("response trace id %s, want %s (caller's trace lost)", tp.TraceID, wantTrace)
+	}
+	var vr struct {
+		Verdicts []struct {
+			Provider string `json:"provider"`
+			Outcome  string `json:"outcome"`
+		} `json:"verdicts"`
+	}
+	if err := json.Unmarshal(raw, &vr); err != nil {
+		return fmt.Errorf("decode verify response: %w", err)
+	}
+	outcomes := map[string]string{}
+	for _, v := range vr.Verdicts {
+		outcomes[v.Provider] = v.Outcome
+	}
+	if outcomes["NSS"] != "ok" {
+		return fmt.Errorf("NSS outcome %q, want ok (%s)", outcomes["NSS"], raw)
+	}
+	if outcomes["Debian"] == "ok" || outcomes["Debian"] == "" {
+		return fmt.Errorf("Debian outcome %q, want a failure (its store lacks the anchor)", outcomes["Debian"])
+	}
+
+	// 2. The trace is queryable with per-store fan-out spans.
+	var traces struct {
+		Recent []struct {
+			TraceID string `json:"trace_id"`
+			Spans   []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		} `json:"recent"`
+	}
+	if err := smokeGetJSON(client, base+"/debug/traces", &traces); err != nil {
+		return err
+	}
+	found := false
+	for _, tr := range traces.Recent {
+		if tr.TraceID != wantTrace {
+			continue
+		}
+		stores := 0
+		for _, sp := range tr.Spans {
+			if sp.Name == "verify.store" {
+				stores++
+			}
+		}
+		if stores < 2 {
+			return fmt.Errorf("trace %s has %d verify.store spans, want 2", wantTrace, stores)
+		}
+		found = true
+	}
+	if !found {
+		return fmt.Errorf("trace %s missing from /debug/traces", wantTrace)
+	}
+
+	// 3. The Prometheus exposition is well-formed and carries the headline
+	// families.
+	pres, err := client.Get(base + "/metrics/prometheus")
+	if err != nil {
+		return fmt.Errorf("prometheus scrape: %w", err)
+	}
+	ptext, _ := io.ReadAll(pres.Body)
+	pres.Body.Close()
+	if pres.StatusCode != http.StatusOK {
+		return fmt.Errorf("prometheus scrape status %d", pres.StatusCode)
+	}
+	if problems := obs.LintExposition(bytes.NewReader(ptext)); len(problems) != 0 {
+		return fmt.Errorf("malformed exposition:\n%s", strings.Join(problems, "\n"))
+	}
+	for _, want := range []string{
+		`trustd_requests_total{route="POST /v1/verify"}`,
+		`trustd_request_duration_seconds_bucket{route="POST /v1/verify",le="+Inf"}`,
+		`trustd_provider_lag_seconds{provider="NSS"}`,
+		"trustd_verify_outcomes_total",
+		"trustd_traces_started_total",
+		"go_goroutines",
+	} {
+		if !bytes.Contains(ptext, []byte(want)) {
+			return fmt.Errorf("exposition missing %q", want)
+		}
+	}
+	return nil
+}
+
+// smokeFixture builds the disagreement database — NSS trusts roots 0–2,
+// Debian only 1–2 — plus a leaf chaining to root 0, so the same chain
+// verifies in one store and fails in the other (the paper's §6 observable
+// in miniature).
+func smokeFixture() (*store.Database, string, error) {
+	roots := testcerts.Roots(3)
+	snapDate := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+
+	db := store.NewDatabase()
+	add := func(provider string, idx ...int) error {
+		snap := store.NewSnapshot(provider, snapDate.Format("2006-01-02"), snapDate)
+		for _, i := range idx {
+			e, err := store.NewTrustedEntry(roots[i].DER, store.ServerAuth)
+			if err != nil {
+				return err
+			}
+			snap.Add(e)
+		}
+		return db.AddSnapshot(snap)
+	}
+	if err := add("NSS", 0, 1, 2); err != nil {
+		return nil, "", err
+	}
+	if err := add("Debian", 1, 2); err != nil {
+		return nil, "", err
+	}
+
+	leafDER, _, err := roots[0].IssueLeaf(testcerts.Pool(), certgen.LeafSpec{
+		CommonName: "smoke.example.test",
+		DNSNames:   []string{"smoke.example.test"},
+		NotBefore:  time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:   time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		return nil, "", fmt.Errorf("issue smoke leaf: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := pem.Encode(&buf, &pem.Block{Type: "CERTIFICATE", Bytes: leafDER}); err != nil {
+		return nil, "", err
+	}
+	return db, buf.String(), nil
+}
+
+func smokeGetJSON(client *http.Client, url string, out any) error {
+	res, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("GET %s: %w", url, err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, res.StatusCode)
+	}
+	if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+		return fmt.Errorf("GET %s: decode: %w", url, err)
+	}
+	return nil
+}

@@ -12,6 +12,7 @@
 package catalog
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -264,6 +265,13 @@ func pemPath(dir string) (string, error) {
 // short-circuits parsing entirely, and a successful parse compiles one.
 func LoadTree(root string, opts Options) (*store.Database, error) {
 	db, _, err := LoadTreeInfo(root, opts)
+	return db, err
+}
+
+// LoadTreeCtx is LoadTree with the load's phases recorded as spans of the
+// trace carried in ctx (see LoadTreeInfoCtx).
+func LoadTreeCtx(ctx context.Context, root string, opts Options) (*store.Database, error) {
+	db, _, err := LoadTreeInfoCtx(ctx, root, opts)
 	return db, err
 }
 

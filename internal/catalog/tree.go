@@ -4,16 +4,19 @@ package catalog
 // sidecar fast path LoadTree picks between.
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -196,13 +199,37 @@ func hashDir(h io.Writer, dir string, depth int) error {
 // with the same date resolution LoadTree applies — the unit of work an
 // incremental reload re-parses for a changed snapshot.
 func LoadVersionDir(root, provider, version string, opts Options) (*store.Snapshot, Format, error) {
+	return LoadVersionDirCtx(context.Background(), root, provider, version, opts)
+}
+
+// LoadVersionDirCtx is LoadVersionDir under a "catalog.parse" span naming
+// the snapshot being re-parsed — the incremental reload's unit of work in
+// a rescan trace.
+func LoadVersionDirCtx(ctx context.Context, root, provider, version string, opts Options) (*store.Snapshot, Format, error) {
+	_, span := obs.StartSpan(ctx, "catalog.parse")
+	defer span.End()
+	span.SetAttr("snapshot", provider+"/"+version)
 	dir := filepath.Join(root, provider, version)
-	return LoadSnapshot(dir, provider, version, dateForVersion(dir, version), opts)
+	snap, format, err := LoadSnapshot(dir, provider, version, dateForVersion(dir, version), opts)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	} else {
+		span.SetAttr("format", string(format))
+	}
+	return snap, format, err
 }
 
 // LoadTreeInfo is LoadTree plus a report of how the tree was loaded:
 // whether the sidecar archive served the database, and under which hashes.
 func LoadTreeInfo(root string, opts Options) (*store.Database, *TreeInfo, error) {
+	return LoadTreeInfoCtx(context.Background(), root, opts)
+}
+
+// LoadTreeInfoCtx is LoadTreeInfo with each phase of the load — tree
+// hashing, the sidecar fast path, the parallel native parse, the
+// compile-on-ingest write — recorded as a child span of whatever trace
+// rides in ctx. With no trace in ctx every span is inert.
+func LoadTreeInfoCtx(ctx context.Context, root string, opts Options) (*store.Database, *TreeInfo, error) {
 	opts = opts.withDefaults()
 	jobs, err := listVersionDirs(root)
 	if err != nil {
@@ -210,7 +237,7 @@ func LoadTreeInfo(root string, opts Options) (*store.Database, *TreeInfo, error)
 	}
 	info := &TreeInfo{}
 	if opts.Archive == ArchiveOff {
-		db, err := loadJobs(jobs, opts)
+		db, err := loadJobsCtx(ctx, jobs, opts)
 		return db, info, err
 	}
 
@@ -218,34 +245,49 @@ func LoadTreeInfo(root string, opts Options) (*store.Database, *TreeInfo, error)
 	if info.ArchivePath == "" {
 		info.ArchivePath = filepath.Join(root, DefaultArchiveName)
 	}
+	_, hashSpan := obs.StartSpan(ctx, "catalog.hash_tree")
+	hashSpan.SetAttr("dirs", strconv.Itoa(len(jobs)))
 	th, err := treeHashJobs(jobs)
+	hashSpan.End()
 	if err != nil {
 		return nil, nil, err
 	}
 	info.TreeHash = th
 
-	if db, contentHash, ok := tryArchive(info.ArchivePath, th); ok {
+	if db, contentHash, ok := tryArchive(ctx, info.ArchivePath, th); ok {
 		info.FromArchive = true
 		info.ContentHash = contentHash
 		return db, info, nil
 	}
 
-	db, err := loadJobs(jobs, opts)
+	db, err := loadJobsCtx(ctx, jobs, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	// Compile-on-ingest: cache what we just parsed. Best-effort — a
 	// read-only tree still loads, it just stays on the slow path.
-	if contentHash, werr := archive.WriteFile(info.ArchivePath, db, th); werr == nil {
+	if contentHash, werr := archive.WriteFileCtx(ctx, info.ArchivePath, db, th); werr == nil {
 		info.ContentHash = contentHash
 	}
 	return db, info, nil
 }
 
+// loadJobsCtx runs the parallel native parse under a "catalog.parse" span.
+func loadJobsCtx(ctx context.Context, jobs []versionJob, opts Options) (*store.Database, error) {
+	_, span := obs.StartSpan(ctx, "catalog.parse")
+	defer span.End()
+	span.SetAttr("snapshots", strconv.Itoa(len(jobs)))
+	db, err := loadJobs(jobs, opts)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	return db, err
+}
+
 // tryArchive loads a sidecar if it exists and matches the tree hash. Any
 // failure — missing file, stale source hash, corruption, I/O error — is a
 // cache miss, never an error: the native parsers are the fallback.
-func tryArchive(path string, want [archive.HashLen]byte) (*store.Database, [archive.HashLen]byte, bool) {
+func tryArchive(ctx context.Context, path string, want [archive.HashLen]byte) (*store.Database, [archive.HashLen]byte, bool) {
 	var zero [archive.HashLen]byte
 	r, err := archive.Open(path)
 	if err != nil {
@@ -255,7 +297,7 @@ func tryArchive(path string, want [archive.HashLen]byte) (*store.Database, [arch
 	if r.SourceHash() != want {
 		return nil, zero, false
 	}
-	db, err := r.Database()
+	db, err := r.DatabaseCtx(ctx)
 	if err != nil {
 		return nil, zero, false
 	}
@@ -266,10 +308,18 @@ func tryArchive(path string, want [archive.HashLen]byte) (*store.Database, [arch
 // already-loaded database (an incremental reloader's cheap way to keep
 // cold starts fast without re-parsing). No-op under ArchiveOff.
 func RefreshArchive(root string, db *store.Database, opts Options) error {
+	return RefreshArchiveCtx(context.Background(), root, db, opts)
+}
+
+// RefreshArchiveCtx is RefreshArchive with the tree hash and compile
+// recorded as spans of the surrounding trace.
+func RefreshArchiveCtx(ctx context.Context, root string, db *store.Database, opts Options) error {
 	if opts.Archive == ArchiveOff {
 		return nil
 	}
+	_, hashSpan := obs.StartSpan(ctx, "catalog.hash_tree")
 	th, err := TreeHash(root)
+	hashSpan.End()
 	if err != nil {
 		return err
 	}
@@ -277,6 +327,6 @@ func RefreshArchive(root string, db *store.Database, opts Options) error {
 	if path == "" {
 		path = filepath.Join(root, DefaultArchiveName)
 	}
-	_, err = archive.WriteFile(path, db, th)
+	_, err = archive.WriteFileCtx(ctx, path, db, th)
 	return err
 }

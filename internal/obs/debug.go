@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// tracesResponse is the GET /debug/traces envelope.
+type tracesResponse struct {
+	TracesStarted uint64         `json:"traces_started"`
+	Recent        []*TraceRecord `json:"recent"`
+	Slowest       []*TraceRecord `json:"slowest"`
+}
+
+// TracesHandler serves the tracer's ring buffer: the most recent traces
+// plus the slowest-N board. ?n= bounds how many of each are returned
+// (default 32 recent, all slowest).
+func (t *Tracer) TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 32
+		if v := r.URL.Query().Get("n"); v != "" {
+			if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+				n = parsed
+			}
+		}
+		resp := tracesResponse{
+			TracesStarted: t.Started(),
+			Recent:        t.Recent(n),
+			Slowest:       t.Slowest(0),
+		}
+		if resp.Recent == nil {
+			resp.Recent = []*TraceRecord{}
+		}
+		if resp.Slowest == nil {
+			resp.Slowest = []*TraceRecord{}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	})
+}
+
+// DebugMux builds the opt-in diagnostics mux the -debug-addr listeners
+// serve: pprof (CPU/heap/goroutine profiles), the process-wide expvar
+// tree, and — when a tracer is supplied — /debug/traces. It is meant for
+// a loopback or otherwise private listener; none of these handlers
+// belong on the public API mux.
+func DebugMux(t *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if t != nil {
+		mux.Handle("/debug/traces", t.TracesHandler())
+	}
+	return mux
+}

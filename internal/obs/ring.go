@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Duration values are non-negative, so their float bits round-trip
+// through a uint64 without ordering surprises. A stored floor of 0 means
+// "board not full yet", which merely skips the fast path.
+func bitsFromFloat(f float64) uint64 { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// ring is the bounded recent-trace buffer: a fixed array of atomic
+// pointers plus an atomic write cursor. Writers claim a slot with one
+// atomic add and store the record with one atomic store — no lock, no
+// blocking, and a reader concurrently snapshotting sees either the old
+// or the new record, never a torn one. Overwrites drop the oldest trace,
+// which is exactly the retention a debug buffer wants.
+type ring struct {
+	slots []atomic.Pointer[TraceRecord]
+	next  atomic.Uint64
+}
+
+func newRing(capacity int) *ring {
+	return &ring{slots: make([]atomic.Pointer[TraceRecord], capacity)}
+}
+
+func (r *ring) add(rec *TraceRecord) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(rec)
+}
+
+// snapshot returns up to n records, newest first.
+func (r *ring) snapshot(n int) []*TraceRecord {
+	out := make([]*TraceRecord, 0, len(r.slots))
+	for i := range r.slots {
+		if rec := r.slots[i].Load(); rec != nil {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// total reports how many traces have ever been recorded.
+func (r *ring) total() uint64 { return r.next.Load() }
+
+// topK is the slowest-N board. A lock-free floor check keeps the common
+// case (a fast trace that cannot place) off the mutex entirely; only
+// traces that might enter the board pay for the lock, and the critical
+// section is a small sorted-slice insert.
+type topK struct {
+	k     int
+	floor atomic.Uint64 // DurationMS bits of the current minimum once full
+
+	mu    sync.Mutex
+	items []*TraceRecord // sorted slowest first
+}
+
+func newTopK(k int) *topK {
+	return &topK{k: k}
+}
+
+func (t *topK) offer(rec *TraceRecord) {
+	if f := t.floor.Load(); f != 0 && rec.DurationMS <= floatFromBits(f) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := sort.Search(len(t.items), func(i int) bool { return t.items[i].DurationMS < rec.DurationMS })
+	if i >= t.k {
+		return
+	}
+	t.items = append(t.items, nil)
+	copy(t.items[i+1:], t.items[i:])
+	t.items[i] = rec
+	if len(t.items) > t.k {
+		t.items = t.items[:t.k]
+	}
+	if len(t.items) == t.k {
+		t.floor.Store(bitsFromFloat(t.items[len(t.items)-1].DurationMS))
+	}
+}
+
+// snapshot returns up to n records, slowest first.
+func (t *topK) snapshot(n int) []*TraceRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := len(t.items)
+	if n > 0 && m > n {
+		m = n
+	}
+	out := make([]*TraceRecord, m)
+	copy(out, t.items[:m])
+	return out
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingConcurrency hammers the ring from many writers while readers
+// snapshot continuously — the -race proof that recording traces on every
+// request cannot tear or block the serving path.
+func TestRingConcurrency(t *testing.T) {
+	r := newRing(64)
+	const writers, perWriter = 16, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, rec := range r.snapshot(0) {
+					if rec.TraceID.IsZero() {
+						t.Error("torn record: empty trace id")
+						return
+					}
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func(g int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				r.add(&TraceRecord{
+					TraceID:    TraceID{byte(g + 1), byte(i >> 8), byte(i)},
+					Name:       "w",
+					Start:      time.Now(),
+					DurationMS: float64(i % 17),
+				})
+			}
+		}(g)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := r.total(); got != writers*perWriter {
+		t.Fatalf("total = %d, want %d", got, writers*perWriter)
+	}
+	if got := len(r.snapshot(0)); got != 64 {
+		t.Fatalf("snapshot after fill = %d records, want capacity 64", got)
+	}
+	if got := len(r.snapshot(5)); got != 5 {
+		t.Fatalf("bounded snapshot = %d, want 5", got)
+	}
+}
+
+// TestTracerConcurrentTraces runs whole traces (root + children + attrs)
+// from many goroutines at once; under -race this covers the span/trace
+// mutexes and the topK fast path.
+func TestTracerConcurrentTraces(t *testing.T) {
+	tr := quietTracer(Options{Capacity: 32, SlowThreshold: -1})
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx, root := tr.Start(context.Background(), "op")
+				var cw sync.WaitGroup
+				for c := 0; c < 3; c++ {
+					cw.Add(1)
+					go func(c int) {
+						defer cw.Done()
+						_, sp := StartSpan(ctx, "child")
+						sp.SetAttr("c", fmt.Sprint(c))
+						sp.End()
+					}(c)
+				}
+				cw.Wait()
+				root.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Started() != 32*50 {
+		t.Fatalf("started = %d, want %d", tr.Started(), 32*50)
+	}
+	for _, rec := range tr.Recent(0) {
+		if len(rec.Spans) != 4 {
+			t.Fatalf("trace has %d spans, want 4", len(rec.Spans))
+		}
+	}
+}
+
+func TestTopKFloorFastPath(t *testing.T) {
+	k := newTopK(3)
+	for i := 1; i <= 10; i++ {
+		k.offer(&TraceRecord{DurationMS: float64(i)})
+	}
+	got := k.snapshot(0)
+	if len(got) != 3 || got[0].DurationMS != 10 || got[1].DurationMS != 9 || got[2].DurationMS != 8 {
+		t.Fatalf("topK = %+v", got)
+	}
+	// Fast-rejected offers must not displace anything.
+	k.offer(&TraceRecord{DurationMS: 0.5})
+	if got := k.snapshot(0); got[2].DurationMS != 8 {
+		t.Fatalf("floor breached: %+v", got)
+	}
+}

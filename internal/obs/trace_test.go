@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func quietTracer(opt Options) *Tracer {
+	opt.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	return NewTracer(opt)
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	in := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	tp, err := ParseTraceparent(in)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if tp.TraceID.String() != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("trace id = %s", tp.TraceID)
+	}
+	if tp.SpanID.String() != "b7ad6b7169203331" {
+		t.Errorf("span id = %s", tp.SpanID)
+	}
+	if tp.Flags != 1 {
+		t.Errorf("flags = %d", tp.Flags)
+	}
+	if got := tp.String(); got != in {
+		t.Errorf("round trip = %q, want %q", got, in)
+	}
+}
+
+func TestTraceparentRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"00-short",
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",                 // version ff invalid
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",                 // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",                 // zero span id
+		"00-0af7651916cd43dd8448eb211c80319X-b7ad6b7169203331-01",                 // bad hex
+		"00_0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",                 // bad separator
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01garbagenosep",     // trailing junk
+		"000af7651916cd43dd8448eb211c80319cb7ad6b716920333101aaaaaaaaaaaaaaaaaaa", // no separators
+	}
+	for _, c := range cases {
+		if _, err := ParseTraceparent(c); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", c)
+		}
+	}
+	// Future versions with the same shape are accepted per spec.
+	if _, err := ParseTraceparent("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"); err != nil {
+		t.Errorf("future version rejected: %v", err)
+	}
+	// Extra fields after flags are allowed when dash-separated.
+	if _, err := ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"); err != nil {
+		t.Errorf("dash-separated extension rejected: %v", err)
+	}
+}
+
+func TestTracePropagation(t *testing.T) {
+	tr := quietTracer(Options{})
+	tp, _ := ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	ctx, root := tr.StartRemote(context.Background(), "request", tp)
+
+	if root.TraceID() != tp.TraceID {
+		t.Fatalf("remote start lost the trace id: %s", root.TraceID())
+	}
+	if !strings.Contains(root.Traceparent(), tp.TraceID.String()) {
+		t.Errorf("outbound traceparent %q does not carry trace id", root.Traceparent())
+	}
+
+	cctx, child := StartSpan(ctx, "child")
+	child.SetAttr("k", "v")
+	if child.TraceID() != tp.TraceID {
+		t.Errorf("child trace id = %s", child.TraceID())
+	}
+	_, grand := StartSpan(cctx, "grandchild")
+	grand.End()
+	child.End()
+	root.End()
+
+	recs := tr.Recent(10)
+	if len(recs) != 1 {
+		t.Fatalf("recorded traces = %d, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.TraceID != tp.TraceID {
+		t.Errorf("record trace id = %s", rec.TraceID)
+	}
+	if rec.RemoteParent != tp.SpanID {
+		t.Errorf("remote parent = %s, want %s", rec.RemoteParent, tp.SpanID)
+	}
+	if len(rec.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(rec.Spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, sp := range rec.Spans {
+		byName[sp.Name] = sp
+	}
+	if byName["child"].ParentID != byName["request"].SpanID {
+		t.Errorf("child parent = %q, want root %q", byName["child"].ParentID, byName["request"].SpanID)
+	}
+	if byName["grandchild"].ParentID != byName["child"].SpanID {
+		t.Errorf("grandchild parent = %q", byName["grandchild"].ParentID)
+	}
+	if len(byName["child"].Attrs) != 1 || byName["child"].Attrs[0].Key != "k" {
+		t.Errorf("child attrs = %+v", byName["child"].Attrs)
+	}
+}
+
+func TestNoopSpansAreSafe(t *testing.T) {
+	var nilTracer *Tracer
+	ctx, sp := nilTracer.Start(context.Background(), "x")
+	sp.SetAttr("a", "b")
+	sp.Discard()
+	sp.End()
+	if got := sp.Traceparent(); got != "" {
+		t.Errorf("noop traceparent = %q", got)
+	}
+	// StartSpan on a context without a trace is also inert.
+	_, child := StartSpan(ctx, "child")
+	child.SetAttr("a", "b")
+	child.End()
+	if nilTracer.Recent(5) != nil || nilTracer.Slowest(5) != nil {
+		t.Error("nil tracer returned records")
+	}
+}
+
+func TestDiscardDropsTrace(t *testing.T) {
+	tr := quietTracer(Options{})
+	_, root := tr.Start(context.Background(), "poll")
+	root.Discard()
+	root.End()
+	if n := len(tr.Recent(10)); n != 0 {
+		t.Fatalf("discarded trace recorded (%d)", n)
+	}
+}
+
+func TestMaxSpansPerTrace(t *testing.T) {
+	tr := quietTracer(Options{MaxSpansPerTrace: 4})
+	ctx, root := tr.Start(context.Background(), "busy")
+	for i := 0; i < 10; i++ {
+		_, sp := StartSpan(ctx, "child")
+		sp.End()
+	}
+	root.End()
+	recs := tr.Recent(1)
+	if len(recs) != 1 {
+		t.Fatal("trace not recorded")
+	}
+	// 4 children + the root span itself.
+	if len(recs[0].Spans) != 5 {
+		t.Errorf("spans = %d, want 5", len(recs[0].Spans))
+	}
+	if recs[0].DroppedSpans != 6 {
+		t.Errorf("dropped = %d, want 6", recs[0].DroppedSpans)
+	}
+}
+
+func TestSlowestBoard(t *testing.T) {
+	tr := quietTracer(Options{SlowestCapacity: 2, SlowThreshold: -1})
+	for _, d := range []float64{5, 1, 9, 3, 7} {
+		tr.record(&TraceRecord{TraceID: TraceID{1}, Name: "n", Start: time.Now(), DurationMS: d})
+	}
+	slow := tr.Slowest(0)
+	if len(slow) != 2 || slow[0].DurationMS != 9 || slow[1].DurationMS != 7 {
+		t.Fatalf("slowest = %+v", slow)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := quietTracer(Options{})
+	_, root := tr.Start(context.Background(), "once")
+	root.End()
+	root.End()
+	if n := len(tr.Recent(10)); n != 1 {
+		t.Fatalf("records = %d, want 1 after double End", n)
+	}
+}

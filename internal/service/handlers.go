@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/useragent"
 	"repro/internal/verify"
@@ -413,17 +414,29 @@ func (s *Server) fanoutVerify(r *http.Request, st *dbState, snaps []*store.Snaps
 		wg.Add(1)
 		go func(i int, snap *store.Snapshot) {
 			defer wg.Done()
+			// One child span per store verdict: the per-store wait +
+			// verify time is exactly what the fan-out hides from the
+			// aggregate request latency.
+			storeKey := snap.Key()
+			span := obs.StartLeafSpan(ctx, "verify.store")
+			defer span.End()
+			span.SetAttr("store", storeKey)
 			select {
 			case s.sem <- struct{}{}:
 				defer func() { <-s.sem }()
 			case <-ctx.Done():
 				out[i] = storeVerdict{
-					Store: snap.Key(), Provider: snap.Provider, Date: snap.Date,
+					Store: storeKey, Provider: snap.Provider, Date: snap.Date,
 					Outcome: "timeout", Error: ctx.Err().Error(),
 				}
+				span.SetAttr("outcome", "timeout")
 				return
 			}
 			out[i] = s.verdictFor(st, snap, vreq, chainHash)
+			span.SetAttr("outcome", out[i].Outcome)
+			if out[i].Cached {
+				span.SetAttr("cached", "true")
+			}
 		}(i, snap)
 	}
 	wg.Wait()

@@ -4,6 +4,8 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/store"
@@ -13,10 +15,42 @@ import (
 // histogram, in milliseconds. The last bucket is open-ended.
 var latencyBuckets = []float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
 
+// latencyBucketNames pre-renders the bucket keys ("le_25ms", …, "le_inf")
+// so the per-request path never formats.
+var latencyBucketNames = func() []string {
+	names := make([]string, len(latencyBuckets)+1)
+	for i, le := range latencyBuckets {
+		names[i] = fmt.Sprintf("le_%gms", le)
+	}
+	names[len(latencyBuckets)] = "le_inf"
+	return names
+}()
+
+// statusClasses maps code/100 to its class key without formatting.
+var statusClasses = [...]string{"0xx", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// routeKeys pre-joins one route with every latency-map key, so recording
+// a request concatenates no strings.
+type routeKeys struct {
+	buckets []string // parallel to latencyBucketNames
+	sum     string
+}
+
+// routeSep joins a route and a histogram key in the latency map
+// ("POST /v1/verify|le_25ms"). Aggregate keys carry no separator, which
+// keeps the original flat keys ("le_25ms", "le_inf") intact for existing
+// consumers.
+const routeSep = "|"
+
 // Metrics aggregates the server's expvar counters. Each Server owns a
 // private expvar.Map rather than publishing process globals, so multiple
 // servers (tests, embedded use) never collide on expvar names; cmd/trustd
 // publishes the map under "trustd" for the standard /debug/vars view.
+//
+// Gauges that describe "now" — uptime, per-provider staleness — are
+// expvar.Funcs computed at read time from the current serving database,
+// so /debug/vars (which bypasses this type's handler entirely) and
+// long-lived servers that never reload still report the truth.
 type Metrics struct {
 	root *expvar.Map
 
@@ -24,16 +58,25 @@ type Metrics struct {
 	status    *expvar.Map // per status class: "2xx" → count
 	outcomes  *expvar.Map // per verify outcome: "ok", "no-anchor", ...
 	cache     *expvar.Map // verifier/verdict cache hit/miss counters
-	latency   *expvar.Map // histogram bucket → count ("le_25ms", "le_inf")
-	lag       *expvar.Map // per provider: seconds since its latest snapshot date
+	latency   *expvar.Map // histogram bucket → count, aggregate ("le_25ms") and per route ("route|le_25ms"), plus "sum_ms" totals
 	inFlight  *expvar.Int
 	verified  *expvar.Int // total per-store verdicts computed (incl. cached)
 	rejected  *expvar.Int // requests refused before verification (4xx)
+	errors    *expvar.Int // responses that failed server-side (5xx)
 	reloads   *expvar.Int // hot swaps installed after the initial database
 	watchers  *expvar.Int // live /v1/events/watch streams
 	lastLoad  *expvar.String
-	uptime    *expvar.String
 	startedAt time.Time
+
+	// routes holds the pre-joined latency keys per registered route. All
+	// registration happens while the Server is built, before any request,
+	// so requests read the map without locking.
+	routes map[string]*routeKeys
+
+	// db is the database the freshness gauges are computed against; it
+	// follows the serving generation (recordReload) so scrape-time lag is
+	// always measured against what is actually being served.
+	db atomic.Pointer[store.Database]
 }
 
 func newMetrics() *Metrics {
@@ -44,64 +87,77 @@ func newMetrics() *Metrics {
 		outcomes:  new(expvar.Map).Init(),
 		cache:     new(expvar.Map).Init(),
 		latency:   new(expvar.Map).Init(),
-		lag:       new(expvar.Map).Init(),
 		inFlight:  new(expvar.Int),
 		verified:  new(expvar.Int),
 		rejected:  new(expvar.Int),
+		errors:    new(expvar.Int),
 		reloads:   new(expvar.Int),
 		watchers:  new(expvar.Int),
 		lastLoad:  new(expvar.String),
-		uptime:    new(expvar.String),
 		startedAt: time.Now(),
+		routes:    map[string]*routeKeys{},
 	}
 	m.root.Set("requests", m.requests)
 	m.root.Set("status", m.status)
 	m.root.Set("verify_outcomes", m.outcomes)
 	m.root.Set("cache", m.cache)
 	m.root.Set("latency_ms", m.latency)
-	m.root.Set("provider_lag_seconds", m.lag)
+	m.root.Set("provider_lag_seconds", expvar.Func(m.providerLag))
 	m.root.Set("in_flight", m.inFlight)
 	m.root.Set("verdicts_total", m.verified)
 	m.root.Set("rejected_total", m.rejected)
+	m.root.Set("errors_total", m.errors)
 	m.root.Set("reloads_total", m.reloads)
 	m.root.Set("event_watchers", m.watchers)
 	m.root.Set("last_reload", m.lastLoad)
-	m.root.Set("uptime", m.uptime)
+	m.root.Set("uptime_seconds", expvar.Func(func() any {
+		return time.Since(m.startedAt).Seconds()
+	}))
 	return m
 }
 
-// recordReload refreshes the per-provider freshness gauges from the
-// database being installed: for each provider, the seconds between its
-// latest snapshot date and now. A provider whose gauge keeps growing is a
-// store we have stopped receiving snapshots for — the live version of the
-// paper's update-lag observation.
+// recordReload points the freshness gauges at the database being
+// installed. The per-provider lag itself — seconds between a provider's
+// latest snapshot date and now — is computed on every read, so a
+// provider whose gauge keeps growing is a store we have stopped
+// receiving snapshots for (the live version of the paper's update-lag
+// observation) even if the server never reloads again.
 func (m *Metrics) recordReload(db *store.Database) {
+	m.db.Store(db)
+	m.lastLoad.Set(time.Now().UTC().Format(time.RFC3339))
+}
+
+// providerLag computes the per-provider staleness map at read time.
+func (m *Metrics) providerLag() any {
+	out := map[string]int64{}
+	db := m.db.Load()
+	if db == nil {
+		return out
+	}
 	now := time.Now()
 	for _, name := range db.Providers() {
 		h := db.History(name)
 		if h == nil {
 			continue
 		}
-		snaps := h.Snapshots()
-		if len(snaps) == 0 {
-			continue
+		if latest := h.Latest(); latest != nil {
+			out[name] = int64(now.Sub(latest.Date) / time.Second)
 		}
-		latest := snaps[len(snaps)-1].Date
-		g := new(expvar.Int)
-		g.Set(int64(now.Sub(latest) / time.Second))
-		m.lag.Set(name, g)
 	}
-	m.lastLoad.Set(now.UTC().Format(time.RFC3339))
+	return out
 }
 
 // ReloadCount returns the number of hot swaps installed (test hook).
 func (m *Metrics) ReloadCount() int64 { return m.reloads.Value() }
 
+// ErrorCount returns the 5xx response counter (test hook).
+func (m *Metrics) ErrorCount() int64 { return m.errors.Value() }
+
 // ProviderLagSeconds returns a provider's freshness gauge (test hook);
-// -1 when the provider has no gauge yet.
+// -1 when the provider is not in the serving database.
 func (m *Metrics) ProviderLagSeconds(provider string) int64 {
-	if v, ok := m.lag.Get(provider).(*expvar.Int); ok {
-		return v.Value()
+	if v, ok := m.providerLag().(map[string]int64)[provider]; ok {
+		return v
 	}
 	return -1
 }
@@ -109,15 +165,48 @@ func (m *Metrics) ProviderLagSeconds(provider string) int64 {
 // Map exposes the metric tree, e.g. for expvar.Publish in cmd/trustd.
 func (m *Metrics) Map() *expvar.Map { return m.root }
 
-func (m *Metrics) observeLatency(d time.Duration) {
+// registerRoute pre-joins the route's latency keys. Called only during
+// Server construction (see Metrics.routes).
+func (m *Metrics) registerRoute(route string) {
+	rk := &routeKeys{
+		buckets: make([]string, len(latencyBucketNames)),
+		sum:     route + routeSep + "sum_ms",
+	}
+	for i, b := range latencyBucketNames {
+		rk.buckets[i] = route + routeSep + b
+	}
+	m.routes[route] = rk
+}
+
+// observeLatency records one request in both the aggregate histogram
+// (the original flat keys) and the per-route histogram, plus the running
+// sums the Prometheus exposition needs.
+func (m *Metrics) observeLatency(route string, d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
-	for _, le := range latencyBuckets {
+	idx := len(latencyBuckets)
+	for i, le := range latencyBuckets {
 		if ms <= le {
-			m.latency.Add(fmt.Sprintf("le_%gms", le), 1)
-			return
+			idx = i
+			break
 		}
 	}
-	m.latency.Add("le_inf", 1)
+	m.latency.Add(latencyBucketNames[idx], 1)
+	m.latency.AddFloat("sum_ms", ms)
+	if rk := m.routes[route]; rk != nil {
+		m.latency.Add(rk.buckets[idx], 1)
+		m.latency.AddFloat(rk.sum, ms)
+	} else {
+		m.latency.Add(route+routeSep+latencyBucketNames[idx], 1)
+		m.latency.AddFloat(route+routeSep+"sum_ms", ms)
+	}
+}
+
+// LatencyBucketCount returns a per-route bucket counter (test hook).
+func (m *Metrics) LatencyBucketCount(route, bucket string) int64 {
+	if v, ok := m.latency.Get(route + routeSep + bucket).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
 }
 
 func (m *Metrics) cacheEvent(name string, hit bool) {
@@ -159,30 +248,38 @@ func (r *statusRecorder) WriteHeader(code int) {
 // Flusher — the SSE watch endpoint streams through this wrapper.
 func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
-// instrument wraps a handler with request counting, in-flight tracking and
-// the latency histogram. route is the mux pattern ("POST /v1/verify").
-func (m *Metrics) instrument(route string, next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		m.inFlight.Add(1)
-		defer m.inFlight.Add(-1)
-		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		next.ServeHTTP(rec, r)
-		m.requests.Add(route, 1)
-		m.status.Add(fmt.Sprintf("%dxx", rec.code/100), 1)
-		if rec.code >= 400 && rec.code < 500 {
-			m.rejected.Add(1)
-		}
-		m.observeLatency(time.Since(start))
-	})
+// record counts one finished request: route, status class, refusal/error
+// counters and the latency histograms.
+func (m *Metrics) record(route string, code int, d time.Duration) {
+	m.requests.Add(route, 1)
+	if c := code / 100; c >= 0 && c < len(statusClasses) {
+		m.status.Add(statusClasses[c], 1)
+	} else {
+		m.status.Add(fmt.Sprintf("%dxx", c), 1)
+	}
+	if code >= 400 && code < 500 {
+		m.rejected.Add(1)
+	}
+	if code >= 500 {
+		m.errors.Add(1)
+	}
+	m.observeLatency(route, d)
 }
 
 // handler serves the metric tree as JSON — the expvar wire format, scoped to
 // this server's map.
 func (m *Metrics) handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		m.uptime.Set(time.Since(m.startedAt).Round(time.Millisecond).String())
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		fmt.Fprintln(w, m.root.String())
 	})
+}
+
+// routeOf splits a latency-map key into its route and bucket parts;
+// aggregate keys return route "".
+func routeOf(key string) (route, bucket string) {
+	if i := strings.LastIndex(key, routeSep); i >= 0 {
+		return key[:i], key[i+1:]
+	}
+	return "", key
 }

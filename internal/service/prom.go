@@ -1,0 +1,181 @@
+package service
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// promNamespace prefixes every family the server exports, so a Prometheus
+// scraping several services can tell trustd's request counters apart.
+const promNamespace = "trustd_"
+
+// statsProvider is implemented by event feeds (the tracker) that export
+// their own metric families — reload durations, event counts. The server
+// only type-asserts; it never requires the capability.
+type statsProvider interface {
+	StatsFamilies(prefix string) []obs.MetricFamily
+}
+
+// handlePrometheus serves the metric tree in the Prometheus text
+// exposition format (0.0.4). It is a bridge, not a registry: families are
+// built at scrape time from the same expvar tree /metrics serves as JSON,
+// so the two endpoints can never disagree.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WriteExposition(w, s.promFamilies()); err != nil {
+		s.log.Warn("write prometheus exposition", "err", err)
+	}
+}
+
+// promFamilies assembles the full family set: request counters, latency
+// histograms, cache and verify counters, freshness gauges, tracer and
+// tracker stats, and Go runtime health.
+func (s *Server) promFamilies() []obs.MetricFamily {
+	m := s.metrics
+	fams := []obs.MetricFamily{
+		mapCounter(promNamespace+"requests_total", "HTTP requests by route.", m.requests, "route"),
+		mapCounter(promNamespace+"responses_total", "HTTP responses by status class.", m.status, "class"),
+		mapCounter(promNamespace+"verify_outcomes_total", "Per-store verify verdicts by outcome.", m.outcomes, "outcome"),
+		cacheCounter(promNamespace+"cache_events_total", m.cache),
+		s.latencyHistogram(),
+		obs.GaugeFamily(promNamespace+"in_flight_requests", "Requests currently being served.", float64(m.inFlight.Value())),
+		obs.CounterFamily(promNamespace+"verdicts_total", "Per-store verdicts computed, including cache hits.", float64(m.verified.Value())),
+		obs.CounterFamily(promNamespace+"rejected_total", "Requests refused before verification (4xx).", float64(m.rejected.Value())),
+		obs.CounterFamily(promNamespace+"errors_total", "Responses that failed server-side (5xx).", float64(m.errors.Value())),
+		obs.CounterFamily(promNamespace+"reloads_total", "Database hot swaps installed after startup.", float64(m.reloads.Value())),
+		obs.GaugeFamily(promNamespace+"event_watchers", "Live /v1/events/watch streams.", float64(m.watchers.Value())),
+		obs.GaugeFamily(promNamespace+"uptime_seconds", "Seconds since the server started.", time.Since(m.startedAt).Seconds()),
+		s.providerLagFamily(),
+		obs.CounterFamily(promNamespace+"traces_started_total", "Request traces started.", float64(s.tracer.Started())),
+	}
+	if sp, ok := s.events.(statsProvider); ok {
+		fams = append(fams, sp.StatsFamilies(promNamespace)...)
+	}
+	return append(fams, obs.RuntimeFamilies()...)
+}
+
+// providerLagFamily renders each provider's snapshot staleness, computed
+// at scrape time (satellite of the paper's update-lag measurement): a
+// provider whose series climbs unbounded has stopped publishing.
+func (s *Server) providerLagFamily() obs.MetricFamily {
+	fam := obs.MetricFamily{
+		Name: promNamespace + "provider_lag_seconds",
+		Help: "Seconds since each provider's newest snapshot date.",
+		Type: obs.Gauge,
+	}
+	lag, _ := s.metrics.providerLag().(map[string]int64)
+	for name, secs := range lag {
+		fam.Samples = append(fam.Samples, obs.Sample{
+			Labels: []obs.Label{{Name: "provider", Value: name}},
+			Value:  float64(secs),
+		})
+	}
+	return fam
+}
+
+// latencyHistogram converts the expvar latency map — per-route flat keys
+// like "POST /v1/verify|le_25ms" — into one Prometheus histogram family
+// with a route label, rescaled from milliseconds to base-unit seconds.
+func (s *Server) latencyHistogram() obs.MetricFamily {
+	fam := obs.MetricFamily{
+		Name: promNamespace + "request_duration_seconds",
+		Help: "HTTP request latency by route.",
+		Type: obs.Histogram,
+	}
+	type hist struct {
+		counts []uint64
+		sum    float64
+	}
+	perRoute := map[string]*hist{}
+	bucketIdx := make(map[string]int, len(latencyBuckets)+1)
+	for i, le := range latencyBuckets {
+		bucketIdx[fmt.Sprintf("le_%gms", le)] = i
+	}
+	bucketIdx["le_inf"] = len(latencyBuckets)
+
+	s.metrics.latency.Do(func(kv expvar.KeyValue) {
+		route, bucket := routeOf(kv.Key)
+		if route == "" {
+			return // aggregate keys: derivable in PromQL with sum without (route)
+		}
+		h := perRoute[route]
+		if h == nil {
+			h = &hist{counts: make([]uint64, len(latencyBuckets)+1)}
+			perRoute[route] = h
+		}
+		switch v := kv.Value.(type) {
+		case *expvar.Int:
+			if i, ok := bucketIdx[bucket]; ok {
+				h.counts[i] = uint64(v.Value())
+			}
+		case *expvar.Float:
+			if bucket == "sum_ms" {
+				h.sum = v.Value() / 1000
+			}
+		}
+	})
+
+	bounds := make([]float64, len(latencyBuckets))
+	for i, le := range latencyBuckets {
+		bounds[i] = le / 1000
+	}
+	routes := make([]string, 0, len(perRoute))
+	for r := range perRoute {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		h := perRoute[r]
+		fam.Samples = append(fam.Samples,
+			obs.HistogramSamples([]obs.Label{{Name: "route", Value: r}}, bounds, h.counts, h.sum)...)
+	}
+	return fam
+}
+
+// mapCounter flattens an expvar.Map of integer counters into one labelled
+// counter family.
+func mapCounter(name, help string, m *expvar.Map, label string) obs.MetricFamily {
+	fam := obs.MetricFamily{Name: name, Help: help, Type: obs.Counter}
+	m.Do(func(kv expvar.KeyValue) {
+		if v, ok := kv.Value.(*expvar.Int); ok {
+			fam.Samples = append(fam.Samples, obs.Sample{
+				Labels: []obs.Label{{Name: label, Value: kv.Key}},
+				Value:  float64(v.Value()),
+			})
+		}
+	})
+	return fam
+}
+
+// cacheCounter splits keys like "verdict_hits" / "verifier_misses" into
+// {cache="verdict",result="hit"} series.
+func cacheCounter(name string, m *expvar.Map) obs.MetricFamily {
+	fam := obs.MetricFamily{
+		Name: name,
+		Help: "Cache lookups by cache and result.",
+		Type: obs.Counter,
+	}
+	m.Do(func(kv expvar.KeyValue) {
+		v, ok := kv.Value.(*expvar.Int)
+		if !ok {
+			return
+		}
+		cache, result := kv.Key, "other"
+		if c, ok := strings.CutSuffix(kv.Key, "_hits"); ok {
+			cache, result = c, "hit"
+		} else if c, ok := strings.CutSuffix(kv.Key, "_misses"); ok {
+			cache, result = c, "miss"
+		}
+		fam.Samples = append(fam.Samples, obs.Sample{
+			Labels: []obs.Label{{Name: "cache", Value: cache}, {Name: "result", Value: result}},
+			Value:  float64(v.Value()),
+		})
+	})
+	return fam
+}

@@ -29,10 +29,12 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -63,6 +65,11 @@ type Config struct {
 	VerdictCacheSize int
 	// Logger receives request logs; slog.Default() when nil.
 	Logger *slog.Logger
+	// Tracer records request traces. A default in-process tracer is built
+	// when nil; Config.Tracer lets cmd/trustd share one tracer between the
+	// server and the tracker so reload traces and request traces land in
+	// the same /debug/traces ring.
+	Tracer *obs.Tracer
 }
 
 // Defaults for Config zero values.
@@ -92,6 +99,9 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(obs.Options{Logger: c.Logger})
+	}
 	return c
 }
 
@@ -118,6 +128,7 @@ type Server struct {
 	events  EventFeed
 	sem     chan struct{}
 	metrics *Metrics
+	tracer  *obs.Tracer
 	log     *slog.Logger
 	mux     *http.ServeMux
 	handler http.Handler
@@ -131,6 +142,7 @@ func New(db *store.Database, cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		metrics: newMetrics(),
+		tracer:  cfg.Tracer,
 		log:     cfg.Logger,
 		sem:     make(chan struct{}, cfg.VerifyWorkers),
 		mux:     http.NewServeMux(),
@@ -146,6 +158,8 @@ func New(db *store.Database, cfg Config) *Server {
 	s.route("GET /v1/events/watch", s.handleEventsWatch)
 	s.mux.Handle("GET /healthz", http.HandlerFunc(s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.metrics.handler())
+	s.mux.Handle("GET /metrics/prometheus", http.HandlerFunc(s.handlePrometheus))
+	s.mux.Handle("GET /debug/traces", s.tracer.TracesHandler())
 	s.handler = s.withTimeout(s.mux)
 	return s
 }
@@ -188,7 +202,48 @@ func (s *Server) AttachEvents(feed EventFeed) { s.events = feed }
 
 // route registers an instrumented handler under a Go 1.22 mux pattern.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
-	s.mux.Handle(pattern, s.metrics.instrument(pattern, h))
+	s.metrics.registerRoute(pattern)
+	s.mux.Handle(pattern, s.instrument(pattern, h))
+}
+
+// instrument wraps an API handler with the observability onion: a trace
+// span (joined to the caller's via the W3C traceparent header when one is
+// sent), the in-flight gauge, and per-route request/status/latency
+// counters. The outbound Traceparent and X-Trace-Id headers let callers
+// correlate a response with its entry in /debug/traces.
+func (s *Server) instrument(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var (
+			ctx  context.Context
+			span *obs.Span
+		)
+		if h := r.Header.Get("traceparent"); h != "" {
+			if tp, err := obs.ParseTraceparent(h); err == nil {
+				ctx, span = s.tracer.StartRemote(r.Context(), route, tp)
+			}
+		}
+		if span == nil {
+			ctx, span = s.tracer.Start(r.Context(), route)
+		}
+		if hdr := span.Traceparent(); hdr != "" {
+			// Direct map assignment: the keys are already canonical, and
+			// this runs on every traced request.
+			h := w.Header()
+			h["Traceparent"] = []string{hdr}
+			h["X-Trace-Id"] = []string{hdr[3:35]} // the trace-id field
+		}
+
+		s.metrics.inFlight.Add(1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		s.metrics.inFlight.Add(-1)
+		s.metrics.record(route, rec.code, elapsed)
+
+		span.SetAttr("status", strconv.Itoa(rec.code))
+		span.End()
+	})
 }
 
 // Handler returns the root handler: the instrumented mux behind the
@@ -198,6 +253,10 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // Metrics exposes the server's counters (cmd/trustd publishes them; tests
 // assert on them).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Tracer exposes the server's tracer so debug listeners (cmd/trustd's
+// -debug-addr mux) can serve the same trace ring the API writes into.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Index exposes the current root index (benchmarks and embedded callers).
 func (s *Server) Index() *RootIndex { return s.cur().index }
@@ -232,6 +291,7 @@ func (s *Server) Run(ctx context.Context, addr string, drain time.Duration) erro
 		Addr:              addr,
 		Handler:           s.handler,
 		ReadHeaderTimeout: 5 * time.Second,
+		MaxHeaderBytes:    1 << 16,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -36,6 +39,10 @@ type Config struct {
 	Classifier Classifier
 	// Logger receives operational logs; slog.Default() when nil.
 	Logger *slog.Logger
+	// Tracer records a trace per change-processing Rescan (polls that find
+	// nothing are discarded, not recorded). Nil disables tracing — every
+	// span call is inert.
+	Tracer *obs.Tracer
 	// Now is the wall clock (test hook; time.Now when nil).
 	Now func() time.Time
 }
@@ -53,6 +60,14 @@ type Tracker struct {
 	seen     map[string]stamp // SnapshotDir.Key() → change stamp
 	db       *store.Database
 	removals map[string]*removalRecord
+
+	// Pipeline counters, written with atomics so Stats and StatsFamilies
+	// can be served from any goroutine without taking mu.
+	statRescans       atomic.Uint64
+	statReloads       atomic.Uint64
+	statEvents        atomic.Uint64
+	statLastReloadNS  atomic.Int64
+	statReloadTotalNS atomic.Int64
 }
 
 // stamp is the change detector for one snapshot directory: a same-second
@@ -228,10 +243,19 @@ type ingest struct {
 // previous generation (store.Snapshot.ShareClone), so a single-provider
 // update costs one snapshot's parse no matter how large the tree is.
 func (t *Tracker) Rescan() (int, error) {
+	start := time.Now()
+	t.statRescans.Add(1)
+	ctx, trace := t.cfg.Tracer.Start(context.Background(), "tracker.rescan")
+	defer trace.End()
+
+	_, scanSpan := obs.StartSpan(ctx, "tracker.scan")
 	dirs, err := t.cfg.Source.Scan()
+	scanSpan.End()
 	if err != nil {
+		trace.SetAttr("error", err.Error())
 		return 0, err
 	}
+	trace.SetAttr("dirs", strconv.Itoa(len(dirs)))
 
 	present := make(map[string]bool, len(dirs))
 	for _, d := range dirs {
@@ -257,21 +281,32 @@ func (t *Tracker) Rescan() (int, error) {
 	t.mu.Unlock()
 
 	if len(changed) == 0 && !vanished && !initial {
+		// An unremarkable poll — most of a tracker's life. Discarding keeps
+		// the trace ring holding only rescans that actually did work.
+		trace.Discard()
 		return 0, nil
 	}
 	if len(dirs) == 0 {
-		return 0, fmt.Errorf("tracker: %s holds no snapshot directories", t.cfg.Source.Root())
+		err := fmt.Errorf("tracker: %s holds no snapshot directories", t.cfg.Source.Root())
+		trace.SetAttr("error", err.Error())
+		return 0, err
 	}
+	trace.SetAttr("changed", strconv.Itoa(len(changed)))
 
 	var newDB *store.Database
+	lctx, loadSpan := obs.StartSpan(ctx, "tracker.load")
 	if initial {
 		// Cold start: the catalog takes the fast path through a fresh
 		// sidecar archive when one exists.
-		newDB, err = catalog.LoadTree(t.cfg.Source.Root(), t.cfg.Catalog)
+		loadSpan.SetAttr("mode", "full")
+		newDB, err = catalog.LoadTreeCtx(lctx, t.cfg.Source.Root(), t.cfg.Catalog)
 	} else {
-		newDB, err = t.spliceReload(dirs, changed, oldDB)
+		loadSpan.SetAttr("mode", "splice")
+		newDB, err = t.spliceReload(lctx, dirs, changed, oldDB)
 	}
+	loadSpan.End()
 	if err != nil {
+		trace.SetAttr("error", err.Error())
 		return 0, err
 	}
 
@@ -313,21 +348,41 @@ func (t *Tracker) Rescan() (int, error) {
 	})
 
 	t.db = newDB
+	_, swapSpan := obs.StartSpan(ctx, "tracker.swap")
 	if t.cfg.OnReload != nil {
 		t.cfg.OnReload(newDB)
 	}
+	swapSpan.End()
 
+	_, classifySpan := obs.StartSpan(ctx, "tracker.classify")
+	defer classifySpan.End()
+	var emitted int
 	observed := t.cfg.Now()
 	for _, ing := range ingests {
 		for _, ev := range t.eventsFor(ing.snap, ing.prev, newDB, observed) {
 			stamped, err := t.log.Append(ev)
 			if err != nil {
+				t.finishReload(start, emitted, trace, classifySpan)
 				return len(ingests), err
 			}
 			t.bus.Publish(stamped)
+			emitted++
 		}
 	}
+	t.finishReload(start, emitted, trace, classifySpan)
 	return len(ingests), nil
+}
+
+// finishReload closes out one change-processing rescan's bookkeeping:
+// reload counters, durations, and the event count on the trace.
+func (t *Tracker) finishReload(start time.Time, emitted int, trace, classifySpan *obs.Span) {
+	elapsed := time.Since(start)
+	t.statReloads.Add(1)
+	t.statEvents.Add(uint64(emitted))
+	t.statLastReloadNS.Store(int64(elapsed))
+	t.statReloadTotalNS.Add(int64(elapsed))
+	classifySpan.SetAttr("events", strconv.Itoa(emitted))
+	trace.SetAttr("events", strconv.Itoa(emitted))
 }
 
 // spliceReload builds the next database generation by re-parsing only the
@@ -335,7 +390,7 @@ func (t *Tracker) Rescan() (int, error) {
 // previous generation. Sharing goes through ShareClone so the new
 // generation's interner attachment and bitset memos never touch snapshots
 // the old generation is still serving.
-func (t *Tracker) spliceReload(dirs, changed []SnapshotDir, oldDB *store.Database) (*store.Database, error) {
+func (t *Tracker) spliceReload(ctx context.Context, dirs, changed []SnapshotDir, oldDB *store.Database) (*store.Database, error) {
 	changedKeys := make(map[string]bool, len(changed))
 	for _, d := range changed {
 		changedKeys[d.Key()] = true
@@ -349,7 +404,7 @@ func (t *Tracker) spliceReload(dirs, changed []SnapshotDir, oldDB *store.Databas
 			}
 		}
 		if snap == nil {
-			s, _, err := catalog.LoadVersionDir(t.cfg.Source.Root(), d.Provider, d.Version, t.cfg.Catalog)
+			s, _, err := catalog.LoadVersionDirCtx(ctx, t.cfg.Source.Root(), d.Provider, d.Version, t.cfg.Catalog)
 			if err != nil {
 				return nil, fmt.Errorf("tracker: %s: %w", d.Key(), err)
 			}
@@ -361,7 +416,7 @@ func (t *Tracker) spliceReload(dirs, changed []SnapshotDir, oldDB *store.Databas
 	}
 	// Keep the next cold start fast: recompile the sidecar from the spliced
 	// database (best-effort; no-op under ArchiveOff).
-	if err := catalog.RefreshArchive(t.cfg.Source.Root(), newDB, t.cfg.Catalog); err != nil {
+	if err := catalog.RefreshArchiveCtx(ctx, t.cfg.Source.Root(), newDB, t.cfg.Catalog); err != nil {
 		t.cfg.Logger.Warn("sidecar archive refresh failed", "err", err)
 	}
 	return newDB, nil
