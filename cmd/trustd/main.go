@@ -56,6 +56,7 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/catalog"
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -80,6 +81,12 @@ func main() {
 	eventsJSONL := flag.String("events-jsonl", "", "append change events to this JSONL file (with -watch)")
 	debugAddr := flag.String("debug-addr", "", "serve pprof, expvar and /debug/traces on this private address (off when empty)")
 	smoke := flag.Bool("smoke", false, "run a hermetic self-test of the serving + observability stack and exit")
+	origin := flag.Bool("origin", false, "serve /cluster/v1/* archive-distribution endpoints and publish every generation to the fleet")
+	originURL := flag.String("origin-url", "", "run as a replica of this origin's base URL (replaces -seed/-tree/-watch as the database source)")
+	clusterCache := flag.String("cluster-cache", "", "replica archive cache directory (temp dir when empty; persistent dirs survive origin outages across restarts)")
+	syncInterval := flag.Duration("sync-interval", 15*time.Second, "replica manifest poll spacing")
+	syncWait := flag.Duration("sync-wait", 30*time.Second, "replica long-poll duration (0 = plain polling)")
+	smokeCluster := flag.Bool("smoke-cluster", false, "run a hermetic origin + 2-replica cluster self-test and exit")
 	flag.Parse()
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
@@ -91,8 +98,15 @@ func main() {
 	if *smoke {
 		os.Exit(runSmoke(logger))
 	}
+	if *smokeCluster {
+		os.Exit(runSmokeCluster(logger))
+	}
 	if *watch && *tree == "" {
 		logger.Error("-watch requires -tree (a directory to poll)")
+		os.Exit(1)
+	}
+	if *originURL != "" && (*watch || *tree != "" || *origin) {
+		logger.Error("-origin-url (replica mode) is exclusive with -tree, -watch and -origin: the database comes from the origin")
 		os.Exit(1)
 	}
 
@@ -105,14 +119,24 @@ func main() {
 
 	var db *store.Database
 	var trk *tracker.Tracker
-	if *watch {
+	var rep *cluster.Replica
+	var repManifest cluster.Manifest
+	switch {
+	case *originURL != "":
+		var err error
+		rep, db, repManifest, err = startReplica(ctx, *originURL, *clusterCache, *syncInterval, *syncWait, tracer, logger)
+		if err != nil {
+			logger.Error("bootstrap replica", "err", err)
+			os.Exit(1)
+		}
+	case *watch:
 		var err error
 		trk, db, err = startTracker(*tree, *archivePath, *pollInterval, *settle, *eventsJSONL, tracer, logger)
 		if err != nil {
 			logger.Error("start tracker", "err", err)
 			os.Exit(1)
 		}
-	} else {
+	default:
 		var err error
 		db, err = loadDatabase(*seed, *tree, *archivePath, logger)
 		if err != nil {
@@ -131,6 +155,37 @@ func main() {
 	})
 	expvar.Publish("trustd", srv.Metrics().Map())
 
+	if *origin {
+		org := cluster.NewOrigin(cluster.OriginOptions{Logger: logger, Tracer: tracer})
+		m, err := org.Publish(ctx, db, [archive.HashLen]byte{})
+		if err != nil {
+			logger.Error("publish initial archive", "err", err)
+			os.Exit(1)
+		}
+		clusterOrigin.Store(org)
+		srv.Mount("/cluster/", org.Handler())
+		srv.AddStatsSource(org)
+		// The origin serves the exact generation it advertises: adopt the
+		// manifest's hash and epoch rather than re-deriving them.
+		if hb, err := m.HashBytes(); err == nil {
+			srv.SwapArchive(db, hb, m.Epoch)
+		}
+		logger.Info("cluster origin enabled", "hash", m.Hash[:12], "epoch", m.Epoch, "size", m.Size)
+	}
+	if rep != nil {
+		if hb, err := repManifest.HashBytes(); err == nil {
+			srv.SwapArchive(db, hb, repManifest.Epoch)
+		}
+		srv.AddStatsSource(rep)
+		watchSrv.Store(srv)
+		go func() {
+			if err := rep.Run(ctx); err != nil && ctx.Err() == nil {
+				logger.Error("replica sync loop exited", "err", err)
+			}
+		}()
+		logger.Info("replica syncing", "origin", *originURL,
+			"hash", repManifest.Hash[:12], "epoch", repManifest.Epoch)
+	}
 	if trk != nil {
 		srv.AttachEvents(trk)
 		watchSrv.Store(srv)
@@ -173,8 +228,72 @@ func runDebugServer(ctx context.Context, addr string, tracer *obs.Tracer, logger
 // watchSrv breaks the construction cycle between tracker and server: the
 // tracker's OnReload needs the server, but the server needs the tracker's
 // first ingested database. Reloads before the server exists are dropped
-// (the server is then built from the same database anyway).
+// (the server is then built from the same database anyway). The replica's
+// OnSwap goes through the same pointer for the same reason.
 var watchSrv atomic.Pointer[service.Server]
+
+// clusterOrigin, when set, receives every reloaded database as a new
+// published archive before the local server swaps to it.
+var clusterOrigin atomic.Pointer[cluster.Origin]
+
+// reloadFleet installs a freshly ingested database: with -origin it is
+// first compiled and published so the manifest, the fleet, and the local
+// server all advance to the identical generation; otherwise it is a plain
+// local hot swap. Publish failures fall back to the local swap — the
+// origin node must keep serving fresh data even if encoding breaks.
+func reloadFleet(db *store.Database, logger *slog.Logger) {
+	if o := clusterOrigin.Load(); o != nil {
+		m, err := o.Publish(context.Background(), db, [archive.HashLen]byte{})
+		if err == nil {
+			s := watchSrv.Load()
+			if s == nil {
+				return
+			}
+			if hb, herr := m.HashBytes(); herr == nil {
+				s.SwapArchive(db, hb, m.Epoch)
+				return
+			}
+		}
+		logger.Warn("publish reloaded archive", "err", err)
+	}
+	if s := watchSrv.Load(); s != nil {
+		s.Swap(db)
+	}
+}
+
+// startReplica joins an origin's fleet: bootstrap the first generation
+// (fresh sync, or the cache's last-known-good when the origin is down) and
+// hand later generations to the server through watchSrv.
+func startReplica(ctx context.Context, originURL, cacheDir string, interval, wait time.Duration, tracer *obs.Tracer, logger *slog.Logger) (*cluster.Replica, *store.Database, cluster.Manifest, error) {
+	rep, err := cluster.NewReplica(cluster.ReplicaConfig{
+		OriginURL: originURL,
+		CacheDir:  cacheDir,
+		Interval:  interval,
+		WaitFor:   wait,
+		Logger:    logger,
+		Tracer:    tracer,
+		OnSwap: func(db *store.Database, m cluster.Manifest) {
+			s := watchSrv.Load()
+			if s == nil {
+				return
+			}
+			if hb, err := m.HashBytes(); err == nil {
+				s.SwapArchive(db, hb, m.Epoch)
+			}
+		},
+	})
+	if err != nil {
+		return nil, nil, cluster.Manifest{}, err
+	}
+	start := time.Now()
+	db, m, err := rep.Bootstrap(ctx)
+	if err != nil {
+		return nil, nil, cluster.Manifest{}, err
+	}
+	logger.Info("replica bootstrapped", "origin", originURL, "hash", m.Hash[:12],
+		"epoch", m.Epoch, "elapsed", time.Since(start).Round(time.Millisecond))
+	return rep, db, m, nil
+}
 
 // startTracker builds the tracker over the tree, performs the initial
 // ingest (replaying history into the event log) and returns the first
@@ -195,11 +314,7 @@ func startTracker(tree, archivePath string, interval, settle time.Duration, even
 		Log:      log,
 		Logger:   logger,
 		Tracer:   tracer,
-		OnReload: func(db *store.Database) {
-			if s := watchSrv.Load(); s != nil {
-				s.Swap(db)
-			}
-		},
+		OnReload: func(db *store.Database) { reloadFleet(db, logger) },
 	})
 	if err != nil {
 		return nil, nil, err

@@ -428,11 +428,13 @@ func ReadFile(path string) (*store.Database, error) {
 	return r.Database()
 }
 
-// Verify runs the full integrity audit `rootpack verify` performs:
-// recompute the whole-archive content hash, checksum every section, decode
-// the database, re-encode it, and demand the bytes round-trip to the same
-// content hash — proving the archive is both undamaged and canonical.
-func (r *Reader) Verify() error {
+// VerifyContentHash recomputes the whole-archive content hash from the
+// underlying bytes and demands it match the footer's recorded hash. This
+// is the cheap damage check a replica runs on a freshly downloaded blob
+// before decoding it: any flipped or missing byte anywhere in the file —
+// including a truncation that still leaves a parseable footer — moves the
+// hash. It does not prove canonical encoding; Verify does.
+func (r *Reader) VerifyContentHash() error {
 	// Whole-content hash: everything before the content hash field itself.
 	hashed := r.size - trailerLen - HashLen
 	h := sha256.New()
@@ -443,6 +445,17 @@ func (r *Reader) Verify() error {
 	h.Sum(got[:0])
 	if got != r.contentHash {
 		return corruptf("content hash mismatch: file hashes to %x, footer says %x", got[:8], r.contentHash[:8])
+	}
+	return nil
+}
+
+// Verify runs the full integrity audit `rootpack verify` performs:
+// recompute the whole-archive content hash, checksum every section, decode
+// the database, re-encode it, and demand the bytes round-trip to the same
+// content hash — proving the archive is both undamaged and canonical.
+func (r *Reader) Verify() error {
+	if err := r.VerifyContentHash(); err != nil {
+		return err
 	}
 	db, err := r.Database()
 	if err != nil {

@@ -1,0 +1,66 @@
+// Package cluster turns trustd's content-addressed rootpack archives into
+// a distribution fabric: one origin node compiles and serves archives, a
+// fleet of replicas polls the origin's manifest, downloads new archives
+// into a local content-addressed cache, verifies them end to end, and
+// hot-swaps the serving generation — no shared disk, no restarts.
+//
+// The wire protocol is two endpoints, both plain HTTP:
+//
+//	GET /cluster/v1/manifest        -> Manifest JSON (long-poll capable)
+//	GET /cluster/v1/archive/{hash}  -> raw .rootpack bytes (Range capable)
+//
+// The manifest endpoint honours If-None-Match against the archive's
+// content hash and an optional ?wait= duration, so an idle fleet costs one
+// parked request per replica instead of a poll storm. The archive endpoint
+// serves immutable blobs — a hash names exactly one byte sequence forever —
+// which makes resume (Range), caching, and verification trivial.
+package cluster
+
+import (
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"repro/internal/archive"
+)
+
+// Manifest describes the archive an origin currently offers. It is the
+// entire coordination surface between origin and replicas: everything else
+// (the blob itself) is content-addressed by Hash.
+type Manifest struct {
+	// Hash is the hex-encoded rootpack content hash — the same value the
+	// blob's footer carries and the same value replicas re-derive from the
+	// downloaded bytes. It doubles as the manifest's ETag.
+	Hash string `json:"hash"`
+	// Size is the exact archive length in bytes; replicas use it to
+	// validate downloads and to resume interrupted ones.
+	Size int64 `json:"size"`
+	// Epoch counts distinct publishes on the origin, strictly increasing.
+	// Replicas adopt it verbatim so a load balancer comparing
+	// X-Rootpack-Epoch across the fleet sees one consistent clock.
+	Epoch uint64 `json:"epoch"`
+	// CompiledAt is when the origin encoded this archive (UTC).
+	CompiledAt time.Time `json:"compiled_at"`
+}
+
+// ETag is the manifest's strong entity tag: the quoted content hash.
+func (m Manifest) ETag() string { return `"` + m.Hash + `"` }
+
+// HashBytes decodes the manifest's hex hash into the binary form the
+// archive layer compares against.
+func (m Manifest) HashBytes() ([archive.HashLen]byte, error) {
+	var h [archive.HashLen]byte
+	raw, err := hex.DecodeString(m.Hash)
+	if err != nil || len(raw) != archive.HashLen {
+		return h, fmt.Errorf("cluster: manifest hash %q is not %d hex bytes", m.Hash, archive.HashLen)
+	}
+	copy(h[:], raw)
+	return h, nil
+}
+
+// Valid reports whether the manifest is structurally usable: a well-formed
+// hash and a plausible size.
+func (m Manifest) Valid() bool {
+	_, err := m.HashBytes()
+	return err == nil && m.Size > 0
+}

@@ -1,0 +1,122 @@
+// Package httpcond implements the conditional-request field parsing of
+// RFC 9110 §8.8.3 and §13.1.2 that the serving layer and the cluster
+// distribution endpoints share: entity-tag lists as they appear in
+// If-None-Match headers.
+//
+// An earlier in-service matcher split the header on commas, which
+// mis-parses any entity tag whose opaque part itself contains a comma —
+// etagc (RFC 9110 §8.8.3) admits every VCHAR except DQUOTE, commas
+// included. This package parses the list with a real tokenizer instead:
+// optional W/ prefixes, quoted opaque parts, optional whitespace around
+// separators, and the "*" wildcard. Malformed members are skipped rather
+// than failing the whole header, matching the robustness the field has in
+// deployed caches.
+package httpcond
+
+import "strings"
+
+// ETag is one parsed entity tag.
+type ETag struct {
+	// Opaque is the tag including its surrounding double quotes, e.g.
+	// `"xyzzy"` — the form handlers emit in ETag response headers.
+	Opaque string
+	// Weak records a W/ prefix.
+	Weak bool
+}
+
+// weakCore returns the opaque part used for weak comparison (RFC 9110
+// §8.8.3.2): both validators' opaque data, ignoring weakness.
+func (t ETag) weakCore() string { return t.Opaque }
+
+// ParseETags parses an If-None-Match (or If-Match) field value into its
+// entity tags. The "*" wildcard is reported as wildcard=true and is only
+// honoured when it is the sole member, per the ABNF
+// (`If-None-Match = "*" / #entity-tag`). Members that do not parse as
+// entity tags are skipped.
+func ParseETags(header string) (tags []ETag, wildcard bool) {
+	s := header
+	members := 0
+	for {
+		s = strings.TrimLeft(s, " \t,")
+		if s == "" {
+			break
+		}
+		members++
+		if s[0] == '*' {
+			wildcard = true
+			s = s[1:]
+			continue
+		}
+		tag, rest, ok := parseOne(s)
+		if !ok {
+			// Skip to the next comma: the member is malformed, the rest
+			// of the list may still be fine.
+			if i := strings.IndexByte(s, ','); i >= 0 {
+				s = s[i+1:]
+				continue
+			}
+			break
+		}
+		tags = append(tags, tag)
+		s = rest
+	}
+	if wildcard && members != 1 {
+		wildcard = false
+	}
+	return tags, wildcard
+}
+
+// parseOne consumes a single entity-tag ([W/] DQUOTE *etagc DQUOTE) from
+// the head of s.
+func parseOne(s string) (ETag, string, bool) {
+	var t ETag
+	if len(s) >= 2 && (s[0] == 'W' || s[0] == 'w') && s[1] == '/' {
+		t.Weak = true
+		s = s[2:]
+	}
+	if s == "" || s[0] != '"' {
+		return ETag{}, s, false
+	}
+	// etagc = %x21 / %x23-7E / obs-text — anything but DQUOTE and CTLs.
+	end := -1
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if c == '"' {
+			end = i
+			break
+		}
+		if c < 0x21 || c == 0x7F {
+			return ETag{}, s, false
+		}
+	}
+	if end < 0 {
+		return ETag{}, s, false
+	}
+	t.Opaque = s[:end+1]
+	return t, s[end+1:], true
+}
+
+// MatchIfNoneMatch reports whether an If-None-Match field value names tag.
+// tag is the server's current entity tag in its wire form (`"..."` or
+// `W/"..."`). Comparison is weak (RFC 9110 §13.1.2: "a recipient MUST use
+// the weak comparison function"), so W/"x" matches "x" in either
+// direction. An empty header never matches.
+func MatchIfNoneMatch(header, tag string) bool {
+	if header == "" || tag == "" {
+		return false
+	}
+	cur, _, ok := parseOne(tag)
+	if !ok {
+		return false
+	}
+	tags, wildcard := ParseETags(header)
+	if wildcard {
+		return true
+	}
+	for _, t := range tags {
+		if t.weakCore() == cur.weakCore() {
+			return true
+		}
+	}
+	return false
+}

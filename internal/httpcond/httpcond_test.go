@@ -1,0 +1,83 @@
+package httpcond
+
+import "testing"
+
+func TestMatchIfNoneMatch(t *testing.T) {
+	const tag = `"abc123"`
+	cases := []struct {
+		name   string
+		header string
+		want   bool
+	}{
+		{"exact", `"abc123"`, true},
+		{"miss", `"def456"`, false},
+		{"empty", ``, false},
+		{"wildcard", `*`, true},
+		{"wildcard with spaces", `  *  `, true},
+		{"weak form matches strong", `W/"abc123"`, true},
+		{"lowercase weak prefix", `w/"abc123"`, true},
+		{"weak miss", `W/"def456"`, false},
+		{"list first", `"abc123", "def456"`, true},
+		{"list last", `"def456", "abc123"`, true},
+		{"list middle weak", `"x", W/"abc123", "y"`, true},
+		{"list no match", `"x", "y", "z"`, false},
+		{"list without spaces", `"x","abc123"`, true},
+		{"list with tabs", "\"x\",\t\"abc123\"", true},
+		{"empty list members", `,, "abc123" ,,`, true},
+		// The regression the package exists for: a tag containing a comma
+		// must not be split into two bogus members.
+		{"comma inside other tag", `"abc,123", "abc123"`, true},
+		{"comma inside tag is one member", `"abc,123"`, false},
+		{"unquoted token skipped", `abc123`, false},
+		{"unquoted then valid", `abc123, "abc123"`, true},
+		{"unterminated quote", `"abc123`, false},
+		{"unterminated then nothing", `"abc123, "never"`, false},
+		// "*" is only valid as the sole member (If-None-Match = "*" / #entity-tag).
+		{"wildcard in list is invalid", `"x", *`, false},
+		{"bare weak prefix", `W/`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := MatchIfNoneMatch(tc.header, tag); got != tc.want {
+				t.Errorf("MatchIfNoneMatch(%q, %q) = %v, want %v", tc.header, tag, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMatchIfNoneMatchWeakCurrentTag(t *testing.T) {
+	// A server holding a weak validator still matches either form.
+	if !MatchIfNoneMatch(`"v1"`, `W/"v1"`) {
+		t.Error(`strong candidate should match weak current tag`)
+	}
+	if !MatchIfNoneMatch(`W/"v1"`, `W/"v1"`) {
+		t.Error(`weak candidate should match weak current tag`)
+	}
+	if MatchIfNoneMatch(`"v2"`, `W/"v1"`) {
+		t.Error(`different opaque data must not match`)
+	}
+}
+
+func TestMatchIfNoneMatchInvalidCurrentTag(t *testing.T) {
+	for _, cur := range []string{``, `abc`, `"unterminated`} {
+		if MatchIfNoneMatch(`*`, cur) {
+			t.Errorf("wildcard matched invalid current tag %q", cur)
+		}
+	}
+}
+
+func TestParseETags(t *testing.T) {
+	tags, wildcard := ParseETags(`W/"a" , "b,c",, "d"`)
+	if wildcard {
+		t.Fatal("unexpected wildcard")
+	}
+	want := []ETag{{Opaque: `"a"`, Weak: true}, {Opaque: `"b,c"`}, {Opaque: `"d"`}}
+	if len(tags) != len(want) {
+		t.Fatalf("got %d tags %v, want %d", len(tags), tags, len(want))
+	}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Errorf("tag %d = %+v, want %+v", i, tags[i], want[i])
+		}
+	}
+}

@@ -7,14 +7,18 @@ package service
 // moves it. The hash walks the whole database, so it is computed lazily on
 // the first conditional-capable response of a generation and cached for
 // the generation's lifetime; swap-heavy paths that never serve reads pay
-// nothing.
+// nothing. Generations installed through SwapArchive skip the lazy
+// computation entirely: their tag is the downloaded archive's content
+// hash, pre-seeded at install.
 
 import (
 	"encoding/hex"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/archive"
+	"repro/internal/httpcond"
 )
 
 // etag returns the generation's strong entity tag, or "" when the database
@@ -28,35 +32,41 @@ func (st *dbState) etag() string {
 	return st.etagVal
 }
 
+// hashHex returns the generation's archive content hash as bare hex — the
+// X-Rootpack-Hash wire form.
+func (st *dbState) hashHex() string {
+	return strings.Trim(st.etag(), `"`)
+}
+
+// stampGeneration advertises the serving generation on the response:
+// X-Rootpack-Hash carries the generation's archive content hash and
+// X-Rootpack-Epoch its cluster epoch. Every /v1 route and /healthz stamp
+// these, so a load balancer rolling a fleet can detect a replica still
+// serving the previous generation and drain it — the straggler check the
+// cluster subsystem's convergence story depends on.
+func (s *Server) stampGeneration(w http.ResponseWriter, st *dbState) {
+	h := w.Header()
+	if hash := st.hashHex(); hash != "" {
+		h["X-Rootpack-Hash"] = []string{hash}
+	}
+	h["X-Rootpack-Epoch"] = []string{strconv.FormatUint(st.epoch, 10)}
+}
+
 // conditionalGet stamps the generation's ETag on the response and, when the
 // request's If-None-Match already names it, writes 304 Not Modified and
 // reports true. Handlers call it only once their own resolution succeeded,
-// so 400/404 semantics are untouched.
+// so 400/404 semantics are untouched. If-None-Match is matched per RFC
+// 9110 — multi-member lists, weak (W/) forms and the "*" wildcard — via
+// internal/httpcond.
 func (s *Server) conditionalGet(w http.ResponseWriter, r *http.Request, st *dbState) bool {
 	tag := st.etag()
 	if tag == "" {
 		return false
 	}
 	w.Header().Set("ETag", tag)
-	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, tag) {
+	if httpcond.MatchIfNoneMatch(r.Header.Get("If-None-Match"), tag) {
 		w.WriteHeader(http.StatusNotModified)
 		return true
-	}
-	return false
-}
-
-// etagMatch implements If-None-Match list matching: comma-separated
-// candidates, weak-validator prefixes compared weakly, and the "*"
-// wildcard.
-func etagMatch(header, tag string) bool {
-	for _, c := range strings.Split(header, ",") {
-		c = strings.TrimSpace(c)
-		if c == "*" {
-			return true
-		}
-		if strings.TrimPrefix(c, "W/") == tag {
-			return true
-		}
 	}
 	return false
 }

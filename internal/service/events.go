@@ -65,6 +65,7 @@ func eventFilter(r *http.Request) (tracker.Filter, error) {
 // handleEvents replays the change-event log. 404s when the server runs
 // without a tracker attached (static, non-watching deployment).
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.stampGeneration(w, s.cur())
 	if s.events == nil {
 		s.writeError(w, http.StatusNotFound, "no event feed attached: start with -watch")
 		return
@@ -91,6 +92,7 @@ const watchHeartbeat = 15 * time.Second
 // live events, dropping any whose seq we already replayed. Clients resume
 // with ?since=<last seen id>.
 func (s *Server) handleEventsWatch(w http.ResponseWriter, r *http.Request) {
+	s.stampGeneration(w, s.cur())
 	if s.events == nil {
 		s.writeError(w, http.StatusNotFound, "no event feed attached: start with -watch")
 		return

@@ -1,0 +1,135 @@
+package service_test
+
+// Generation-identity coverage: every /v1 route and /healthz stamp the
+// serving generation's archive hash and epoch, SwapArchive adopts an
+// origin's hash/epoch verbatim (no re-hash), and the epoch is visible in
+// the Prometheus exposition — the straggler-detection surface the cluster
+// subsystem's load-balancer story depends on.
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/archive"
+	"repro/internal/service"
+)
+
+func genRequest(t *testing.T, srv *service.Server, method, path string, body io.Reader) *http.Response {
+	t.Helper()
+	req := httptest.NewRequest(method, path, body)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	return rec.Result()
+}
+
+func TestGenerationHeadersOnAllRoutes(t *testing.T) {
+	db := swapDB(t, "2020-01-01", 0, 1, 2)
+	srv := service.New(db, service.Config{})
+	fp := fingerprintOf(t, db, 0)
+
+	wantHash, wantEpoch := srv.Generation()
+	if len(wantHash) != 64 || wantEpoch != 1 {
+		t.Fatalf("Generation() = (%q, %d), want 64-hex hash and epoch 1", wantHash, wantEpoch)
+	}
+
+	paths := []struct {
+		method, path string
+		body         string
+	}{
+		{http.MethodGet, "/v1/providers", ""},
+		{http.MethodGet, "/v1/providers/NSS/snapshots", ""},
+		{http.MethodGet, "/v1/roots/" + fp, ""},
+		{http.MethodGet, "/v1/diff?a=NSS&b=Debian", ""},
+		{http.MethodPost, "/v1/verify", `{"chain_pem":""}`}, // 400, still stamped
+		{http.MethodGet, "/v1/events", ""},                  // 404 (no feed), still stamped
+		{http.MethodGet, "/healthz", ""},
+	}
+	for _, p := range paths {
+		var body io.Reader
+		if p.body != "" {
+			body = strings.NewReader(p.body)
+		}
+		res := genRequest(t, srv, p.method, p.path, body)
+		if got := res.Header.Get("X-Rootpack-Hash"); got != wantHash {
+			t.Errorf("%s %s: X-Rootpack-Hash %q, want %q (status %d)", p.method, p.path, got, wantHash, res.StatusCode)
+		}
+		if got := res.Header.Get("X-Rootpack-Epoch"); got != "1" {
+			t.Errorf("%s %s: X-Rootpack-Epoch %q, want 1", p.method, p.path, got)
+		}
+	}
+}
+
+func TestHealthzGeneration(t *testing.T) {
+	srv := service.New(swapDB(t, "2020-01-01", 0, 1), service.Config{})
+	res := genRequest(t, srv, http.MethodGet, "/healthz", nil)
+	var h struct {
+		Generation struct {
+			Hash  string `json:"hash"`
+			Epoch uint64 `json:"epoch"`
+		} `json:"generation"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	hash, epoch := srv.Generation()
+	if h.Generation.Hash != hash || h.Generation.Epoch != epoch {
+		t.Fatalf("healthz generation %+v, want (%s, %d)", h.Generation, hash, epoch)
+	}
+}
+
+func TestSwapArchiveAdoptsHashAndEpoch(t *testing.T) {
+	srv := service.New(swapDB(t, "2020-01-01", 0, 1), service.Config{})
+
+	// Compile a second database the way an origin would and install it the
+	// way a replica would: hash and epoch come from the wire, not from a
+	// local re-encode.
+	db2 := swapDB(t, "2020-02-02", 1, 2, 3)
+	var buf bytes.Buffer
+	hash, err := archive.Encode(&buf, db2, [archive.HashLen]byte{9, 9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SwapArchive(db2, hash, 42)
+
+	gotHash, gotEpoch := srv.Generation()
+	if gotHash != hex.EncodeToString(hash[:]) {
+		t.Fatalf("Generation hash %s, want the archive content hash %x", gotHash, hash)
+	}
+	if gotEpoch != 42 {
+		t.Fatalf("Generation epoch %d, want 42", gotEpoch)
+	}
+
+	// The ETag equals the archive hash even though HashDatabase over db2
+	// (zero source hash) would differ — the pre-seeded tag won.
+	res := genRequest(t, srv, http.MethodGet, "/v1/providers", nil)
+	if got := res.Header.Get("ETag"); got != `"`+gotHash+`"` {
+		t.Fatalf("ETag %s, want %q", got, gotHash)
+	}
+	if localHash, err := archive.HashDatabase(db2); err == nil {
+		if hex.EncodeToString(localHash[:]) == gotHash {
+			t.Fatal("fixture broken: local hash equals archive hash, pre-seeding untested")
+		}
+	}
+
+	// A later local Swap still moves the epoch strictly forward.
+	srv.Swap(swapDB(t, "2020-03-03", 0, 2))
+	if _, epoch := srv.Generation(); epoch != 43 {
+		t.Fatalf("post-SwapArchive local swap epoch %d, want 43", epoch)
+	}
+
+	// Prometheus exposition carries the epoch gauge.
+	res = genRequest(t, srv, http.MethodGet, "/metrics/prometheus", nil)
+	text, _ := io.ReadAll(res.Body)
+	if !bytes.Contains(text, []byte("trustd_generation_epoch 43")) {
+		t.Fatalf("exposition missing trustd_generation_epoch 43:\n%s", text)
+	}
+}

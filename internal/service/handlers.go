@@ -54,6 +54,7 @@ type providersResponse struct {
 
 func (s *Server) handleProviders(w http.ResponseWriter, r *http.Request) {
 	st := s.cur()
+	s.stampGeneration(w, st)
 	if s.conditionalGet(w, r, st) {
 		return
 	}
@@ -91,7 +92,9 @@ type snapshotsResponse struct {
 
 func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("provider")
-	h := s.cur().db.History(name)
+	st := s.cur()
+	s.stampGeneration(w, st)
+	h := st.db.History(name)
 	if h == nil {
 		s.writeError(w, http.StatusNotFound, "unknown provider %q", name)
 		return
@@ -111,6 +114,7 @@ func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
 	fp := r.PathValue("fingerprint")
 	st := s.cur()
+	s.stampGeneration(w, st)
 	info, ok := st.index.Lookup(fp)
 	if !ok {
 		// Distinguish malformed hex from a clean miss.
@@ -174,6 +178,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.cur()
+	s.stampGeneration(w, st)
 	a, err := st.resolveSnapshot(aRef, at)
 	if err != nil {
 		s.writeRefError(w, err)
@@ -318,6 +323,11 @@ type verifyResponse struct {
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	// The whole request — routing, fan-out, caching — runs against one
+	// generation, and that generation's identity rides the response.
+	st := s.cur()
+	s.stampGeneration(w, st)
+
 	var req verifyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
@@ -373,7 +383,6 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	st := s.cur()
 	if len(refs) == 0 {
 		refs = st.db.Providers()
 	}
@@ -508,20 +517,31 @@ func parseChainPEM(chainPEM string) (leaf *x509.Certificate, intermediates []*x5
 	return certs[0], certs[1:], hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// generationInfo identifies the serving generation in /healthz: the
+// rootpack content hash of the database and the cluster epoch — the same
+// values every /v1 response stamps as X-Rootpack-Hash/-Epoch headers.
+type generationInfo struct {
+	Hash  string `json:"hash"`
+	Epoch uint64 `json:"epoch"`
+}
+
 // healthResponse is GET /healthz.
 type healthResponse struct {
-	Status       string `json:"status"`
-	Providers    int    `json:"providers"`
-	Snapshots    int    `json:"snapshots"`
-	IndexedRoots int    `json:"indexed_roots"`
+	Status       string         `json:"status"`
+	Providers    int            `json:"providers"`
+	Snapshots    int            `json:"snapshots"`
+	IndexedRoots int            `json:"indexed_roots"`
+	Generation   generationInfo `json:"generation"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.cur()
+	s.stampGeneration(w, st)
 	s.writeJSON(w, http.StatusOK, healthResponse{
 		Status:       "ok",
 		Providers:    len(st.db.Providers()),
 		Snapshots:    st.db.TotalSnapshots(),
 		IndexedRoots: st.index.Size(),
+		Generation:   generationInfo{Hash: st.hashHex(), Epoch: st.epoch},
 	})
 }

@@ -15,12 +15,10 @@ import (
 // scraping several services can tell trustd's request counters apart.
 const promNamespace = "trustd_"
 
-// statsProvider is implemented by event feeds (the tracker) that export
-// their own metric families — reload durations, event counts. The server
-// only type-asserts; it never requires the capability.
-type statsProvider interface {
-	StatsFamilies(prefix string) []obs.MetricFamily
-}
+// The event feed (tracker) may also implement StatsSource — reload
+// durations, event counts. The server only type-asserts; it never
+// requires the capability. Cluster origins/replicas register explicitly
+// via AddStatsSource.
 
 // handlePrometheus serves the metric tree in the Prometheus text
 // exposition format (0.0.4). It is a bridge, not a registry: families are
@@ -53,8 +51,12 @@ func (s *Server) promFamilies() []obs.MetricFamily {
 		obs.GaugeFamily(promNamespace+"uptime_seconds", "Seconds since the server started.", time.Since(m.startedAt).Seconds()),
 		s.providerLagFamily(),
 		obs.CounterFamily(promNamespace+"traces_started_total", "Request traces started.", float64(s.tracer.Started())),
+		obs.GaugeFamily(promNamespace+"generation_epoch", "Cluster epoch of the serving generation.", float64(s.cur().epoch)),
 	}
-	if sp, ok := s.events.(statsProvider); ok {
+	if sp, ok := s.events.(StatsSource); ok {
+		fams = append(fams, sp.StatsFamilies(promNamespace)...)
+	}
+	for _, sp := range s.extraStats {
 		fams = append(fams, sp.StatsFamilies(promNamespace)...)
 	}
 	return append(fams, obs.RuntimeFamilies()...)

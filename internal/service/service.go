@@ -26,14 +26,17 @@ package service
 
 import (
 	"context"
+	"encoding/hex"
 	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/obs"
 	"repro/internal/store"
 )
@@ -115,8 +118,16 @@ type dbState struct {
 	verifiers *verifierCache
 	verdicts  *lruCache
 
+	// epoch is the generation ordinal: locally installed generations count
+	// up from 1; generations installed from a cluster origin (SwapArchive)
+	// carry the origin's epoch, so a whole fleet agrees on which
+	// generation is newest.
+	epoch uint64
+
 	// etagVal is the generation's entity tag — the archive content hash of
-	// db — computed lazily by dbState.etag on first conditional use.
+	// db — computed lazily by dbState.etag on first conditional use, or
+	// pre-seeded by SwapArchive when the generation was decoded from an
+	// archive whose hash is already known.
 	etagOnce sync.Once
 	etagVal  string
 }
@@ -132,6 +143,19 @@ type Server struct {
 	log     *slog.Logger
 	mux     *http.ServeMux
 	handler http.Handler
+
+	// epochCounter allocates local generation ordinals; SwapArchive fast-
+	// forwards it to the origin's epoch so local and remote swaps never
+	// hand out the same epoch twice.
+	epochCounter atomic.Uint64
+
+	// extraStats are additional metric-family providers (cluster origin or
+	// replica) merged into /metrics/prometheus at scrape time.
+	extraStats []StatsSource
+
+	// exempt lists mounted path prefixes that RequestTimeout must not
+	// apply to (long-polls, archive downloads); they get WatchTimeout.
+	exempt []string
 }
 
 // New builds a server over the database: indexes every snapshot and wires
@@ -147,7 +171,7 @@ func New(db *store.Database, cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.VerifyWorkers),
 		mux:     http.NewServeMux(),
 	}
-	s.install(db)
+	s.install(db, "", s.epochCounter.Add(1))
 
 	s.route("GET /v1/providers", s.handleProviders)
 	s.route("GET /v1/providers/{provider}/snapshots", s.handleSnapshots)
@@ -164,14 +188,21 @@ func New(db *store.Database, cfg Config) *Server {
 	return s
 }
 
-// install indexes db and publishes it as the current serving state.
-func (s *Server) install(db *store.Database) {
+// install indexes db and publishes it as the current serving state. tag,
+// when non-empty, pre-seeds the generation's entity tag (the archive
+// content hash the database was decoded from); otherwise the tag is
+// computed lazily on first conditional use.
+func (s *Server) install(db *store.Database, tag string, epoch uint64) {
 	start := time.Now()
 	st := &dbState{
 		db:        db,
 		index:     BuildIndex(db),
 		verifiers: newVerifierCache(s.metrics),
 		verdicts:  newLRUCache(s.cfg.VerdictCacheSize),
+		epoch:     epoch,
+	}
+	if tag != "" {
+		st.etagOnce.Do(func() { st.etagVal = tag })
 	}
 	s.state.Store(st)
 	s.metrics.recordReload(db)
@@ -179,6 +210,7 @@ func (s *Server) install(db *store.Database) {
 		"roots", st.index.Size(),
 		"snapshots", db.TotalSnapshots(),
 		"providers", len(db.Providers()),
+		"epoch", epoch,
 		"elapsed", time.Since(start).Round(time.Millisecond))
 }
 
@@ -188,7 +220,26 @@ func (s *Server) install(db *store.Database) {
 // OnReload hook — trustd keeps answering mid-reload with no lock on any
 // read path.
 func (s *Server) Swap(db *store.Database) {
-	s.install(db)
+	s.install(db, "", s.epochCounter.Add(1))
+	s.metrics.reloads.Add(1)
+}
+
+// SwapArchive installs a database decoded from a rootpack archive whose
+// content hash and cluster epoch are already known — the replica's swap
+// path. The hash becomes the generation's entity tag immediately (no lazy
+// re-encode), so the ETag and X-Rootpack-Hash a replica serves are
+// byte-identical to the origin's manifest, and the epoch is adopted so
+// every node in the fleet reports the same generation ordinal.
+func (s *Server) SwapArchive(db *store.Database, contentHash [archive.HashLen]byte, epoch uint64) {
+	// Keep the local counter at least at the adopted epoch so a later
+	// plain Swap still moves strictly forward.
+	for {
+		cur := s.epochCounter.Load()
+		if cur >= epoch || s.epochCounter.CompareAndSwap(cur, epoch) {
+			break
+		}
+	}
+	s.install(db, `"`+hex.EncodeToString(contentHash[:])+`"`, epoch)
 	s.metrics.reloads.Add(1)
 }
 
@@ -199,6 +250,38 @@ func (s *Server) cur() *dbState { return s.state.Load() }
 // /v1/events and /v1/events/watch. Call before serving; not safe to change
 // while requests are in flight.
 func (s *Server) AttachEvents(feed EventFeed) { s.events = feed }
+
+// StatsSource is implemented by subsystems that export their own metric
+// families into the server's Prometheus exposition (the tracker, a
+// cluster origin or replica).
+type StatsSource interface {
+	StatsFamilies(prefix string) []obs.MetricFamily
+}
+
+// AddStatsSource merges an additional family provider into
+// /metrics/prometheus. Call before serving; not safe to call while
+// requests are in flight.
+func (s *Server) AddStatsSource(src StatsSource) {
+	s.extraStats = append(s.extraStats, src)
+}
+
+// Mount attaches a subsystem handler (e.g. the cluster origin's
+// /cluster/v1/* endpoints) under prefix on the server's mux, sharing the
+// listener with the API. Mounted prefixes are exempt from RequestTimeout
+// — they serve long-polls and multi-megabyte archive downloads — and are
+// bounded by WatchTimeout instead. Call before serving.
+func (s *Server) Mount(prefix string, h http.Handler) {
+	s.exempt = append(s.exempt, prefix)
+	s.mux.Handle(prefix, h)
+}
+
+// Generation reports the serving generation's identity: the archive
+// content hash of the database (bare hex, no quotes) and the epoch. The
+// same values ride every /v1 response as X-Rootpack-Hash/-Epoch headers.
+func (s *Server) Generation() (hash string, epoch uint64) {
+	st := s.cur()
+	return st.hashHex(), st.epoch
+}
 
 // route registers an instrumented handler under a Go 1.22 mux pattern.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
@@ -269,7 +352,7 @@ const watchPath = "/v1/events/watch"
 func (s *Server) withTimeout(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		timeout := s.cfg.RequestTimeout
-		if r.URL.Path == watchPath {
+		if r.URL.Path == watchPath || s.isExempt(r.URL.Path) {
 			timeout = s.cfg.WatchTimeout
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
@@ -279,6 +362,18 @@ func (s *Server) withTimeout(next http.Handler) http.Handler {
 		}
 		next.ServeHTTP(w, r.WithContext(ctx))
 	})
+}
+
+// isExempt reports whether path falls under a Mount-registered prefix.
+// The exempt list is tiny (one or two prefixes) and immutable once
+// serving starts, so a linear scan beats any map here.
+func (s *Server) isExempt(path string) bool {
+	for _, p := range s.exempt {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
 }
 
 // Run serves on addr until ctx is cancelled, then drains connections for up

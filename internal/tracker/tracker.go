@@ -138,6 +138,13 @@ func (t *Tracker) Replay(f Filter) []Event { return t.log.Replay(f) }
 // LastSeq returns the newest event sequence number.
 func (t *Tracker) LastSeq() uint64 { return t.log.LastSeq() }
 
+// Epoch counts completed ingests (initial Rescan included): a local
+// generation clock for the database this tracker produces. Note it lags by
+// one inside an OnReload hook, which fires before the reload's bookkeeping
+// closes — cluster origins therefore keep their own publish epoch and use
+// this only as a coarse progress signal.
+func (t *Tracker) Epoch() uint64 { return t.statReloads.Load() }
+
 // Database returns the most recently ingested database (nil before the
 // first successful Rescan). The returned database is immutable: every
 // reload builds a fresh one.

@@ -122,6 +122,9 @@ func TestInitialRescanReplaysHistory(t *testing.T) {
 	if reloads != 1 {
 		t.Fatalf("OnReload called %d times, want 1", reloads)
 	}
+	if e := trk.Epoch(); e != 1 {
+		t.Fatalf("Epoch after initial rescan = %d, want 1", e)
+	}
 
 	all := trk.Log().Replay(Filter{})
 	// 3 ingest markers + NSS@2020-03-01's removal + distrust-after-set.
