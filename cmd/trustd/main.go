@@ -20,6 +20,7 @@
 //	GET  /v1/roots/{fingerprint}            who trusts this root (per purpose)
 //	GET  /v1/diff?a=REF&b=REF               added/removed/trust-changed roots
 //	POST /v1/verify                         per-store verdicts for a PEM chain
+//	POST /v1/verify/batch                   NDJSON chain stream in, verdict stream out
 //	GET  /v1/events                         change-event replay (with -watch)
 //	GET  /v1/events/watch                   live change stream, SSE (with -watch)
 //	GET  /healthz                           liveness + corpus size
@@ -73,6 +74,7 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "connection-drain budget on shutdown")
 	maxBody := flag.Int64("max-body", service.DefaultMaxBodyBytes, "request body size limit in bytes")
 	workers := flag.Int("workers", 0, "concurrent verification workers (0 = 2×CPU)")
+	batchWorkers := flag.Int("batch-workers", 0, "per-batch pipeline workers for /v1/verify/batch (0 = same as -workers)")
 	cacheSize := flag.Int("verdict-cache", service.DefaultVerdictCacheSize, "verdict LRU capacity")
 	logJSON := flag.Bool("log-json", false, "emit JSON logs instead of text")
 	watch := flag.Bool("watch", false, "keep polling -tree and hot-reload on snapshot changes")
@@ -149,6 +151,7 @@ func main() {
 		MaxBodyBytes:     *maxBody,
 		RequestTimeout:   *timeout,
 		VerifyWorkers:    *workers,
+		BatchWorkers:     *batchWorkers,
 		VerdictCacheSize: *cacheSize,
 		Logger:           logger,
 		Tracer:           tracer,

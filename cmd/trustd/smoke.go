@@ -9,6 +9,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/base64"
 	"encoding/json"
 	"encoding/pem"
 	"fmt"
@@ -134,7 +135,80 @@ func smoke(logger *slog.Logger) error {
 		return fmt.Errorf("trace %s missing from /debug/traces", wantTrace)
 	}
 
-	// 3. The Prometheus exposition is well-formed and carries the headline
+	// 3. Batch verification: NDJSON in, NDJSON out, in order, with per-line
+	// error isolation — a PEM line, the same chain as chain_der, and one
+	// garbage line that must cost itself and nothing else.
+	block, _ := pem.Decode([]byte(chainPEM))
+	if block == nil {
+		return fmt.Errorf("smoke chain is not PEM")
+	}
+	var nd bytes.Buffer
+	line1, _ := json.Marshal(map[string]any{"chain_pem": chainPEM, "stores": []string{"NSS", "Debian"}})
+	line2, _ := json.Marshal(map[string]any{
+		"chain_der": []string{base64.StdEncoding.EncodeToString(block.Bytes)},
+		"stores":    []string{"NSS", "Debian"},
+	})
+	nd.Write(line1)
+	nd.WriteByte('\n')
+	nd.WriteString("{not json}\n")
+	nd.Write(line2)
+	nd.WriteByte('\n')
+	bres, err := client.Post(base+"/v1/verify/batch", "application/x-ndjson", &nd)
+	if err != nil {
+		return fmt.Errorf("batch request: %w", err)
+	}
+	braw, _ := io.ReadAll(bres.Body)
+	bres.Body.Close()
+	if bres.StatusCode != http.StatusOK {
+		return fmt.Errorf("batch status %d: %s", bres.StatusCode, braw)
+	}
+	var blines []struct {
+		Seq      int    `json:"seq"`
+		Error    string `json:"error"`
+		Verdicts []struct {
+			Provider string `json:"provider"`
+			Outcome  string `json:"outcome"`
+		} `json:"verdicts"`
+	}
+	for i, ln := range bytes.Split(bytes.TrimSpace(braw), []byte{'\n'}) {
+		var bl struct {
+			Seq      int    `json:"seq"`
+			Error    string `json:"error"`
+			Verdicts []struct {
+				Provider string `json:"provider"`
+				Outcome  string `json:"outcome"`
+			} `json:"verdicts"`
+		}
+		if err := json.Unmarshal(ln, &bl); err != nil {
+			return fmt.Errorf("batch line %d is not JSON: %w (%s)", i, err, ln)
+		}
+		blines = append(blines, bl)
+	}
+	if len(blines) != 3 {
+		return fmt.Errorf("batch answered %d lines, want 3:\n%s", len(blines), braw)
+	}
+	for i, bl := range blines {
+		if bl.Seq != i {
+			return fmt.Errorf("batch line %d has seq %d (order lost)", i, bl.Seq)
+		}
+	}
+	if blines[1].Error == "" {
+		return fmt.Errorf("garbage batch line produced no error: %s", braw)
+	}
+	for _, i := range []int{0, 2} {
+		if blines[i].Error != "" {
+			return fmt.Errorf("batch line %d errored: %s", i, blines[i].Error)
+		}
+		got := map[string]string{}
+		for _, v := range blines[i].Verdicts {
+			got[v.Provider] = v.Outcome
+		}
+		if got["NSS"] != "ok" || got["Debian"] == "ok" || got["Debian"] == "" {
+			return fmt.Errorf("batch line %d verdicts %v, want NSS ok and Debian failing (same as /v1/verify)", i, got)
+		}
+	}
+
+	// 4. The Prometheus exposition is well-formed and carries the headline
 	// families.
 	pres, err := client.Get(base + "/metrics/prometheus")
 	if err != nil {
@@ -154,6 +228,11 @@ func smoke(logger *slog.Logger) error {
 		`trustd_provider_lag_seconds{provider="NSS"}`,
 		"trustd_verify_outcomes_total",
 		"trustd_traces_started_total",
+		"trustd_batches_total 1",
+		"trustd_batch_lines_total 3",
+		"trustd_batch_verdicts_total 4",
+		"trustd_batch_rejected_lines_total 1",
+		"trustd_batch_queue_depth 0",
 		"go_goroutines",
 	} {
 		if !bytes.Contains(ptext, []byte(want)) {

@@ -98,6 +98,21 @@ func (c *lruCache) get(key string) (storeVerdict, bool) {
 	return el.Value.(*lruEntry).value, true
 }
 
+// getBytes looks up a key rendered into a reusable byte buffer. The
+// map index expression compiles to an allocation-free lookup
+// (m[string(b)] does not copy), which is what keeps the warm verdict
+// path of the batch pipeline at zero allocations per hit.
+func (c *lruCache) getBytes(key []byte) (storeVerdict, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[string(key)]
+	if !ok {
+		return storeVerdict{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).value, true
+}
+
 func (c *lruCache) put(key string, v storeVerdict) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -404,9 +404,12 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	resp.Verdicts = s.fanoutVerify(r, st, snaps, verify.Request{
 		Leaf:          leaf,
 		Intermediates: intermediates,
-		Purpose:       purpose,
-		DNSName:       req.DNSName,
-		At:            at,
+		// One pool for the whole fan-out: without this every per-store
+		// goroutine rebuilds the same intermediates pool.
+		InterPool: verify.PoolIntermediates(intermediates),
+		Purpose:   purpose,
+		DNSName:   req.DNSName,
+		At:        at,
 	}, chainHash)
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -415,38 +418,45 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 // bounded by the worker semaphore and the request context. The whole
 // fan-out runs against one serving generation (st), so a hot swap cannot
 // mix verdicts from two databases in one response.
+//
+// A worker slot is acquired BEFORE the goroutine is spawned, so a wide
+// `stores` fan-out never bursts goroutines past the semaphore: at most
+// VerifyWorkers verification goroutines exist process-wide, shared with
+// the batch pipeline.
 func (s *Server) fanoutVerify(r *http.Request, st *dbState, snaps []*store.Snapshot, vreq verify.Request, chainHash string) []storeVerdict {
 	ctx := r.Context()
 	out := make([]storeVerdict, len(snaps))
 	var wg sync.WaitGroup
 	for i, snap := range snaps {
-		wg.Add(1)
-		go func(i int, snap *store.Snapshot) {
-			defer wg.Done()
-			// One child span per store verdict: the per-store wait +
-			// verify time is exactly what the fan-out hides from the
-			// aggregate request latency.
-			storeKey := snap.Key()
-			span := obs.StartLeafSpan(ctx, "verify.store")
-			defer span.End()
-			span.SetAttr("store", storeKey)
-			select {
-			case s.sem <- struct{}{}:
-				defer func() { <-s.sem }()
-			case <-ctx.Done():
-				out[i] = storeVerdict{
-					Store: storeKey, Provider: snap.Provider, Date: snap.Date,
-					Outcome: "timeout", Error: ctx.Err().Error(),
-				}
-				span.SetAttr("outcome", "timeout")
-				return
+		// One child span per store verdict: the per-store wait + verify
+		// time is exactly what the fan-out hides from the aggregate
+		// request latency. Started before the semaphore acquire so queue
+		// wait is part of the span.
+		storeKey := snap.Key()
+		span := obs.StartLeafSpan(ctx, "verify.store")
+		span.SetAttr("store", storeKey)
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			out[i] = storeVerdict{
+				Store: storeKey, Provider: snap.Provider, Date: snap.Date,
+				Outcome: "timeout", Error: ctx.Err().Error(),
 			}
+			span.SetAttr("outcome", "timeout")
+			span.End()
+			continue
+		}
+		wg.Add(1)
+		go func(i int, snap *store.Snapshot, span *obs.Span) {
+			defer wg.Done()
+			defer func() { <-s.sem }()
+			defer span.End()
 			out[i] = s.verdictFor(st, snap, vreq, chainHash)
 			span.SetAttr("outcome", out[i].Outcome)
 			if out[i].Cached {
 				span.SetAttr("cached", "true")
 			}
-		}(i, snap)
+		}(i, snap, span)
 	}
 	wg.Wait()
 	for i := range out {
@@ -456,6 +466,30 @@ func (s *Server) fanoutVerify(r *http.Request, st *dbState, snaps []*store.Snaps
 	return out
 }
 
+// keyBufPool recycles verdict-cache key buffers so neither the single
+// verify path nor the batch pipeline allocates to build a key. 192 bytes
+// covers a 64-hex chain hash plus snapshot key, purpose, dns name and an
+// RFC 3339 timestamp without growth in practice.
+var keyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 192)
+	return &b
+}}
+
+// appendVerdictKey renders the verdict-cache identity of one (chain, store)
+// pair into buf: chainHash|snapKey|purpose|dns|RFC3339(at). Replaces the
+// strings.Join + time.Format pair that used to allocate on every verdict.
+func appendVerdictKey(buf []byte, chainHash, snapKey string, purpose store.Purpose, dnsName string, at time.Time) []byte {
+	buf = append(buf, chainHash...)
+	buf = append(buf, '|')
+	buf = append(buf, snapKey...)
+	buf = append(buf, '|')
+	buf = append(buf, purpose.String()...)
+	buf = append(buf, '|')
+	buf = append(buf, dnsName...)
+	buf = append(buf, '|')
+	return at.UTC().AppendFormat(buf, time.RFC3339)
+}
+
 // verdictFor computes (or recalls) one store's verdict using the
 // generation's caches.
 func (s *Server) verdictFor(st *dbState, snap *store.Snapshot, vreq verify.Request, chainHash string) storeVerdict {
@@ -463,8 +497,13 @@ func (s *Server) verdictFor(st *dbState, snap *store.Snapshot, vreq verify.Reque
 	if at.IsZero() {
 		at = snap.Date
 	}
-	key := strings.Join([]string{chainHash, snap.Key(), vreq.Purpose.String(), vreq.DNSName, at.UTC().Format(time.RFC3339)}, "|")
-	if v, ok := st.verdicts.get(key); ok {
+	bp := keyBufPool.Get().(*[]byte)
+	key := appendVerdictKey((*bp)[:0], chainHash, snap.Key(), vreq.Purpose, vreq.DNSName, at)
+	defer func() {
+		*bp = key
+		keyBufPool.Put(bp)
+	}()
+	if v, ok := st.verdicts.getBytes(key); ok {
 		s.metrics.cacheEvent("verdict", true)
 		v.Cached = true
 		return v
@@ -485,7 +524,7 @@ func (s *Server) verdictFor(st *dbState, snap *store.Snapshot, vreq verify.Reque
 	if res.Err != nil {
 		v.Error = res.Err.Error()
 	}
-	st.verdicts.put(key, v)
+	st.verdicts.put(string(key), v)
 	return v
 }
 

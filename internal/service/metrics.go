@@ -62,6 +62,14 @@ type Metrics struct {
 	inFlight  *expvar.Int
 	verified  *expvar.Int // total per-store verdicts computed (incl. cached)
 	rejected  *expvar.Int // requests refused before verification (4xx)
+
+	// Batch pipeline counters (POST /v1/verify/batch).
+	batchBatches  *expvar.Int // batch requests started
+	batchLines    *expvar.Int // NDJSON input lines consumed
+	batchVerdicts *expvar.Int // verdict rows streamed out
+	batchRejects  *expvar.Int // lines answered with a per-line error
+	batchQueue    *expvar.Int // jobs currently queued between reader and writer (gauge)
+
 	errors    *expvar.Int // responses that failed server-side (5xx)
 	reloads   *expvar.Int // hot swaps installed after the initial database
 	watchers  *expvar.Int // live /v1/events/watch streams
@@ -90,6 +98,13 @@ func newMetrics() *Metrics {
 		inFlight:  new(expvar.Int),
 		verified:  new(expvar.Int),
 		rejected:  new(expvar.Int),
+
+		batchBatches:  new(expvar.Int),
+		batchLines:    new(expvar.Int),
+		batchVerdicts: new(expvar.Int),
+		batchRejects:  new(expvar.Int),
+		batchQueue:    new(expvar.Int),
+
 		errors:    new(expvar.Int),
 		reloads:   new(expvar.Int),
 		watchers:  new(expvar.Int),
@@ -104,6 +119,11 @@ func newMetrics() *Metrics {
 	m.root.Set("latency_ms", m.latency)
 	m.root.Set("provider_lag_seconds", expvar.Func(m.providerLag))
 	m.root.Set("in_flight", m.inFlight)
+	m.root.Set("batches_total", m.batchBatches)
+	m.root.Set("batch_lines_total", m.batchLines)
+	m.root.Set("batch_verdicts_total", m.batchVerdicts)
+	m.root.Set("batch_rejected_lines_total", m.batchRejects)
+	m.root.Set("batch_queue_depth", m.batchQueue)
 	m.root.Set("verdicts_total", m.verified)
 	m.root.Set("rejected_total", m.rejected)
 	m.root.Set("errors_total", m.errors)
@@ -149,6 +169,19 @@ func (m *Metrics) providerLag() any {
 
 // ReloadCount returns the number of hot swaps installed (test hook).
 func (m *Metrics) ReloadCount() int64 { return m.reloads.Value() }
+
+// BatchLines returns the NDJSON input-line counter (test hook).
+func (m *Metrics) BatchLines() int64 { return m.batchLines.Value() }
+
+// BatchVerdicts returns the streamed-verdict counter (test hook).
+func (m *Metrics) BatchVerdicts() int64 { return m.batchVerdicts.Value() }
+
+// BatchRejects returns the per-line error counter (test hook).
+func (m *Metrics) BatchRejects() int64 { return m.batchRejects.Value() }
+
+// BatchQueueDepth returns the live reader→writer queue occupancy; 0 when
+// no batch is in flight (test hook — a leak here means jobs were dropped).
+func (m *Metrics) BatchQueueDepth() int64 { return m.batchQueue.Value() }
 
 // ErrorCount returns the 5xx response counter (test hook).
 func (m *Metrics) ErrorCount() int64 { return m.errors.Value() }
@@ -207,6 +240,26 @@ func (m *Metrics) LatencyBucketCount(route, bucket string) int64 {
 		return v.Value()
 	}
 	return 0
+}
+
+// cachePair returns the hit/miss counters for one cache, creating them if
+// absent. The batch hot path resolves these once per request so recording a
+// cache event is a single atomic add, not an expvar.Map walk plus a key
+// concatenation per verdict.
+func (m *Metrics) cachePair(name string) (hits, misses *expvar.Int) {
+	m.cache.Add(name+"_hits", 0)
+	m.cache.Add(name+"_misses", 0)
+	hits, _ = m.cache.Get(name + "_hits").(*expvar.Int)
+	misses, _ = m.cache.Get(name + "_misses").(*expvar.Int)
+	return hits, misses
+}
+
+// outcomeCounter returns the counter for one verify outcome, creating it if
+// absent (same rationale as cachePair).
+func (m *Metrics) outcomeCounter(outcome string) *expvar.Int {
+	m.outcomes.Add(outcome, 0)
+	ctr, _ := m.outcomes.Get(outcome).(*expvar.Int)
+	return ctr
 }
 
 func (m *Metrics) cacheEvent(name string, hit bool) {

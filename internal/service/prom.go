@@ -44,6 +44,11 @@ func (s *Server) promFamilies() []obs.MetricFamily {
 		s.latencyHistogram(),
 		obs.GaugeFamily(promNamespace+"in_flight_requests", "Requests currently being served.", float64(m.inFlight.Value())),
 		obs.CounterFamily(promNamespace+"verdicts_total", "Per-store verdicts computed, including cache hits.", float64(m.verified.Value())),
+		obs.CounterFamily(promNamespace+"batches_total", "Batch verify requests started.", float64(m.batchBatches.Value())),
+		obs.CounterFamily(promNamespace+"batch_lines_total", "NDJSON lines consumed by /v1/verify/batch.", float64(m.batchLines.Value())),
+		obs.CounterFamily(promNamespace+"batch_verdicts_total", "Verdict rows streamed by /v1/verify/batch.", float64(m.batchVerdicts.Value())),
+		obs.CounterFamily(promNamespace+"batch_rejected_lines_total", "Batch lines answered with a per-line error.", float64(m.batchRejects.Value())),
+		obs.GaugeFamily(promNamespace+"batch_queue_depth", "Batch jobs queued between reader and writer.", float64(m.batchQueue.Value())),
 		obs.CounterFamily(promNamespace+"rejected_total", "Requests refused before verification (4xx).", float64(m.rejected.Value())),
 		obs.CounterFamily(promNamespace+"errors_total", "Responses that failed server-side (5xx).", float64(m.errors.Value())),
 		obs.CounterFamily(promNamespace+"reloads_total", "Database hot swaps installed after startup.", float64(m.reloads.Value())),

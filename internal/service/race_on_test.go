@@ -1,0 +1,8 @@
+//go:build race
+
+package service_test
+
+// raceEnabled reports whether the race detector is compiled in. Timing
+// guards skip under it: instrumentation taxes the paths being compared
+// unevenly, so the ratio measures the detector, not the code.
+const raceEnabled = true

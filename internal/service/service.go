@@ -64,6 +64,12 @@ type Config struct {
 	// VerifyWorkers bounds concurrent per-store verifications across ALL
 	// in-flight verify requests (default 2×NumCPU, min 4).
 	VerifyWorkers int
+	// BatchWorkers sizes the per-batch decode/verify/encode worker set of
+	// POST /v1/verify/batch (default VerifyWorkers). Cold verifications
+	// inside a batch additionally take a VerifyWorkers slot, so batches
+	// share verification capacity with interactive requests rather than
+	// multiplying it.
+	BatchWorkers int
 	// VerdictCacheSize is the LRU capacity (default 4096 verdicts).
 	VerdictCacheSize int
 	// Logger receives request logs; slog.Default() when nil.
@@ -95,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.VerifyWorkers <= 0 {
 		c.VerifyWorkers = defaultWorkers()
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = c.VerifyWorkers
 	}
 	if c.VerdictCacheSize <= 0 {
 		c.VerdictCacheSize = DefaultVerdictCacheSize
@@ -178,6 +187,7 @@ func New(db *store.Database, cfg Config) *Server {
 	s.route("GET /v1/roots/{fingerprint}", s.handleRoot)
 	s.route("GET /v1/diff", s.handleDiff)
 	s.route("POST /v1/verify", s.handleVerify)
+	s.route("POST "+batchPath, s.handleVerifyBatch)
 	s.route("GET /v1/events", s.handleEvents)
 	s.route("GET /v1/events/watch", s.handleEventsWatch)
 	s.mux.Handle("GET /healthz", http.HandlerFunc(s.handleHealthz))
@@ -349,15 +359,20 @@ func (s *Server) Index() *RootIndex { return s.cur().index }
 const watchPath = "/v1/events/watch"
 
 // withTimeout bounds every request's context and caps its body size.
+// Streaming paths (the SSE watch, NDJSON batches, mounted subsystems) get
+// WatchTimeout instead of RequestTimeout; the batch path is additionally
+// exempt from the whole-body cap — its stream is unbounded by design and
+// each line is capped at MaxBodyBytes inside the pipeline instead.
 func (s *Server) withTimeout(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		timeout := s.cfg.RequestTimeout
-		if r.URL.Path == watchPath || s.isExempt(r.URL.Path) {
+		batch := r.URL.Path == batchPath
+		if batch || r.URL.Path == watchPath || s.isExempt(r.URL.Path) {
 			timeout = s.cfg.WatchTimeout
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
-		if r.Body != nil {
+		if r.Body != nil && !batch {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
 		next.ServeHTTP(w, r.WithContext(ctx))

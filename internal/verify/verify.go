@@ -136,12 +136,30 @@ type Request struct {
 	Leaf *x509.Certificate
 	// Intermediates are any additional chain certificates.
 	Intermediates []*x509.Certificate
+	// InterPool, when non-nil, is a caller-built pool holding exactly the
+	// Intermediates certificates. Callers verifying one chain against many
+	// snapshots (the service fan-out, the batch pipeline) build it once and
+	// reuse it across every Verify call, instead of paying a pool rebuild
+	// per (chain, store) pair.
+	InterPool *x509.CertPool
 	// Purpose is the trust purpose to verify for.
 	Purpose store.Purpose
 	// DNSName, when set, is matched against the leaf.
 	DNSName string
 	// At is the verification time (defaults to the snapshot date).
 	At time.Time
+}
+
+// PoolIntermediates builds the reusable intermediates pool for a chain —
+// the value batch callers place in Request.InterPool. A chain with no
+// intermediates returns an empty (non-nil) pool so Verify still skips the
+// per-call rebuild.
+func PoolIntermediates(intermediates []*x509.Certificate) *x509.CertPool {
+	pool := x509.NewCertPool()
+	for _, c := range intermediates {
+		pool.AddCert(c)
+	}
+	return pool
 }
 
 // Verify checks a chain against the snapshot, honouring trust purposes and
@@ -156,9 +174,12 @@ func (v *Verifier) Verify(req Request) Result {
 	// trusted for the purpose — so we can distinguish "no chain at all"
 	// from "chain to an untrusted anchor".
 	allPool := v.allPool()
-	inter := x509.NewCertPool()
-	for _, c := range req.Intermediates {
-		inter.AddCert(c)
+	inter := req.InterPool
+	if inter == nil {
+		inter = x509.NewCertPool()
+		for _, c := range req.Intermediates {
+			inter.AddCert(c)
+		}
 	}
 
 	eku := []x509.ExtKeyUsage{x509.ExtKeyUsageAny}
