@@ -1,0 +1,187 @@
+package main
+
+// The `ecosystem simulate` subcommand: the removal-impact what-if engine
+// on the command line. It evaluates one hypothetical distrust event — or
+// sweeps every root × store removal — against the synthetic corpus, a
+// snapshot tree, or a rootpack archive, and renders the weighted client
+// impact, divergence windows and mismatch risks as text tables.
+//
+// Usage:
+//
+//	ecosystem simulate [-seed s | -tree dir | -archive file]
+//	                   [-kind removal|distrust-after|ca-removal]
+//	                   [-store NSS] [-fp hex[,hex...]] [-owner substr]
+//	                   [-date YYYY-MM-DD] [-purpose server-auth]
+//	ecosystem simulate -sweep [-top n] [...]
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/catalog"
+	"repro/internal/certutil"
+	"repro/internal/report"
+	"repro/internal/simulate"
+	"repro/internal/store"
+	"repro/internal/synth"
+)
+
+func runSimulate(args []string) int {
+	fs := flag.NewFlagSet("ecosystem simulate", flag.ExitOnError)
+	seed := fs.String("seed", "tracing-your-roots", "synthetic corpus seed (ignored with -tree/-archive)")
+	tree := fs.String("tree", "", "load stores from a snapshot tree instead of generating")
+	archivePath := fs.String("archive", "", "load stores from a rootpack archive instead of generating")
+	kind := fs.String("kind", "removal", "event kind: removal, distrust-after or ca-removal")
+	actor := fs.String("store", "", "acting store (default NSS)")
+	fps := fs.String("fp", "", "comma-separated root fingerprints (hex SHA-256)")
+	owner := fs.String("owner", "", "CA owner substring for -kind ca-removal")
+	date := fs.String("date", "", "event date, YYYY-MM-DD (default: acting store's latest snapshot)")
+	purpose := fs.String("purpose", "", "trust purpose (default server-auth)")
+	sweep := fs.Bool("sweep", false, "rank every root × store removal instead of one event")
+	top := fs.Int("top", 20, "rows to print in -sweep mode (0 = all)")
+	fs.Parse(args)
+
+	db, err := simulateDatabase(*seed, *tree, *archivePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecosystem simulate: %v\n", err)
+		return 1
+	}
+	eng := simulate.New(db, simulate.Options{})
+
+	if *sweep {
+		if err := renderSweep(os.Stdout, eng.Sweep(0), *top); err != nil {
+			fmt.Fprintf(os.Stderr, "ecosystem simulate: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	ev := simulate.Event{Provider: *actor, Owner: *owner}
+	if ev.Kind, err = simulate.ParseKind(*kind); err != nil {
+		fmt.Fprintf(os.Stderr, "ecosystem simulate: %v\n", err)
+		return 2
+	}
+	for _, raw := range strings.Split(*fps, ",") {
+		if raw = strings.TrimSpace(raw); raw == "" {
+			continue
+		}
+		fp, err := certutil.ParseFingerprint(raw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ecosystem simulate: -fp %q: %v\n", raw, err)
+			return 2
+		}
+		ev.Fingerprints = append(ev.Fingerprints, fp)
+	}
+	if *date != "" {
+		if ev.Date, err = parseDay(*date); err != nil {
+			fmt.Fprintf(os.Stderr, "ecosystem simulate: %v\n", err)
+			return 2
+		}
+	}
+	if *purpose != "" {
+		if ev.Purpose, err = store.ParsePurpose(*purpose); err != nil {
+			fmt.Fprintf(os.Stderr, "ecosystem simulate: %v\n", err)
+			return 2
+		}
+	}
+
+	res, err := eng.Simulate(ev)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecosystem simulate: %v\n", err)
+		return 1
+	}
+	if err := renderResult(os.Stdout, res); err != nil {
+		fmt.Fprintf(os.Stderr, "ecosystem simulate: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func parseDay(s string) (time.Time, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("-date %q: want YYYY-MM-DD", s)
+	}
+	return t, nil
+}
+
+// simulateDatabase loads the database the engine runs against, in the
+// same precedence order as cmd/trustd: tree, then archive, then the
+// generated corpus.
+func simulateDatabase(seed, tree, archivePath string) (*store.Database, error) {
+	switch {
+	case tree != "":
+		return catalog.LoadTree(tree, catalog.Options{ArchivePath: archivePath})
+	case archivePath != "":
+		return archive.ReadFile(archivePath)
+	default:
+		eco, err := synth.Generate(seed)
+		if err != nil {
+			return nil, err
+		}
+		return eco.DB, nil
+	}
+}
+
+func renderResult(w io.Writer, res *simulate.Result) error {
+	fmt.Fprintf(w, "Event: %s by %s on %s (purpose %s)\n", res.Kind, res.Provider,
+		res.Date.Format("2006-01-02"), res.Purpose)
+	fmt.Fprintf(w, "Affected roots: %d\n", len(res.AffectedRoots))
+	for _, root := range res.AffectedRoots {
+		fmt.Fprintf(w, "  %s  %s\n", root.Fingerprint, root.Label)
+	}
+	fmt.Fprintf(w, "Impacted traffic: %.1f%%   (trusts today: %.1f%%, untraceable: %.1f%%)\n\n",
+		100*res.ImpactFraction, 100*res.TrustedFraction, 100*res.UntraceableFraction)
+
+	impacts := report.NewTable("Client impact (Table 1 marginals)", "provider", "share", "trusts now", "loses")
+	for _, row := range res.Impacts {
+		impacts.AddRow(row.Provider, fmt.Sprintf("%.1f%%", 100*row.Share), row.TrustsNow, row.Loses)
+	}
+	if err := impacts.Render(w); err != nil {
+		return err
+	}
+
+	if len(res.Divergence) > 0 {
+		fmt.Fprintln(w)
+		div := report.NewTable("Divergence windows", "store", "derivative", "roots kept", "median lag", "projected until")
+		for _, win := range res.Divergence {
+			lag, until := "n/a", "open-ended"
+			if win.HasHistory {
+				lag = fmt.Sprintf("%.0fd", win.MedianLagDays)
+				until = win.ProjectedUntil.Format("2006-01-02")
+			}
+			div.AddRow(win.Store, win.Derivative, win.TrustedRoots, lag, until)
+		}
+		if err := div.Render(w); err != nil {
+			return err
+		}
+	}
+
+	if len(res.MismatchRisks) > 0 {
+		fmt.Fprintln(w)
+		mis := report.NewTable("Partial-distrust mismatch risk", "derivative", "supports cutoff", "roots kept", "risk")
+		for _, risk := range res.MismatchRisks {
+			mis.AddRow(risk.Derivative, risk.SupportsDistrustAfter, risk.TrustedRoots, risk.Risk)
+		}
+		if err := mis.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderSweep(w io.Writer, res *simulate.SweepResult, top int) error {
+	fmt.Fprintf(w, "Sweep: %d roots × %d stores → %d scenarios (purpose %s)\n\n",
+		res.Roots, len(res.Stores), res.Pairs, res.Purpose)
+	table := report.NewTable("Highest-impact removals", "#", "impact", "store", "root", "trusting stores")
+	for i, entry := range res.Top(top) {
+		table.AddRow(i+1, fmt.Sprintf("%.1f%%", 100*entry.Impact), entry.Store,
+			fmt.Sprintf("%s  %s", entry.Fingerprint[:16], entry.Label), entry.TrustingStores)
+	}
+	return table.Render(w)
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/certgen"
+	"repro/internal/certutil"
 	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -208,7 +209,60 @@ func smoke(logger *slog.Logger) error {
 		}
 	}
 
-	// 4. The Prometheus exposition is well-formed and carries the headline
+	// 4. What-if simulation: removing root 1 (trusted by both stores) from
+	// NSS must impact the NSS-routed UA share and open a divergence window
+	// on Debian, the derivative left still trusting it; the sweep ranking
+	// is cached per generation behind the rootpack ETag.
+	target := certutil.SHA256Fingerprint(testcerts.Roots(3)[1].DER).String()
+	sbody, _ := json.Marshal(map[string]any{"kind": "removal", "fingerprints": []string{target}})
+	sres, err := client.Post(base+"/v1/simulate", "application/json", bytes.NewReader(sbody))
+	if err != nil {
+		return fmt.Errorf("simulate request: %w", err)
+	}
+	sraw, _ := io.ReadAll(sres.Body)
+	sres.Body.Close()
+	if sres.StatusCode != http.StatusOK {
+		return fmt.Errorf("simulate status %d: %s", sres.StatusCode, sraw)
+	}
+	var sim struct {
+		ImpactFraction float64 `json:"impact_fraction"`
+		Divergence     []struct {
+			Store      string `json:"store"`
+			Derivative bool   `json:"derivative"`
+		} `json:"divergence"`
+	}
+	if err := json.Unmarshal(sraw, &sim); err != nil {
+		return fmt.Errorf("decode simulate response: %w", err)
+	}
+	if sim.ImpactFraction <= 0 {
+		return fmt.Errorf("simulated NSS removal has zero impact: %s", sraw)
+	}
+	if len(sim.Divergence) != 1 || sim.Divergence[0].Store != "Debian" || !sim.Divergence[0].Derivative {
+		return fmt.Errorf("divergence %v, want Debian as a still-trusting derivative", sim.Divergence)
+	}
+	swres, err := client.Get(base + "/v1/simulate/sweep")
+	if err != nil {
+		return fmt.Errorf("sweep request: %w", err)
+	}
+	io.Copy(io.Discard, swres.Body)
+	swres.Body.Close()
+	etag := swres.Header.Get("ETag")
+	if swres.StatusCode != http.StatusOK || etag == "" {
+		return fmt.Errorf("sweep status %d, etag %q", swres.StatusCode, etag)
+	}
+	condReq, _ := http.NewRequest(http.MethodGet, base+"/v1/simulate/sweep", nil)
+	condReq.Header.Set("If-None-Match", etag)
+	condRes, err := client.Do(condReq)
+	if err != nil {
+		return fmt.Errorf("conditional sweep request: %w", err)
+	}
+	io.Copy(io.Discard, condRes.Body)
+	condRes.Body.Close()
+	if condRes.StatusCode != http.StatusNotModified {
+		return fmt.Errorf("conditional sweep status %d, want 304", condRes.StatusCode)
+	}
+
+	// 5. The Prometheus exposition is well-formed and carries the headline
 	// families.
 	pres, err := client.Get(base + "/metrics/prometheus")
 	if err != nil {
@@ -233,6 +287,10 @@ func smoke(logger *slog.Logger) error {
 		"trustd_batch_verdicts_total 4",
 		"trustd_batch_rejected_lines_total 1",
 		"trustd_batch_queue_depth 0",
+		`trustd_simulate_events_total{kind="removal"} 1`,
+		"trustd_simulate_sweeps_total 1",
+		"trustd_simulate_sweep_builds_total 1",
+		"trustd_simulate_sweep_pairs",
 		"go_goroutines",
 	} {
 		if !bytes.Contains(ptext, []byte(want)) {

@@ -105,6 +105,94 @@ func (p *Pipeline) RemovalLag(incidents []IncidentSpec) []LagRow {
 	return rows
 }
 
+// LagStats summarizes one store's historical responsiveness across
+// incidents — the programmatic form of the per-store medians Table 4 only
+// used to render. Simulation callers consume these to project how long a
+// store will keep trusting a root after a hypothetical upstream removal.
+type LagStats struct {
+	Store string
+	// Samples counts resolved removals (rows where the store acted).
+	Samples int
+	// StillTrusted counts incidents the store has never acted on; their
+	// elapsed-day lower bounds are excluded from the percentiles.
+	StillTrusted int
+	// MedianDays / P90Days are percentiles over the resolved LagDays.
+	MedianDays float64
+	P90Days    float64
+	MinDays    int
+	MaxDays    int
+	MeanDays   float64
+}
+
+// StoreLagStats aggregates Table 4 rows into per-store responsiveness
+// statistics, sorted by store name. Still-trusted rows are counted but do
+// not contribute lag samples — a lower bound is not a measurement.
+func StoreLagStats(rows []LagRow) []LagStats {
+	byStore := map[string][]int{}
+	still := map[string]int{}
+	for _, r := range rows {
+		if r.StillTrusted {
+			still[r.Store]++
+			if _, ok := byStore[r.Store]; !ok {
+				byStore[r.Store] = nil
+			}
+			continue
+		}
+		byStore[r.Store] = append(byStore[r.Store], r.LagDays)
+	}
+	names := make([]string, 0, len(byStore))
+	for name := range byStore {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]LagStats, 0, len(names))
+	for _, name := range names {
+		lags := byStore[name]
+		st := LagStats{Store: name, Samples: len(lags), StillTrusted: still[name]}
+		if len(lags) > 0 {
+			sort.Ints(lags)
+			st.MinDays = lags[0]
+			st.MaxDays = lags[len(lags)-1]
+			sum := 0
+			for _, d := range lags {
+				sum += d
+			}
+			st.MeanDays = float64(sum) / float64(len(lags))
+			st.MedianDays = percentileDays(lags, 0.5)
+			st.P90Days = percentileDays(lags, 0.9)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// percentileDays returns the p-quantile of sorted day counts: the exact
+// middle-pair mean for the median of an even sample, nearest-rank
+// otherwise.
+func percentileDays(sorted []int, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p == 0.5 && n%2 == 0 {
+		return float64(sorted[n/2-1]+sorted[n/2]) / 2
+	}
+	rank := int(p*float64(n) + 0.999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return float64(sorted[rank-1])
+}
+
+// ResponsivenessLags runs the Table 4 measurement and aggregates it into
+// per-store statistics in one call — the simulate subsystem's entry point.
+func (p *Pipeline) ResponsivenessLags(incidents []IncidentSpec) []LagStats {
+	return StoreLagStats(p.RemovalLag(incidents))
+}
+
 // lastTrustAcross returns the latest snapshot date at which the provider
 // trusted any of the fingerprints.
 func (p *Pipeline) lastTrustAcross(provider string, fps []certutil.Fingerprint) time.Time {

@@ -1,0 +1,69 @@
+package core
+
+import "testing"
+
+func TestStoreLagStats(t *testing.T) {
+	rows := []LagRow{
+		{Incident: "A", Store: "Microsoft", LagDays: 10},
+		{Incident: "B", Store: "Microsoft", LagDays: 30},
+		{Incident: "C", Store: "Microsoft", LagDays: 20},
+		{Incident: "D", Store: "Microsoft", LagDays: 100},
+		{Incident: "A", Store: "Debian", LagDays: -5},
+		{Incident: "B", Store: "Debian", LagDays: 15},
+		{Incident: "C", Store: "Apple", StillTrusted: true, ElapsedDays: 400},
+	}
+	stats := StoreLagStats(rows)
+	if len(stats) != 3 {
+		t.Fatalf("got %d stores, want 3", len(stats))
+	}
+	byStore := map[string]LagStats{}
+	for _, s := range stats {
+		byStore[s.Store] = s
+	}
+
+	ms := byStore["Microsoft"]
+	if ms.Samples != 4 || ms.StillTrusted != 0 {
+		t.Errorf("Microsoft samples=%d still=%d, want 4/0", ms.Samples, ms.StillTrusted)
+	}
+	if ms.MedianDays != 25 { // mean of middle pair {20,30}
+		t.Errorf("Microsoft median = %v, want 25", ms.MedianDays)
+	}
+	if ms.P90Days != 100 { // nearest rank ceil(0.9*4)=4 → largest
+		t.Errorf("Microsoft p90 = %v, want 100", ms.P90Days)
+	}
+	if ms.MinDays != 10 || ms.MaxDays != 100 {
+		t.Errorf("Microsoft min/max = %d/%d, want 10/100", ms.MinDays, ms.MaxDays)
+	}
+	if ms.MeanDays != 40 {
+		t.Errorf("Microsoft mean = %v, want 40", ms.MeanDays)
+	}
+
+	deb := byStore["Debian"]
+	if deb.MedianDays != 5 { // mean of {-5,15}
+		t.Errorf("Debian median = %v, want 5", deb.MedianDays)
+	}
+
+	// Still-trusted rows count but contribute no lag samples.
+	ap := byStore["Apple"]
+	if ap.Samples != 0 || ap.StillTrusted != 1 {
+		t.Errorf("Apple samples=%d still=%d, want 0/1", ap.Samples, ap.StillTrusted)
+	}
+	if ap.MedianDays != 0 || ap.P90Days != 0 {
+		t.Errorf("Apple percentiles over zero samples should be 0, got %v/%v", ap.MedianDays, ap.P90Days)
+	}
+}
+
+func TestStoreLagStatsEmpty(t *testing.T) {
+	if got := StoreLagStats(nil); len(got) != 0 {
+		t.Fatalf("StoreLagStats(nil) = %v, want empty", got)
+	}
+}
+
+func TestPercentileDaysSingle(t *testing.T) {
+	if v := percentileDays([]int{42}, 0.5); v != 42 {
+		t.Errorf("median of singleton = %v, want 42", v)
+	}
+	if v := percentileDays([]int{42}, 0.9); v != 42 {
+		t.Errorf("p90 of singleton = %v, want 42", v)
+	}
+}

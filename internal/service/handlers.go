@@ -36,6 +36,27 @@ func (s *Server) writeError(w http.ResponseWriter, status int, format string, ar
 	s.writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// decodeJSONBody decodes a JSON request body into v, answering malformed
+// bodies with 400 and over-limit ones with 413. Every JSON POST route
+// (/v1/verify, /v1/simulate) decodes through here, so the body-cap
+// behaviour cannot drift between endpoints: the cap itself is applied
+// uniformly by withTimeout from the single Config.MaxBodyBytes value
+// (default DefaultMaxBodyBytes; the batch endpoint enforces the same
+// value per NDJSON line inside its pipeline). Returns false when a
+// response has already been written.
+func (s *Server) decodeJSONBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return false
+	}
+	return true
+}
+
 // providerSummary is one row of GET /v1/providers.
 type providerSummary struct {
 	Name          string    `json:"name"`
@@ -329,13 +350,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	s.stampGeneration(w, st)
 
 	var req verifyRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
-			return
-		}
-		s.writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+	if !s.decodeJSONBody(w, r, &req) {
 		return
 	}
 

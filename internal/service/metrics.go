@@ -70,6 +70,13 @@ type Metrics struct {
 	batchRejects  *expvar.Int // lines answered with a per-line error
 	batchQueue    *expvar.Int // jobs currently queued between reader and writer (gauge)
 
+	// What-if simulation counters (POST /v1/simulate, GET /v1/simulate/sweep).
+	simEvents       *expvar.Map   // per event kind: "removal", "distrust-after", "ca-removal", "error"
+	simSweeps       *expvar.Int   // sweep responses served (cached or fresh)
+	simSweepBuilds  *expvar.Int   // sweep rankings actually computed (≤ one per generation)
+	simSweepPairs   *expvar.Int   // (root, store) pairs in the latest ranking (gauge)
+	simSweepBuildMs *expvar.Float // wall time of the latest ranking build (gauge)
+
 	errors    *expvar.Int // responses that failed server-side (5xx)
 	reloads   *expvar.Int // hot swaps installed after the initial database
 	watchers  *expvar.Int // live /v1/events/watch streams
@@ -105,6 +112,12 @@ func newMetrics() *Metrics {
 		batchRejects:  new(expvar.Int),
 		batchQueue:    new(expvar.Int),
 
+		simEvents:       new(expvar.Map).Init(),
+		simSweeps:       new(expvar.Int),
+		simSweepBuilds:  new(expvar.Int),
+		simSweepPairs:   new(expvar.Int),
+		simSweepBuildMs: new(expvar.Float),
+
 		errors:    new(expvar.Int),
 		reloads:   new(expvar.Int),
 		watchers:  new(expvar.Int),
@@ -124,6 +137,11 @@ func newMetrics() *Metrics {
 	m.root.Set("batch_verdicts_total", m.batchVerdicts)
 	m.root.Set("batch_rejected_lines_total", m.batchRejects)
 	m.root.Set("batch_queue_depth", m.batchQueue)
+	m.root.Set("simulate_events", m.simEvents)
+	m.root.Set("simulate_sweeps_total", m.simSweeps)
+	m.root.Set("simulate_sweep_builds_total", m.simSweepBuilds)
+	m.root.Set("simulate_sweep_pairs", m.simSweepPairs)
+	m.root.Set("simulate_sweep_build_ms", m.simSweepBuildMs)
 	m.root.Set("verdicts_total", m.verified)
 	m.root.Set("rejected_total", m.rejected)
 	m.root.Set("errors_total", m.errors)
@@ -185,6 +203,22 @@ func (m *Metrics) BatchQueueDepth() int64 { return m.batchQueue.Value() }
 
 // ErrorCount returns the 5xx response counter (test hook).
 func (m *Metrics) ErrorCount() int64 { return m.errors.Value() }
+
+// SimulateEvents returns the counter for one simulate event kind (test
+// hook).
+func (m *Metrics) SimulateEvents(kind string) int64 {
+	if v, ok := m.simEvents.Get(kind).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
+
+// SimulateSweeps returns the sweep-response counter (test hook).
+func (m *Metrics) SimulateSweeps() int64 { return m.simSweeps.Value() }
+
+// SimulateSweepBuilds returns how many sweep rankings were actually
+// computed — at most one per generation (test hook).
+func (m *Metrics) SimulateSweepBuilds() int64 { return m.simSweepBuilds.Value() }
 
 // ProviderLagSeconds returns a provider's freshness gauge (test hook);
 // -1 when the provider is not in the serving database.

@@ -49,6 +49,11 @@ func (s *Server) promFamilies() []obs.MetricFamily {
 		obs.CounterFamily(promNamespace+"batch_verdicts_total", "Verdict rows streamed by /v1/verify/batch.", float64(m.batchVerdicts.Value())),
 		obs.CounterFamily(promNamespace+"batch_rejected_lines_total", "Batch lines answered with a per-line error.", float64(m.batchRejects.Value())),
 		obs.GaugeFamily(promNamespace+"batch_queue_depth", "Batch jobs queued between reader and writer.", float64(m.batchQueue.Value())),
+		mapCounter(promNamespace+"simulate_events_total", "What-if events evaluated by kind.", m.simEvents, "kind"),
+		obs.CounterFamily(promNamespace+"simulate_sweeps_total", "Sweep rankings served (cached or fresh).", float64(m.simSweeps.Value())),
+		obs.CounterFamily(promNamespace+"simulate_sweep_builds_total", "Sweep rankings computed (at most one per generation).", float64(m.simSweepBuilds.Value())),
+		obs.GaugeFamily(promNamespace+"simulate_sweep_pairs", "Scenario pairs in the latest sweep ranking.", float64(m.simSweepPairs.Value())),
+		obs.GaugeFamily(promNamespace+"simulate_sweep_build_seconds", "Wall time of the latest sweep ranking build.", m.simSweepBuildMs.Value()/1000),
 		obs.CounterFamily(promNamespace+"rejected_total", "Requests refused before verification (4xx).", float64(m.rejected.Value())),
 		obs.CounterFamily(promNamespace+"errors_total", "Responses that failed server-side (5xx).", float64(m.errors.Value())),
 		obs.CounterFamily(promNamespace+"reloads_total", "Database hot swaps installed after startup.", float64(m.reloads.Value())),

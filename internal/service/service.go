@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/obs"
+	"repro/internal/simulate"
 	"repro/internal/store"
 )
 
@@ -82,6 +83,12 @@ type Config struct {
 }
 
 // Defaults for Config zero values.
+//
+// DefaultMaxBodyBytes is the single authority on request-body size across
+// every POST route: withTimeout wraps each non-batch body in an
+// http.MaxBytesReader with Config.MaxBodyBytes, and the batch endpoint
+// applies the same value to each NDJSON line. New POST routes get the cap
+// for free; none may carve out a different limit.
 const (
 	DefaultMaxBodyBytes     = 1 << 20
 	DefaultRequestTimeout   = 10 * time.Second
@@ -139,6 +146,16 @@ type dbState struct {
 	// archive whose hash is already known.
 	etagOnce sync.Once
 	etagVal  string
+
+	// The what-if engine and its sweep ranking are pure functions of db,
+	// so both are built at most once per generation (first simulate
+	// request) and die with it on swap — a stale ranking can never
+	// outlive its database. See simulate.go.
+	simOnce   sync.Once
+	simEngine *simulate.Engine
+	sweepOnce sync.Once
+	sweepRes  *simulate.SweepResult
+	sweepDur  time.Duration
 }
 
 // Server serves the trust-anchor API over an atomically swappable database.
@@ -188,6 +205,8 @@ func New(db *store.Database, cfg Config) *Server {
 	s.route("GET /v1/diff", s.handleDiff)
 	s.route("POST /v1/verify", s.handleVerify)
 	s.route("POST "+batchPath, s.handleVerifyBatch)
+	s.route("POST /v1/simulate", s.handleSimulate)
+	s.route("GET /v1/simulate/sweep", s.handleSimulateSweep)
 	s.route("GET /v1/events", s.handleEvents)
 	s.route("GET /v1/events/watch", s.handleEventsWatch)
 	s.mux.Handle("GET /healthz", http.HandlerFunc(s.handleHealthz))

@@ -1,0 +1,88 @@
+package service
+
+// White-box tests of the simulate request parser: table-driven unit
+// coverage plus a fuzz target over the raw wire bytes — whatever arrives,
+// the only acceptable failure mode is an error return.
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simulate"
+	"repro/internal/store"
+)
+
+func TestParseSimulateRequest(t *testing.T) {
+	fp := strings.Repeat("ab", 32)
+	ev, err := parseSimulateRequest(simulateRequest{
+		Kind:         "distrust-after",
+		Store:        "NSS",
+		Fingerprints: []string{fp},
+		Date:         "2020-09-01",
+		Purpose:      "server-auth",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != simulate.KindDistrustAfter || ev.Provider != "NSS" {
+		t.Errorf("event = %+v", ev)
+	}
+	if len(ev.Fingerprints) != 1 || ev.Fingerprints[0].String() != fp {
+		t.Errorf("fingerprints = %v", ev.Fingerprints)
+	}
+	if !ev.Date.Equal(time.Date(2020, 9, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("date = %v", ev.Date)
+	}
+	if ev.Purpose != store.ServerAuth {
+		t.Errorf("purpose = %v", ev.Purpose)
+	}
+
+	bad := []simulateRequest{
+		{Kind: "merger"},
+		{Kind: "removal", Fingerprints: []string{"not-hex"}},
+		{Kind: "removal", Fingerprints: []string{fp}, Date: "yesterday"},
+		{Kind: "removal", Fingerprints: []string{fp}, Purpose: "origami"},
+	}
+	for i, req := range bad {
+		if _, err := parseSimulateRequest(req); !errors.Is(err, simulate.ErrBadEvent) {
+			t.Errorf("bad[%d]: err = %v, want ErrBadEvent", i, err)
+		}
+	}
+
+	// Colon-separated fingerprints are accepted like /v1/roots.
+	withColons := strings.TrimSuffix(strings.Repeat("ab:", 32), ":")
+	if _, err := parseSimulateRequest(simulateRequest{Kind: "removal", Fingerprints: []string{withColons}}); err != nil {
+		t.Errorf("colon-separated fingerprint rejected: %v", err)
+	}
+}
+
+func FuzzSimulateRequest(f *testing.F) {
+	f.Add([]byte(`{"kind":"removal","fingerprints":["` + strings.Repeat("ab", 32) + `"]}`))
+	f.Add([]byte(`{"kind":"ca-removal","owner":"Symantec","date":"2019-09-01"}`))
+	f.Add([]byte(`{"kind":"distrust-after","store":"NSS","purpose":"server-auth"}`))
+	f.Add([]byte(`{"kind":"removal","fingerprints":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"kind":"removal","fingerprints":["zz"],"date":"not a date"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req simulateRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		ev, err := parseSimulateRequest(req)
+		if err != nil {
+			return
+		}
+		// A parsed event must round-trip its invariants: a valid kind and
+		// only well-formed fingerprints.
+		if _, kerr := simulate.ParseKind(string(ev.Kind)); kerr != nil {
+			t.Fatalf("parser accepted invalid kind %q", ev.Kind)
+		}
+		if len(ev.Fingerprints) != len(req.Fingerprints) {
+			t.Fatalf("parser dropped fingerprints: %d in, %d out", len(req.Fingerprints), len(ev.Fingerprints))
+		}
+	})
+}

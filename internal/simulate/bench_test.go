@@ -1,0 +1,52 @@
+package simulate
+
+import (
+	"testing"
+
+	"repro/internal/certutil"
+	"repro/internal/synth"
+)
+
+// BenchmarkSimulateSweep measures the full root × store removal ranking
+// over the synthetic corpus (the paper-scale dataset: ten providers,
+// a few hundred distinct roots). The acceptance bar is single-digit
+// milliseconds for the entire cross product.
+func BenchmarkSimulateSweep(b *testing.B) {
+	eco, err := synth.Cached("simulate-bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := New(eco.DB, Options{})
+	eng.Sweep(0) // warm the memoized per-snapshot bitsets
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eng.Sweep(0)
+		if res.Pairs == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkSimulateEvent measures one single-event evaluation — the
+// per-request cost of POST /v1/simulate.
+func BenchmarkSimulateEvent(b *testing.B) {
+	eco, err := synth.Cached("simulate-bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := New(eco.DB, Options{})
+	sweep := eng.Sweep(0)
+	top := sweep.Top(1)[0]
+	fp, err := certutil.ParseFingerprint(top.Fingerprint)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SimulateRemovalOf(top.Store, fp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

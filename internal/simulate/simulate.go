@@ -1,0 +1,594 @@
+// Package simulate is the removal-impact "what-if" engine: the
+// forward-looking counterpart of the paper's Table 4 retrospective. Given
+// a hypothetical distrust event — a root removal, a partial distrust-after
+// date, or a whole-CA removal by owner — against one database generation,
+// it answers who breaks and for how long:
+//
+//   - weighted client impact: the fraction of UA-weighted traffic (Table 1
+//     marginals, internal/useragent) whose routed store loses the root,
+//   - cross-store divergence windows: which stores and derivatives still
+//     trust the root and the projected interval until they follow, using
+//     each store's historical responsiveness measured from its own history
+//     (internal/core's Table 4 machinery, aggregated per store), and
+//   - Symantec-style partial-distrust mismatch risk per derivative:
+//     whether a derivative honors, ignores, or overshoots an upstream
+//     distrust-after annotation (modeled off store.DistrustAfter
+//     semantics and §6.2's flattened-format fidelity loss).
+//
+// The engine is immutable once built over a database and safe for any
+// number of concurrent callers — the serving layer builds one per
+// generation and shares it across requests. Sweep mode (sweep.go)
+// evaluates every root × every store as a sharded bitset workload.
+package simulate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/certutil"
+	"repro/internal/core"
+	"repro/internal/paperdata"
+	"repro/internal/store"
+	"repro/internal/useragent"
+)
+
+// Kind is the hypothetical event class.
+type Kind string
+
+// Event kinds.
+const (
+	// KindRemoval removes the named roots from the acting store outright.
+	KindRemoval Kind = "removal"
+	// KindDistrustAfter sets a partial-distrust issuance cutoff on the
+	// named roots (CKA_NSS_SERVER_DISTRUST_AFTER semantics).
+	KindDistrustAfter Kind = "distrust-after"
+	// KindCARemoval removes every root whose label or subject matches the
+	// owner substring — a whole-CA distrust across all its fingerprints.
+	KindCARemoval Kind = "ca-removal"
+)
+
+// ParseKind validates a wire-format kind.
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case KindRemoval, KindDistrustAfter, KindCARemoval:
+		return Kind(s), nil
+	}
+	return "", fmt.Errorf("%w: unknown kind %q (want removal, distrust-after or ca-removal)", ErrBadEvent, s)
+}
+
+// Event is one hypothetical distrust action.
+type Event struct {
+	Kind Kind
+	// Provider is the acting store; defaults to NSS (the paper's anchor).
+	Provider string
+	// Fingerprints names the affected roots (removal / distrust-after).
+	Fingerprints []certutil.Fingerprint
+	// Owner is the CA owner substring for ca-removal events, matched
+	// case-insensitively against root labels and subjects.
+	Owner string
+	// Date is when the event takes effect; the acting store's latest
+	// snapshot date when zero.
+	Date time.Time
+	// Purpose defaults to server authentication.
+	Purpose store.Purpose
+}
+
+// Typed errors so transports can map causes to status codes.
+var (
+	ErrUnknownProvider = errors.New("simulate: unknown provider")
+	ErrNoAffectedRoots = errors.New("simulate: no affected roots")
+	ErrBadEvent        = errors.New("simulate: invalid event")
+)
+
+// Options tunes engine construction. Zero values select the paper's
+// defaults.
+type Options struct {
+	// Weights is the UA traffic distribution; useragent.PaperWeights()
+	// when zero.
+	Weights useragent.Weights
+	// Upstream maps derivative provider → upstream provider; the
+	// paperdata Table 2 lineage when nil.
+	Upstream map[string]string
+	// Purpose is the default trust purpose (server-auth when unset); an
+	// Event may override it per call.
+	Purpose store.Purpose
+}
+
+// Engine evaluates events against one immutable database generation.
+type Engine struct {
+	db       *store.Database
+	purpose  store.Purpose
+	weights  useragent.Weights
+	upstream map[string]string
+
+	providers []string                   // sorted DB providers
+	latest    map[string]*store.Snapshot // latest snapshot per provider
+	interner  *store.Interner
+
+	// shares maps a DB store name to its UA traffic share — the Table 1
+	// marginal of every UA provider routed to that store. shareList is the
+	// same data in sorted order: impact sums iterate it so that the same
+	// event always produces the bit-identical float, whichever path
+	// (single simulation or sweep) computed it.
+	shares    map[string]float64
+	shareList []providerShare
+
+	// lagMu guards the lazily computed per-anchor responsiveness stats;
+	// everything else is immutable after New.
+	lagMu       sync.Mutex
+	lagByAnchor map[string]map[string]core.LagStats
+}
+
+// New builds an engine over db. The database must not be mutated
+// afterwards (the serving layer's existing immutable-generation
+// convention).
+func New(db *store.Database, opts Options) *Engine {
+	w := opts.Weights
+	if w.Total == 0 {
+		w = useragent.PaperWeights()
+	}
+	up := opts.Upstream
+	if up == nil {
+		up = map[string]string{}
+		for _, p := range paperdata.Providers() {
+			if p.DerivesFrom != "" {
+				up[p.Name] = p.DerivesFrom
+			}
+		}
+	}
+	e := &Engine{
+		db:          db,
+		purpose:     opts.Purpose,
+		weights:     w,
+		upstream:    up,
+		providers:   db.Providers(),
+		latest:      map[string]*store.Snapshot{},
+		interner:    db.Interner(),
+		shares:      map[string]float64{},
+		lagByAnchor: map[string]map[string]core.LagStats{},
+	}
+	for _, name := range e.providers {
+		if snap := db.History(name).Latest(); snap != nil {
+			e.latest[name] = snap
+		}
+	}
+	// Intern every fingerprint the database has ever seen so event
+	// resolution can name historical roots, not just currently-trusted
+	// ones (TrustedBits only interns lazily on first computation).
+	for _, snap := range db.AllSnapshots() {
+		for _, entry := range snap.Entries() {
+			e.interner.ID(entry.Fingerprint)
+		}
+	}
+	for p := range w.Providers {
+		// useragent provider names match store provider names by design;
+		// a share routed to a store the database lacks contributes nothing.
+		e.shares[string(p)] += w.Share(p)
+	}
+	names := make([]string, 0, len(e.shares))
+	for name := range e.shares {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e.shareList = append(e.shareList, providerShare{name: name, share: e.shares[name]})
+	}
+	return e
+}
+
+// providerShare pairs a store provider with its UA traffic share.
+type providerShare struct {
+	name  string
+	share float64
+}
+
+// Purpose returns the engine's default trust purpose.
+func (e *Engine) Purpose() store.Purpose { return e.purpose }
+
+// trustedBits returns the provider's latest trusted set in the database's
+// ID space; memoized inside the snapshot, so repeated calls are free.
+func (e *Engine) trustedBits(provider string, p store.Purpose) *bitset.Set {
+	snap := e.latest[provider]
+	if snap == nil {
+		return nil
+	}
+	return snap.TrustedBits(p, e.interner)
+}
+
+// RootRef identifies one affected root in results.
+type RootRef struct {
+	Fingerprint string `json:"fingerprint"`
+	Label       string `json:"label,omitempty"`
+}
+
+// ImpactRow is one UA provider's exposure to the event.
+type ImpactRow struct {
+	// Provider is the UA-routed store provider (Table 1 marginal).
+	Provider string `json:"provider"`
+	// Share is its fraction of total UA traffic.
+	Share float64 `json:"share"`
+	// TrustsNow reports whether the routed store currently trusts any
+	// affected root; false means those clients see no change.
+	TrustsNow bool `json:"trusts_now"`
+	// Loses reports whether the routed store is the acting store or one
+	// of its derivatives — the stores the event propagates to.
+	Loses bool `json:"loses"`
+}
+
+// DivergenceWindow is one store still trusting the affected roots after
+// the event, with its projected catch-up interval.
+type DivergenceWindow struct {
+	Store string `json:"store"`
+	// Derivative marks stores deriving from the acting provider (they
+	// follow mechanically, on their observed sync lag).
+	Derivative bool `json:"derivative"`
+	// TrustedRoots counts the affected roots the store still trusts.
+	TrustedRoots int `json:"trusted_roots"`
+	// MedianLagDays is the store's historical responsiveness to the
+	// acting store's removals (core.LagStats); meaningful only when
+	// HasHistory.
+	MedianLagDays float64 `json:"median_lag_days,omitempty"`
+	P90LagDays    float64 `json:"p90_lag_days,omitempty"`
+	HasHistory    bool    `json:"has_history"`
+	// ProjectedUntil is event date + median lag — the projected end of
+	// the divergence window. Zero (and OpenEnded true) when the store has
+	// never followed one of the acting store's removals.
+	ProjectedUntil time.Time `json:"projected_until,omitzero"`
+	OpenEnded      bool      `json:"open_ended"`
+}
+
+// Mismatch classes for distrust-after events, per derivative.
+const (
+	// MismatchHonored: the derivative's format carries distrust-after
+	// metadata; the cutoff propagates faithfully.
+	MismatchHonored = "honored"
+	// MismatchIgnored: the derivative trusts the root fully and its
+	// format cannot express the cutoff — post-cutoff issuance stays
+	// accepted (the Symantec failure the paper observed in §6.2).
+	MismatchIgnored = "ignored-full-trust"
+	// MismatchRemoved: the derivative dropped the root outright —
+	// pre-cutoff issuance breaks too (overblocking).
+	MismatchRemoved = "removed-overblocking"
+	// MismatchNotTrusted: the derivative never trusted the root; no risk.
+	MismatchNotTrusted = "not-trusted"
+)
+
+// MismatchRisk is one derivative's projected handling of an upstream
+// distrust-after annotation.
+type MismatchRisk struct {
+	Derivative string `json:"derivative"`
+	Upstream   string `json:"upstream"`
+	// SupportsDistrustAfter reports whether the derivative's latest
+	// snapshot carries any distrust-after metadata at all — flattened
+	// formats (PEM bundles, node_root_certs.h) cannot.
+	SupportsDistrustAfter bool `json:"supports_distrust_after"`
+	// Risk is one of the Mismatch* classes.
+	Risk string `json:"risk"`
+	// TrustedRoots counts affected roots the derivative still fully
+	// trusts.
+	TrustedRoots int `json:"trusted_roots"`
+}
+
+// Result is a single-event evaluation.
+type Result struct {
+	Kind     Kind      `json:"kind"`
+	Provider string    `json:"provider"`
+	Date     time.Time `json:"date"`
+	Purpose  string    `json:"purpose"`
+
+	AffectedRoots []RootRef `json:"affected_roots"`
+
+	// ImpactFraction is the headline: the UA-weighted share of traffic
+	// whose routed store loses (or gains the cutoff on) the roots.
+	ImpactFraction float64 `json:"impact_fraction"`
+	// TrustedFraction is the share of traffic whose routed store trusts
+	// any affected root today — the impact ceiling.
+	TrustedFraction float64 `json:"trusted_fraction"`
+	// UntraceableFraction is the share of traffic no store can be
+	// attributed to (the paper's 23%).
+	UntraceableFraction float64 `json:"untraceable_fraction"`
+
+	Impacts    []ImpactRow        `json:"impacts"`
+	Divergence []DivergenceWindow `json:"divergence"`
+	// MismatchRisks is populated for distrust-after events only.
+	MismatchRisks []MismatchRisk `json:"mismatch_risks,omitempty"`
+}
+
+// Simulate evaluates one event. It never mutates the engine or database,
+// so any number of simulations may run concurrently.
+func (e *Engine) Simulate(ev Event) (*Result, error) {
+	if ev.Provider == "" {
+		ev.Provider = paperdata.NSS
+	}
+	snap := e.latest[ev.Provider]
+	if snap == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownProvider, ev.Provider)
+	}
+	purpose := ev.Purpose
+	if purpose == 0 && e.purpose != 0 {
+		purpose = e.purpose
+	}
+	if ev.Date.IsZero() {
+		ev.Date = snap.Date
+	}
+	if _, err := ParseKind(string(ev.Kind)); err != nil {
+		return nil, err
+	}
+
+	roots, ids, err := e.resolveRoots(ev, snap)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Kind:                ev.Kind,
+		Provider:            ev.Provider,
+		Date:                ev.Date,
+		Purpose:             purpose.String(),
+		AffectedRoots:       roots,
+		UntraceableFraction: e.weights.UntraceableShare(),
+	}
+	res.ImpactFraction, res.TrustedFraction = e.impactOf(ev.Provider, purpose, ids)
+	res.Impacts = e.impactRows(ev.Provider, purpose, ids)
+	res.Divergence = e.divergenceWindows(ev, purpose, ids)
+	if ev.Kind == KindDistrustAfter {
+		res.MismatchRisks = e.mismatchRisks(ev, purpose, ids)
+	}
+	return res, nil
+}
+
+// resolveRoots maps the event to interned root IDs and display references.
+func (e *Engine) resolveRoots(ev Event, snap *store.Snapshot) ([]RootRef, []uint32, error) {
+	var refs []RootRef
+	var ids []uint32
+	switch ev.Kind {
+	case KindCARemoval:
+		if strings.TrimSpace(ev.Owner) == "" {
+			return nil, nil, fmt.Errorf("%w: ca-removal requires an owner", ErrBadEvent)
+		}
+		needle := strings.ToLower(ev.Owner)
+		for _, entry := range snap.Entries() {
+			if !strings.Contains(strings.ToLower(entry.Label), needle) &&
+				!strings.Contains(strings.ToLower(certutil.DisplayName(entry.Cert)), needle) {
+				continue
+			}
+			refs = append(refs, RootRef{Fingerprint: entry.Fingerprint.String(), Label: entry.Label})
+			ids = append(ids, e.interner.ID(entry.Fingerprint))
+		}
+		if len(ids) == 0 {
+			return nil, nil, fmt.Errorf("%w: owner %q matches no root in %s", ErrNoAffectedRoots, ev.Owner, snap.Key())
+		}
+	default:
+		if len(ev.Fingerprints) == 0 {
+			return nil, nil, fmt.Errorf("%w: %s requires fingerprints", ErrBadEvent, ev.Kind)
+		}
+		for _, fp := range ev.Fingerprints {
+			id, ok := e.interner.LookupID(fp)
+			if !ok {
+				continue // a root no store has ever seen cannot diverge
+			}
+			ref := RootRef{Fingerprint: fp.String()}
+			if entry, ok := snap.Lookup(fp); ok {
+				ref.Label = entry.Label
+			} else {
+				ref.Label = e.labelAnywhere(fp)
+			}
+			refs = append(refs, ref)
+			ids = append(ids, id)
+		}
+		if len(ids) == 0 {
+			return nil, nil, fmt.Errorf("%w: no named fingerprint is known to any store", ErrNoAffectedRoots)
+		}
+	}
+	return refs, ids, nil
+}
+
+// labelAnywhere finds a display label for a root the acting store lacks.
+func (e *Engine) labelAnywhere(fp certutil.Fingerprint) string {
+	for _, name := range e.providers {
+		if snap := e.latest[name]; snap != nil {
+			if entry, ok := snap.Lookup(fp); ok {
+				return entry.Label
+			}
+		}
+	}
+	return ""
+}
+
+// impactOf computes the headline fractions: traffic whose routed store
+// loses any affected root (the acting store plus its derivatives), and
+// traffic whose routed store trusts any of them today. This single
+// formula is shared by Simulate and the sweep, which is what makes
+// "sweep == N single simulations" a provable property rather than an
+// aspiration.
+func (e *Engine) impactOf(provider string, p store.Purpose, ids []uint32) (impact, trusted float64) {
+	for _, ps := range e.shareList {
+		bits := e.trustedBits(ps.name, p)
+		if bits == nil || !anyIn(bits, ids) {
+			continue
+		}
+		trusted += ps.share
+		if ps.name == provider || e.upstream[ps.name] == provider {
+			impact += ps.share
+		}
+	}
+	return impact, trusted
+}
+
+// anyIn reports whether the set contains any of the IDs.
+func anyIn(b *bitset.Set, ids []uint32) bool {
+	for _, id := range ids {
+		if b.Contains(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// impactRows renders the per-UA-provider breakdown, sorted by share
+// descending then name.
+func (e *Engine) impactRows(provider string, p store.Purpose, ids []uint32) []ImpactRow {
+	rows := make([]ImpactRow, 0, len(e.shares))
+	for storeName, share := range e.shares {
+		row := ImpactRow{Provider: storeName, Share: share}
+		if bits := e.trustedBits(storeName, p); bits != nil && anyIn(bits, ids) {
+			row.TrustsNow = true
+			row.Loses = storeName == provider || e.upstream[storeName] == provider
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Share != rows[j].Share {
+			return rows[i].Share > rows[j].Share
+		}
+		return rows[i].Provider < rows[j].Provider
+	})
+	return rows
+}
+
+// divergenceWindows lists every other store still trusting the roots,
+// with a catch-up projection from its historical responsiveness to the
+// acting store's removals.
+func (e *Engine) divergenceWindows(ev Event, p store.Purpose, ids []uint32) []DivergenceWindow {
+	lags := e.lagStats(ev.Provider)
+	var out []DivergenceWindow
+	for _, name := range e.providers {
+		if name == ev.Provider {
+			continue
+		}
+		bits := e.trustedBits(name, p)
+		if bits == nil {
+			continue
+		}
+		n := 0
+		for _, id := range ids {
+			if bits.Contains(id) {
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		win := DivergenceWindow{
+			Store:        name,
+			Derivative:   e.upstream[name] == ev.Provider,
+			TrustedRoots: n,
+		}
+		if st, ok := lags[name]; ok && st.Samples > 0 {
+			win.HasHistory = true
+			win.MedianLagDays = st.MedianDays
+			win.P90LagDays = st.P90Days
+			win.ProjectedUntil = ev.Date.AddDate(0, 0, int(math.Round(st.MedianDays)))
+		} else {
+			win.OpenEnded = true
+		}
+		out = append(out, win)
+	}
+	return out
+}
+
+// mismatchRisks classifies each derivative of the acting store against a
+// distrust-after annotation.
+func (e *Engine) mismatchRisks(ev Event, p store.Purpose, ids []uint32) []MismatchRisk {
+	var out []MismatchRisk
+	for _, name := range e.providers {
+		if e.upstream[name] != ev.Provider {
+			continue
+		}
+		snap := e.latest[name]
+		if snap == nil {
+			continue
+		}
+		risk := MismatchRisk{
+			Derivative:            name,
+			Upstream:              ev.Provider,
+			SupportsDistrustAfter: snapshotCarriesDistrustAfter(snap, p),
+		}
+		bits := e.trustedBits(name, p)
+		for _, id := range ids {
+			if bits.Contains(id) {
+				risk.TrustedRoots++
+			}
+		}
+		switch {
+		case risk.TrustedRoots > 0 && risk.SupportsDistrustAfter:
+			risk.Risk = MismatchHonored
+		case risk.TrustedRoots > 0:
+			risk.Risk = MismatchIgnored
+		case e.everTrustedAny(name, p, ev.Fingerprints):
+			risk.Risk = MismatchRemoved
+		default:
+			risk.Risk = MismatchNotTrusted
+		}
+		out = append(out, risk)
+	}
+	return out
+}
+
+// snapshotCarriesDistrustAfter reports whether any entry of the snapshot
+// has a distrust-after annotation for the purpose — the capability signal
+// that the provider's format preserves partial distrust at all.
+func snapshotCarriesDistrustAfter(snap *store.Snapshot, p store.Purpose) bool {
+	for _, entry := range snap.Entries() {
+		if _, ok := entry.DistrustAfterFor(p); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// everTrustedAny reports whether the provider's history ever trusted any
+// of the fingerprints for the purpose.
+func (e *Engine) everTrustedAny(provider string, p store.Purpose, fps []certutil.Fingerprint) bool {
+	h := e.db.History(provider)
+	if h == nil {
+		return false
+	}
+	for _, fp := range fps {
+		if _, _, ever := h.TrustedUntil(fp, p); ever {
+			return true
+		}
+	}
+	return false
+}
+
+// lagStats returns per-store responsiveness statistics against the
+// anchor's own removal history: every removal event the anchor's history
+// contains (excluding pure expiry hygiene) becomes an incident, and each
+// other store's lag is measured with the Table 4 machinery. Computed once
+// per anchor and cached for the engine's lifetime.
+func (e *Engine) lagStats(anchor string) map[string]core.LagStats {
+	e.lagMu.Lock()
+	defer e.lagMu.Unlock()
+	if cached, ok := e.lagByAnchor[anchor]; ok {
+		return cached
+	}
+	pipe := &core.Pipeline{DB: e.db, Purpose: e.purpose, Families: core.DefaultFamilies()}
+	var specs []core.IncidentSpec
+	for _, evt := range pipe.RemovalCatalog(anchor, time.Time{}, nil) {
+		spec := core.IncidentSpec{Name: evt.Date.Format("2006-01-02"), Anchor: anchor}
+		allExpired := true
+		for _, r := range evt.Roots {
+			if !r.Expired {
+				allExpired = false
+				spec.Fingerprints = append(spec.Fingerprints, r.Fingerprint)
+			}
+		}
+		if allExpired {
+			continue // routine expiry cleanup says nothing about responsiveness
+		}
+		specs = append(specs, spec)
+	}
+	stats := map[string]core.LagStats{}
+	for _, st := range pipe.ResponsivenessLags(specs) {
+		stats[st.Store] = st
+	}
+	e.lagByAnchor[anchor] = stats
+	return stats
+}

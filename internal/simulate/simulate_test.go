@@ -1,0 +1,274 @@
+package simulate
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/certutil"
+	"repro/internal/paperdata"
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+// fixtureDB builds a small hand-auditable database over three shared test
+// roots A, B, C. Every oracle number in this file is computed by hand from
+// this layout:
+//
+//	NSS:       2020-01-01 {A,B,C}   2020-06-01 {A,B}      (C removed, not expired)
+//	Microsoft: 2020-01-01 {A,B,C}   2020-08-01 {A,B,C}    2020-09-01 {A,B}
+//	Apple:     2020-01-01 {B}
+//	Android:   2020-06-01 {A,B}
+//	NodeJS:    2020-01-01 {A,B}     2020-06-01 {B}        (dropped A outright)
+//	Debian:    2020-06-01 {A, B+distrust-after}           (format keeps metadata)
+//	Ubuntu:    2020-06-01 {B}
+//
+// The NSS history yields exactly one removal incident (C, anchor date
+// 2020-01-01); Microsoft's last trust in C is 2020-08-01, so its measured
+// lag is 213 days (2020 is a leap year). No other store ever carried C.
+func fixtureDB(t testing.TB) (*store.Database, []certutil.Fingerprint) {
+	t.Helper()
+	roots := testcerts.Roots(3)
+	fps := make([]certutil.Fingerprint, 3)
+	for i, r := range roots {
+		fps[i] = certutil.SHA256Fingerprint(r.DER)
+	}
+	entry := func(i int) *store.TrustEntry {
+		e, err := store.NewTrustedEntry(roots[i].DER, store.ServerAuth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	day := func(y, m, d int) time.Time { return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC) }
+	snap := func(provider, version string, date time.Time, idx ...int) *store.Snapshot {
+		s := store.NewSnapshot(provider, version, date)
+		for _, i := range idx {
+			s.Add(entry(i))
+		}
+		return s
+	}
+
+	db := store.NewDatabase()
+	add := func(s *store.Snapshot) {
+		if err := db.AddSnapshot(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(snap(paperdata.NSS, "1", day(2020, 1, 1), 0, 1, 2))
+	add(snap(paperdata.NSS, "2", day(2020, 6, 1), 0, 1))
+	add(snap(paperdata.Microsoft, "1", day(2020, 1, 1), 0, 1, 2))
+	add(snap(paperdata.Microsoft, "2", day(2020, 8, 1), 0, 1, 2))
+	add(snap(paperdata.Microsoft, "3", day(2020, 9, 1), 0, 1))
+	add(snap(paperdata.Apple, "1", day(2020, 1, 1), 1))
+	add(snap(paperdata.Android, "1", day(2020, 6, 1), 0, 1))
+	add(snap(paperdata.NodeJS, "1", day(2020, 1, 1), 0, 1))
+	add(snap(paperdata.NodeJS, "2", day(2020, 6, 1), 1))
+
+	deb := store.NewSnapshot(paperdata.Debian, "1", day(2020, 6, 1))
+	deb.Add(entry(0))
+	withCutoff := entry(1)
+	withCutoff.SetDistrustAfter(store.ServerAuth, day(2019, 9, 1))
+	deb.Add(withCutoff)
+	add(deb)
+
+	add(snap(paperdata.Ubuntu, "1", day(2020, 6, 1), 1))
+	return db, fps
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}
+
+func TestSimulateRemovalOracle(t *testing.T) {
+	db, fps := fixtureDB(t)
+	eng := New(db, Options{})
+
+	res, err := eng.Simulate(Event{Kind: KindRemoval, Fingerprints: []certutil.Fingerprint{fps[0]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Provider != paperdata.NSS {
+		t.Errorf("provider defaulted to %q, want NSS", res.Provider)
+	}
+	if !res.Date.Equal(time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("date defaulted to %v, want NSS latest 2020-06-01", res.Date)
+	}
+	// Stores trusting A: NSS (11), Microsoft (34), Android (49), Debian (no
+	// UA share). Losing stores = NSS + its derivatives → NSS + Android.
+	if want := 60.0 / 200; !approx(res.ImpactFraction, want) {
+		t.Errorf("impact = %v, want %v (NSS 11 + Android 49 of 200)", res.ImpactFraction, want)
+	}
+	if want := 94.0 / 200; !approx(res.TrustedFraction, want) {
+		t.Errorf("trusted = %v, want %v (NSS 11 + Microsoft 34 + Android 49)", res.TrustedFraction, want)
+	}
+	if want := 46.0 / 200; !approx(res.UntraceableFraction, want) {
+		t.Errorf("untraceable = %v, want %v", res.UntraceableFraction, want)
+	}
+	if len(res.AffectedRoots) != 1 || res.AffectedRoots[0].Fingerprint != fps[0].String() {
+		t.Fatalf("affected roots = %+v, want exactly root A", res.AffectedRoots)
+	}
+
+	// Divergence: Microsoft (213-day measured lag → projected 2020-12-31),
+	// Android and Debian (derivatives, no history → open-ended).
+	byStore := map[string]DivergenceWindow{}
+	for _, w := range res.Divergence {
+		byStore[w.Store] = w
+	}
+	if len(byStore) != 3 {
+		t.Fatalf("divergence stores = %v, want Microsoft/Android/Debian", res.Divergence)
+	}
+	ms := byStore[paperdata.Microsoft]
+	if !ms.HasHistory || ms.MedianLagDays != 213 {
+		t.Errorf("Microsoft lag = %+v, want measured median 213", ms)
+	}
+	if want := time.Date(2020, 12, 31, 0, 0, 0, 0, time.UTC); !ms.ProjectedUntil.Equal(want) {
+		t.Errorf("Microsoft projected until %v, want %v", ms.ProjectedUntil, want)
+	}
+	if ms.Derivative {
+		t.Error("Microsoft flagged as NSS derivative")
+	}
+	for _, name := range []string{paperdata.Android, paperdata.Debian} {
+		w := byStore[name]
+		if !w.Derivative || !w.OpenEnded || w.HasHistory {
+			t.Errorf("%s window = %+v, want open-ended derivative", name, w)
+		}
+	}
+
+	// Per-UA rows: Apple has the largest share but neither trusts nor loses A.
+	if len(res.Impacts) == 0 || res.Impacts[0].Provider != paperdata.Apple {
+		t.Fatalf("impacts = %+v, want Apple (share 0.265) first", res.Impacts)
+	}
+	if res.Impacts[0].TrustsNow || res.Impacts[0].Loses {
+		t.Errorf("Apple row = %+v, want untouched", res.Impacts[0])
+	}
+}
+
+func TestSimulateDistrustAfterMismatch(t *testing.T) {
+	db, fps := fixtureDB(t)
+	eng := New(db, Options{})
+
+	res, err := eng.Simulate(Event{
+		Kind:         KindDistrustAfter,
+		Provider:     paperdata.NSS,
+		Fingerprints: []certutil.Fingerprint{fps[0]},
+		Date:         time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		paperdata.Android: MismatchIgnored,    // trusts A, flattened format
+		paperdata.Debian:  MismatchHonored,    // trusts A, carries distrust-after metadata
+		paperdata.NodeJS:  MismatchRemoved,    // dropped A outright
+		paperdata.Ubuntu:  MismatchNotTrusted, // never carried A
+	}
+	if len(res.MismatchRisks) != len(want) {
+		t.Fatalf("got %d mismatch rows (%+v), want %d", len(res.MismatchRisks), res.MismatchRisks, len(want))
+	}
+	for _, r := range res.MismatchRisks {
+		if r.Upstream != paperdata.NSS {
+			t.Errorf("%s upstream = %q, want NSS", r.Derivative, r.Upstream)
+		}
+		if r.Risk != want[r.Derivative] {
+			t.Errorf("%s risk = %q, want %q", r.Derivative, r.Risk, want[r.Derivative])
+		}
+	}
+
+	// A plain removal must not emit mismatch rows.
+	res2, err := eng.Simulate(Event{Kind: KindRemoval, Fingerprints: []certutil.Fingerprint{fps[0]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.MismatchRisks) != 0 {
+		t.Errorf("removal event produced mismatch rows: %+v", res2.MismatchRisks)
+	}
+}
+
+func TestSimulateCARemoval(t *testing.T) {
+	db, _ := fixtureDB(t)
+	eng := New(db, Options{})
+
+	// Every shared test root is labeled "Shared Test Root NNN"; the owner
+	// match is case-insensitive and scoped to the acting store's latest
+	// snapshot, so NSS@2020-06-01 contributes A and B.
+	res, err := eng.Simulate(Event{Kind: KindCARemoval, Owner: "shared test root"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AffectedRoots) != 2 {
+		t.Fatalf("affected = %+v, want A and B", res.AffectedRoots)
+	}
+	// Every UA-weighted store trusts B, so the whole traceable share is
+	// trusted and the NSS family share is impacted.
+	if want := 154.0 / 200; !approx(res.TrustedFraction, want) {
+		t.Errorf("trusted = %v, want %v", res.TrustedFraction, want)
+	}
+	if want := (11.0 + 49 + 7) / 200; !approx(res.ImpactFraction, want) {
+		t.Errorf("impact = %v, want %v (NSS + Android + NodeJS)", res.ImpactFraction, want)
+	}
+
+	one, err := eng.Simulate(Event{Kind: KindCARemoval, Owner: "Root 000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.AffectedRoots) != 1 {
+		t.Fatalf("affected = %+v, want just root A", one.AffectedRoots)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	db, fps := fixtureDB(t)
+	eng := New(db, Options{})
+
+	cases := []struct {
+		name string
+		ev   Event
+		want error
+	}{
+		{"unknown provider", Event{Kind: KindRemoval, Provider: "Netscape", Fingerprints: fps[:1]}, ErrUnknownProvider},
+		{"unknown kind", Event{Kind: "merger"}, ErrBadEvent},
+		{"no fingerprints", Event{Kind: KindRemoval}, ErrBadEvent},
+		{"no owner", Event{Kind: KindCARemoval}, ErrBadEvent},
+		{"owner matches nothing", Event{Kind: KindCARemoval, Owner: "Honest Achmed"}, ErrNoAffectedRoots},
+		{"fingerprint nobody knows", Event{Kind: KindRemoval, Fingerprints: []certutil.Fingerprint{{0xde, 0xad}}}, ErrNoAffectedRoots},
+	}
+	for _, tc := range cases {
+		if _, err := eng.Simulate(tc.ev); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, ok := range []string{"removal", "distrust-after", "ca-removal"} {
+		if _, err := ParseKind(ok); err != nil {
+			t.Errorf("ParseKind(%q) = %v", ok, err)
+		}
+	}
+	if _, err := ParseKind("acquisition"); !errors.Is(err, ErrBadEvent) {
+		t.Errorf("ParseKind(acquisition) = %v, want ErrBadEvent", err)
+	}
+}
+
+func TestEngineConcurrentSimulate(t *testing.T) {
+	db, fps := fixtureDB(t)
+	eng := New(db, Options{})
+	done := make(chan *Result, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			res, err := eng.Simulate(Event{Kind: KindRemoval, Fingerprints: []certutil.Fingerprint{fps[0]}})
+			if err != nil {
+				t.Error(err)
+			}
+			done <- res
+		}()
+	}
+	first := <-done
+	for i := 1; i < 16; i++ {
+		if res := <-done; res != nil && first != nil && res.ImpactFraction != first.ImpactFraction {
+			t.Fatalf("concurrent simulations disagree: %v vs %v", res.ImpactFraction, first.ImpactFraction)
+		}
+	}
+}

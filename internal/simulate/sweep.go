@@ -1,0 +1,172 @@
+package simulate
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitset"
+	"repro/internal/certutil"
+)
+
+// SweepEntry is one (root, store) removal scenario with its UA-weighted
+// impact — what Simulate's ImpactFraction would report for a single-root
+// removal of Fingerprint by Store.
+type SweepEntry struct {
+	Fingerprint string  `json:"fingerprint"`
+	Label       string  `json:"label,omitempty"`
+	Store       string  `json:"store"`
+	Impact      float64 `json:"impact"`
+	// TrustingStores counts how many stores' latest snapshots trust the
+	// root — a proxy for how contested a removal would be.
+	TrustingStores int `json:"trusting_stores"`
+}
+
+// SweepResult ranks every root × store removal scenario for one database
+// generation.
+type SweepResult struct {
+	Purpose string `json:"purpose"`
+	// Roots is the number of distinct roots trusted by at least one
+	// latest snapshot; Stores the providers swept; Pairs the evaluated
+	// (root, store) scenarios.
+	Roots  int      `json:"roots"`
+	Stores []string `json:"stores"`
+	Pairs  int      `json:"pairs"`
+	// Entries is the full ranking, highest impact first (ties broken by
+	// fingerprint then store for a stable order).
+	Entries []SweepEntry `json:"entries"`
+}
+
+// Top returns the n highest-impact entries (the whole ranking when n <= 0
+// or exceeds it) without copying the backing array.
+func (r *SweepResult) Top(n int) []SweepEntry {
+	if n <= 0 || n >= len(r.Entries) {
+		return r.Entries
+	}
+	return r.Entries[:n]
+}
+
+// Sweep evaluates the removal of every root by every store that trusts
+// it, in parallel, and returns the full impact ranking. Each (root,
+// store) cell costs a handful of bitset probes, so the whole cross
+// product over a realistic corpus lands in single-digit milliseconds.
+// workers <= 0 means GOMAXPROCS. The result is identical — entry by
+// entry, bit for bit — to running Simulate once per pair, because both
+// paths share impactOf.
+func (e *Engine) Sweep(workers int) *SweepResult {
+	p := e.purpose
+
+	// The root universe: every ID trusted by at least one latest snapshot.
+	universe := &bitset.Set{}
+	perStore := make(map[string]*bitset.Set, len(e.providers))
+	for _, name := range e.providers {
+		if bits := e.trustedBits(name, p); bits != nil {
+			perStore[name] = bits
+			universe = universe.Union(bits)
+		}
+	}
+	ids := universe.IDs()
+
+	res := &SweepResult{Purpose: p.String(), Roots: len(ids)}
+	for _, name := range e.providers {
+		if perStore[name] != nil {
+			res.Stores = append(res.Stores, name)
+		}
+	}
+
+	// Shard over roots with the atomic-counter idiom the distance-matrix
+	// kernel uses (setdist.parallelRows): workers pull the next root index
+	// and write a disjoint slot, so no synchronization beyond the counter.
+	perRoot := make([][]SweepEntry, len(ids))
+	parallelIDs(len(ids), workers, func(i int) {
+		id := ids[i]
+		fp, ok := e.interner.FingerprintOf(id)
+		if !ok {
+			return
+		}
+		label := e.labelAnywhere(fp)
+		single := [1]uint32{id}
+		trusting := 0
+		for _, name := range res.Stores {
+			if perStore[name].Contains(id) {
+				trusting++
+			}
+		}
+		var entries []SweepEntry
+		for _, name := range res.Stores {
+			if !perStore[name].Contains(id) {
+				continue // a store cannot remove a root it does not carry
+			}
+			impact, _ := e.impactOf(name, p, single[:])
+			entries = append(entries, SweepEntry{
+				Fingerprint:    fp.String(),
+				Label:          label,
+				Store:          name,
+				Impact:         impact,
+				TrustingStores: trusting,
+			})
+		}
+		perRoot[i] = entries
+	})
+
+	for _, entries := range perRoot {
+		res.Entries = append(res.Entries, entries...)
+	}
+	res.Pairs = len(res.Entries)
+	sort.Slice(res.Entries, func(i, j int) bool {
+		a, b := res.Entries[i], res.Entries[j]
+		if a.Impact != b.Impact {
+			return a.Impact > b.Impact
+		}
+		if a.Fingerprint != b.Fingerprint {
+			return a.Fingerprint < b.Fingerprint
+		}
+		return a.Store < b.Store
+	})
+	return res
+}
+
+// SimulateRemovalOf is the single-pair probe the sweep ranking is made
+// of, exposed so property tests (and curious callers) can cross-check a
+// sweep cell against a full Simulate run.
+func (e *Engine) SimulateRemovalOf(provider string, fp certutil.Fingerprint) (float64, error) {
+	res, err := e.Simulate(Event{Kind: KindRemoval, Provider: provider, Fingerprints: []certutil.Fingerprint{fp}, Purpose: e.purpose})
+	if err != nil {
+		return 0, err
+	}
+	return res.ImpactFraction, nil
+}
+
+// parallelIDs runs f(i) for i in [0,n) across workers goroutines pulling
+// indices from an atomic counter; callers must write disjoint slots.
+func parallelIDs(n, workers int, f func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,64 @@
+package useragent
+
+// This file exposes the Table 1 marginals as traffic weights: what
+// fraction of the top-200 UA population routes to each root-store
+// provider. The removal-impact simulator weights hypothetical distrust
+// events by these shares, turning "store X loses root R" into "Y% of
+// client traffic loses the anchor".
+
+// Weights is a UA-traffic distribution over root-store providers.
+type Weights struct {
+	// Total is the population size the counts are drawn from (200 for the
+	// paper sample).
+	Total int
+	// Providers maps each traceable provider to its UA count.
+	Providers map[Provider]int
+	// Untraceable counts agents the paper could not map to a store.
+	Untraceable int
+}
+
+// WeightsFrom computes the provider marginals of a sample by running every
+// (OS, client) row through the paper's mapping rules.
+func WeightsFrom(rows []SampleRow) Weights {
+	w := Weights{Providers: map[Provider]int{}}
+	for _, row := range rows {
+		w.Total += row.Versions
+		m := MapToProvider(Agent{Browser: row.Browser, OS: row.OS})
+		if m.Traceable {
+			w.Providers[m.Provider] += row.Versions
+		} else {
+			w.Untraceable += row.Versions
+		}
+	}
+	return w
+}
+
+// PaperWeights returns the Table 1 marginals: 154 of 200 agents traceable
+// across NSS, Microsoft, Apple, Android and NodeJS.
+func PaperWeights() Weights { return WeightsFrom(PaperSample()) }
+
+// Share returns the provider's fraction of total traffic, 0 for unknown
+// providers or an empty population.
+func (w Weights) Share(p Provider) float64 {
+	if w.Total == 0 {
+		return 0
+	}
+	return float64(w.Providers[p]) / float64(w.Total)
+}
+
+// TraceableShare returns the fraction of traffic mapped to any store
+// (the paper's 77%).
+func (w Weights) TraceableShare() float64 {
+	if w.Total == 0 {
+		return 0
+	}
+	return float64(w.Total-w.Untraceable) / float64(w.Total)
+}
+
+// UntraceableShare returns the unmapped remainder.
+func (w Weights) UntraceableShare() float64 {
+	if w.Total == 0 {
+		return 0
+	}
+	return float64(w.Untraceable) / float64(w.Total)
+}

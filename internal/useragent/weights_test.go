@@ -1,0 +1,55 @@
+package useragent
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperWeights(t *testing.T) {
+	w := PaperWeights()
+	if w.Total != 200 {
+		t.Fatalf("total = %d, want 200", w.Total)
+	}
+	// The paper's headline: 154/200 (77%) traceable.
+	if got := w.Total - w.Untraceable; got != 154 {
+		t.Errorf("traceable = %d, want 154", got)
+	}
+	if math.Abs(w.TraceableShare()-0.77) > 1e-9 {
+		t.Errorf("traceable share = %v, want 0.77", w.TraceableShare())
+	}
+
+	// Hand-computed marginals from Table 1 through the mapping rules.
+	want := map[Provider]int{
+		ProviderNSS:       11, // Firefox: 7 Win + 2 macOS + 1 Linux + 1 mobile
+		ProviderMicrosoft: 34, // Chrome Win 23 + Edge 4 + IE 3 + Opera Win 4
+		ProviderApple:     53, // iOS 24 + Safari macOS 15 + Chrome macOS 14
+		ProviderAndroid:   49, // Chrome Mobile 48 + desktop-mode Chrome 1
+		ProviderNodeJS:    7,  // Electron 6 Win + 1 macOS
+	}
+	for p, n := range want {
+		if w.Providers[p] != n {
+			t.Errorf("weight[%s] = %d, want %d", p, w.Providers[p], n)
+		}
+	}
+	sum := 0
+	for _, n := range w.Providers {
+		sum += n
+	}
+	if sum+w.Untraceable != w.Total {
+		t.Errorf("provider counts (%d) + untraceable (%d) != total (%d)", sum, w.Untraceable, w.Total)
+	}
+}
+
+func TestWeightsShares(t *testing.T) {
+	w := PaperWeights()
+	if got := w.Share(ProviderAndroid); math.Abs(got-49.0/200) > 1e-12 {
+		t.Errorf("Android share = %v, want %v", got, 49.0/200)
+	}
+	if got := w.Share(ProviderJava); got != 0 {
+		t.Errorf("Java share = %v, want 0 (never traceable in Table 1)", got)
+	}
+	var zero Weights
+	if zero.Share(ProviderNSS) != 0 || zero.TraceableShare() != 0 || zero.UntraceableShare() != 0 {
+		t.Error("zero-population weights must report zero shares")
+	}
+}
