@@ -6,11 +6,14 @@
 //
 //	ecosystem [-seed s] [-artifact name]
 //	ecosystem simulate [flags]
+//	ecosystem ct [flags]
 //
 // With -artifact, only the named artifact is printed (table1, table2,
 // figure1, figure2, table3, table4, figure3, figure4, table5, table6,
 // table7). The simulate subcommand evaluates removal-impact what-if
-// scenarios; see cmd/ecosystem/simulate.go for its flags.
+// scenarios; see cmd/ecosystem/simulate.go for its flags. The ct
+// subcommand prints the non-TLS ecosystem divergence report (CT logs and
+// TPM manifests vs browser stores); see cmd/ecosystem/ct.go.
 //
 // ecosystem computes everything from a generated in-memory corpus. To run
 // against store files on disk instead, lay them out as the snapshot tree
@@ -33,6 +36,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "simulate" {
 		os.Exit(runSimulate(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "ct" {
+		os.Exit(runCT(os.Args[2:]))
 	}
 	seed := flag.String("seed", "tracing-your-roots", "corpus generation seed")
 	artifact := flag.String("artifact", "", "render a single artifact (table1..table7, figure1..figure4)")

@@ -10,9 +10,17 @@
 //	  NodeJS/<version>/node_root_certs.h
 //	  Debian|Ubuntu|Alpine|AmazonLinux|Android/<version>/tls-ca-bundle.pem
 //
+// With -ecosystems the CT-log and TPM-manifest providers ride along in
+// their native formats, plus a log-list manifest at the tree root:
+//
+//	out/
+//	  ct-log-list.json
+//	  CT-Argon|CT-Mammoth|CT-Xenon|CT-Yeti/<version>/get-roots.json
+//	  TPM-Vendors/<version>/tpm-roots.yaml
+//
 // Usage:
 //
-//	synthgen -out DIR [-seed s] [-latest-only]
+//	synthgen -out DIR [-seed s] [-latest-only] [-ecosystems]
 package main
 
 import (
@@ -24,7 +32,9 @@ import (
 	"repro/internal/applestore"
 	"repro/internal/authroot"
 	"repro/internal/certdata"
+	"repro/internal/ctlog"
 	"repro/internal/jks"
+	"repro/internal/manifest"
 	"repro/internal/nodecerts"
 	"repro/internal/paperdata"
 	"repro/internal/pemstore"
@@ -36,13 +46,20 @@ func main() {
 	out := flag.String("out", "", "output directory (required)")
 	seed := flag.String("seed", "tracing-your-roots", "corpus generation seed")
 	latestOnly := flag.Bool("latest-only", true, "write only each provider's latest snapshot (false: every snapshot)")
+	ecosystems := flag.Bool("ecosystems", false, "include the CT-log and TPM-manifest providers")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "synthgen: -out is required")
 		os.Exit(2)
 	}
 
-	eco, err := synth.Generate(*seed)
+	var eco *synth.Ecosystem
+	var err error
+	if *ecosystems {
+		eco, err = synth.GenerateWithEcosystems(*seed)
+	} else {
+		eco, err = synth.Generate(*seed)
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -64,11 +81,46 @@ func main() {
 			written++
 		}
 	}
+	if *ecosystems {
+		if err := writeLogList(*out); err != nil {
+			fail(err)
+		}
+	}
 	fmt.Printf("synthgen: wrote %d snapshots under %s\n", written, *out)
+}
+
+// writeLogList emits the log-list manifest mapping the CT provider
+// directories to their operators, at the tree root where catalog ingestion
+// and the ecosystem report expect it.
+func writeLogList(out string) error {
+	byOp := map[string][]ctlog.Log{}
+	for _, lg := range synth.CTLogs() {
+		byOp[lg.Operator] = append(byOp[lg.Operator], ctlog.Log{
+			Description: lg.Name + " log",
+			Dir:         lg.Name,
+		})
+	}
+	var ll ctlog.LogList
+	for op, logs := range byOp {
+		ll.Operators = append(ll.Operators, ctlog.Operator{Name: op, Logs: logs})
+	}
+	data, err := ll.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(out, ctlog.LogListName), data, 0o644)
 }
 
 func writeNative(dir, provider string, s *store.Snapshot) error {
 	entries := s.Entries()
+	// The ecosystem kinds route by kind, not provider name: the codec is
+	// the kind's native format regardless of which log or vendor it is.
+	switch s.Kind.Normalize() {
+	case store.KindCT:
+		return ctlog.WriteDir(dir, entries)
+	case store.KindManifest:
+		return manifest.WriteDir(dir, manifest.FromEntries(provider, entries))
+	}
 	switch provider {
 	case paperdata.NSS:
 		f, err := os.Create(filepath.Join(dir, "certdata.txt"))

@@ -58,11 +58,12 @@ func smoke(logger *slog.Logger) error {
 	base := "http://" + ln.Addr().String()
 	client := &http.Client{Timeout: 10 * time.Second}
 
-	// 1. Verify fan-out with a remote trace parent: both stores answer,
-	// they disagree, and the response joins the caller's trace.
+	// 1. Verify fan-out with a remote trace parent: the TLS stores disagree,
+	// the CT log (a non-TLS provider on the same pipeline) anchors the
+	// chain, and the response joins the caller's trace.
 	body, _ := json.Marshal(map[string]any{
 		"chain_pem": chainPEM,
-		"stores":    []string{"NSS", "Debian"},
+		"stores":    []string{"NSS", "Debian", "CT-Smoke"},
 	})
 	req, _ := http.NewRequest(http.MethodPost, base+"/v1/verify", bytes.NewReader(body))
 	req.Header.Set("Content-Type", "application/json")
@@ -102,6 +103,30 @@ func smoke(logger *slog.Logger) error {
 	}
 	if outcomes["Debian"] == "ok" || outcomes["Debian"] == "" {
 		return fmt.Errorf("Debian outcome %q, want a failure (its store lacks the anchor)", outcomes["Debian"])
+	}
+	if outcomes["CT-Smoke"] != "ok" {
+		return fmt.Errorf("CT-Smoke outcome %q, want ok (the CT store accepts the anchor)", outcomes["CT-Smoke"])
+	}
+
+	// 1b. /v1/providers tags each provider with its ecosystem kind.
+	var provs struct {
+		Providers []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+		} `json:"providers"`
+	}
+	if err := smokeGetJSON(client, base+"/v1/providers", &provs); err != nil {
+		return err
+	}
+	kinds := map[string]string{}
+	for _, p := range provs.Providers {
+		kinds[p.Name] = p.Kind
+	}
+	if kinds["CT-Smoke"] != "ct" {
+		return fmt.Errorf("CT-Smoke kind %q, want ct (%v)", kinds["CT-Smoke"], kinds)
+	}
+	if kinds["NSS"] != "tls" || kinds["Debian"] != "tls" {
+		return fmt.Errorf("TLS providers mis-tagged: %v", kinds)
 	}
 
 	// 2. The trace is queryable with per-store fan-out spans.
@@ -280,6 +305,8 @@ func smoke(logger *slog.Logger) error {
 		`trustd_requests_total{route="POST /v1/verify"}`,
 		`trustd_request_duration_seconds_bucket{route="POST /v1/verify",le="+Inf"}`,
 		`trustd_provider_lag_seconds{provider="NSS"}`,
+		`trustd_provider_kinds{kind="ct"} 1`,
+		`trustd_provider_kinds{kind="tls"} 2`,
 		"trustd_verify_outcomes_total",
 		"trustd_traces_started_total",
 		"trustd_batches_total 1",
@@ -301,16 +328,20 @@ func smoke(logger *slog.Logger) error {
 }
 
 // smokeFixture builds the disagreement database — NSS trusts roots 0–2,
-// Debian only 1–2 — plus a leaf chaining to root 0, so the same chain
-// verifies in one store and fails in the other (the paper's §6 observable
-// in miniature).
+// Debian only 1–2, and a CT-kind provider accepts 0 and 2 — plus a leaf
+// chaining to root 0, so the same chain verifies in one TLS store and the
+// CT log but fails in the derivative (the paper's §6 observable in
+// miniature, with a non-TLS ecosystem riding along). The CT store skips
+// root 1 so the simulate leg's removal still opens exactly one divergence
+// window.
 func smokeFixture() (*store.Database, string, error) {
 	roots := testcerts.Roots(3)
 	snapDate := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
 
 	db := store.NewDatabase()
-	add := func(provider string, idx ...int) error {
+	add := func(provider string, kind store.Kind, idx ...int) error {
 		snap := store.NewSnapshot(provider, snapDate.Format("2006-01-02"), snapDate)
+		snap.Kind = kind
 		for _, i := range idx {
 			e, err := store.NewTrustedEntry(roots[i].DER, store.ServerAuth)
 			if err != nil {
@@ -320,10 +351,13 @@ func smokeFixture() (*store.Database, string, error) {
 		}
 		return db.AddSnapshot(snap)
 	}
-	if err := add("NSS", 0, 1, 2); err != nil {
+	if err := add("NSS", store.KindTLS, 0, 1, 2); err != nil {
 		return nil, "", err
 	}
-	if err := add("Debian", 1, 2); err != nil {
+	if err := add("Debian", store.KindTLS, 1, 2); err != nil {
+		return nil, "", err
+	}
+	if err := add("CT-Smoke", store.KindCT, 0, 2); err != nil {
 		return nil, "", err
 	}
 

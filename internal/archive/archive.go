@@ -23,6 +23,9 @@
 //	                             order): version, date, membership bitset,
 //	                             labels, per-(purpose, level) trust-matrix
 //	                             bitsets, sparse distrust-after dates
+//	section  4: kinds (optional) — per-snapshot ecosystem kind, present
+//	                             only when some snapshot is non-TLS; see
+//	                             sectionKinds
 //	footer   section table (id, offset, length, SHA-256 each), the source
 //	         tree hash, the whole-archive content hash, footer length,
 //	         trailer magic "1KPR"
@@ -68,6 +71,15 @@ const (
 	sectionCertPool     = 1
 	sectionFingerprints = 2
 	sectionSnapshots    = 3
+	// sectionKinds carries each snapshot's ecosystem kind (tls | ct |
+	// manifest), parallel to the snapshot section's (provider, snapshot)
+	// order. It is OPTIONAL on both sides: the writer emits it only when
+	// some snapshot has a non-TLS kind — so a pure-TLS database encodes to
+	// the exact bytes it always has (same content hash, same ETag) — and a
+	// reader that meets an archive without it defaults every snapshot to
+	// KindTLS. Readers tolerate section IDs they do not know, which is what
+	// lets archives written before this section existed keep loading.
+	sectionKinds = 4
 )
 
 // HashLen is the byte length of every checksum and content hash in the
@@ -83,6 +95,8 @@ func sectionName(id uint32) string {
 		return "fingerprints"
 	case sectionSnapshots:
 		return "snapshots"
+	case sectionKinds:
+		return "kinds"
 	}
 	return fmt.Sprintf("section-%d", id)
 }

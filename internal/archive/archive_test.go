@@ -30,6 +30,14 @@ func randomDatabase(t testing.TB, rng *rand.Rand) *store.Database {
 					rng.Intn(24), rng.Intn(60), rng.Intn(60), rng.Intn(1e9), time.UTC)
 			}
 			snap := store.NewSnapshot(providers[pi], fmt.Sprintf("v%d.%d", si, rng.Intn(100)), date)
+			switch rng.Intn(5) {
+			case 0:
+				snap.Kind = store.KindCT
+			case 1:
+				snap.Kind = store.KindManifest
+			case 2:
+				snap.Kind = store.KindTLS // explicit tls, equal to the zero value
+			}
 			nEnt := 1 + rng.Intn(len(roots))
 			perm := rng.Perm(len(roots))
 			for _, ri := range perm[:nEnt] {
@@ -187,7 +195,14 @@ func TestWriteFileOpenVerify(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.UniqueCerts == 0 || st.Snapshots != db.TotalSnapshots() || len(st.Sections) != 3 {
+	wantSections := 3
+	for _, snap := range db.AllSnapshots() {
+		if snap.Kind.Normalize() != store.KindTLS {
+			wantSections = 4
+			break
+		}
+	}
+	if st.UniqueCerts == 0 || st.Snapshots != db.TotalSnapshots() || len(st.Sections) != wantSections {
 		t.Errorf("stats = %+v", st)
 	}
 	if st.TotalEntries < st.UniqueCerts || st.DedupRatio() < 1 {

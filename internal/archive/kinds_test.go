@@ -1,0 +1,281 @@
+package archive
+
+// The optional kinds section: non-TLS ecosystem kinds survive the round
+// trip, pure-TLS archives stay byte-for-byte what they were before the
+// section existed, archives without the section (every archive written
+// before it) decode with all snapshots defaulting to tls, and unknown
+// section IDs never break a reader.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+func kindsFixture(t *testing.T) *store.Database {
+	t.Helper()
+	db := store.NewDatabase()
+	date := time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC)
+	add := func(provider string, kind store.Kind, n int) {
+		snap := store.NewSnapshot(provider, "2021-03-01", date)
+		snap.Kind = kind
+		for _, e := range testcerts.Entries(n, store.ServerAuth) {
+			snap.Add(e.Clone())
+		}
+		if err := db.AddSnapshot(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("NSS", "", 4) // zero value = tls
+	add("CT-Argon", store.KindCT, 6)
+	add("TPM-Vendors", store.KindManifest, 3)
+	return db
+}
+
+func TestKindsRoundTrip(t *testing.T) {
+	db := kindsFixture(t)
+	data, _ := encodeToBytes(t, db)
+	got, err := decodeBytes(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := Equal(db, got); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	want := map[string]store.Kind{"NSS": store.KindTLS, "CT-Argon": store.KindCT, "TPM-Vendors": store.KindManifest}
+	for prov, kind := range want {
+		snap := got.History(prov).Latest()
+		if snap.Kind.Normalize() != kind {
+			t.Errorf("%s: kind %q, want %q", prov, snap.Kind, kind)
+		}
+	}
+	// The mixed database carries the kinds section.
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.section(sectionKinds); err != nil {
+		t.Errorf("kinds section missing from mixed-kind archive: %v", err)
+	}
+}
+
+func TestPureTLSArchiveHasNoKindsSection(t *testing.T) {
+	// A database whose snapshots are all tls — whether by zero value or
+	// explicitly — must encode to the historical 3-section layout, so
+	// content hashes (ETags, sidecar identity) are unchanged by the kinds
+	// feature.
+	db := store.NewDatabase()
+	explicit := store.NewDatabase()
+	for i, prov := range []string{"NSS", "Debian"} {
+		for _, target := range []*store.Database{db, explicit} {
+			snap := store.NewSnapshot(prov, "v1", time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC))
+			if target == explicit {
+				snap.Kind = store.KindTLS
+			}
+			for _, e := range testcerts.Entries(3+i, store.ServerAuth) {
+				snap.Add(e.Clone())
+			}
+			if err := target.AddSnapshot(snap); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	data, hash := encodeToBytes(t, db)
+	dataExplicit, hashExplicit := encodeToBytes(t, explicit)
+	if hash != hashExplicit || !bytes.Equal(data, dataExplicit) {
+		t.Fatal("explicit tls kind changed the encoding of a pure-TLS database")
+	}
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.sections) != 3 {
+		t.Fatalf("pure-TLS archive has %d sections, want 3", len(r.sections))
+	}
+	// Legacy decode path: no kinds section → every snapshot is tls.
+	got, err := r.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, snap := range got.AllSnapshots() {
+		if snap.Kind.Normalize() != store.KindTLS {
+			t.Errorf("%s: kind %q from archive without kinds section", snap.Key(), snap.Kind)
+		}
+	}
+}
+
+// encodeWithExtraSection replicates Encode's layout with an arbitrary
+// extra section appended — a stand-in for an archive written by a future
+// version that knows sections this reader does not.
+func encodeWithExtraSection(t *testing.T, db *store.Database, extraID uint32, extraData []byte) []byte {
+	t.Helper()
+	var inner bytes.Buffer
+	if _, err := Encode(&inner, db, [HashLen]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(inner.Bytes()), int64(inner.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out enc
+	out.buf = append(out.buf, magic...)
+	out.u32(formatVersion)
+	type sec struct {
+		id   uint32
+		data []byte
+	}
+	var secs []sec
+	for _, m := range r.sections {
+		data := inner.Bytes()[m.offset : m.offset+m.length]
+		secs = append(secs, sec{m.id, data})
+	}
+	secs = append(secs, sec{extraID, extraData})
+
+	var table enc
+	table.u32(uint32(len(secs)))
+	for _, s := range secs {
+		sum := sha256.Sum256(s.data)
+		table.u32(s.id)
+		table.u64(uint64(len(out.buf)))
+		table.u64(uint64(len(s.data)))
+		table.buf = append(table.buf, sum[:]...)
+		out.buf = append(out.buf, s.data...)
+	}
+	src := [HashLen]byte{1, 2, 3}
+	table.buf = append(table.buf, src[:]...)
+	footerLen := len(table.buf) + HashLen + 8 + 4
+	out.buf = append(out.buf, table.buf...)
+
+	contentHash := sha256.Sum256(out.buf)
+	out.buf = append(out.buf, contentHash[:]...)
+	out.u64(uint64(footerLen))
+	out.buf = append(out.buf, trailerMagic...)
+	return out.buf
+}
+
+func TestUnknownSectionTolerated(t *testing.T) {
+	db := kindsFixture(t)
+	data := encodeWithExtraSection(t, db, 99, []byte("future payload"))
+	got, err := decodeBytes(data)
+	if err != nil {
+		t.Fatalf("decode with unknown section: %v", err)
+	}
+	if err := Equal(db, got); err != nil {
+		t.Fatalf("unknown section changed the decoded database: %v", err)
+	}
+}
+
+func TestKindsSectionInconsistencyIsCorrupt(t *testing.T) {
+	// A pure-TLS database normally has no kinds section; injecting one
+	// that disagrees with the snapshot section must be corruption, not a
+	// silent partial application.
+	db := store.NewDatabase()
+	snap := store.NewSnapshot("NSS", "v1", time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC))
+	for _, e := range testcerts.Entries(2, store.ServerAuth) {
+		snap.Add(e.Clone())
+	}
+	if err := db.AddSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]func(e *enc){
+		"wrong provider count": func(e *enc) {
+			e.uvarint(0)
+		},
+		"wrong snapshot count": func(e *enc) {
+			e.uvarint(1)
+			e.str("NSS")
+			e.uvarint(2)
+			e.str("tls")
+			e.str("ct")
+		},
+		"unknown kind": func(e *enc) {
+			e.uvarint(1)
+			e.str("NSS")
+			e.uvarint(1)
+			e.str("quantum")
+		},
+		"duplicate provider": func(e *enc) {
+			e.uvarint(2)
+			e.str("NSS")
+			e.uvarint(1)
+			e.str("ct")
+			e.str("NSS")
+			e.uvarint(1)
+			e.str("ct")
+		},
+		"trailing bytes": func(e *enc) {
+			e.uvarint(1)
+			e.str("NSS")
+			e.uvarint(1)
+			e.str("ct")
+			e.buf = append(e.buf, 0xFF)
+		},
+	}
+	for name, build := range cases {
+		var e enc
+		build(&e)
+		data := encodeWithExtraSection(t, db, sectionKinds, e.buf)
+		_, err := decodeBytes(data)
+		if err == nil {
+			t.Errorf("%s: decoded successfully", name)
+			continue
+		}
+		if !IsCorrupt(err) {
+			t.Errorf("%s: error not marked corrupt: %v", name, err)
+		}
+	}
+
+	// And a well-formed injected section applies cleanly (the reader does
+	// not care that the writer would have omitted it).
+	var e enc
+	e.uvarint(1)
+	e.str("NSS")
+	e.uvarint(1)
+	e.str("ct")
+	got, err := decodeBytes(encodeWithExtraSection(t, db, sectionKinds, e.buf))
+	if err != nil {
+		t.Fatalf("well-formed injected kinds: %v", err)
+	}
+	if k := got.History("NSS").Latest().Kind; k != store.KindCT {
+		t.Errorf("injected kind = %q, want ct", k)
+	}
+}
+
+func TestEqualDetectsKindMismatch(t *testing.T) {
+	a := kindsFixture(t)
+	b := kindsFixture(t)
+	if err := Equal(a, b); err != nil {
+		t.Fatalf("identical databases unequal: %v", err)
+	}
+	b.History("CT-Argon").Latest().Kind = store.KindManifest
+	if Equal(a, b) == nil {
+		t.Error("kind difference not detected")
+	}
+	// tls and the zero value are the same kind.
+	c := kindsFixture(t)
+	c.History("NSS").Latest().Kind = store.KindTLS
+	if err := Equal(a, c); err != nil {
+		t.Errorf("zero-vs-explicit tls reported unequal: %v", err)
+	}
+}
+
+func TestVerifyWithKinds(t *testing.T) {
+	db := kindsFixture(t)
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, db, [HashLen]byte{5}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}

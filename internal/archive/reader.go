@@ -285,6 +285,10 @@ func (r *Reader) decode() (*store.Database, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	kinds, err := r.loadKinds()
+	if err != nil {
+		return nil, nil, err
+	}
 
 	st := &Stats{
 		FormatVersion: r.version,
@@ -313,6 +317,9 @@ func (r *Reader) decode() (*store.Database, *Stats, error) {
 
 	d := &dec{buf: snapData}
 	nProv := d.count(1)
+	if kinds != nil && len(kinds) != nProv {
+		return nil, nil, corruptf("kinds section lists %d providers, snapshot section has %d", len(kinds), nProv)
+	}
 	var prevName string
 	for pi := 0; pi < nProv && d.err == nil; pi++ {
 		name := d.str()
@@ -323,10 +330,17 @@ func (r *Reader) decode() (*store.Database, *Stats, error) {
 		prevName = name
 		nSnap := d.count(1)
 		ps := ProviderStats{Name: name, Snapshots: nSnap}
+		provKinds := kinds[name]
+		if kinds != nil && len(provKinds) != nSnap {
+			return nil, nil, corruptf("kinds section lists %d snapshots for %q, snapshot section has %d", len(provKinds), name, nSnap)
+		}
 		for si := 0; si < nSnap && d.err == nil; si++ {
 			snap, entries := decodeSnapshot(d, name, p)
 			if d.err != nil {
 				break
+			}
+			if provKinds != nil {
+				snap.Kind = provKinds[si]
 			}
 			ps.Entries += entries
 			st.TotalEntries += entries
@@ -344,6 +358,45 @@ func (r *Reader) decode() (*store.Database, *Stats, error) {
 		return nil, nil, corruptf("%d trailing bytes in snapshot section", d.remaining())
 	}
 	return db, st, nil
+}
+
+// loadKinds decodes the optional kinds section into provider → per-snapshot
+// kinds. A nil map (section absent — every archive written before the
+// section existed) means all snapshots default to KindTLS.
+func (r *Reader) loadKinds() (map[string][]store.Kind, error) {
+	if _, err := r.section(sectionKinds); err != nil {
+		return nil, nil // optional: absent is the all-TLS legacy layout
+	}
+	data, err := r.loadSection(sectionKinds)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{buf: data}
+	nProv := d.count(1)
+	kinds := make(map[string][]store.Kind, nProv)
+	for pi := 0; pi < nProv && d.err == nil; pi++ {
+		name := d.str()
+		nSnap := d.count(1)
+		ks := make([]store.Kind, 0, nSnap)
+		for si := 0; si < nSnap && d.err == nil; si++ {
+			k, err := store.ParseKind(d.str())
+			if d.err == nil && err != nil {
+				d.fail(corruptf("kinds section: %v", err))
+			}
+			ks = append(ks, k)
+		}
+		if _, dup := kinds[name]; dup {
+			d.fail(corruptf("kinds section repeats provider %q", name))
+		}
+		kinds[name] = ks
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.remaining() != 0 {
+		return nil, corruptf("%d trailing bytes in kinds section", d.remaining())
+	}
+	return kinds, nil
 }
 
 func decodeSnapshot(d *dec, provider string, p *pool) (*store.Snapshot, int) {
@@ -473,7 +526,8 @@ func (r *Reader) Verify() error {
 }
 
 // Equal reports whether two databases are semantically identical — same
-// providers, snapshots (provider, version, date instant), entries (DER,
+// providers, snapshots (provider, version, date instant, normalized
+// ecosystem kind), entries (DER,
 // label, per-purpose trust levels and distrust-after instants). It returns
 // nil when equal and a description of the first difference otherwise. This
 // is the property the archive round-trip tests and `rootpack verify`
@@ -503,6 +557,9 @@ func Equal(a, b *store.Database) error {
 func equalSnapshot(a, b *store.Snapshot) error {
 	if a.Provider != b.Provider || a.Version != b.Version || !a.Date.Equal(b.Date) {
 		return fmt.Errorf("snapshot %s vs %s", a.Key(), b.Key())
+	}
+	if a.Kind.Normalize() != b.Kind.Normalize() {
+		return fmt.Errorf("%s: kind %s vs %s", a.Key(), a.Kind.Normalize(), b.Kind.Normalize())
 	}
 	ae, be := a.Entries(), b.Entries()
 	if len(ae) != len(be) {

@@ -42,6 +42,12 @@ func Encode(w io.Writer, db *store.Database, sourceHash [HashLen]byte) ([HashLen
 		{sectionFingerprints, encodeFingerprints(pool)},
 		{sectionSnapshots, encodeSnapshots(db, ids)},
 	}
+	if kinds := encodeKinds(db); kinds != nil {
+		sections = append(sections, struct {
+			id   uint32
+			data []byte
+		}{sectionKinds, kinds})
+	}
 
 	h := sha256.New()
 	tee := &countingTee{w: w, h: h}
@@ -227,6 +233,36 @@ func encodeSnapshot(e *enc, snap *store.Snapshot, ids map[certutil.Fingerprint]u
 			}
 		}
 	}
+}
+
+// encodeKinds serializes the per-snapshot ecosystem kinds, mirroring the
+// snapshot section's (sorted provider, date-ordered snapshot) walk. It
+// returns nil when every snapshot is KindTLS: the section is omitted
+// entirely so pure-TLS databases keep producing the exact archives (and
+// content hashes) they did before kinds existed.
+func encodeKinds(db *store.Database) []byte {
+	any := false
+	for _, snap := range db.AllSnapshots() {
+		if snap.Kind.Normalize() != store.KindTLS {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	var e enc
+	providers := db.Providers()
+	e.uvarint(uint64(len(providers)))
+	for _, name := range providers {
+		snaps := db.History(name).Snapshots()
+		e.str(name)
+		e.uvarint(uint64(len(snaps)))
+		for _, snap := range snaps {
+			e.str(string(snap.Kind.Normalize()))
+		}
+	}
+	return e.buf
 }
 
 // countingTee forwards writes to w, feeds the running content hash, and

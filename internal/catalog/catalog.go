@@ -13,16 +13,20 @@ package catalog
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/applestore"
 	"repro/internal/authroot"
 	"repro/internal/certdata"
+	"repro/internal/ctlog"
 	"repro/internal/jks"
+	"repro/internal/manifest"
 	"repro/internal/nodecerts"
 	"repro/internal/pemstore"
 	"repro/internal/store"
@@ -35,9 +39,11 @@ import (
 const TreeLayout = `<root>/<provider>/<version>/<store files>
   one snapshot per version directory, auto-detected format
   (certdata.txt, authroot.stl, cacerts.jks, node_root_certs.h,
-  tls-ca-bundle.pem / purpose-split bundles, Apple roots dir);
+  tls-ca-bundle.pem / purpose-split bundles, Apple roots dir,
+  CT get-roots.json, tpm-roots.yaml manifest bundles);
   version directories named like dates (2006-01-02, 20060102, 2006-01)
-  date the snapshot, otherwise file mtime is used`
+  date the snapshot, otherwise file mtime is used; an optional
+  ct-log-list.json at the tree root maps CT providers to operators`
 
 // Format identifies a detected on-disk root-store format.
 type Format string
@@ -51,8 +57,33 @@ const (
 	FormatPEMBundle    Format = "pem-bundle"
 	FormatPurposeSplit Format = "purpose-split"
 	FormatAppleDir     Format = "apple-dir"
+	FormatCTRoots      Format = "ct-roots"
+	FormatManifest     Format = "manifest"
 	FormatUnknown      Format = ""
 )
+
+// Kind returns the trust-ecosystem kind snapshots of this format belong
+// to. This is the single place format knowledge turns into a kind tag;
+// everything downstream of LoadSnapshot branches on the kind (or, mostly,
+// on nothing at all).
+func (f Format) Kind() store.Kind {
+	switch f {
+	case FormatCTRoots:
+		return store.KindCT
+	case FormatManifest:
+		return store.KindManifest
+	default:
+		return store.KindTLS
+	}
+}
+
+// ErrAmbiguousFormat marks a snapshot directory whose files match more
+// than one format probe — say, a certdata.txt sitting next to an
+// authroot.stl. Earlier versions of DetectFormat silently picked whichever
+// format the detection switch listed first, which made ingest results
+// depend on probe ordering; now the caller gets told and decides. Test
+// with errors.Is.
+var ErrAmbiguousFormat = errors.New("catalog: ambiguous snapshot format")
 
 // Options tunes ingestion.
 type Options struct {
@@ -81,6 +112,21 @@ func (o Options) withDefaults() Options {
 }
 
 // DetectFormat inspects a snapshot directory and reports its format.
+//
+// Every format's marker files are probed independently; exactly one probe
+// may claim the directory. When two or more match, DetectFormat returns an
+// error wrapping ErrAmbiguousFormat that names all claimants — it never
+// silently picks one, because which parser runs decides what trust data
+// comes out. Two deliberate exceptions to strict independence:
+//
+//   - The PEM family is one probe. A purpose-split layout is a PEM bundle
+//     plus more files, so "tls-ca-bundle.pem with email/objsign siblings"
+//     resolves to purpose-split by specificity inside the probe, not by
+//     inter-probe priority.
+//   - The extension heuristics (a directory of bare .cer files → Apple,
+//     any .pem/.crt → PEM bundle) are fallbacks that only fire when no
+//     marker-file probe matched at all; they are how unlabeled scrape dirs
+//     still ingest, and too weak to veto a real marker.
 func DetectFormat(dir string) (Format, error) {
 	des, err := os.ReadDir(dir)
 	if err != nil {
@@ -88,12 +134,16 @@ func DetectFormat(dir string) (Format, error) {
 	}
 	names := map[string]bool{}
 	var pemCount, cerCount int
+	hasManifest := false
 	for _, de := range des {
 		if de.IsDir() {
 			names[de.Name()+"/"] = true
 			continue
 		}
 		names[de.Name()] = true
+		if manifest.IsManifestName(de.Name()) {
+			hasManifest = true
+		}
 		switch strings.ToLower(filepath.Ext(de.Name())) {
 		case ".pem", ".crt":
 			pemCount++
@@ -101,26 +151,51 @@ func DetectFormat(dir string) (Format, error) {
 			cerCount++
 		}
 	}
-	switch {
-	case names["certdata.txt"]:
-		return FormatCertdata, nil
-	case names[authroot.STLName]:
-		return FormatAuthroot, nil
-	case names["node_root_certs.h"]:
-		return FormatNodeHeader, nil
-	case hasJKS(des):
-		return FormatJKS, nil
-	case names["tls-ca-bundle.pem"] && (names["email-ca-bundle.pem"] || names["objsign-ca-bundle.pem"]):
-		return FormatPurposeSplit, nil
-	case names["tls-ca-bundle.pem"] || names["cert.pem"] || names["ca-certificates.crt"]:
-		return FormatPEMBundle, nil
-	case names[applestore.TrustSettingsName] || (cerCount > 0 && pemCount == 0):
-		return FormatAppleDir, nil
-	case pemCount > 0:
-		return FormatPEMBundle, nil
-	default:
+
+	pemFamily := func() Format {
+		if names["tls-ca-bundle.pem"] && (names["email-ca-bundle.pem"] || names["objsign-ca-bundle.pem"]) {
+			return FormatPurposeSplit
+		}
+		return FormatPEMBundle
+	}
+	probes := []struct {
+		format  Format
+		matched bool
+	}{
+		{FormatCertdata, names["certdata.txt"]},
+		{FormatAuthroot, names[authroot.STLName]},
+		{FormatNodeHeader, names["node_root_certs.h"]},
+		{FormatJKS, hasJKS(des)},
+		{pemFamily(), names["tls-ca-bundle.pem"] || names["cert.pem"] || names["ca-certificates.crt"]},
+		{FormatAppleDir, names[applestore.TrustSettingsName]},
+		{FormatCTRoots, names[ctlog.GetRootsName]},
+		{FormatManifest, hasManifest},
+	}
+	var matched []Format
+	for _, p := range probes {
+		if p.matched {
+			matched = append(matched, p.format)
+		}
+	}
+	switch len(matched) {
+	case 1:
+		return matched[0], nil
+	case 0:
+		// Marker-free fallbacks.
+		switch {
+		case cerCount > 0 && pemCount == 0:
+			return FormatAppleDir, nil
+		case pemCount > 0:
+			return FormatPEMBundle, nil
+		}
 		return FormatUnknown, fmt.Errorf("catalog: no recognizable root store in %s", dir)
 	}
+	strs := make([]string, len(matched))
+	for i, f := range matched {
+		strs[i] = string(f)
+	}
+	sort.Strings(strs)
+	return FormatUnknown, fmt.Errorf("%w: %s matches %s", ErrAmbiguousFormat, dir, strings.Join(strs, ", "))
 }
 
 func hasJKS(des []os.DirEntry) bool {
@@ -214,8 +289,21 @@ func LoadSnapshot(dir, provider, version string, date time.Time, opts Options) (
 			return nil, format, err
 		}
 		entries = es
+	case FormatCTRoots:
+		es, err := ctlog.ReadDir(dir)
+		if err != nil {
+			return nil, format, err
+		}
+		entries = es
+	case FormatManifest:
+		es, err := manifest.ReadDir(dir)
+		if err != nil {
+			return nil, format, err
+		}
+		entries = es
 	}
 	s := store.NewSnapshot(provider, version, date)
+	s.Kind = format.Kind()
 	for _, e := range entries {
 		s.Add(e)
 	}

@@ -1,0 +1,150 @@
+package catalog
+
+// Ambiguity detection: every pair of format marker files in one snapshot
+// directory must be reported as ErrAmbiguousFormat, never resolved by
+// probe order. DetectFormat only looks at file names, so markers here are
+// stubs — parsing happens later, in LoadSnapshot.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/applestore"
+	"repro/internal/authroot"
+	"repro/internal/ctlog"
+	"repro/internal/manifest"
+)
+
+// formatMarkers maps each primary probe to a file whose presence alone
+// triggers it.
+var formatMarkers = []struct {
+	format Format
+	file   string
+}{
+	{FormatCertdata, "certdata.txt"},
+	{FormatAuthroot, authroot.STLName},
+	{FormatNodeHeader, "node_root_certs.h"},
+	{FormatJKS, "cacerts"},
+	{FormatPEMBundle, "tls-ca-bundle.pem"},
+	{FormatAppleDir, applestore.TrustSettingsName},
+	{FormatCTRoots, ctlog.GetRootsName},
+	{FormatManifest, manifest.Name},
+}
+
+func markerDir(t *testing.T, files ...string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("stub"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestDetectFormatSingleMarkers(t *testing.T) {
+	for _, m := range formatMarkers {
+		got, err := DetectFormat(markerDir(t, m.file))
+		if err != nil {
+			t.Errorf("%s alone: %v", m.file, err)
+			continue
+		}
+		if got != m.format {
+			t.Errorf("%s alone: format %q, want %q", m.file, got, m.format)
+		}
+	}
+}
+
+func TestDetectFormatPairwiseAmbiguity(t *testing.T) {
+	for i, a := range formatMarkers {
+		for _, b := range formatMarkers[i+1:] {
+			dir := markerDir(t, a.file, b.file)
+			got, err := DetectFormat(dir)
+			if err == nil {
+				t.Errorf("%s + %s: detected %q, want ambiguity error", a.file, b.file, got)
+				continue
+			}
+			if !errors.Is(err, ErrAmbiguousFormat) {
+				t.Errorf("%s + %s: error %v does not wrap ErrAmbiguousFormat", a.file, b.file, err)
+				continue
+			}
+			// The error names both claimants.
+			for _, f := range []Format{a.format, b.format} {
+				if !strings.Contains(err.Error(), string(f)) {
+					t.Errorf("%s + %s: error %q does not name %q", a.file, b.file, err, f)
+				}
+			}
+		}
+	}
+}
+
+func TestDetectFormatPEMFamilyNotAmbiguous(t *testing.T) {
+	// Purpose-split is a superset of a PEM bundle: one probe, resolved by
+	// specificity, never ambiguous with itself.
+	for _, extra := range []string{"email-ca-bundle.pem", "objsign-ca-bundle.pem"} {
+		got, err := DetectFormat(markerDir(t, "tls-ca-bundle.pem", extra))
+		if err != nil {
+			t.Errorf("tls + %s: %v", extra, err)
+			continue
+		}
+		if got != FormatPurposeSplit {
+			t.Errorf("tls + %s: format %q, want purpose-split", extra, got)
+		}
+	}
+	// The alternate canonical bundle names are the same probe too.
+	for _, name := range []string{"cert.pem", "ca-certificates.crt"} {
+		got, err := DetectFormat(markerDir(t, "tls-ca-bundle.pem", name))
+		if err != nil || got != FormatPEMBundle {
+			t.Errorf("tls + %s: format %q err %v, want pem-bundle", name, got, err)
+		}
+	}
+}
+
+func TestDetectFormatFallbacksYieldToMarkers(t *testing.T) {
+	// Loose .pem/.cer files ride along with a marker without tripping the
+	// extension fallbacks (a manifest's cert_file siblings, say).
+	got, err := DetectFormat(markerDir(t, manifest.Name, "g2.pem", "g3.pem"))
+	if err != nil || got != FormatManifest {
+		t.Errorf("manifest + loose pem: format %q err %v, want manifest", got, err)
+	}
+	got, err = DetectFormat(markerDir(t, ctlog.GetRootsName, "extra.cer"))
+	if err != nil || got != FormatCTRoots {
+		t.Errorf("get-roots + loose cer: format %q err %v, want ct-roots", got, err)
+	}
+
+	// And still fire when no marker matched.
+	got, err = DetectFormat(markerDir(t, "loose.cer"))
+	if err != nil || got != FormatAppleDir {
+		t.Errorf("lone cer: format %q err %v, want apple-dir", got, err)
+	}
+	got, err = DetectFormat(markerDir(t, "loose.pem"))
+	if err != nil || got != FormatPEMBundle {
+		t.Errorf("lone pem: format %q err %v, want pem-bundle", got, err)
+	}
+}
+
+func TestDetectFormatManifestVariants(t *testing.T) {
+	for _, name := range []string{manifest.Name, ".tpm-roots.yaml", "acme.tpm-roots.yaml"} {
+		got, err := DetectFormat(markerDir(t, name))
+		if err != nil || got != FormatManifest {
+			t.Errorf("%s: format %q err %v, want manifest", name, got, err)
+		}
+	}
+}
+
+func TestFormatKind(t *testing.T) {
+	if k := FormatCTRoots.Kind(); k != "ct" {
+		t.Errorf("ct-roots kind = %q", k)
+	}
+	if k := FormatManifest.Kind(); k != "manifest" {
+		t.Errorf("manifest kind = %q", k)
+	}
+	for _, f := range []Format{FormatCertdata, FormatAuthroot, FormatJKS, FormatNodeHeader, FormatPEMBundle, FormatPurposeSplit, FormatAppleDir} {
+		if k := f.Kind(); k != "tls" {
+			t.Errorf("%s kind = %q, want tls", f, k)
+		}
+	}
+}

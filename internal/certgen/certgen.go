@@ -24,6 +24,7 @@ import (
 	"crypto/x509/pkix"
 	"encoding/asn1"
 	"fmt"
+	"io"
 	"math/big"
 	"time"
 )
@@ -310,7 +311,7 @@ func sign(tmpl *Template, issuer pkix.Name, pub crypto.PublicKey, signer crypto.
 		if alg != ECDSAWithSHA256 {
 			return nil, fmt.Errorf("certgen: ECDSA key cannot produce %v", alg)
 		}
-		sig, err = ecdsa.SignASN1(rand.Reader, key, dig)
+		sig, err = deterministicECDSASign(key, dig)
 	default:
 		return nil, fmt.Errorf("certgen: unsupported signer type %T", signer)
 	}
@@ -327,4 +328,61 @@ func sign(tmpl *Template, issuer pkix.Name, pub crypto.PublicKey, signer crypto.
 		return nil, fmt.Errorf("certgen: marshal certificate: %w", err)
 	}
 	return certDER, nil
+}
+
+// deterministicECDSASign produces an ECDSA signature whose nonce is
+// derived from the private key and digest (the RFC 6979 idea, realized
+// with the package DRBG) instead of ecdsa.SignASN1's random nonce. Two
+// processes minting the same certificate therefore emit identical DER —
+// the same reproducibility contract deterministicRSA keeps for key
+// generation, and the property the on-disk corpora (rootpack hashes,
+// manifest bundles) rely on. RSA signing is naturally deterministic
+// (PKCS#1 v1.5); this closes the gap for the ECDSA-signed roots.
+func deterministicECDSASign(key *ecdsa.PrivateKey, dig []byte) ([]byte, error) {
+	curve := key.Curve
+	N := curve.Params().N
+	e := hashToInt(dig, N)
+	nonce := newDRBG("certgen/ecdsa-nonce/" + string(key.D.Bytes()) + "/" + string(dig))
+	buf := make([]byte, (N.BitLen()+7)/8)
+	one := big.NewInt(1)
+	for {
+		if _, err := io.ReadFull(nonce, buf); err != nil {
+			return nil, fmt.Errorf("certgen: nonce: %w", err)
+		}
+		k := new(big.Int).SetBytes(buf)
+		k.Mod(k, new(big.Int).Sub(N, one)).Add(k, one) // k in [1, N-1]
+		x, _ := curve.ScalarBaseMult(k.Bytes())
+		r := new(big.Int).Mod(x, N)
+		if r.Sign() == 0 {
+			continue
+		}
+		kInv := new(big.Int).ModInverse(k, N)
+		s := new(big.Int).Mul(r, key.D)
+		s.Add(s, e)
+		s.Mul(s, kInv)
+		s.Mod(s, N)
+		if s.Sign() == 0 {
+			continue
+		}
+		sig, err := asn1.Marshal(struct{ R, S *big.Int }{r, s})
+		if err != nil {
+			return nil, fmt.Errorf("certgen: marshal signature: %w", err)
+		}
+		return sig, nil
+	}
+}
+
+// hashToInt converts a digest to an integer per SEC 1 §4.1.3: take the
+// leftmost order-bit-length bits.
+func hashToInt(dig []byte, n *big.Int) *big.Int {
+	orderBits := n.BitLen()
+	orderBytes := (orderBits + 7) / 8
+	if len(dig) > orderBytes {
+		dig = dig[:orderBytes]
+	}
+	e := new(big.Int).SetBytes(dig)
+	if excess := len(dig)*8 - orderBits; excess > 0 {
+		e.Rsh(e, uint(excess))
+	}
+	return e
 }

@@ -1,0 +1,133 @@
+package core
+
+// The ecosystem divergence analysis: how far the non-TLS trust ecosystems
+// (CT-log root stores, TPM-vendor manifests) sit from the browser stores.
+// The CT root-landscape result this reproduces has two halves: logs are
+// far from every browser store in the Jaccard metric (they accumulate
+// roots browsers purge), yet logs of one operator are near-identical to
+// each other (shared acceptance tooling). Both fall out of the same
+// pairwise-distance machinery Figure 1 uses; this file just slices it by
+// store kind.
+
+import (
+	"sort"
+
+	"repro/internal/setdist"
+	"repro/internal/store"
+)
+
+// DivergenceRow compares one non-TLS provider against one TLS store, both
+// at their latest snapshot.
+type DivergenceRow struct {
+	Provider string
+	Kind     store.Kind
+	Store    string
+	// Distance is the Jaccard distance between the trusted sets (1 =
+	// disjoint, 0 = identical).
+	Distance float64
+	// Shared counts roots in both sets; Exclusive counts roots only the
+	// non-TLS provider trusts.
+	Shared, Exclusive int
+}
+
+// DivergencePair is one pairwise distance between two same-kind non-TLS
+// providers (for CT, the operator-correlation signal).
+type DivergencePair struct {
+	A, B     string
+	Distance float64
+}
+
+// EcosystemReport is the kind-sliced divergence analysis.
+type EcosystemReport struct {
+	Purpose store.Purpose
+	// TLSStores and by-kind provider lists, sorted by name.
+	TLSStores []string
+	Providers map[store.Kind][]string
+	// Rows holds every non-TLS provider × TLS store comparison, grouped by
+	// provider (provider name order, then store order).
+	Rows []DivergenceRow
+	// Pairs holds pairwise distances within each non-TLS kind.
+	Pairs map[store.Kind][]DivergencePair
+}
+
+// EcosystemDivergence computes the report over the pipeline's database.
+// Providers are partitioned by their latest snapshot's kind; a database
+// with no non-TLS providers yields a report with empty Rows.
+func (p *Pipeline) EcosystemDivergence() *EcosystemReport {
+	rep := &EcosystemReport{
+		Purpose:   p.Purpose,
+		Providers: make(map[store.Kind][]string),
+		Pairs:     make(map[store.Kind][]DivergencePair),
+	}
+	latest := make(map[string]*store.Snapshot)
+	for _, prov := range p.DB.Providers() {
+		h := p.DB.History(prov)
+		if h == nil || h.Len() == 0 {
+			continue
+		}
+		s := h.Latest()
+		latest[prov] = s
+		kind := s.Kind.Normalize()
+		if kind == store.KindTLS {
+			rep.TLSStores = append(rep.TLSStores, prov)
+		} else {
+			rep.Providers[kind] = append(rep.Providers[kind], prov)
+		}
+	}
+	sort.Strings(rep.TLSStores)
+
+	kinds := make([]store.Kind, 0, len(rep.Providers))
+	for kind := range rep.Providers {
+		kinds = append(kinds, kind)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+
+	for _, kind := range kinds {
+		provs := rep.Providers[kind]
+		sort.Strings(provs)
+		for _, prov := range provs {
+			set := latest[prov].TrustedSet(p.Purpose)
+			for _, tls := range rep.TLSStores {
+				tlsSet := latest[tls].TrustedSet(p.Purpose)
+				shared := 0
+				for fp := range set {
+					if tlsSet[fp] {
+						shared++
+					}
+				}
+				rep.Rows = append(rep.Rows, DivergenceRow{
+					Provider:  prov,
+					Kind:      kind,
+					Store:     tls,
+					Distance:  setdist.Jaccard(set, tlsSet),
+					Shared:    shared,
+					Exclusive: len(set) - shared,
+				})
+			}
+		}
+		for i := 0; i < len(provs); i++ {
+			for j := i + 1; j < len(provs); j++ {
+				rep.Pairs[kind] = append(rep.Pairs[kind], DivergencePair{
+					A:        provs[i],
+					B:        provs[j],
+					Distance: setdist.SnapshotJaccard(latest[provs[i]], latest[provs[j]], p.Purpose),
+				})
+			}
+		}
+	}
+	return rep
+}
+
+// MinDistanceToTLS returns, per non-TLS provider, the smallest distance to
+// any TLS store — the "how close does this ecosystem ever get to a
+// browser" summary the divergence claim rests on.
+func (r *EcosystemReport) MinDistanceToTLS() map[string]float64 {
+	out := make(map[string]float64)
+	for _, row := range r.Rows {
+		d, ok := out[row.Provider]
+		if !ok || row.Distance < d {
+			out[row.Provider] = row.Distance
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/paperdata"
+	"repro/internal/store"
+	"repro/internal/synth"
+)
+
+func TestEcosystemDivergence(t *testing.T) {
+	eco, err := synth.CachedWithEcosystems("core-ecosystems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(eco.DB)
+	rep := p.EcosystemDivergence()
+
+	if got, want := len(rep.TLSStores), len(paperdata.Providers()); got != want {
+		t.Fatalf("%d TLS stores, want %d", got, want)
+	}
+	if got := len(rep.Providers[store.KindCT]); got != len(synth.CTLogs()) {
+		t.Fatalf("%d CT providers, want %d", got, len(synth.CTLogs()))
+	}
+	if got := len(rep.Providers[store.KindManifest]); got != 1 {
+		t.Fatalf("%d manifest providers, want 1", got)
+	}
+	wantRows := (len(synth.CTLogs()) + 1) * len(rep.TLSStores)
+	if len(rep.Rows) != wantRows {
+		t.Fatalf("%d rows, want %d", len(rep.Rows), wantRows)
+	}
+
+	// Every CT store is far from every browser store, and the manifest
+	// provider farther still (Jaccard distance, 1 = disjoint).
+	for _, row := range rep.Rows {
+		switch row.Kind {
+		case store.KindCT:
+			// Google's logs accept the Microsoft legacy cohort, which pulls
+			// them closest to Microsoft (~0.30); every pair stays >= 0.25.
+			if row.Distance < 0.25 {
+				t.Errorf("%s vs %s: distance %.3f < 0.25", row.Provider, row.Store, row.Distance)
+			}
+			if row.Shared == 0 {
+				t.Errorf("%s vs %s: no shared roots — CT stores contain the browser mainstream", row.Provider, row.Store)
+			}
+		case store.KindManifest:
+			if row.Distance < 0.9 {
+				t.Errorf("%s vs %s: distance %.3f < 0.9", row.Provider, row.Store, row.Distance)
+			}
+		}
+		if row.Shared+row.Exclusive == 0 {
+			t.Errorf("%s vs %s: empty provider set", row.Provider, row.Store)
+		}
+	}
+
+	// Operator correlation shows up in the pairwise slice: same-operator
+	// pairs near zero, cross-operator pairs clearly apart.
+	operator := make(map[string]string)
+	for _, lg := range synth.CTLogs() {
+		operator[lg.Name] = lg.Operator
+	}
+	pairs := rep.Pairs[store.KindCT]
+	if want := len(synth.CTLogs()) * (len(synth.CTLogs()) - 1) / 2; len(pairs) != want {
+		t.Fatalf("%d CT pairs, want %d", len(pairs), want)
+	}
+	for _, pair := range pairs {
+		if operator[pair.A] == operator[pair.B] {
+			if pair.Distance > 0.01 {
+				t.Errorf("same-operator %s/%s: distance %.3f", pair.A, pair.B, pair.Distance)
+			}
+		} else if pair.Distance < 0.1 {
+			t.Errorf("cross-operator %s/%s: distance %.3f", pair.A, pair.B, pair.Distance)
+		}
+	}
+
+	minDist := rep.MinDistanceToTLS()
+	for _, lg := range synth.CTLogs() {
+		if d, ok := minDist[lg.Name]; !ok || d < 0.25 {
+			t.Errorf("%s: min distance to TLS %.3f (present=%v)", lg.Name, d, ok)
+		}
+	}
+	if d := minDist[synth.TPMVendorProvider]; d < 0.9 {
+		t.Errorf("%s: min distance to TLS %.3f", synth.TPMVendorProvider, d)
+	}
+}
+
+// TestEcosystemOrdination checks that with ecosystem families layered onto
+// the default lineage, the MDS embedding separates CT logs and the
+// manifest provider from the browser clusters.
+func TestEcosystemOrdination(t *testing.T) {
+	eco, err := synth.CachedWithEcosystems("core-ecosystems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(eco.DB)
+	for _, lg := range synth.CTLogs() {
+		p.Families[lg.Name] = "CT:" + lg.Operator
+	}
+	p.Families[synth.TPMVendorProvider] = "TPM"
+
+	cfg := DefaultOrdinationConfig()
+	cfg.K = 8
+	ord, err := p.Ordinate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accumulate-only stores barely change, so each CT log dedupes to a
+	// point or two — too few to out-vote a browser family inside a k-means
+	// cell. The embedding claims are therefore about centroids: every
+	// ecosystem family lands in the plot, the TPM cloud is distinct enough
+	// to own a cell, and the CT centroids sit away from the Mozilla mass.
+	for _, fam := range []string{"CT:Google", "CT:DigiCert", "TPM"} {
+		if _, ok := ord.FamilyCentroids[fam]; !ok {
+			t.Errorf("no %s family centroid: %v", fam, ord.FamilyCentroids)
+		}
+	}
+	owners := make(map[string]bool)
+	for _, fam := range ord.ClusterFamily {
+		owners[fam] = true
+	}
+	if !owners["TPM"] {
+		t.Errorf("no k-means cluster owned by TPM: %v", ord.ClusterFamily)
+	}
+	moz := ord.FamilyCentroids["Mozilla"]
+	for _, fam := range []string{"CT:Google", "CT:DigiCert", "TPM"} {
+		c := ord.FamilyCentroids[fam]
+		dx, dy := c[0]-moz[0], c[1]-moz[1]
+		if dx*dx+dy*dy < 0.01 {
+			t.Errorf("%s centroid %.3f,%.3f on top of Mozilla %.3f,%.3f", fam, c[0], c[1], moz[0], moz[1])
+		}
+	}
+	if ord.Purity < 0.75 {
+		t.Errorf("purity %.3f with ecosystem families, want >= 0.75", ord.Purity)
+	}
+}

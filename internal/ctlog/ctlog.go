@@ -1,0 +1,134 @@
+// Package ctlog parses Certificate Transparency log root stores: the JSON
+// answer of a log's `get-roots` endpoint (RFC 6962 §4.7, a single
+// "certificates" array of base64 DER), plus a log-list manifest that maps
+// snapshot directories to logs and operators (the grouping the CT
+// root-landscape analysis reports by).
+//
+// A log's accepted-root list is a root store in every sense the paper
+// cares about — a named set of anchor certificates evolving over time —
+// just one with very different hygiene: logs accumulate roots browsers
+// purged (expired, MD5-signed, distrusted) because accepting submissions
+// against an old root is harmless while rejecting them loses data. That
+// divergence is exactly what "Characterizing the Root Landscape of
+// Certificate Transparency Logs" measures and what ingesting logs as
+// first-class providers lets the pipeline reproduce.
+//
+// Like the other codecs, parsing is lossy only in ways the analyses never
+// observe: entries come back trusted for ServerAuth (the only purpose a CT
+// log's acceptance implies), and WriteGetRoots emits a canonical,
+// deterministic form (fingerprint-sorted, fixed layout) so emit → ingest →
+// emit is byte-stable.
+package ctlog
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/store"
+)
+
+// GetRootsName is the file name a snapshot directory stores its get-roots
+// answer under; internal/catalog detects the format by its presence.
+const GetRootsName = "get-roots.json"
+
+// getRoots is the RFC 6962 get-roots wire shape.
+type getRoots struct {
+	Certificates []string `json:"certificates"`
+}
+
+// ParseGetRoots decodes a get-roots JSON document into trust entries, each
+// trusted for ServerAuth. Every certificate must be valid base64 DER of a
+// parseable X.509 certificate; duplicates collapse to one entry (stores are
+// keyed by certificate).
+func ParseGetRoots(r io.Reader) ([]*store.TrustEntry, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ctlog: read get-roots: %w", err)
+	}
+	var doc getRoots
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("ctlog: parse get-roots: %w", err)
+	}
+	if doc.Certificates == nil {
+		return nil, fmt.Errorf("ctlog: get-roots has no \"certificates\" array")
+	}
+	entries := make([]*store.TrustEntry, 0, len(doc.Certificates))
+	seen := make(map[string]bool, len(doc.Certificates))
+	for i, b64 := range doc.Certificates {
+		der, err := base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			return nil, fmt.Errorf("ctlog: certificate %d: %w", i, err)
+		}
+		e, err := store.NewTrustedEntry(der, store.ServerAuth)
+		if err != nil {
+			return nil, fmt.Errorf("ctlog: certificate %d: %w", i, err)
+		}
+		if seen[string(e.Fingerprint[:])] {
+			continue
+		}
+		seen[string(e.Fingerprint[:])] = true
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// ReadDir ingests a snapshot directory holding a get-roots.json.
+func ReadDir(dir string) ([]*store.TrustEntry, error) {
+	f, err := os.Open(filepath.Join(dir, GetRootsName))
+	if err != nil {
+		return nil, fmt.Errorf("ctlog: %w", err)
+	}
+	defer f.Close()
+	return ParseGetRoots(f)
+}
+
+// WriteGetRoots emits the canonical get-roots form: one certificate per
+// line, fingerprint-sorted, so semantically equal root sets produce
+// byte-identical documents (the same determinism contract the rootpack
+// archive keeps).
+func WriteGetRoots(w io.Writer, entries []*store.TrustEntry) error {
+	sorted := append([]*store.TrustEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i].Fingerprint, sorted[j].Fingerprint
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	if _, err := io.WriteString(w, "{\"certificates\":[\n"); err != nil {
+		return fmt.Errorf("ctlog: %w", err)
+	}
+	for i, e := range sorted {
+		sep := ","
+		if i == len(sorted)-1 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "  %q%s\n", base64.StdEncoding.EncodeToString(e.DER), sep); err != nil {
+			return fmt.Errorf("ctlog: %w", err)
+		}
+	}
+	if _, err := io.WriteString(w, "]}\n"); err != nil {
+		return fmt.Errorf("ctlog: %w", err)
+	}
+	return nil
+}
+
+// WriteDir writes the snapshot directory form WriteGetRoots describes.
+func WriteDir(dir string, entries []*store.TrustEntry) error {
+	f, err := os.Create(filepath.Join(dir, GetRootsName))
+	if err != nil {
+		return fmt.Errorf("ctlog: %w", err)
+	}
+	werr := WriteGetRoots(f, entries)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -1,0 +1,165 @@
+package ctlog
+
+import (
+	"bytes"
+	"encoding/base64"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+func TestParseGetRootsRoundTrip(t *testing.T) {
+	entries := testcerts.Entries(5, store.ServerAuth)
+
+	var buf bytes.Buffer
+	if err := WriteGetRoots(&buf, entries); err != nil {
+		t.Fatalf("WriteGetRoots: %v", err)
+	}
+	got, err := ParseGetRoots(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseGetRoots: %v", err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("round trip: %d entries, want %d", len(got), len(entries))
+	}
+	want := map[string]bool{}
+	for _, e := range entries {
+		want[string(e.Fingerprint[:])] = true
+	}
+	for _, e := range got {
+		if !want[string(e.Fingerprint[:])] {
+			t.Errorf("unexpected fingerprint %x", e.Fingerprint[:8])
+		}
+		if e.TrustFor(store.ServerAuth) != store.Trusted {
+			t.Errorf("%s: not trusted for server-auth", e.Label)
+		}
+	}
+
+	// Emit → ingest → emit is byte-identical regardless of input order.
+	var again bytes.Buffer
+	if err := WriteGetRoots(&again, got); err != nil {
+		t.Fatalf("re-emit: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-emitted get-roots differs from original")
+	}
+	reversed := append([]*store.TrustEntry(nil), entries...)
+	for i, j := 0, len(reversed)-1; i < j; i, j = i+1, j-1 {
+		reversed[i], reversed[j] = reversed[j], reversed[i]
+	}
+	var rev bytes.Buffer
+	if err := WriteGetRoots(&rev, reversed); err != nil {
+		t.Fatalf("reversed emit: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), rev.Bytes()) {
+		t.Fatal("emit is input-order-sensitive")
+	}
+}
+
+func TestParseGetRootsDedupes(t *testing.T) {
+	e := testcerts.Entries(1, store.ServerAuth)[0]
+	b64 := base64.StdEncoding.EncodeToString(e.DER)
+	doc := `{"certificates": ["` + b64 + `", "` + b64 + `"]}`
+	got, err := ParseGetRoots(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("ParseGetRoots: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d entries, want 1 (duplicates collapse)", len(got))
+	}
+}
+
+func TestParseGetRootsErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"not json", "certificates"},
+		{"no array", `{"other": 1}`},
+		{"bad base64", `{"certificates": ["!!!"]}`},
+		{"bad der", `{"certificates": ["aGVsbG8="]}`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseGetRoots(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	// Empty array is a valid (empty) store, not an error.
+	got, err := ParseGetRoots(strings.NewReader(`{"certificates": []}`))
+	if err != nil {
+		t.Fatalf("empty array: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty array: got %d entries", len(got))
+	}
+}
+
+func TestReadWriteDir(t *testing.T) {
+	dir := t.TempDir()
+	entries := testcerts.Entries(3, store.ServerAuth)
+	if err := WriteDir(dir, entries); err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	got, err := ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d entries, want 3", len(got))
+	}
+	if _, err := ReadDir(t.TempDir()); err == nil {
+		t.Fatal("ReadDir on empty dir: no error")
+	}
+}
+
+func TestLogList(t *testing.T) {
+	ll := &LogList{Operators: []Operator{
+		{Name: "Zebra", Logs: []Log{{Description: "Z2", Dir: "ZLog2"}, {Description: "Z1", Dir: "ZLog1"}}},
+		{Name: "Alpha", Logs: []Log{{Description: "A", URL: "https://a.example/ct", Dir: "ALog"}}},
+	}}
+	out, err := ll.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := ParseLogList(out)
+	if err != nil {
+		t.Fatalf("ParseLogList: %v", err)
+	}
+	// Canonical form: operators and logs sorted.
+	if back.Operators[0].Name != "Alpha" || back.Operators[1].Logs[0].Dir != "ZLog1" {
+		t.Fatalf("not canonical: %+v", back)
+	}
+	again, err := back.Marshal()
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(out, again) {
+		t.Fatal("marshal not canonical across round trip")
+	}
+
+	if got := back.OperatorOf("ZLog2"); got != "Zebra" {
+		t.Errorf("OperatorOf(ZLog2) = %q", got)
+	}
+	if got := back.OperatorOf("nope"); got != "" {
+		t.Errorf("OperatorOf(nope) = %q", got)
+	}
+	dirs := back.Dirs()
+	if len(dirs) != 3 || dirs[0] != "ALog" || dirs[2] != "ZLog2" {
+		t.Errorf("Dirs = %v", dirs)
+	}
+
+	path := filepath.Join(t.TempDir(), LogListName)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLogList(path); err != nil {
+		t.Fatalf("LoadLogList: %v", err)
+	}
+	if _, err := ParseLogList([]byte(`{"operators": []}`)); err == nil {
+		t.Fatal("empty operator list: no error")
+	}
+}

@@ -1,0 +1,63 @@
+package ctlog
+
+import (
+	"bytes"
+	"encoding/base64"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+// FuzzCTRootsDecode drives arbitrary bytes through the get-roots parser.
+// The invariants: never panic, and any accepted document yields entries
+// that are internally consistent (parsed cert, ServerAuth trust, unique
+// fingerprints) and re-emit canonically.
+func FuzzCTRootsDecode(f *testing.F) {
+	f.Add([]byte(`{"certificates": []}`))
+	f.Add([]byte(`{"certificates": ["aGVsbG8="]}`))
+	f.Add([]byte(`{"certificates": "not-an-array"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	e := testcerts.Entries(1, store.ServerAuth)[0]
+	f.Add([]byte(`{"certificates": ["` + base64.StdEncoding.EncodeToString(e.DER) + `"]}`))
+	var canonical bytes.Buffer
+	if err := WriteGetRoots(&canonical, testcerts.Entries(3, store.ServerAuth)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(canonical.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := ParseGetRoots(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		seen := map[string]bool{}
+		for _, e := range entries {
+			if e.Cert == nil || len(e.DER) == 0 {
+				t.Fatal("accepted entry without parsed certificate")
+			}
+			if e.TrustFor(store.ServerAuth) != store.Trusted {
+				t.Fatal("accepted entry not trusted for server-auth")
+			}
+			if seen[string(e.Fingerprint[:])] {
+				t.Fatal("duplicate fingerprint survived parsing")
+			}
+			seen[string(e.Fingerprint[:])] = true
+		}
+		// A successful parse must re-emit and re-parse to the same set:
+		// the canonical writer accepts anything the parser accepts.
+		var out bytes.Buffer
+		if err := WriteGetRoots(&out, entries); err != nil {
+			t.Fatalf("re-emit of accepted document failed: %v", err)
+		}
+		back, err := ParseGetRoots(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of canonical form failed: %v", err)
+		}
+		if len(back) != len(entries) {
+			t.Fatalf("canonical round trip changed entry count: %d vs %d", len(back), len(entries))
+		}
+	})
+}

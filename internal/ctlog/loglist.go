@@ -1,0 +1,105 @@
+package ctlog
+
+// The log-list manifest: a trimmed-down log_list.json in the shape CT
+// tooling publishes — operators owning logs, each log naming the snapshot
+// directory (= catalog provider) its get-roots snapshots live under. The
+// CT report uses it to group logs by operator, the correlation the
+// root-landscape paper finds (logs of one operator share their accepted
+// sets almost exactly).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// LogListName is the manifest's file name at the snapshot-tree root
+// (a plain file there, like the .rootpack sidecar, so the tree walker
+// never mistakes it for a provider).
+const LogListName = "ct-log-list.json"
+
+// Log describes one CT log in the list.
+type Log struct {
+	// Description is the log's human-readable name ("Argon 2021").
+	Description string `json:"description"`
+	// URL is the log's submission prefix.
+	URL string `json:"url,omitempty"`
+	// Dir is the provider directory the log's snapshots are filed under.
+	Dir string `json:"dir"`
+}
+
+// Operator is one log operator and its logs.
+type Operator struct {
+	Name string `json:"name"`
+	Logs []Log  `json:"logs"`
+}
+
+// LogList maps operators to logs.
+type LogList struct {
+	Operators []Operator `json:"operators"`
+}
+
+// ParseLogList decodes a log-list manifest.
+func ParseLogList(data []byte) (*LogList, error) {
+	var ll LogList
+	if err := json.Unmarshal(data, &ll); err != nil {
+		return nil, fmt.Errorf("ctlog: parse log list: %w", err)
+	}
+	if len(ll.Operators) == 0 {
+		return nil, fmt.Errorf("ctlog: log list has no operators")
+	}
+	return &ll, nil
+}
+
+// LoadLogList reads and parses a log-list manifest file.
+func LoadLogList(path string) (*LogList, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ctlog: %w", err)
+	}
+	return ParseLogList(data)
+}
+
+// Marshal emits the canonical manifest form: operators and logs sorted by
+// name, stable indentation.
+func (ll *LogList) Marshal() ([]byte, error) {
+	c := &LogList{Operators: append([]Operator(nil), ll.Operators...)}
+	for i := range c.Operators {
+		c.Operators[i].Logs = append([]Log(nil), c.Operators[i].Logs...)
+		sort.Slice(c.Operators[i].Logs, func(a, b int) bool {
+			return c.Operators[i].Logs[a].Dir < c.Operators[i].Logs[b].Dir
+		})
+	}
+	sort.Slice(c.Operators, func(a, b int) bool { return c.Operators[a].Name < c.Operators[b].Name })
+	out, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("ctlog: marshal log list: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// OperatorOf returns the operator owning the provider directory, or ""
+// when the directory is not in the list.
+func (ll *LogList) OperatorOf(dir string) string {
+	for _, op := range ll.Operators {
+		for _, lg := range op.Logs {
+			if lg.Dir == dir {
+				return op.Name
+			}
+		}
+	}
+	return ""
+}
+
+// Dirs returns every provider directory in the list, sorted.
+func (ll *LogList) Dirs() []string {
+	var out []string
+	for _, op := range ll.Operators {
+		for _, lg := range op.Logs {
+			out = append(out, lg.Dir)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

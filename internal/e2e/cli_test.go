@@ -100,6 +100,25 @@ func TestCLIPipeline(t *testing.T) {
 	if !strings.Contains(out, "Microsoft") || !strings.Contains(out, "30") {
 		t.Fatalf("ecosystem table6 output:\n%s", out)
 	}
+
+	// 6. The non-TLS ecosystems ride the same pipeline: synthgen -ecosystems
+	// writes CT get-roots and TPM manifest snapshots plus the log-list
+	// manifest, and `ecosystem ct -tree` ingests the files back through
+	// format detection and prints the divergence report with the operators
+	// resolved from ct-log-list.json.
+	ecoTree := t.TempDir()
+	out = run(t, filepath.Join(bins, "synthgen"), "-out", ecoTree, "-seed", "cli-e2e", "-ecosystems")
+	if !strings.Contains(out, "wrote 15 snapshots") {
+		t.Fatalf("synthgen -ecosystems output: %s", out)
+	}
+	findOne(t, filepath.Join(ecoTree, "CT-Argon"), "get-roots.json")
+	findOne(t, filepath.Join(ecoTree, "TPM-Vendors"), "tpm-roots.yaml")
+	out = run(t, filepath.Join(bins, "ecosystem"), "ct", "-tree", ecoTree)
+	for _, want := range []string{"CT-Argon", "TPM-Vendors", "manifest", "same-operator", "Google"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ecosystem ct output missing %q:\n%s", want, out)
+		}
+	}
 }
 
 func findOne(t *testing.T, dir, name string) string {

@@ -1,0 +1,154 @@
+package manifest
+
+// Conversion between the manifest's provenance shape and the pipeline's
+// store.TrustEntry shape. Entries is the ingest direction (internal/catalog
+// calls it via ReadDir); FromEntries is the emit direction cmd/synthgen uses
+// to materialize synthetic manifest snapshots. Round-tripping through both
+// preserves the semantic content exactly, which is what the deterministic-
+// build property test pins down.
+
+import (
+	"encoding/pem"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// Entries converts the bundle's roots to trust entries. File-referenced
+// certificates resolve relative to baseDir; the manifest's name becomes the
+// entry label (the manifest, not the certificate, is the curated source of
+// display names); roots without an explicit purpose list default to
+// ServerAuth, the same bare-list semantics PEM bundles get.
+func (b *Bundle) Entries(baseDir string) ([]*store.TrustEntry, error) {
+	entries := make([]*store.TrustEntry, 0, len(b.Roots))
+	seen := make(map[string]bool, len(b.Roots))
+	for _, r := range b.Roots {
+		pemData := []byte(r.CertPEM)
+		if r.CertFile != "" {
+			data, err := os.ReadFile(filepath.Join(baseDir, filepath.FromSlash(r.CertFile)))
+			if err != nil {
+				return nil, fmt.Errorf("manifest: root %q: %w", r.Name, err)
+			}
+			pemData = data
+		}
+		block, rest := pem.Decode(pemData)
+		if block == nil || block.Type != "CERTIFICATE" {
+			return nil, fmt.Errorf("manifest: root %q: no CERTIFICATE PEM block", r.Name)
+		}
+		if block2, _ := pem.Decode(rest); block2 != nil {
+			return nil, fmt.Errorf("manifest: root %q: more than one PEM block", r.Name)
+		}
+		purposes := r.Purposes
+		if len(purposes) == 0 {
+			purposes = []store.Purpose{store.ServerAuth}
+		}
+		e, err := store.NewTrustedEntry(block.Bytes, purposes...)
+		if err != nil {
+			return nil, fmt.Errorf("manifest: root %q: %w", r.Name, err)
+		}
+		e.Label = r.Name
+		if seen[string(e.Fingerprint[:])] {
+			return nil, fmt.Errorf("manifest: root %q: duplicate certificate", r.Name)
+		}
+		seen[string(e.Fingerprint[:])] = true
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// ReadDir ingests a snapshot directory holding a manifest file (tpm-roots.yaml
+// or a *.tpm-roots.yaml) and returns its trust entries.
+func ReadDir(dir string) ([]*store.TrustEntry, error) {
+	path, err := FindIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	b, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return b.Entries(dir)
+}
+
+// FindIn locates the manifest file inside a snapshot directory.
+func FindIn(dir string) (string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("manifest: %w", err)
+	}
+	var found []string
+	for _, de := range des {
+		if !de.IsDir() && IsManifestName(de.Name()) {
+			found = append(found, de.Name())
+		}
+	}
+	switch len(found) {
+	case 0:
+		return "", fmt.Errorf("manifest: no %s in %s", Name, dir)
+	case 1:
+		return filepath.Join(dir, found[0]), nil
+	}
+	sort.Strings(found)
+	return "", fmt.Errorf("manifest: multiple manifests in %s: %s", dir, strings.Join(found, ", "))
+}
+
+// FromEntries builds a bundle with inline certificates from trust entries,
+// synthesizing provenance fields from the vendor name. Entry labels become
+// root names (deduplicated positionally if a store reuses one).
+func FromEntries(vendor string, entries []*store.TrustEntry) *Bundle {
+	b := &Bundle{Version: 1, Vendor: vendor}
+	used := map[string]bool{}
+	for _, e := range entries {
+		name := e.Label
+		if name == "" {
+			name = fmt.Sprintf("%x", e.Fingerprint[:8])
+		}
+		for base, n := name, 2; used[name]; n++ {
+			name = fmt.Sprintf("%s (%d)", base, n)
+		}
+		used[name] = true
+		var purposes []store.Purpose
+		for _, p := range store.AllPurposes {
+			if e.TrustFor(p) == store.Trusted {
+				purposes = append(purposes, p)
+			}
+		}
+		slug := strings.ToLower(strings.ReplaceAll(name, " ", "-"))
+		b.Roots = append(b.Roots, Root{
+			Name:     name,
+			URL:      "https://roots.example/" + vendorSlug(vendor) + "/" + slug + ".crt",
+			Source:   "vendor-website",
+			Evidence: fmt.Sprintf("Published by %s; verified against vendor fingerprint list.", vendor),
+			Purposes: purposes,
+			CertPEM: string(pem.EncodeToMemory(&pem.Block{
+				Type:  "CERTIFICATE",
+				Bytes: e.DER,
+			})),
+		})
+	}
+	return b
+}
+
+func vendorSlug(vendor string) string {
+	return strings.ToLower(strings.ReplaceAll(vendor, " ", "-"))
+}
+
+// WriteDir writes the bundle's canonical form as dir/tpm-roots.yaml.
+func WriteDir(dir string, b *Bundle) error {
+	out, err := Marshal(b)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, Name), out, 0o644); err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,396 @@
+// Package manifest implements a YAML-manifest bundle codec in the style of
+// the tpm-ca-certificates project's `.tpm-roots.yaml`: a vendor-curated
+// list of trust anchors where every root carries provenance metadata — the
+// URL it was fetched from, the kind of source, human-readable evidence —
+// and its certificate either inline (a PEM block scalar) or referenced as
+// a file next to the manifest. Manifest bundles are how trust stores exist
+// entirely outside TLS (TPM endorsement-key roots, firmware signing), and
+// ingesting them proves the unified trust model generalizes: past this
+// codec the pipeline treats them like any other provider.
+//
+// The module carries no YAML dependency, so the codec hand-rolls a parser
+// for exactly the subset the schema needs: top-level scalars, a `roots:`
+// list of flat mappings, inline `[a, b]` lists, `|` block scalars for PEM,
+// comments and blank lines. Unknown keys are rejected — a manifest is a
+// reviewed artifact, and silently dropping a field would hide provenance.
+//
+// Marshal emits one canonical form (roots sorted by name, fixed
+// indentation), which is what makes deterministic, reproducible bundle
+// builds checkable: emit → re-ingest → emit is byte-identical, the same
+// contract the rootpack archive keeps (cf. tpm-ca-certificates'
+// reproducible bundle builds).
+package manifest
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// Name is the canonical manifest file name; internal/catalog also accepts
+// the dotfile spelling (".tpm-roots.yaml") and any "*.tpm-roots.yaml".
+const Name = "tpm-roots.yaml"
+
+// IsManifestName reports whether a file name is a manifest.
+func IsManifestName(name string) bool {
+	return name == Name || name == "."+Name || strings.HasSuffix(name, "."+Name)
+}
+
+// Root is one manifest entry: a trust anchor plus its provenance.
+type Root struct {
+	// Name is the root's display name (unique within a bundle).
+	Name string
+	// URL is where the certificate was obtained.
+	URL string
+	// Source classifies the origin ("vendor-website", "tcg-registry", ...).
+	Source string
+	// Evidence is the human-readable provenance note.
+	Evidence string
+	// Purposes are the trust purposes granted (default ServerAuth).
+	Purposes []store.Purpose
+	// CertPEM is the inline PEM certificate; empty when CertFile is set.
+	CertPEM string
+	// CertFile is a path relative to the manifest directory; empty when
+	// the certificate is inline.
+	CertFile string
+}
+
+// Bundle is a parsed manifest.
+type Bundle struct {
+	Version int
+	Vendor  string
+	Roots   []Root
+}
+
+// Parse decodes a manifest document.
+func Parse(data []byte) (*Bundle, error) {
+	p := &parser{lines: strings.Split(string(data), "\n")}
+	b, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("manifest: line %d: %w", p.pos, err)
+	}
+	return b, nil
+}
+
+type parser struct {
+	lines []string
+	pos   int // 1-based line of the last consumed line, for errors
+}
+
+// next returns the next meaningful line (skipping blanks and comments)
+// without consuming it; ok is false at end of input.
+func (p *parser) next() (line string, ok bool) {
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if t := strings.TrimSpace(l); t == "" || strings.HasPrefix(t, "#") {
+			p.pos++
+			continue
+		}
+		return l, true
+	}
+	return "", false
+}
+
+func (p *parser) consume() { p.pos++ }
+
+func indentOf(l string) int {
+	return len(l) - len(strings.TrimLeft(l, " "))
+}
+
+// splitKV splits "key: value" (value may be empty). The line must already
+// be trimmed of its indentation.
+func splitKV(l string) (key, value string, err error) {
+	i := strings.Index(l, ":")
+	if i < 0 {
+		return "", "", fmt.Errorf("expected \"key: value\", got %q", l)
+	}
+	return strings.TrimSpace(l[:i]), strings.TrimSpace(l[i+1:]), nil
+}
+
+// scalar unquotes a value: double-quoted strings go through strconv,
+// anything else is taken verbatim (already trimmed).
+func scalar(v string) (string, error) {
+	if strings.HasPrefix(v, `"`) {
+		return strconv.Unquote(v)
+	}
+	return v, nil
+}
+
+func (p *parser) parse() (*Bundle, error) {
+	b := &Bundle{}
+	sawRoots := false
+	for {
+		l, ok := p.next()
+		if !ok {
+			break
+		}
+		if indentOf(l) != 0 {
+			return nil, fmt.Errorf("unexpected indentation under no key: %q", l)
+		}
+		p.consume()
+		key, value, err := splitKV(strings.TrimSpace(l))
+		if err != nil {
+			return nil, err
+		}
+		switch key {
+		case "version":
+			v, err := strconv.Atoi(value)
+			if err != nil {
+				return nil, fmt.Errorf("version: %w", err)
+			}
+			b.Version = v
+		case "vendor":
+			if b.Vendor, err = scalar(value); err != nil {
+				return nil, fmt.Errorf("vendor: %w", err)
+			}
+		case "roots":
+			if value != "" {
+				return nil, fmt.Errorf("roots: expected a block list, got %q", value)
+			}
+			if err := p.parseRoots(b); err != nil {
+				return nil, err
+			}
+			sawRoots = true
+		default:
+			return nil, fmt.Errorf("unknown top-level key %q", key)
+		}
+	}
+	if b.Version == 0 {
+		return nil, fmt.Errorf("missing version")
+	}
+	if b.Vendor == "" {
+		return nil, fmt.Errorf("missing vendor")
+	}
+	if !sawRoots || len(b.Roots) == 0 {
+		return nil, fmt.Errorf("missing roots")
+	}
+	seen := map[string]bool{}
+	for _, r := range b.Roots {
+		if seen[r.Name] {
+			return nil, fmt.Errorf("duplicate root name %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	return b, nil
+}
+
+// parseRoots consumes the "- name: ..." items under roots:.
+func (p *parser) parseRoots(b *Bundle) error {
+	const itemIndent, fieldIndent, blockIndent = 2, 4, 6
+	for {
+		l, ok := p.next()
+		if !ok {
+			return nil
+		}
+		if indentOf(l) == 0 {
+			return nil // next top-level key
+		}
+		if indentOf(l) != itemIndent || !strings.HasPrefix(strings.TrimLeft(l, " "), "- ") {
+			return fmt.Errorf("expected a \"- \" list item at indent %d, got %q", itemIndent, l)
+		}
+		p.consume()
+		var r Root
+		// The first field rides on the "- " line.
+		if err := p.rootField(&r, strings.TrimPrefix(strings.TrimLeft(l, " "), "- "), blockIndent); err != nil {
+			return err
+		}
+		for {
+			l, ok := p.next()
+			if !ok || indentOf(l) < fieldIndent {
+				break
+			}
+			if indentOf(l) != fieldIndent {
+				return fmt.Errorf("expected field at indent %d, got %q", fieldIndent, l)
+			}
+			p.consume()
+			if err := p.rootField(&r, strings.TrimSpace(l), blockIndent); err != nil {
+				return err
+			}
+		}
+		if r.Name == "" {
+			return fmt.Errorf("root without a name")
+		}
+		if (r.CertPEM == "") == (r.CertFile == "") {
+			return fmt.Errorf("root %q: exactly one of cert and cert_file is required", r.Name)
+		}
+		b.Roots = append(b.Roots, r)
+	}
+}
+
+// rootField parses one "key: value" field of a root item.
+func (p *parser) rootField(r *Root, kv string, blockIndent int) error {
+	key, value, err := splitKV(kv)
+	if err != nil {
+		return err
+	}
+	switch key {
+	case "name":
+		r.Name, err = scalar(value)
+	case "url":
+		r.URL, err = scalar(value)
+	case "source":
+		r.Source, err = scalar(value)
+	case "evidence":
+		r.Evidence, err = scalar(value)
+	case "cert_file":
+		r.CertFile, err = scalar(value)
+	case "purposes":
+		r.Purposes, err = parsePurposeList(value)
+	case "cert":
+		if value != "|" {
+			return fmt.Errorf("cert: expected a \"|\" block scalar, got %q", value)
+		}
+		r.CertPEM = p.blockScalar(blockIndent)
+		if r.CertPEM == "" {
+			return fmt.Errorf("cert: empty block scalar")
+		}
+	default:
+		return fmt.Errorf("unknown root key %q", key)
+	}
+	if err != nil {
+		return fmt.Errorf("%s: %w", key, err)
+	}
+	return nil
+}
+
+// blockScalar consumes the indented lines of a "|" block, dedenting them.
+// Blank lines inside the block are kept; the block ends at the first
+// non-blank line indented less than the block.
+func (p *parser) blockScalar(indent int) string {
+	var out []string
+	var pendingBlanks int
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if strings.TrimSpace(l) == "" {
+			pendingBlanks++
+			p.pos++
+			continue
+		}
+		if indentOf(l) < indent {
+			break
+		}
+		for ; pendingBlanks > 0; pendingBlanks-- {
+			out = append(out, "")
+		}
+		if len(l) >= indent {
+			out = append(out, l[indent:])
+		}
+		p.pos++
+	}
+	if len(out) == 0 {
+		return ""
+	}
+	return strings.Join(out, "\n") + "\n"
+}
+
+// parsePurposeList parses an inline "[a, b]" purpose list.
+func parsePurposeList(v string) ([]store.Purpose, error) {
+	if !strings.HasPrefix(v, "[") || !strings.HasSuffix(v, "]") {
+		return nil, fmt.Errorf("expected an inline [a, b] list, got %q", v)
+	}
+	inner := strings.TrimSpace(v[1 : len(v)-1])
+	if inner == "" {
+		return nil, fmt.Errorf("empty purpose list")
+	}
+	var out []store.Purpose
+	for _, part := range strings.Split(inner, ",") {
+		pp, err := store.ParsePurpose(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pp)
+	}
+	return out, nil
+}
+
+// Marshal emits the bundle's canonical form. It is a pure function of the
+// bundle's semantic content: roots sorted by name, purposes in enum order,
+// fixed two-space indentation, inline certs as 6-space block scalars.
+func Marshal(b *Bundle) ([]byte, error) {
+	if b.Version == 0 || b.Vendor == "" || len(b.Roots) == 0 {
+		return nil, fmt.Errorf("manifest: version, vendor and at least one root are required")
+	}
+	roots := append([]Root(nil), b.Roots...)
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Name < roots[j].Name })
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "version: %d\n", b.Version)
+	fmt.Fprintf(&sb, "vendor: %s\n", emitScalar(b.Vendor))
+	sb.WriteString("roots:\n")
+	for _, r := range roots {
+		if r.Name == "" {
+			return nil, fmt.Errorf("manifest: root without a name")
+		}
+		if (r.CertPEM == "") == (r.CertFile == "") {
+			return nil, fmt.Errorf("manifest: root %q: exactly one of CertPEM and CertFile is required", r.Name)
+		}
+		fmt.Fprintf(&sb, "  - name: %s\n", emitScalar(r.Name))
+		if r.URL != "" {
+			fmt.Fprintf(&sb, "    url: %s\n", emitScalar(r.URL))
+		}
+		if r.Source != "" {
+			fmt.Fprintf(&sb, "    source: %s\n", emitScalar(r.Source))
+		}
+		if r.Evidence != "" {
+			fmt.Fprintf(&sb, "    evidence: %s\n", emitScalar(r.Evidence))
+		}
+		if len(r.Purposes) > 0 {
+			names := make([]string, 0, len(r.Purposes))
+			for _, pp := range normalizePurposes(r.Purposes) {
+				names = append(names, pp.String())
+			}
+			fmt.Fprintf(&sb, "    purposes: [%s]\n", strings.Join(names, ", "))
+		}
+		if r.CertFile != "" {
+			fmt.Fprintf(&sb, "    cert_file: %s\n", emitScalar(r.CertFile))
+		} else {
+			sb.WriteString("    cert: |\n")
+			for _, line := range strings.Split(strings.TrimRight(r.CertPEM, "\n"), "\n") {
+				if line == "" {
+					sb.WriteString("\n")
+					continue
+				}
+				sb.WriteString("      ")
+				sb.WriteString(line)
+				sb.WriteString("\n")
+			}
+		}
+	}
+	return []byte(sb.String()), nil
+}
+
+// emitScalar quotes a value only when the plain form would not round-trip.
+func emitScalar(v string) string {
+	if v == "" {
+		return `""`
+	}
+	plainSafe := v == strings.TrimSpace(v) &&
+		!strings.ContainsAny(v, "\"\n#") &&
+		!strings.Contains(v, ": ") &&
+		!strings.HasSuffix(v, ":") &&
+		!strings.HasPrefix(v, "[") &&
+		!strings.HasPrefix(v, "|") &&
+		!strings.HasPrefix(v, "- ")
+	if plainSafe {
+		return v
+	}
+	return strconv.Quote(v)
+}
+
+// normalizePurposes sorts and dedupes a purpose list into enum order.
+func normalizePurposes(ps []store.Purpose) []store.Purpose {
+	seen := map[store.Purpose]bool{}
+	var out []store.Purpose
+	for _, p := range store.AllPurposes {
+		for _, q := range ps {
+			if q == p && !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}

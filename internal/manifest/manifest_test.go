@@ -1,0 +1,233 @@
+package manifest
+
+import (
+	"bytes"
+	"encoding/pem"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/certutil"
+	"repro/internal/store"
+	"repro/internal/testcerts"
+)
+
+func pemFor(t *testing.T, der []byte) string {
+	t.Helper()
+	return string(pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}))
+}
+
+func TestParseBundle(t *testing.T) {
+	roots := testcerts.Roots(2)
+	doc := `# TPM vendor root manifest
+version: 1
+vendor: "Acme Trusted Platform"
+
+roots:
+  - name: Acme EK Root CA
+    url: https://acme.example/ek-root.crt
+    source: vendor-website
+    evidence: "Listed in Acme's EK root registry, retrieved 2021-03-01."
+    purposes: [server-auth, code-signing]
+    cert: |
+` + indent(pemFor(t, roots[0].DER), 6) + `
+  # file-referenced sibling
+  - name: Acme EK Root CA G2
+    cert_file: g2.pem
+`
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "g2.pem"), []byte(pemFor(t, roots[1].DER)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if b.Version != 1 || b.Vendor != "Acme Trusted Platform" || len(b.Roots) != 2 {
+		t.Fatalf("bundle = %+v", b)
+	}
+	if b.Roots[0].URL != "https://acme.example/ek-root.crt" || b.Roots[0].Source != "vendor-website" {
+		t.Errorf("provenance fields: %+v", b.Roots[0])
+	}
+	if len(b.Roots[0].Purposes) != 2 {
+		t.Errorf("purposes = %v", b.Roots[0].Purposes)
+	}
+
+	entries, err := b.Entries(dir)
+	if err != nil {
+		t.Fatalf("Entries: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries", len(entries))
+	}
+	if entries[0].Label != "Acme EK Root CA" {
+		t.Errorf("label = %q (manifest name should win)", entries[0].Label)
+	}
+	if entries[0].TrustFor(store.CodeSigning) != store.Trusted {
+		t.Error("explicit purposes not honored")
+	}
+	// Default purpose is ServerAuth when the list is absent.
+	if entries[1].TrustFor(store.ServerAuth) != store.Trusted {
+		t.Error("default purpose not ServerAuth")
+	}
+	if entries[1].Fingerprint != certutil.SHA256Fingerprint(roots[1].DER) {
+		t.Error("cert_file resolved to wrong certificate")
+	}
+}
+
+func indent(s string, n int) string {
+	pad := strings.Repeat(" ", n)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = pad + l
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestMarshalRoundTripByteIdentical is the deterministic-builds property:
+// emitting a bundle, re-ingesting the emitted document, and emitting again
+// produces byte-identical output — and so does emitting a semantically
+// equal bundle with roots in a different order.
+func TestMarshalRoundTripByteIdentical(t *testing.T) {
+	entries := testcerts.Entries(4, store.ServerAuth, store.EmailProtection)
+	b := FromEntries("Acme Trusted Platform", entries)
+	first, err := Marshal(b)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := Parse(first)
+	if err != nil {
+		t.Fatalf("Parse of own output: %v", err)
+	}
+	second, err := Marshal(back)
+	if err != nil {
+		t.Fatalf("re-Marshal: %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("emit → parse → emit not byte-identical:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+
+	shuffled := &Bundle{Version: b.Version, Vendor: b.Vendor}
+	for i := len(b.Roots) - 1; i >= 0; i-- {
+		shuffled.Roots = append(shuffled.Roots, b.Roots[i])
+	}
+	third, err := Marshal(shuffled)
+	if err != nil {
+		t.Fatalf("Marshal shuffled: %v", err)
+	}
+	if !bytes.Equal(first, third) {
+		t.Fatal("marshal is input-order-sensitive")
+	}
+
+	// The parsed entries match the originals.
+	got, err := back.Entries("")
+	if err != nil {
+		t.Fatalf("Entries: %v", err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("entry count %d vs %d", len(got), len(entries))
+	}
+	want := map[string]bool{}
+	for _, e := range entries {
+		want[string(e.Fingerprint[:])] = true
+	}
+	for _, e := range got {
+		if !want[string(e.Fingerprint[:])] {
+			t.Errorf("unexpected certificate %x", e.Fingerprint[:8])
+		}
+		if e.TrustFor(store.EmailProtection) != store.Trusted {
+			t.Errorf("%s: email purpose lost", e.Label)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	root := testcerts.Roots(1)[0]
+	certBlock := "    cert: |\n" + indent(pemFor(t, root.DER), 6) + "\n"
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"empty", ""},
+		{"missing version", "vendor: V\nroots:\n  - name: A\n" + certBlock},
+		{"missing vendor", "version: 1\nroots:\n  - name: A\n" + certBlock},
+		{"missing roots", "version: 1\nvendor: V\n"},
+		{"unknown top key", "version: 1\nvendor: V\nextra: x\nroots:\n  - name: A\n" + certBlock},
+		{"unknown root key", "version: 1\nvendor: V\nroots:\n  - name: A\n    bogus: x\n" + certBlock},
+		{"no cert", "version: 1\nvendor: V\nroots:\n  - name: A\n"},
+		{"both certs", "version: 1\nvendor: V\nroots:\n  - name: A\n    cert_file: a.pem\n" + certBlock},
+		{"duplicate names", "version: 1\nvendor: V\nroots:\n  - name: A\n" + certBlock + "  - name: A\n    cert_file: b.pem\n"},
+		{"bad purposes", "version: 1\nvendor: V\nroots:\n  - name: A\n    purposes: [nonsense]\n" + certBlock},
+		{"purposes not a list", "version: 1\nvendor: V\nroots:\n  - name: A\n    purposes: server-auth\n" + certBlock},
+		{"bad version", "version: two\nvendor: V\nroots:\n  - name: A\n" + certBlock},
+		{"bad indent", "version: 1\nvendor: V\nroots:\n   - name: A\n" + certBlock},
+		{"empty cert block", "version: 1\nvendor: V\nroots:\n  - name: A\n    cert: |\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+func TestEntriesErrors(t *testing.T) {
+	doc := "version: 1\nvendor: V\nroots:\n  - name: A\n    cert_file: missing.pem\n"
+	b, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Entries(t.TempDir()); err == nil {
+		t.Error("missing cert_file: no error")
+	}
+
+	doc = "version: 1\nvendor: V\nroots:\n  - name: A\n    cert: |\n      not a pem block\n"
+	b, err = Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Entries(""); err == nil {
+		t.Error("non-PEM cert: no error")
+	}
+}
+
+func TestReadWriteDir(t *testing.T) {
+	entries := testcerts.Entries(3, store.ServerAuth)
+	b := FromEntries("TPM Vendors", entries)
+	dir := t.TempDir()
+	if err := WriteDir(dir, b); err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	got, err := ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d entries, want 3", len(got))
+	}
+	if _, err := ReadDir(t.TempDir()); err == nil {
+		t.Error("ReadDir on empty dir: no error")
+	}
+
+	// Two manifests in one directory is ambiguous for FindIn.
+	if err := os.WriteFile(filepath.Join(dir, "extra.tpm-roots.yaml"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindIn(dir); err == nil {
+		t.Error("two manifests: no error")
+	}
+}
+
+func TestIsManifestName(t *testing.T) {
+	for _, name := range []string{"tpm-roots.yaml", ".tpm-roots.yaml", "acme.tpm-roots.yaml"} {
+		if !IsManifestName(name) {
+			t.Errorf("IsManifestName(%q) = false", name)
+		}
+	}
+	for _, name := range []string{"roots.yaml", "tpm-roots.yml", "tpm-roots.yaml.bak"} {
+		if IsManifestName(name) {
+			t.Errorf("IsManifestName(%q) = true", name)
+		}
+	}
+}

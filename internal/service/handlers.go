@@ -59,7 +59,9 @@ func (s *Server) decodeJSONBody(w http.ResponseWriter, r *http.Request, v any) b
 
 // providerSummary is one row of GET /v1/providers.
 type providerSummary struct {
-	Name          string    `json:"name"`
+	Name string `json:"name"`
+	// Kind tags the provider's ecosystem: "tls", "ct" or "manifest".
+	Kind          string    `json:"kind"`
 	Snapshots     int       `json:"snapshots"`
 	First         time.Time `json:"first"`
 	Latest        time.Time `json:"latest"`
@@ -88,6 +90,7 @@ func (s *Server) handleProviders(w http.ResponseWriter, r *http.Request) {
 		latest := h.Latest()
 		resp.Providers = append(resp.Providers, providerSummary{
 			Name:          name,
+			Kind:          string(latest.Kind.Normalize()),
 			Snapshots:     h.Len(),
 			First:         h.First().Date,
 			Latest:        latest.Date,

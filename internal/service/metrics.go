@@ -131,6 +131,7 @@ func newMetrics() *Metrics {
 	m.root.Set("cache", m.cache)
 	m.root.Set("latency_ms", m.latency)
 	m.root.Set("provider_lag_seconds", expvar.Func(m.providerLag))
+	m.root.Set("provider_kinds", expvar.Func(m.providerKinds))
 	m.root.Set("in_flight", m.inFlight)
 	m.root.Set("batches_total", m.batchBatches)
 	m.root.Set("batch_lines_total", m.batchLines)
@@ -183,6 +184,36 @@ func (m *Metrics) providerLag() any {
 		}
 	}
 	return out
+}
+
+// providerKinds counts serving providers by ecosystem kind ("tls", "ct",
+// "manifest") at read time, following the serving generation like
+// providerLag.
+func (m *Metrics) providerKinds() any {
+	out := map[string]int{}
+	db := m.db.Load()
+	if db == nil {
+		return out
+	}
+	for _, name := range db.Providers() {
+		h := db.History(name)
+		if h == nil {
+			continue
+		}
+		if latest := h.Latest(); latest != nil {
+			out[string(latest.Kind.Normalize())]++
+		}
+	}
+	return out
+}
+
+// ProviderKindCount returns how many serving providers have the given
+// ecosystem kind (test hook).
+func (m *Metrics) ProviderKindCount(kind string) int {
+	if v, ok := m.providerKinds().(map[string]int)[kind]; ok {
+		return v
+	}
+	return 0
 }
 
 // ReloadCount returns the number of hot swaps installed (test hook).

@@ -60,6 +60,7 @@ func (s *Server) promFamilies() []obs.MetricFamily {
 		obs.GaugeFamily(promNamespace+"event_watchers", "Live /v1/events/watch streams.", float64(m.watchers.Value())),
 		obs.GaugeFamily(promNamespace+"uptime_seconds", "Seconds since the server started.", time.Since(m.startedAt).Seconds()),
 		s.providerLagFamily(),
+		s.providerKindsFamily(),
 		obs.CounterFamily(promNamespace+"traces_started_total", "Request traces started.", float64(s.tracer.Started())),
 		obs.GaugeFamily(promNamespace+"generation_epoch", "Cluster epoch of the serving generation.", float64(s.cur().epoch)),
 	}
@@ -86,6 +87,30 @@ func (s *Server) providerLagFamily() obs.MetricFamily {
 		fam.Samples = append(fam.Samples, obs.Sample{
 			Labels: []obs.Label{{Name: "provider", Value: name}},
 			Value:  float64(secs),
+		})
+	}
+	return fam
+}
+
+// providerKindsFamily counts serving providers by ecosystem kind — the
+// scrape-time view of which trust ecosystems (TLS stores, CT logs,
+// vendor manifests) this instance is serving.
+func (s *Server) providerKindsFamily() obs.MetricFamily {
+	fam := obs.MetricFamily{
+		Name: promNamespace + "provider_kinds",
+		Help: "Serving providers by ecosystem kind.",
+		Type: obs.Gauge,
+	}
+	kinds, _ := s.metrics.providerKinds().(map[string]int)
+	names := make([]string, 0, len(kinds))
+	for kind := range kinds {
+		names = append(names, kind)
+	}
+	sort.Strings(names)
+	for _, kind := range names {
+		fam.Samples = append(fam.Samples, obs.Sample{
+			Labels: []obs.Label{{Name: "kind", Value: kind}},
+			Value:  float64(kinds[kind]),
 		})
 	}
 	return fam

@@ -1,0 +1,43 @@
+package store
+
+import "fmt"
+
+// Kind classifies the trust ecosystem a snapshot belongs to. The paper's
+// thirteen providers are all TLS root programs, but the trust-anchor
+// universe is wider: Certificate Transparency logs publish accepted-root
+// lists, and manifest-driven bundles (tpm-ca-certificates style) carry
+// vendor attestation roots entirely outside the web PKI. Kind is the one
+// tag that distinguishes them; everything else about a snapshot — entries,
+// purposes, interning, archiving, serving — is kind-agnostic.
+type Kind string
+
+// Snapshot kinds. The zero value ("") normalizes to KindTLS so every
+// snapshot created before the field existed (and every archive written
+// before the kinds section existed) keeps its meaning unchanged.
+const (
+	KindTLS      Kind = "tls"      // a TLS root program or derivative store
+	KindCT       Kind = "ct"       // a CT log's accepted-root list
+	KindManifest Kind = "manifest" // a YAML-manifest bundle (TPM vendor roots)
+)
+
+// Normalize maps the zero value to KindTLS and returns any other kind
+// unchanged.
+func (k Kind) Normalize() Kind {
+	if k == "" {
+		return KindTLS
+	}
+	return k
+}
+
+// String returns the normalized kind tag.
+func (k Kind) String() string { return string(k.Normalize()) }
+
+// ParseKind validates a kind tag from the wire ("" is accepted as tls).
+func ParseKind(s string) (Kind, error) {
+	switch k := Kind(s).Normalize(); k {
+	case KindTLS, KindCT, KindManifest:
+		return k, nil
+	default:
+		return "", fmt.Errorf("store: unknown snapshot kind %q", s)
+	}
+}

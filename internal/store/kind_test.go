@@ -1,0 +1,49 @@
+package store
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKindNormalize(t *testing.T) {
+	if Kind("").Normalize() != KindTLS {
+		t.Error("zero kind should normalize to tls")
+	}
+	if KindCT.Normalize() != KindCT {
+		t.Error("ct should normalize to itself")
+	}
+	if Kind("").String() != "tls" {
+		t.Errorf("zero kind String = %q", Kind("").String())
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, s := range []string{"tls", "ct", "manifest", ""} {
+		k, err := ParseKind(s)
+		if err != nil {
+			t.Errorf("ParseKind(%q): %v", s, err)
+			continue
+		}
+		want := s
+		if want == "" {
+			want = "tls"
+		}
+		if string(k) != want {
+			t.Errorf("ParseKind(%q) = %q", s, k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus): no error")
+	}
+}
+
+func TestSnapshotClonePropagatesKind(t *testing.T) {
+	s := NewSnapshot("CT-Argon", "2021-01-01", time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC))
+	s.Kind = KindCT
+	if got := s.Clone().Kind; got != KindCT {
+		t.Errorf("Clone kind = %q", got)
+	}
+	if got := s.ShareClone().Kind; got != KindCT {
+		t.Errorf("ShareClone kind = %q", got)
+	}
+}

@@ -19,6 +19,9 @@ type Snapshot struct {
 	Version string
 	// Date approximates the release date (§3.1: treated as coarse).
 	Date time.Time
+	// Kind tags the snapshot's trust ecosystem (tls | ct | manifest).
+	// The zero value means KindTLS; compare via Kind.Normalize().
+	Kind Kind
 
 	entries []*TrustEntry
 	byFP    map[certutil.Fingerprint]*TrustEntry
@@ -218,6 +221,7 @@ func (s *Snapshot) ExpiredCount(p Purpose) int {
 // Clone deep-copies the snapshot.
 func (s *Snapshot) Clone() *Snapshot {
 	c := NewSnapshot(s.Provider, s.Version, s.Date)
+	c.Kind = s.Kind
 	for _, e := range s.entries {
 		c.Add(e.Clone())
 	}
@@ -232,6 +236,7 @@ func (s *Snapshot) Clone() *Snapshot {
 // bitset memos from mutating the generation still being served.
 func (s *Snapshot) ShareClone() *Snapshot {
 	c := NewSnapshot(s.Provider, s.Version, s.Date)
+	c.Kind = s.Kind
 	for _, e := range s.entries {
 		c.Add(e)
 	}

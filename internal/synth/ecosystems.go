@@ -1,0 +1,211 @@
+package synth
+
+// The non-TLS ecosystems: CT log root stores and a TPM-vendor manifest
+// provider, layered on top of the base ten-provider corpus. Kept out of
+// Generate so the base corpus — whose provider count, snapshot counts and
+// fingerprints many artifacts pin — is untouched; GenerateWithEcosystems
+// is the superset the ecosystem analyses run on.
+//
+// The schedules encode what "Characterizing the Root Landscape of
+// Certificate Transparency Logs" reports about logs as root stores:
+//
+//   - Logs ACCUMULATE. Everything a log ever accepts stays accepted —
+//     MD5-signed and 1024-bit roots the browsers purged, roots past
+//     expiry, distrusted Symantec and incident roots. Rejecting an old
+//     root loses submissions; keeping it is free. That one behavioural
+//     difference is what pushes CT sets far from every browser store in
+//     the Jaccard metric.
+//   - Operator correlation. Logs run by one operator share acceptance
+//     tooling, so same-operator logs have near-identical root sets while
+//     cross-operator sets diverge. Here same-operator logs get the same
+//     grant plan, plus per-operator submission-only cohorts no browser
+//     trusts.
+//   - Cadence, not events. Logs don't cut releases when membership
+//     changes; snapshots are periodic get-roots scrapes (grantEventsOff).
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+)
+
+// CTOperators are the synthetic log operators, each running two logs.
+var CTOperators = []string{"DigiCert", "Google"}
+
+// CTLogSpec names one synthetic CT log and its operator.
+type CTLogSpec struct {
+	Name     string
+	Operator string
+}
+
+// CTLogs lists the synthetic CT logs in provider-name order.
+func CTLogs() []CTLogSpec {
+	return []CTLogSpec{
+		{Name: "CT-Argon", Operator: "Google"},
+		{Name: "CT-Mammoth", Operator: "DigiCert"},
+		{Name: "CT-Xenon", Operator: "Google"},
+		{Name: "CT-Yeti", Operator: "DigiCert"},
+	}
+}
+
+// TPMVendorProvider is the manifest-kind provider's name.
+const TPMVendorProvider = "TPM-Vendors"
+
+// EcosystemProviders lists every provider GenerateWithEcosystems adds on
+// top of the base corpus, with its kind.
+func EcosystemProviders() map[string]store.Kind {
+	out := map[string]store.Kind{TPMVendorProvider: store.KindManifest}
+	for _, lg := range CTLogs() {
+		out[lg.Name] = store.KindCT
+	}
+	return out
+}
+
+// ctSnapshotCount approximates quarterly get-roots scrapes over the log
+// window.
+const ctSnapshotCount = 8
+
+// buildCTLog constructs one log's schedule. All logs of an operator share
+// the same plan (operator correlation); the operator decides the marginal
+// acceptance policy.
+func buildCTLog(u *Universe, name, operator string) *providerSchedule {
+	ps := newSchedule(name, date(2017, 3, 1), date(2021, 6, 1))
+	ps.kind = store.KindCT
+	ps.grantEventsOff = true
+	server := []store.Purpose{store.ServerAuth}
+
+	// open grants acceptance from the later of the log's launch and the
+	// CA's own existence, and never revokes it.
+	open := func(ca *CA, notBefore time.Time) {
+		from := ps.rangeFrom
+		if notBefore.After(from) {
+			from = notBefore
+		}
+		ps.add(ca.Name, from, time.Time{}, server...)
+	}
+
+	// The mainstream universe: everything the browsers agree on, accepted
+	// wholesale.
+	for _, ca := range u.ByCategory(CatMainstream) {
+		open(ca, joinDate(ca, 0))
+	}
+	// The hygiene divergence: legacy and expiring roots browsers purged
+	// (Table 3) are accepted and never dropped — logs keep accepting
+	// submissions chaining to them.
+	for _, cat := range []Category{CatLegacyMD5, CatLegacyRSA, CatExpiring} {
+		for _, ca := range u.ByCategory(cat) {
+			open(ca, time.Time{})
+		}
+	}
+	// Distrusted cohorts: Symantec and the incident CAs stay accepted
+	// after every browser removed them.
+	for _, ca := range u.ByCategory(CatSymantec) {
+		open(ca, time.Time{})
+	}
+	for _, ca := range u.ByCategory(CatIncident) {
+		open(ca, time.Time{})
+	}
+	// The operator's submission-only cohort: roots no browser program
+	// ever trusted, added to keep historic submission chains verifiable.
+	for _, ca := range u.ByCategory(CatCTOnly) {
+		if ca.Program == operator {
+			open(ca, joinDate(ca, 0))
+		}
+	}
+	// Operator policy margin: Google's acceptance sweep also takes the
+	// wider Apple/Microsoft TLS population; DigiCert's logs stop at the
+	// NSS-derived universe. This is the cross-operator divergence.
+	if operator == "Google" {
+		for _, cat := range []Category{CatAppleExtra, CatMSLegacy} {
+			for _, ca := range u.ByCategory(cat) {
+				open(ca, time.Time{})
+			}
+		}
+	}
+	return ps
+}
+
+// buildTPMVendors constructs the manifest-kind provider: a vendor-curated
+// bundle of TPM endorsement-key roots plus the handful of mainstream TLS
+// roots vendors also anchor, published on a slow manifest cadence.
+func buildTPMVendors(u *Universe) *providerSchedule {
+	ps := newSchedule(TPMVendorProvider, date(2019, 1, 1), date(2021, 6, 1))
+	ps.kind = store.KindManifest
+	server := []store.Purpose{store.ServerAuth}
+
+	// The vendor EK roots arrive in waves as vendors join the manifest.
+	for i, ca := range u.ByCategory(CatTPMOnly) {
+		from := ps.rangeFrom.AddDate(0, (i%3)*9, 0)
+		ps.add(ca.Name, from, time.Time{}, server...)
+	}
+	// A small mainstream overlap: vendors anchor a few public TLS roots
+	// for firmware-update endpoints. Enough to place the provider in the
+	// same certificate universe, far too few to cluster it with browsers.
+	mainstream := u.ByCategory(CatMainstream)
+	for i := 0; i < 6 && i < len(mainstream); i++ {
+		ps.add(mainstream[i].Name, ps.rangeFrom, time.Time{}, server...)
+	}
+	return ps
+}
+
+// ecosystemSchedules builds every non-TLS provider schedule.
+func ecosystemSchedules(u *Universe) []*providerSchedule {
+	var out []*providerSchedule
+	for _, lg := range CTLogs() {
+		out = append(out, buildCTLog(u, lg.Name, lg.Operator))
+	}
+	out = append(out, buildTPMVendors(u))
+	return out
+}
+
+// manifestSnapshotCount is the vendor manifest's release count: manifests
+// are curated documents, revised a few times a year at most.
+const manifestSnapshotCount = 4
+
+// GenerateWithEcosystems builds the base corpus plus the CT-log and
+// TPM-manifest providers, each snapshot tagged with its ecosystem kind.
+// Deterministic for a seed, like Generate.
+func GenerateWithEcosystems(seed string) (*Ecosystem, error) {
+	eco, err := Generate(seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, ps := range ecosystemSchedules(eco.Universe) {
+		eco.Schedules[ps.provider] = ps
+		count := ctSnapshotCount
+		if ps.kind == store.KindManifest {
+			count = manifestSnapshotCount
+		}
+		dates := ps.snapshotDates(count)
+		for i, d := range dates {
+			snap := ps.stateAt(eco.Universe, fmt.Sprintf("%s-%03d", ps.provider, i), d)
+			if err := eco.DB.AddSnapshot(snap); err != nil {
+				return nil, fmt.Errorf("synth: %s snapshot %d: %w", ps.provider, i, err)
+			}
+		}
+	}
+	return eco, nil
+}
+
+var (
+	ecoCacheMu sync.Mutex
+	ecoCache   = map[string]*Ecosystem{}
+)
+
+// CachedWithEcosystems is Cached for the ecosystem-extended corpus: a
+// process-wide shared instance per seed, read-only to callers.
+func CachedWithEcosystems(seed string) (*Ecosystem, error) {
+	ecoCacheMu.Lock()
+	defer ecoCacheMu.Unlock()
+	if e, ok := ecoCache[seed]; ok {
+		return e, nil
+	}
+	e, err := GenerateWithEcosystems(seed)
+	if err != nil {
+		return nil, err
+	}
+	ecoCache[seed] = e
+	return e, nil
+}

@@ -1,0 +1,142 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/paperdata"
+	"repro/internal/setdist"
+	"repro/internal/store"
+)
+
+func ecosystemCorpus(t *testing.T) *Ecosystem {
+	t.Helper()
+	eco, err := CachedWithEcosystems("ecosystems-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eco
+}
+
+func TestGenerateWithEcosystemsExtendsBase(t *testing.T) {
+	eco := ecosystemCorpus(t)
+	base, err := Cached("ecosystems-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProviders := len(paperdata.Providers()) + len(CTLogs()) + 1
+	if got := len(eco.DB.Providers()); got != wantProviders {
+		t.Fatalf("%d providers, want %d", got, wantProviders)
+	}
+	// The base corpus rides along unchanged: same providers, same
+	// snapshot counts, same latest membership.
+	for _, info := range paperdata.Providers() {
+		bh, eh := base.DB.History(info.Name), eco.DB.History(info.Name)
+		if bh.Len() != eh.Len() {
+			t.Errorf("%s: %d snapshots with ecosystems, %d without", info.Name, eh.Len(), bh.Len())
+			continue
+		}
+		if bl, el := bh.Latest(), eh.Latest(); bl.Len() != el.Len() {
+			t.Errorf("%s: latest size changed %d -> %d", info.Name, bl.Len(), el.Len())
+		}
+		if kind := eh.Latest().Kind.Normalize(); kind != store.KindTLS {
+			t.Errorf("%s: base provider kind = %q", info.Name, kind)
+		}
+	}
+	for name, kind := range EcosystemProviders() {
+		h := eco.DB.History(name)
+		if h == nil || h.Len() == 0 {
+			t.Errorf("%s: no snapshots", name)
+			continue
+		}
+		for _, snap := range h.Snapshots() {
+			if snap.Kind != kind {
+				t.Errorf("%s %s: kind %q, want %q", name, snap.Version, snap.Kind, kind)
+			}
+		}
+	}
+}
+
+func TestEcosystemDeterminism(t *testing.T) {
+	a, err := GenerateWithEcosystems("det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateWithEcosystems("det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range EcosystemProviders() {
+		ah, bh := a.DB.History(name), b.DB.History(name)
+		if ah.Len() != bh.Len() {
+			t.Fatalf("%s: snapshot counts differ", name)
+		}
+		for i, as := range ah.Snapshots() {
+			bs := bh.Snapshots()[i]
+			if d := setdist.SnapshotJaccard(as, bs, store.ServerAuth); d != 0 {
+				t.Errorf("%s snapshot %d: same-seed Jaccard distance %f", name, i, d)
+			}
+			if !as.Date.Equal(bs.Date) || as.Version != bs.Version {
+				t.Errorf("%s snapshot %d: metadata differs", name, i)
+			}
+		}
+	}
+}
+
+// TestCTStructure pins the three findings the CT schedules encode: logs
+// are supersets of browser stores (accumulation), same-operator logs are
+// near-identical, and cross-operator logs diverge.
+func TestCTStructure(t *testing.T) {
+	eco := ecosystemCorpus(t)
+	nss := eco.DB.History(paperdata.NSS).Latest()
+	for _, lg := range CTLogs() {
+		log := eco.DB.History(lg.Name).Latest()
+		if log.Len() <= nss.Len() {
+			t.Errorf("%s (%d roots) not larger than NSS (%d): accumulation missing", lg.Name, log.Len(), nss.Len())
+		}
+		// Jaccard here is the DISTANCE (1 - similarity): CT stores sit far
+		// from every browser store.
+		if d := setdist.SnapshotJaccard(log, nss, store.ServerAuth); d < 0.3 {
+			t.Errorf("%s vs NSS Jaccard distance %.3f: CT store not divergent enough", lg.Name, d)
+		}
+	}
+
+	latest := func(name string) *store.Snapshot { return eco.DB.History(name).Latest() }
+	sameOp := setdist.SnapshotJaccard(latest("CT-Argon"), latest("CT-Xenon"), store.ServerAuth)
+	crossOp := setdist.SnapshotJaccard(latest("CT-Argon"), latest("CT-Yeti"), store.ServerAuth)
+	if sameOp > 0.01 {
+		t.Errorf("same-operator Jaccard distance %.3f, want ~0 (operator correlation)", sameOp)
+	}
+	if crossOp <= sameOp || crossOp < 0.1 {
+		t.Errorf("cross-operator Jaccard distance %.3f vs same-operator %.3f: no operator divergence", crossOp, sameOp)
+	}
+}
+
+func TestTPMVendorsStructure(t *testing.T) {
+	eco := ecosystemCorpus(t)
+	h := eco.DB.History(TPMVendorProvider)
+	// The cadence target plus any vendor-wave change dates.
+	if h.Len() < manifestSnapshotCount {
+		t.Errorf("%d manifest snapshots, want >= %d", h.Len(), manifestSnapshotCount)
+	}
+	last := h.Latest()
+	tpmOnly := 0
+	for _, e := range last.Entries() {
+		ca := eco.Universe.Lookup(e.Label)
+		if ca != nil && ca.Category == CatTPMOnly {
+			tpmOnly++
+		}
+	}
+	if tpmOnly != 12 {
+		t.Errorf("%d tpm-only roots in final manifest, want 12", tpmOnly)
+	}
+	// The manifest store is mostly exclusive: far from every TLS store
+	// (Jaccard distance near 1).
+	nss := eco.DB.History(paperdata.NSS).Latest()
+	if d := setdist.SnapshotJaccard(last, nss, store.ServerAuth); d < 0.9 {
+		t.Errorf("TPM-vs-NSS Jaccard distance %.3f, want near-disjoint", d)
+	}
+	// Membership grows across manifest revisions (vendor waves).
+	if first := h.Snapshots()[0]; first.Len() >= last.Len() {
+		t.Errorf("manifest did not grow: first %d, last %d", first.Len(), last.Len())
+	}
+}

@@ -36,7 +36,9 @@ func (g grant) contains(at time.Time) bool {
 type providerSchedule struct {
 	provider           string
 	rangeFrom, rangeTo time.Time
-	grants             map[string][]grant
+	// kind tags the provider's ecosystem (zero value = tls).
+	kind   store.Kind
+	grants map[string][]grant
 	// extraEvents collects change dates beyond grant boundaries.
 	extraEvents []time.Time
 	// grantEventsOff suppresses grant boundaries as snapshot triggers.
@@ -85,6 +87,7 @@ func (ps *providerSchedule) annotate(ca string, appliedFrom time.Time, p store.P
 // stateAt materializes the provider's snapshot at an instant.
 func (ps *providerSchedule) stateAt(u *Universe, version string, at time.Time) *store.Snapshot {
 	s := store.NewSnapshot(ps.provider, version, at)
+	s.Kind = ps.kind
 	// Deterministic CA order.
 	names := make([]string, 0, len(ps.grants))
 	for name := range ps.grants {

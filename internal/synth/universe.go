@@ -41,6 +41,8 @@ const (
 	CatAppleExtra Category = "apple-extra" // Apple's wider store
 	CatMSLegacy   Category = "ms-legacy"   // NSS-then-Microsoft retained TLS roots
 	CatNonNSS     Category = "non-nss"     // Debian/Ubuntu/Amazon roots never in NSS
+	CatCTOnly     Category = "ct-only"     // submission roots only CT logs accept
+	CatTPMOnly    Category = "tpm-only"    // TPM vendor EK roots outside TLS entirely
 )
 
 // CA is one synthetic certification authority: a minted root plus the
@@ -294,6 +296,33 @@ func NewUniverse(seed string) (*Universe, error) {
 		namePrefix: "AddTrust External", count: 1, category: CatExpiring,
 		key: certgen.RSA2048, sig: certgen.SHA256WithRSA,
 		notBefore: date(2000, 5, 30), notAfter: date(2020, 5, 30), joinYear: 2000,
+	})
+
+	// NOTE: the specs below extend the universe for the non-TLS ecosystems
+	// (CT logs, TPM manifests). They MUST stay at the end: key indices are
+	// assigned in spec order, so appending keeps every pre-existing CA's
+	// certificate — and with it the fingerprints every base-corpus artifact
+	// and golden value depends on — byte-identical.
+
+	// CT submission-only roots: per-operator cohorts of roots accepted by
+	// that operator's logs for submission chains but never trusted by any
+	// browser program — the log-exclusive tail the CT root-landscape
+	// analysis reports.
+	for _, op := range CTOperators {
+		specs = append(specs, universeSpec{
+			namePrefix: "CT Submission " + op, count: 20, category: CatCTOnly,
+			key: certgen.RSA2048, sig: certgen.SHA256WithRSA,
+			notBefore: date(2014, 1, 1), notAfter: date(2039, 1, 1),
+			program: op, joinYear: 2016,
+		})
+	}
+
+	// TPM vendor endorsement-key roots: anchors that exist entirely outside
+	// the TLS ecosystem, published only through vendor manifests.
+	specs = append(specs, universeSpec{
+		namePrefix: "TPM Vendor EK", count: 12, category: CatTPMOnly,
+		key: certgen.ECDSA256, sig: certgen.ECDSAWithSHA256,
+		notBefore: date(2013, 1, 1), notAfter: date(2043, 1, 1), joinYear: 2015,
 	})
 
 	keyIdx := 0
