@@ -1,0 +1,214 @@
+package main
+
+// The -smoke self-test: a hermetic rolling-reload-under-load scenario.
+// An in-process trustd serves generation A on a loopback listener; the
+// open-loop mixed workload runs against it at a fixed offered rate; at
+// the halfway point the server hot-swaps to generation B and a live SSE
+// event fires. The run must come out clean — zero 5xx, zero transport
+// errors, zero shed arrivals, zero mixed-generation verdicts — with
+// every workload class exercised, the client's HDR bucket layout
+// byte-identical to the server's le= labels, and at least one slow-
+// bucket exemplar that resolves to a live trace in /debug/traces. The
+// report lands wherever -json points (CI publishes it as BENCH_10.json).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/tracker"
+)
+
+const (
+	smokeRPS      = 300
+	smokeDuration = 3 * time.Second
+	smokeSeed     = 42
+	smokeStreams  = 2
+	// smokeP99Budget bounds every class's p99 (measured from scheduled
+	// arrival). Loopback round-trips run well under a millisecond; the
+	// budget absorbs CI-grade noise, not real regressions.
+	smokeP99Budget = 500 * time.Millisecond
+)
+
+func runSmoke(logger *slog.Logger, jsonPath string) int {
+	if err := smoke(logger, jsonPath); err != nil {
+		logger.Error("loadgen smoke: FAIL", "err", err)
+		return 1
+	}
+	fmt.Println("loadgen smoke: OK")
+	return 0
+}
+
+func smoke(logger *slog.Logger, jsonPath string) error {
+	f, err := load.NewFixture()
+	if err != nil {
+		return err
+	}
+	tracer := obs.NewTracer(obs.Options{SlowThreshold: -1, Logger: logger})
+	srv := service.New(f.GenA, service.Config{Logger: logger, Tracer: tracer})
+	feed := load.NewStubFeed()
+	srv.AttachEvents(feed)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	runner, err := load.NewRunner(load.Options{
+		BaseURL:      base,
+		RPS:          smokeRPS,
+		Duration:     smokeDuration,
+		Seed:         smokeSeed,
+		WatchStreams: smokeStreams,
+		MidRun: func() {
+			srv.Swap(f.GenB)
+			feed.Emit(tracker.Event{Type: tracker.RootAdded, Provider: "Debian", Version: "v2", Date: time.Now()})
+		},
+	}, f.Target)
+	if err != nil {
+		return err
+	}
+	rep, err := runner.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		if err := writeReport(rep, jsonPath); err != nil {
+			return err
+		}
+	}
+	printSummary(os.Stderr, rep)
+
+	// 1. Clean run across the swap.
+	if n := rep.Total5xx(); n != 0 {
+		return fmt.Errorf("%d server errors (5xx) under load", n)
+	}
+	if n := rep.TotalTransportErrors(); n != 0 {
+		return fmt.Errorf("%d transport errors under load", n)
+	}
+	if n := rep.TotalShed(); n != 0 {
+		return fmt.Errorf("%d arrivals shed at the in-flight cap", n)
+	}
+	if rep.MixedGenerationVerdicts != 0 {
+		return fmt.Errorf("%d mixed-generation verdicts across the swap", rep.MixedGenerationVerdicts)
+	}
+	if rep.Generations[f.HashA] == 0 || rep.Generations[f.HashB] == 0 {
+		return fmt.Errorf("both generations must serve traffic, saw %v", rep.Generations)
+	}
+
+	// 2. Every class exercised, within the latency budget.
+	for _, class := range []load.Class{load.ClassRead, load.ClassVerify, load.ClassBatch, load.ClassWatch, load.ClassSimulate} {
+		cr := rep.Classes[string(class)]
+		if cr == nil || cr.Status["2xx"] == 0 {
+			return fmt.Errorf("class %s saw no successful responses: %+v", class, cr)
+		}
+		if p99 := time.Duration(cr.P99 * float64(time.Second)); p99 > smokeP99Budget {
+			return fmt.Errorf("class %s p99 %v exceeds budget %v", class, p99, smokeP99Budget)
+		}
+	}
+	if rep.WatchEventsReceived < smokeStreams {
+		return fmt.Errorf("watch subscribers received %d events, want ≥ %d", rep.WatchEventsReceived, smokeStreams)
+	}
+
+	// 3. The server's histogram layout is byte-identical to the client's.
+	client := &http.Client{Timeout: 10 * time.Second}
+	pres, err := client.Get(base + "/metrics/prometheus")
+	if err != nil {
+		return fmt.Errorf("prometheus scrape: %w", err)
+	}
+	ptext, _ := io.ReadAll(pres.Body)
+	pres.Body.Close()
+	if pres.StatusCode != http.StatusOK {
+		return fmt.Errorf("prometheus scrape status %d", pres.StatusCode)
+	}
+	text := string(ptext)
+	if problems := obs.LintExposition(strings.NewReader(text)); len(problems) != 0 {
+		return fmt.Errorf("malformed exposition:\n%s", strings.Join(problems, "\n"))
+	}
+	if err := checkBucketLayout(text); err != nil {
+		return err
+	}
+
+	// 4. A slow-bucket exemplar resolves to a live trace.
+	traceID, err := firstExemplarTraceID(text)
+	if err != nil {
+		return err
+	}
+	var dump struct {
+		Recent  []json.RawMessage `json:"recent"`
+		Slowest []json.RawMessage `json:"slowest"`
+	}
+	dres, err := client.Get(base + "/debug/traces?trace_id=" + traceID)
+	if err != nil {
+		return fmt.Errorf("trace lookup: %w", err)
+	}
+	derr := json.NewDecoder(dres.Body).Decode(&dump)
+	dres.Body.Close()
+	if derr != nil {
+		return fmt.Errorf("decode /debug/traces: %w", derr)
+	}
+	if len(dump.Recent)+len(dump.Slowest) == 0 {
+		return fmt.Errorf("exemplar trace %s does not resolve in /debug/traces", traceID)
+	}
+	return nil
+}
+
+// checkBucketLayout extracts the verify route's le= labels from the
+// exposition and compares them, in order, to the shared HDR layout the
+// client histograms use — the identical-bounds guarantee the report's
+// bucket_bounds_seconds field advertises.
+func checkBucketLayout(text string) error {
+	const family = `trustd_request_duration_seconds_bucket{route="POST /v1/verify",le="`
+	var got []string
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, family) {
+			continue
+		}
+		rest := line[len(family):]
+		end := strings.IndexByte(rest, '"')
+		if end < 0 {
+			return fmt.Errorf("unparseable bucket line %q", line)
+		}
+		got = append(got, rest[:end])
+	}
+	want := obs.HDRNumBuckets()
+	if len(got) != want {
+		return fmt.Errorf("server exposes %d buckets for the verify route, client uses %d", len(got), want)
+	}
+	for i, le := range got {
+		if le != obs.HDRBucketLabel(i) {
+			return fmt.Errorf("bucket %d: server le=%q, client bound %q — histogram layouts diverged", i, le, obs.HDRBucketLabel(i))
+		}
+	}
+	return nil
+}
+
+// firstExemplarTraceID pulls the first bucket exemplar's trace ID out of
+// the exposition.
+func firstExemplarTraceID(text string) (string, error) {
+	const marker = `# {trace_id="`
+	i := strings.Index(text, marker)
+	if i < 0 {
+		return "", fmt.Errorf("exposition carries no bucket exemplars")
+	}
+	rest := text[i+len(marker):]
+	end := strings.IndexByte(rest, '"')
+	if end != 32 {
+		return "", fmt.Errorf("exemplar trace id malformed near %q", rest[:min(end+1, len(rest))])
+	}
+	return rest[:end], nil
+}

@@ -1,0 +1,240 @@
+package load
+
+// Per-class HTTP drivers. Each returns the HTTP status (0 on transport
+// failure) and the transport error; latency accounting happens in the
+// caller against the SCHEDULED time, so drivers just do the request.
+//
+// Every driver records the response's X-Rootpack-Hash — the serving
+// generation's content hash — so the report shows exactly which
+// generations served traffic. Verify-shaped drivers additionally hand
+// their verdicts plus that generation to Target.CheckVerify: a verdict
+// set inconsistent with the generation that claims to have produced it
+// is a mixed-generation verdict, the failure the rolling-reload
+// scenario exists to catch.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+const rootpackHashHeader = "X-Rootpack-Hash"
+
+// drain discards the remaining body so the connection can be reused.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+func (r *Runner) doRead(ctx context.Context) (int, error) {
+	paths := r.target.ReadPaths
+	if len(paths) == 0 {
+		paths = []string{"/v1/providers"}
+	}
+	path := paths[int(r.readIdx.Add(1)-1)%len(paths)]
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.opts.BaseURL+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	r.recordGeneration(resp.Header.Get(rootpackHashHeader))
+	drain(resp)
+	return resp.StatusCode, nil
+}
+
+// verifyWire is the subset of the /v1/verify response the driver needs.
+type verifyWire struct {
+	Verdicts []Verdict `json:"verdicts"`
+}
+
+func (r *Runner) doVerify(ctx context.Context) (int, error) {
+	body, err := json.Marshal(map[string]any{
+		"chain_pem":  r.target.ChainPEM,
+		"user_agent": r.ua.pick(),
+		"stores":     r.target.Stores,
+	})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.opts.BaseURL+"/v1/verify", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	gen := resp.Header.Get(rootpackHashHeader)
+	r.recordGeneration(gen)
+	if resp.StatusCode != http.StatusOK {
+		drain(resp)
+		return resp.StatusCode, nil
+	}
+	var wire verifyWire
+	decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&wire)
+	drain(resp)
+	if decErr != nil {
+		return 0, fmt.Errorf("verify response: %w", decErr)
+	}
+	r.checkVerdicts(gen, wire.Verdicts)
+	return resp.StatusCode, nil
+}
+
+// batchLine is one NDJSON response line from /v1/verify/batch.
+type batchLine struct {
+	Seq      int       `json:"seq"`
+	Error    string    `json:"error"`
+	Verdicts []Verdict `json:"verdicts"`
+}
+
+const batchChains = 3
+
+func (r *Runner) doBatch(ctx context.Context) (int, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := 0; i < batchChains; i++ {
+		if err := enc.Encode(map[string]any{
+			"chain_pem":  r.target.ChainPEM,
+			"user_agent": r.ua.pick(),
+			"stores":     r.target.Stores,
+		}); err != nil {
+			return 0, err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.opts.BaseURL+"/v1/verify/batch", &buf)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	gen := resp.Header.Get(rootpackHashHeader)
+	r.recordGeneration(gen)
+	if resp.StatusCode != http.StatusOK {
+		drain(resp)
+		return resp.StatusCode, nil
+	}
+	sc := bufio.NewScanner(io.LimitReader(resp.Body, 1<<20))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var bl batchLine
+		if err := json.Unmarshal([]byte(line), &bl); err != nil {
+			drain(resp)
+			return 0, fmt.Errorf("batch line: %w", err)
+		}
+		if bl.Error == "" {
+			r.checkVerdicts(gen, bl.Verdicts)
+		}
+	}
+	scanErr := sc.Err()
+	drain(resp)
+	if scanErr != nil {
+		return 0, scanErr
+	}
+	return resp.StatusCode, nil
+}
+
+// doWatchConnect measures SSE time-to-first-byte: the server must flush
+// headers immediately on connect, so client.Do returning IS the TTFB.
+// The stream is torn down right away — long-lived subscribers are the
+// separate WatchStreams fleet.
+func (r *Runner) doWatchConnect(ctx context.Context) (int, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.opts.BaseURL+"/v1/events/watch", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	r.recordGeneration(resp.Header.Get(rootpackHashHeader))
+	// Cancel before draining: the stream never ends on its own.
+	cancel()
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func (r *Runner) doSimulate(ctx context.Context) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.opts.BaseURL+"/v1/simulate", bytes.NewReader(r.target.SimulateBody))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	r.recordGeneration(resp.Header.Get(rootpackHashHeader))
+	drain(resp)
+	return resp.StatusCode, nil
+}
+
+// checkVerdicts applies Target.CheckVerify and counts inconsistencies.
+func (r *Runner) checkVerdicts(generation string, verdicts []Verdict) {
+	if r.target.CheckVerify == nil {
+		return
+	}
+	if err := r.target.CheckVerify(generation, verdicts); err != nil {
+		r.mixed.Add(1)
+	}
+}
+
+// runWatchStream is one long-lived SSE subscriber: connect, count
+// events, reconnect (with a short pause, so a refusing server isn't
+// hammered) until ctx ends.
+func (r *Runner) runWatchStream(ctx context.Context) {
+	for ctx.Err() == nil {
+		if err := r.watchOnce(ctx); err != nil && ctx.Err() == nil {
+			r.watchErrs.Add(1)
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+		}
+	}
+}
+
+func (r *Runner) watchOnce(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.opts.BaseURL+"/v1/events/watch", nil)
+	if err != nil {
+		return err
+	}
+	// Long-lived stream: bypass the pooled client's overall timeout.
+	client := &http.Client{Transport: r.client.Transport}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		r.watch5xx.Add(1)
+		return fmt.Errorf("watch stream status %d", resp.StatusCode)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("watch stream status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "data: ") {
+			r.watchEvents.Add(1)
+		}
+	}
+	return sc.Err()
+}

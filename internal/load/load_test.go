@@ -1,0 +1,99 @@
+package load_test
+
+// End-to-end: the full mixed workload against a real in-process trustd,
+// with a generation swap and a live SSE event fired mid-run. This is the
+// same scenario cmd/loadgen -smoke runs, held to the same assertions:
+// zero 5xx, zero transport errors, zero mixed-generation verdicts, both
+// generations observed, every class exercised.
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/service"
+	"repro/internal/tracker"
+)
+
+var _ service.EventFeed = (*load.StubFeed)(nil)
+
+func TestMixedWorkloadReloadUnderLoad(t *testing.T) {
+	f, err := load.NewFixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := service.New(f.GenA, service.Config{})
+	feed := load.NewStubFeed()
+	srv.AttachEvents(feed)
+	web := httptest.NewServer(srv.Handler())
+	defer web.Close()
+
+	opts := load.Options{
+		BaseURL:      web.URL,
+		RPS:          300,
+		Duration:     2 * time.Second,
+		Seed:         7,
+		WatchStreams: 2,
+		MidRun: func() {
+			srv.Swap(f.GenB)
+			feed.Emit(tracker.Event{Type: tracker.RootAdded, Provider: "Debian", Version: "v2", Date: time.Now()})
+		},
+	}
+	r, err := load.NewRunner(opts, f.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := rep.Total5xx(); got != 0 {
+		t.Errorf("5xx responses = %d, want 0 (classes: %+v)", got, rep.Classes)
+	}
+	if got := rep.TotalTransportErrors(); got != 0 {
+		t.Errorf("transport errors = %d, want 0", got)
+	}
+	if rep.MixedGenerationVerdicts != 0 {
+		t.Errorf("mixed-generation verdicts = %d, want 0", rep.MixedGenerationVerdicts)
+	}
+	if rep.TotalShed() != 0 {
+		t.Errorf("shed = %d, want 0 at this load", rep.TotalShed())
+	}
+
+	// The swap happened mid-run, so both generations must have answered.
+	if rep.Generations[f.HashA] == 0 || rep.Generations[f.HashB] == 0 {
+		t.Errorf("generations seen = %v, want traffic from both %.8s and %.8s", rep.Generations, f.HashA, f.HashB)
+	}
+
+	for _, class := range []load.Class{load.ClassRead, load.ClassVerify, load.ClassBatch, load.ClassWatch, load.ClassSimulate} {
+		cr := rep.Classes[string(class)]
+		if cr == nil || cr.Completed == 0 {
+			t.Errorf("class %s never completed a request: %+v", class, cr)
+			continue
+		}
+		if cr.Status["2xx"] == 0 {
+			t.Errorf("class %s has no 2xx responses: %v", class, cr.Status)
+		}
+		if cr.P50 <= 0 || cr.P999 < cr.P50 {
+			t.Errorf("class %s quantiles broken: p50=%v p999=%v", class, cr.P50, cr.P999)
+		}
+	}
+
+	// Both long-lived subscribers (which replay on reconnect) must have
+	// seen the live event.
+	if rep.WatchEventsReceived < 2 {
+		t.Errorf("watch streams received %d events, want ≥ 2", rep.WatchEventsReceived)
+	}
+	if rep.Watch5xx != 0 {
+		t.Errorf("watch streams saw %d 5xx", rep.Watch5xx)
+	}
+	if rep.Schema != "trustd-loadgen/1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.BucketBoundsSeconds) != 69 {
+		t.Errorf("bucket bounds = %d, want 69 shared HDR bounds", len(rep.BucketBoundsSeconds))
+	}
+}

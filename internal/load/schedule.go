@@ -1,0 +1,58 @@
+package load
+
+// Open-loop request scheduling — the half of a load generator that
+// decides *when* requests happen. The arrival times are fixed up front
+// (start + i/RPS) and issuance NEVER waits for completions: a stalled
+// server changes nothing about when the next request is fired, only how
+// long the outstanding ones take. That is the property that avoids
+// coordinated omission — a closed loop (issue → wait → issue) silently
+// stops sampling exactly when the server is at its worst, and its
+// latency histogram reports the stall as one slow request instead of
+// hundreds.
+//
+// Latency is therefore measured from the SCHEDULED arrival time, not
+// from when the goroutine got around to writing bytes: if issuance
+// itself falls behind (GC pause, CPU exhaustion on the generator), the
+// delay is charged to the requests, same as HdrHistogram-based
+// generators like wrk2 do.
+
+import (
+	"context"
+	"time"
+)
+
+// openLoop fires n events at a fixed interval from start: event i is due
+// at start + i·interval. fire must not block — it is handed the event
+// index and its scheduled time and is expected to spawn any real work.
+// When the loop falls behind (coarse sleeper, CPU starvation) it issues
+// the backlog immediately in a catch-up burst rather than stretching the
+// schedule. Returns how many events were issued (= n unless ctx ended
+// the run early).
+func openLoop(ctx context.Context, start time.Time, interval time.Duration, n int, fire func(i int, scheduled time.Time)) int {
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for i := 0; i < n; i++ {
+		scheduled := start.Add(time.Duration(i) * interval)
+		if wait := time.Until(scheduled); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				return i
+			}
+		} else {
+			// Behind schedule: still check for cancellation, then fire
+			// immediately — the catch-up burst keeps offered load honest.
+			select {
+			case <-ctx.Done():
+				return i
+			default:
+			}
+		}
+		fire(i, scheduled)
+	}
+	return n
+}

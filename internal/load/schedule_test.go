@@ -1,0 +1,208 @@
+package load
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/useragent"
+)
+
+// TestOpenLoopScheduleExact fires with no work attached: the loop must
+// track the schedule, not run hot.
+func TestOpenLoopScheduleExact(t *testing.T) {
+	const n = 200
+	interval := time.Millisecond
+	start := time.Now()
+	var fired int
+	issued := openLoop(context.Background(), start, interval, n, func(i int, scheduled time.Time) {
+		fired++
+		if got := scheduled.Sub(start); got != time.Duration(i)*interval {
+			t.Fatalf("event %d scheduled at %v, want %v", i, got, time.Duration(i)*interval)
+		}
+	})
+	elapsed := time.Since(start)
+	if issued != n || fired != n {
+		t.Fatalf("issued %d fired %d, want %d", issued, fired, n)
+	}
+	want := time.Duration(n-1) * interval
+	if elapsed < want {
+		t.Errorf("loop finished in %v, before the last event's schedule %v", elapsed, want)
+	}
+}
+
+// TestOpenLoopCancel stops issuing promptly on context cancellation.
+func TestOpenLoopCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var fired atomic.Int64
+	done := make(chan int)
+	go func() {
+		done <- openLoop(ctx, time.Now(), 10*time.Millisecond, 1000, func(int, time.Time) { fired.Add(1) })
+	}()
+	time.Sleep(35 * time.Millisecond)
+	cancel()
+	issued := <-done
+	if issued >= 1000 {
+		t.Fatalf("issued %d, want an early stop", issued)
+	}
+	if int64(issued) != fired.Load() {
+		t.Fatalf("issued %d but fired %d", issued, fired.Load())
+	}
+}
+
+// TestOpenLoopImmuneToStalls is the coordinated-omission property: the
+// offered rate must hold within 2% even when a slice of the "requests"
+// stall for a long time relative to the interval. A closed loop would
+// stretch the run by (stalls × stall time); the open loop must not.
+func TestOpenLoopImmuneToStalls(t *testing.T) {
+	const (
+		n        = 1000
+		interval = time.Millisecond // 1000 req/s offered
+		stall    = 200 * time.Millisecond
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	issued := openLoop(context.Background(), start, interval, n, func(i int, _ time.Time) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if i%10 == 0 { // every 10th request stalls 200× the interval
+				time.Sleep(stall)
+			}
+		}()
+	})
+	issueWall := time.Since(start)
+	wg.Wait()
+
+	if issued != n {
+		t.Fatalf("issued %d, want %d", issued, n)
+	}
+	offered := float64(n) / issueWall.Seconds()
+	target := float64(time.Second / interval)
+	if err := math.Abs(offered-target) / target; err > 0.02 {
+		t.Errorf("offered rate %.1f req/s, want %.0f ±2%% (err %.2f%%) — issuance was blocked by stalled work", offered, target, err*100)
+	}
+}
+
+// TestRunnerOfferedRPSUnderServerStalls drives the full Runner against a
+// server that stalls 10%% of requests for 200ms and asserts the achieved
+// offered rate stays within 2%% of the target — the end-to-end version of
+// the open-loop property, through the semaphore and real HTTP.
+func TestRunnerOfferedRPSUnderServerStalls(t *testing.T) {
+	var hits atomic.Int64
+	web := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1)%10 == 0 {
+			time.Sleep(200 * time.Millisecond)
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer web.Close()
+
+	const rps = 500.0
+	r, err := NewRunner(Options{
+		BaseURL:  web.URL,
+		RPS:      rps,
+		Duration: 2 * time.Second,
+		Mix:      Mix{ClassRead: 1},
+		Seed:     1,
+	}, Target{ReadPaths: []string{"/"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Issued != rep.Requested {
+		t.Fatalf("issued %d of %d", rep.Issued, rep.Requested)
+	}
+	if relErr := math.Abs(rep.OfferedRPS-rps) / rps; relErr > 0.02 {
+		t.Errorf("offered RPS %.1f, want %.0f ±2%% (err %.2f%%)", rep.OfferedRPS, rps, relErr*100)
+	}
+	cr := rep.Classes[string(ClassRead)]
+	if cr == nil || cr.Completed != uint64(rep.Requested) {
+		t.Fatalf("read class incomplete: %+v", cr)
+	}
+	if cr.Shed != 0 {
+		t.Errorf("shed %d requests with a roomy in-flight cap", cr.Shed)
+	}
+	// The stalled decile must show up in the tail: p99 ≥ stall, p50 ≪ stall.
+	if cr.P99 < 0.150 {
+		t.Errorf("p99 = %.3fs, want ≥ 0.15s (stalls must land in the tail)", cr.P99)
+	}
+	if cr.P50 > 0.100 {
+		t.Errorf("p50 = %.3fs, want well under the stall", cr.P50)
+	}
+}
+
+// TestUAMixDeterministicSeed pins the verify workload's user-agent draw:
+// the same seed must reproduce the identical provider mix, a different
+// seed must not be forced to, and the mix must reflect the paper pool's
+// marginals (every traceable provider plus untraceable agents present).
+func TestUAMixDeterministicSeed(t *testing.T) {
+	pool := useragent.Generate(useragent.PaperSample())
+	const n = 2000
+
+	a := UAMixProviders(pool, 42, n)
+	b := UAMixProviders(pool, 42, n)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different support: %v vs %v", a, b)
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("same seed, different mix at %q: %d vs %d", k, v, b[k])
+		}
+	}
+
+	var total int
+	for _, v := range a {
+		total += v
+	}
+	if total != n {
+		t.Fatalf("mix sums to %d, want %d", total, n)
+	}
+	for _, provider := range []string{"NSS", "Microsoft", "Apple", "Android", "NodeJS", ""} {
+		if a[provider] == 0 {
+			t.Errorf("provider %q absent from a %d-draw mix over the paper pool", provider, n)
+		}
+	}
+
+	// The draw is uniform over the weighted pool, so each provider's share
+	// must track its share of pool entries (±5 points at n=2000).
+	poolShare := map[string]float64{}
+	for _, ua := range pool {
+		m := useragent.MapToProvider(useragent.Parse(ua))
+		if m.Traceable {
+			poolShare[string(m.Provider)]++
+		} else {
+			poolShare[""]++
+		}
+	}
+	for k := range poolShare {
+		poolShare[k] /= float64(len(pool))
+		got := float64(a[k]) / n
+		if math.Abs(got-poolShare[k]) > 0.05 {
+			t.Errorf("provider %q drawn share %.3f, pool share %.3f", k, got, poolShare[k])
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("read=45,verify=35,batch=5,watch=5,simulate=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix[ClassRead] != 45 || mix[ClassSimulate] != 10 {
+		t.Fatalf("parsed mix %v", mix)
+	}
+	for _, bad := range []string{"", "bogus=1", "read", "read=-1"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}

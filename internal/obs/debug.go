@@ -17,7 +17,9 @@ type tracesResponse struct {
 
 // TracesHandler serves the tracer's ring buffer: the most recent traces
 // plus the slowest-N board. ?n= bounds how many of each are returned
-// (default 32 recent, all slowest).
+// (default 32 recent, all slowest); ?trace_id=<32 hex> filters both
+// lists to that trace, which is how a /metrics/prometheus exemplar
+// resolves to its span tree in one request.
 func (t *Tracer) TracesHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		n := 32
@@ -31,6 +33,10 @@ func (t *Tracer) TracesHandler() http.Handler {
 			Recent:        t.Recent(n),
 			Slowest:       t.Slowest(0),
 		}
+		if id := r.URL.Query().Get("trace_id"); id != "" {
+			resp.Recent = filterTraces(resp.Recent, id)
+			resp.Slowest = filterTraces(resp.Slowest, id)
+		}
 		if resp.Recent == nil {
 			resp.Recent = []*TraceRecord{}
 		}
@@ -42,6 +48,17 @@ func (t *Tracer) TracesHandler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(resp)
 	})
+}
+
+// filterTraces keeps only the records whose trace ID matches id.
+func filterTraces(recs []*TraceRecord, id string) []*TraceRecord {
+	out := []*TraceRecord{}
+	for _, r := range recs {
+		if r != nil && r.TraceID.String() == id {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // DebugMux builds the opt-in diagnostics mux the -debug-addr listeners

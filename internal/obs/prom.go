@@ -39,11 +39,15 @@ type Label struct {
 
 // Sample is one exposition line. Suffix is appended to the family name —
 // histogram families use "_bucket", "_sum" and "_count"; scalar families
-// leave it empty.
+// leave it empty. A histogram _bucket sample may carry an Exemplar,
+// rendered OpenMetrics-style after the value
+// (`… 17 # {trace_id="<hex>"} 0.42`) so a scrape links the bucket to a
+// concrete trace in /debug/traces.
 type Sample struct {
-	Suffix string
-	Labels []Label
-	Value  float64
+	Suffix   string
+	Labels   []Label
+	Value    float64
+	Exemplar *Exemplar
 }
 
 // MetricFamily is one named metric with its samples.
@@ -93,6 +97,20 @@ func HistogramSamples(labels []Label, bounds []float64, counts []uint64, sum flo
 	return out
 }
 
+// HistogramSamplesExemplars is HistogramSamples plus per-bucket
+// exemplars: exemplars is index-parallel to counts (overflow last, nil
+// entries allowed) and each non-nil entry is attached to its bucket's
+// sample, the overflow exemplar to the +Inf bucket.
+func HistogramSamplesExemplars(labels []Label, bounds []float64, counts []uint64, sum float64, exemplars []*Exemplar) []Sample {
+	out := HistogramSamples(labels, bounds, counts, sum)
+	for i := 0; i <= len(bounds) && i < len(exemplars); i++ {
+		if exemplars[i] != nil && i < len(out) {
+			out[i].Exemplar = exemplars[i]
+		}
+	}
+	return out
+}
+
 // WriteExposition renders the families as Prometheus text format with
 // deterministic ordering: families sorted by name, samples by suffix and
 // label signature. Ordering stability is what makes the golden test and
@@ -132,6 +150,12 @@ func WriteExposition(w io.Writer, families []MetricFamily) error {
 			}
 			bw.WriteByte(' ')
 			bw.WriteString(formatValue(s.Value))
+			if s.Exemplar != nil && s.Exemplar.TraceID != "" {
+				// OpenMetrics-style exemplar suffix — an extension
+				// over text format 0.0.4 (the content type stays
+				// 0.0.4; LintExposition accepts and validates it).
+				fmt.Fprintf(bw, " # {trace_id=%q} %s", escapeLabel(s.Exemplar.TraceID), formatValue(s.Exemplar.Seconds))
+			}
 			bw.WriteByte('\n')
 		}
 	}
@@ -224,6 +248,9 @@ func Lint(families []MetricFamily) []string {
 				problems = append(problems, fmt.Sprintf("%s%s: duplicate series %v", f.Name, s.Suffix, s.Labels))
 			}
 			seenSeries[key] = true
+			if s.Exemplar != nil && (f.Type != Histogram || s.Suffix != "_bucket") {
+				problems = append(problems, fmt.Sprintf("%s%s: exemplar on non-bucket sample", f.Name, s.Suffix))
+			}
 			if f.Type == Histogram {
 				switch s.Suffix {
 				case "_bucket", "_sum", "_count":
@@ -409,9 +436,12 @@ func parseSampleLine(line string) (name, labels, value string, err error) {
 	rest := line
 	if i := strings.IndexByte(rest, '{'); i >= 0 {
 		name = rest[:i]
-		j := strings.LastIndexByte(rest, '}')
-		if j < i {
-			return "", "", "", fmt.Errorf("unbalanced braces")
+		// Scan for the label set's own closing brace (quote-aware) —
+		// an exemplar suffix carries a second {...} later in the line,
+		// so a LastIndexByte would grab the wrong one.
+		j, berr := closingBrace(rest, i)
+		if berr != nil {
+			return "", "", "", berr
 		}
 		labels = rest[i+1 : j]
 		rest = strings.TrimSpace(rest[j+1:])
@@ -421,16 +451,102 @@ func parseSampleLine(line string) (name, labels, value string, err error) {
 			return "", "", "", fmt.Errorf("malformed sample line")
 		}
 		name = fields[0]
-		rest = strings.Join(fields[1:], " ")
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, name))
 	}
 	if !metricNameRe.MatchString(name) {
 		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	// Split off an OpenMetrics-style exemplar (` # {…} value [ts]`)
+	// before counting fields; the labels are already stripped, so the
+	// first '#' here can only start an exemplar.
+	var exemplar string
+	if i := strings.IndexByte(rest, '#'); i >= 0 {
+		exemplar = strings.TrimSpace(rest[i+1:])
+		rest = strings.TrimSpace(rest[:i])
 	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 { // value [timestamp]
 		return "", "", "", fmt.Errorf("malformed sample line")
 	}
+	if exemplar != "" {
+		if eerr := lintExemplar(exemplar); eerr != nil {
+			return "", "", "", eerr
+		}
+	}
 	return name, labels, fields[0], nil
+}
+
+// closingBrace finds the index of the '}' matching the '{' at open,
+// skipping braces inside quoted label values.
+func closingBrace(s string, open int) (int, error) {
+	inStr := false
+	for i := open + 1; i < len(s); i++ {
+		switch {
+		case inStr:
+			if s[i] == '\\' {
+				i++
+			} else if s[i] == '"' {
+				inStr = false
+			}
+		case s[i] == '"':
+			inStr = true
+		case s[i] == '}':
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("unbalanced braces")
+}
+
+// lintExemplar validates the part after a sample's '#': a {label="v"}
+// set followed by a value and an optional timestamp.
+func lintExemplar(s string) error {
+	if !strings.HasPrefix(s, "{") {
+		return fmt.Errorf("malformed exemplar %q", s)
+	}
+	j, err := closingBrace(s, 0)
+	if err != nil {
+		return fmt.Errorf("malformed exemplar %q", s)
+	}
+	for _, part := range splitLabelPairs(s[1:j]) {
+		name, _, ok := strings.Cut(part, "=")
+		if !ok || !labelNameRe.MatchString(strings.TrimSpace(name)) {
+			return fmt.Errorf("bad exemplar label %q", part)
+		}
+	}
+	fields := strings.Fields(strings.TrimSpace(s[j+1:]))
+	if len(fields) < 1 || len(fields) > 2 { // value [timestamp]
+		return fmt.Errorf("exemplar missing value in %q", s)
+	}
+	if _, err := parsePromValue(fields[0]); err != nil {
+		return fmt.Errorf("bad exemplar value %q", fields[0])
+	}
+	return nil
+}
+
+// splitLabelPairs splits a label body on commas outside quoted values.
+func splitLabelPairs(s string) []string {
+	var parts []string
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inStr:
+			if s[i] == '\\' {
+				i++
+			} else if s[i] == '"' {
+				inStr = false
+			}
+		case s[i] == '"':
+			inStr = true
+		case s[i] == ',':
+			parts = append(parts, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	if tail := strings.TrimSpace(s[start:]); tail != "" {
+		parts = append(parts, tail)
+	}
+	return parts
 }
 
 func parsePromValue(s string) (float64, error) {

@@ -196,6 +196,7 @@ func (r *TraceRecord) MarshalJSON() ([]byte, error) {
 		Name         string       `json:"name"`
 		Start        time.Time    `json:"start"`
 		DurationMS   float64      `json:"duration_ms"`
+		BucketLE     string       `json:"bucket_le"`
 		RemoteParent string       `json:"remote_parent,omitempty"`
 		DroppedSpans int          `json:"dropped_spans,omitempty"`
 		Spans        []SpanRecord `json:"spans"`
@@ -205,6 +206,7 @@ func (r *TraceRecord) MarshalJSON() ([]byte, error) {
 		Name:         r.Name,
 		Start:        r.Start,
 		DurationMS:   r.DurationMS,
+		BucketLE:     HDRBucketLabelFor(r.DurationMS / 1e3),
 		DroppedSpans: r.DroppedSpans,
 		Spans:        r.Spans,
 	}
@@ -281,6 +283,31 @@ func (s *Span) SetAttr(key, value string) {
 		s.attrs = make([]Attr, 0, 4)
 	}
 	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// maxSpanAttrs caps how many attributes a span accumulates via Annotate.
+// Past the cap new annotations are dropped, not appended: the slice never
+// regrows on a hot path, and the first attributes set (route, status,
+// outcome) are the ones worth keeping.
+const maxSpanAttrs = 16
+
+// Annotate adds a bounded attribute to the span: like SetAttr, but past
+// maxSpanAttrs the annotation is silently dropped instead of growing the
+// slice. Instrumented hot paths (verify fan-out, cache tagging) use this
+// so a pathological request can't balloon a span record. Safe on nil and
+// no-op spans, where it is allocation-free.
+func (s *Span) Annotate(key, value string) {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.attrs) < maxSpanAttrs {
+		if s.attrs == nil {
+			s.attrs = make([]Attr, 0, 4)
+		}
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
 	s.mu.Unlock()
 }
 

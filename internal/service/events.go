@@ -112,6 +112,12 @@ func (s *Server) handleEventsWatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	// Force the headers onto the wire now: without a flush the client's
+	// TTFB would be the first event (or worse, the first heartbeat), and
+	// a quiet feed would look like a hung connect to subscribers.
+	if err := rc.Flush(); err != nil {
+		return
+	}
 
 	lastSent := f.SinceSeq
 	send := func(ev tracker.Event) bool {

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -444,6 +445,9 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 func (s *Server) fanoutVerify(r *http.Request, st *dbState, snaps []*store.Snapshot, vreq verify.Request, chainHash string) []storeVerdict {
 	ctx := r.Context()
 	out := make([]storeVerdict, len(snaps))
+	// Annotate (bounded, drop-not-grow) rather than SetAttr for the
+	// per-verdict tags: a wide fan-out cannot balloon span records.
+	chainDepth := strconv.Itoa(1 + len(vreq.Intermediates))
 	var wg sync.WaitGroup
 	for i, snap := range snaps {
 		// One child span per store verdict: the per-store wait + verify
@@ -452,7 +456,8 @@ func (s *Server) fanoutVerify(r *http.Request, st *dbState, snaps []*store.Snaps
 		// wait is part of the span.
 		storeKey := snap.Key()
 		span := obs.StartLeafSpan(ctx, "verify.store")
-		span.SetAttr("store", storeKey)
+		span.Annotate("store", storeKey)
+		span.Annotate("chain_depth", chainDepth)
 		select {
 		case s.sem <- struct{}{}:
 		case <-ctx.Done():
@@ -460,7 +465,7 @@ func (s *Server) fanoutVerify(r *http.Request, st *dbState, snaps []*store.Snaps
 				Store: storeKey, Provider: snap.Provider, Date: snap.Date,
 				Outcome: "timeout", Error: ctx.Err().Error(),
 			}
-			span.SetAttr("outcome", "timeout")
+			span.Annotate("outcome", "timeout")
 			span.End()
 			continue
 		}
@@ -470,9 +475,11 @@ func (s *Server) fanoutVerify(r *http.Request, st *dbState, snaps []*store.Snaps
 			defer func() { <-s.sem }()
 			defer span.End()
 			out[i] = s.verdictFor(st, snap, vreq, chainHash)
-			span.SetAttr("outcome", out[i].Outcome)
+			span.Annotate("outcome", out[i].Outcome)
 			if out[i].Cached {
-				span.SetAttr("cached", "true")
+				span.Annotate("cached", "true")
+			} else {
+				span.Annotate("cached", "false")
 			}
 		}(i, snap, span)
 	}

@@ -4,43 +4,15 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
-	"strings"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
-// latencyBuckets are the upper bounds (inclusive) of the request-latency
-// histogram, in milliseconds. The last bucket is open-ended.
-var latencyBuckets = []float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
-
-// latencyBucketNames pre-renders the bucket keys ("le_25ms", …, "le_inf")
-// so the per-request path never formats.
-var latencyBucketNames = func() []string {
-	names := make([]string, len(latencyBuckets)+1)
-	for i, le := range latencyBuckets {
-		names[i] = fmt.Sprintf("le_%gms", le)
-	}
-	names[len(latencyBuckets)] = "le_inf"
-	return names
-}()
-
 // statusClasses maps code/100 to its class key without formatting.
 var statusClasses = [...]string{"0xx", "1xx", "2xx", "3xx", "4xx", "5xx"}
-
-// routeKeys pre-joins one route with every latency-map key, so recording
-// a request concatenates no strings.
-type routeKeys struct {
-	buckets []string // parallel to latencyBucketNames
-	sum     string
-}
-
-// routeSep joins a route and a histogram key in the latency map
-// ("POST /v1/verify|le_25ms"). Aggregate keys carry no separator, which
-// keeps the original flat keys ("le_25ms", "le_inf") intact for existing
-// consumers.
-const routeSep = "|"
 
 // Metrics aggregates the server's expvar counters. Each Server owns a
 // private expvar.Map rather than publishing process globals, so multiple
@@ -58,7 +30,6 @@ type Metrics struct {
 	status    *expvar.Map // per status class: "2xx" → count
 	outcomes  *expvar.Map // per verify outcome: "ok", "no-anchor", ...
 	cache     *expvar.Map // verifier/verdict cache hit/miss counters
-	latency   *expvar.Map // histogram bucket → count, aggregate ("le_25ms") and per route ("route|le_25ms"), plus "sum_ms" totals
 	inFlight  *expvar.Int
 	verified  *expvar.Int // total per-store verdicts computed (incl. cached)
 	rejected  *expvar.Int // requests refused before verification (4xx)
@@ -83,10 +54,19 @@ type Metrics struct {
 	lastLoad  *expvar.String
 	startedAt time.Time
 
-	// routes holds the pre-joined latency keys per registered route. All
-	// registration happens while the Server is built, before any request,
-	// so requests read the map without locking.
-	routes map[string]*routeKeys
+	// Latency is tracked in HDR log-linear histograms over the shared
+	// obs.HDRBounds layout — the same bounds cmd/loadgen buckets against
+	// on the client side, so the two can be diffed per bucket. routes
+	// holds one exemplar-capturing histogram per registered route; all
+	// registration happens while the Server is built, before any
+	// request, so requests read the map without locking. latencyAll is
+	// the cross-route aggregate (and the fallback for unregistered
+	// routes).
+	routes     map[string]*obs.HDRHistogram
+	latencyAll *obs.HDRHistogram
+
+	// slo feeds the scrape-time trustd_slo_* burn-rate families.
+	slo *sloRing
 
 	// db is the database the freshness gauges are computed against; it
 	// follows the serving generation (recordReload) so scrape-time lag is
@@ -101,7 +81,6 @@ func newMetrics() *Metrics {
 		status:    new(expvar.Map).Init(),
 		outcomes:  new(expvar.Map).Init(),
 		cache:     new(expvar.Map).Init(),
-		latency:   new(expvar.Map).Init(),
 		inFlight:  new(expvar.Int),
 		verified:  new(expvar.Int),
 		rejected:  new(expvar.Int),
@@ -123,13 +102,16 @@ func newMetrics() *Metrics {
 		watchers:  new(expvar.Int),
 		lastLoad:  new(expvar.String),
 		startedAt: time.Now(),
-		routes:    map[string]*routeKeys{},
+
+		routes:     map[string]*obs.HDRHistogram{},
+		latencyAll: obs.NewHDRHistogramExemplars(),
+		slo:        newSLORing(),
 	}
 	m.root.Set("requests", m.requests)
 	m.root.Set("status", m.status)
 	m.root.Set("verify_outcomes", m.outcomes)
 	m.root.Set("cache", m.cache)
-	m.root.Set("latency_ms", m.latency)
+	m.root.Set("latency_ms", expvar.Func(m.latencySummary))
 	m.root.Set("provider_lag_seconds", expvar.Func(m.providerLag))
 	m.root.Set("provider_kinds", expvar.Func(m.providerKinds))
 	m.root.Set("in_flight", m.inFlight)
@@ -263,48 +245,63 @@ func (m *Metrics) ProviderLagSeconds(provider string) int64 {
 // Map exposes the metric tree, e.g. for expvar.Publish in cmd/trustd.
 func (m *Metrics) Map() *expvar.Map { return m.root }
 
-// registerRoute pre-joins the route's latency keys. Called only during
-// Server construction (see Metrics.routes).
+// registerRoute allocates the route's latency histogram. Called only
+// during Server construction (see Metrics.routes).
 func (m *Metrics) registerRoute(route string) {
-	rk := &routeKeys{
-		buckets: make([]string, len(latencyBucketNames)),
-		sum:     route + routeSep + "sum_ms",
-	}
-	for i, b := range latencyBucketNames {
-		rk.buckets[i] = route + routeSep + b
-	}
-	m.routes[route] = rk
+	m.routes[route] = obs.NewHDRHistogramExemplars()
 }
 
-// observeLatency records one request in both the aggregate histogram
-// (the original flat keys) and the per-route histogram, plus the running
-// sums the Prometheus exposition needs.
-func (m *Metrics) observeLatency(route string, d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	idx := len(latencyBuckets)
-	for i, le := range latencyBuckets {
-		if ms <= le {
-			idx = i
-			break
+// observeLatency records one request into the per-route and aggregate
+// HDR histograms (two atomic adds each) and, when the request was
+// traced, stamps the trace ID as the bucket's exemplar so the
+// exposition links straight to /debug/traces.
+func (m *Metrics) observeLatency(route string, d time.Duration, trace obs.TraceID) {
+	if h := m.routes[route]; h != nil {
+		h.ObserveTrace(d, trace)
+	}
+	m.latencyAll.ObserveTrace(d, trace)
+}
+
+// latencySummary renders the /metrics JSON view of the latency state:
+// per-route count, sum and headline quantiles computed at read time from
+// the HDR histograms (the raw buckets are served by
+// /metrics/prometheus, which machines should scrape instead).
+func (m *Metrics) latencySummary() any {
+	out := make(map[string]map[string]float64, len(m.routes)+1)
+	add := func(name string, h *obs.HDRHistogram) {
+		s := h.Snapshot()
+		out[name] = map[string]float64{
+			"count":   float64(s.Count),
+			"sum_ms":  s.SumSeconds * 1000,
+			"p50_ms":  s.Quantile(0.50) * 1000,
+			"p90_ms":  s.Quantile(0.90) * 1000,
+			"p99_ms":  s.Quantile(0.99) * 1000,
+			"p999_ms": s.Quantile(0.999) * 1000,
 		}
 	}
-	m.latency.Add(latencyBucketNames[idx], 1)
-	m.latency.AddFloat("sum_ms", ms)
-	if rk := m.routes[route]; rk != nil {
-		m.latency.Add(rk.buckets[idx], 1)
-		m.latency.AddFloat(rk.sum, ms)
-	} else {
-		m.latency.Add(route+routeSep+latencyBucketNames[idx], 1)
-		m.latency.AddFloat(route+routeSep+"sum_ms", ms)
+	add("all", m.latencyAll)
+	for route, h := range m.routes {
+		add(route, h)
 	}
+	return out
 }
 
-// LatencyBucketCount returns a per-route bucket counter (test hook).
-func (m *Metrics) LatencyBucketCount(route, bucket string) int64 {
-	if v, ok := m.latency.Get(route + routeSep + bucket).(*expvar.Int); ok {
-		return v.Value()
+// LatencySnapshot returns a route's HDR histogram snapshot, or the
+// aggregate when route is "" (test hook).
+func (m *Metrics) LatencySnapshot(route string) obs.HDRSnapshot {
+	if route == "" {
+		return m.latencyAll.Snapshot()
 	}
-	return 0
+	if h := m.routes[route]; h != nil {
+		return h.Snapshot()
+	}
+	return obs.HDRSnapshot{}
+}
+
+// SLOBurnRates returns the availability and latency burn rates over a
+// window (test hook; minutes as in the exposed window labels).
+func (m *Metrics) SLOBurnRates(minutes int64) (availability, latency float64, requests uint64) {
+	return m.slo.burnRates(minutes)
 }
 
 // cachePair returns the hit/miss counters for one cache, creating them if
@@ -367,8 +364,9 @@ func (r *statusRecorder) WriteHeader(code int) {
 func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // record counts one finished request: route, status class, refusal/error
-// counters and the latency histograms.
-func (m *Metrics) record(route string, code int, d time.Duration) {
+// counters, the latency histograms (with the trace ID as a bucket
+// exemplar) and the SLO ring.
+func (m *Metrics) record(route string, code int, d time.Duration, trace obs.TraceID) {
 	m.requests.Add(route, 1)
 	if c := code / 100; c >= 0 && c < len(statusClasses) {
 		m.status.Add(statusClasses[c], 1)
@@ -381,7 +379,8 @@ func (m *Metrics) record(route string, code int, d time.Duration) {
 	if code >= 500 {
 		m.errors.Add(1)
 	}
-	m.observeLatency(route, d)
+	m.observeLatency(route, d, trace)
+	m.slo.observe(code, d)
 }
 
 // handler serves the metric tree as JSON — the expvar wire format, scoped to
@@ -391,13 +390,4 @@ func (m *Metrics) handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		fmt.Fprintln(w, m.root.String())
 	})
-}
-
-// routeOf splits a latency-map key into its route and bucket parts;
-// aggregate keys return route "".
-func routeOf(key string) (route, bucket string) {
-	if i := strings.LastIndex(key, routeSep); i >= 0 {
-		return key[:i], key[i+1:]
-	}
-	return "", key
 }

@@ -149,31 +149,97 @@ func TestPrometheusEndpoint(t *testing.T) {
 		"trustd_errors_total",
 		"trustd_uptime_seconds",
 		"trustd_traces_started_total",
+		"trustd_slo_availability_target",
+		"trustd_slo_latency_threshold_seconds",
+		"trustd_slo_burn_rate{slo=\"availability\",window=\"5m\"}",
+		"trustd_slo_burn_rate{slo=\"latency\",window=\"1h\"}",
+		"trustd_slo_window_requests{window=\"5m\"}",
 		"go_goroutines",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q", want)
 		}
 	}
+
+	// Every request is traced, so the verify route's histogram must carry
+	// at least one exemplar, and its trace ID must resolve to the live
+	// trace at /debug/traces?trace_id=<id>.
+	exIdx := strings.Index(text, `# {trace_id="`)
+	if exIdx < 0 {
+		t.Fatal("exposition has no bucket exemplars")
+	}
+	rest := text[exIdx+len(`# {trace_id="`):]
+	traceID := rest[:strings.IndexByte(rest, '"')]
+	if len(traceID) != 32 {
+		t.Fatalf("exemplar trace id %q not 32 hex chars", traceID)
+	}
+	dreq := httptest.NewRequest(http.MethodGet, "/debug/traces?trace_id="+traceID, nil)
+	drec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(drec, dreq)
+	var dump struct {
+		Recent []struct {
+			TraceID  string `json:"trace_id"`
+			BucketLE string `json:"bucket_le"`
+		} `json:"recent"`
+		Slowest []struct {
+			TraceID string `json:"trace_id"`
+		} `json:"slowest"`
+	}
+	if err := json.NewDecoder(drec.Result().Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Recent)+len(dump.Slowest) == 0 {
+		t.Fatalf("exemplar trace %s not found in /debug/traces", traceID)
+	}
+	for _, tr := range dump.Recent {
+		if tr.TraceID != traceID {
+			t.Errorf("filter leaked trace %s", tr.TraceID)
+		}
+		if tr.BucketLE == "" {
+			t.Error("trace record missing bucket_le")
+		}
+	}
 }
 
 // TestPerRouteLatencyAndErrorCounters exercises satellite metrics: the
-// per-route histogram keys ride alongside the original aggregate keys,
-// and 5xx responses land in errors_total.
+// per-route HDR histogram fills alongside the aggregate, quantiles come
+// out of the /metrics JSON summary, and the SLO ring sees the traffic.
 func TestPerRouteLatencyAndErrorCounters(t *testing.T) {
 	_, srv := fixture(t)
 	get(t, srv, "/v1/providers", nil)
 
 	m := srv.Metrics()
-	var total int64
-	for _, b := range []string{"le_1ms", "le_5ms", "le_10ms", "le_25ms", "le_50ms", "le_100ms", "le_250ms", "le_500ms", "le_1000ms", "le_2500ms", "le_inf"} {
-		total += m.LatencyBucketCount("GET /v1/providers", b)
+	snap := m.LatencySnapshot("GET /v1/providers")
+	if snap.Count == 0 {
+		t.Error("per-route latency histogram empty after a request")
 	}
-	if total == 0 {
-		t.Error("per-route latency buckets empty after a request")
+	if agg := m.LatencySnapshot(""); agg.Count == 0 {
+		t.Error("aggregate latency histogram empty after a request")
 	}
 	if m.RequestCount("GET /v1/providers") == 0 {
 		t.Error("route counter empty")
+	}
+	if _, _, req := m.SLOBurnRates(5); req == 0 {
+		t.Error("SLO 5m window saw no requests")
+	}
+
+	var raw map[string]any
+	get(t, srv, "/metrics", &raw)
+	lat, ok := raw["latency_ms"].(map[string]any)
+	if !ok {
+		t.Fatalf("latency_ms missing in /metrics: %T", raw["latency_ms"])
+	}
+	route, ok := lat["GET /v1/providers"].(map[string]any)
+	if !ok {
+		t.Fatalf("latency_ms has no per-route summary: %v", lat)
+	}
+	if c, _ := route["count"].(float64); c == 0 {
+		t.Errorf("latency summary count = %v", route["count"])
+	}
+	for _, q := range []string{"p50_ms", "p99_ms", "p999_ms"} {
+		if _, ok := route[q].(float64); !ok {
+			t.Errorf("latency summary missing %s: %v", q, route)
+		}
 	}
 }
 

@@ -2,7 +2,6 @@ package service
 
 import (
 	"expvar"
-	"fmt"
 	"net/http"
 	"sort"
 	"strings"
@@ -64,6 +63,7 @@ func (s *Server) promFamilies() []obs.MetricFamily {
 		obs.CounterFamily(promNamespace+"traces_started_total", "Request traces started.", float64(s.tracer.Started())),
 		obs.GaugeFamily(promNamespace+"generation_epoch", "Cluster epoch of the serving generation.", float64(s.cur().epoch)),
 	}
+	fams = append(fams, s.sloFamilies()...)
 	if sp, ok := s.events.(StatsSource); ok {
 		fams = append(fams, sp.StatsFamilies(promNamespace)...)
 	}
@@ -116,63 +116,67 @@ func (s *Server) providerKindsFamily() obs.MetricFamily {
 	return fam
 }
 
-// latencyHistogram converts the expvar latency map — per-route flat keys
-// like "POST /v1/verify|le_25ms" — into one Prometheus histogram family
-// with a route label, rescaled from milliseconds to base-unit seconds.
+// latencyHistogram renders the per-route HDR histograms as one
+// Prometheus histogram family with a route label. Buckets use the shared
+// obs.HDRBounds layout (identical to cmd/loadgen's client-side capture),
+// and buckets that hold a traced observation carry its trace ID as an
+// OpenMetrics-style exemplar, resolvable at
+// /debug/traces?trace_id=<id>. Routes that served no requests yet are
+// skipped to keep the exposition compact.
 func (s *Server) latencyHistogram() obs.MetricFamily {
 	fam := obs.MetricFamily{
 		Name: promNamespace + "request_duration_seconds",
-		Help: "HTTP request latency by route.",
+		Help: "HTTP request latency by route (shared HDR log-linear buckets).",
 		Type: obs.Histogram,
 	}
-	type hist struct {
-		counts []uint64
-		sum    float64
-	}
-	perRoute := map[string]*hist{}
-	bucketIdx := make(map[string]int, len(latencyBuckets)+1)
-	for i, le := range latencyBuckets {
-		bucketIdx[fmt.Sprintf("le_%gms", le)] = i
-	}
-	bucketIdx["le_inf"] = len(latencyBuckets)
-
-	s.metrics.latency.Do(func(kv expvar.KeyValue) {
-		route, bucket := routeOf(kv.Key)
-		if route == "" {
-			return // aggregate keys: derivable in PromQL with sum without (route)
+	bounds := obs.HDRBounds()
+	routes := make([]string, 0, len(s.metrics.routes))
+	for r, h := range s.metrics.routes {
+		if h.TotalCount() > 0 {
+			routes = append(routes, r)
 		}
-		h := perRoute[route]
-		if h == nil {
-			h = &hist{counts: make([]uint64, len(latencyBuckets)+1)}
-			perRoute[route] = h
-		}
-		switch v := kv.Value.(type) {
-		case *expvar.Int:
-			if i, ok := bucketIdx[bucket]; ok {
-				h.counts[i] = uint64(v.Value())
-			}
-		case *expvar.Float:
-			if bucket == "sum_ms" {
-				h.sum = v.Value() / 1000
-			}
-		}
-	})
-
-	bounds := make([]float64, len(latencyBuckets))
-	for i, le := range latencyBuckets {
-		bounds[i] = le / 1000
-	}
-	routes := make([]string, 0, len(perRoute))
-	for r := range perRoute {
-		routes = append(routes, r)
 	}
 	sort.Strings(routes)
 	for _, r := range routes {
-		h := perRoute[r]
-		fam.Samples = append(fam.Samples,
-			obs.HistogramSamples([]obs.Label{{Name: "route", Value: r}}, bounds, h.counts, h.sum)...)
+		h := s.metrics.routes[r]
+		snap := h.Snapshot()
+		fam.Samples = append(fam.Samples, obs.HistogramSamplesExemplars(
+			[]obs.Label{{Name: "route", Value: r}}, bounds, snap.Counts, snap.SumSeconds, h.Exemplars())...)
 	}
 	return fam
+}
+
+// sloFamilies derives the trustd_slo_* families from the minute ring at
+// scrape time: the SLO definitions as gauges (so alert rules can read
+// targets off the exposition instead of hard-coding them) plus
+// multi-window burn rates for the fast-burn/slow-burn alerting pair.
+func (s *Server) sloFamilies() []obs.MetricFamily {
+	burn := obs.MetricFamily{
+		Name: promNamespace + "slo_burn_rate",
+		Help: "Error-budget burn rate by SLO and window (1.0 = consuming budget exactly at the sustainable rate).",
+		Type: obs.Gauge,
+	}
+	win := obs.MetricFamily{
+		Name: promNamespace + "slo_window_requests",
+		Help: "Requests observed in each burn-rate window.",
+		Type: obs.Gauge,
+	}
+	for _, w := range sloWindows {
+		avail, lat, req := s.metrics.slo.burnRates(w.minutes)
+		burn.Samples = append(burn.Samples,
+			obs.Sample{Labels: []obs.Label{{Name: "slo", Value: "availability"}, {Name: "window", Value: w.label}}, Value: avail},
+			obs.Sample{Labels: []obs.Label{{Name: "slo", Value: "latency"}, {Name: "window", Value: w.label}}, Value: lat},
+		)
+		win.Samples = append(win.Samples,
+			obs.Sample{Labels: []obs.Label{{Name: "window", Value: w.label}}, Value: float64(req)})
+	}
+	return []obs.MetricFamily{
+		obs.GaugeFamily(promNamespace+"slo_availability_target", "Availability SLO: fraction of requests that must not be 5xx.", sloAvailabilityTarget),
+		obs.GaugeFamily(promNamespace+"slo_latency_target", "Latency SLO: fraction of requests that must finish within the threshold.", sloLatencyTarget),
+		obs.GaugeFamily(promNamespace+"slo_latency_threshold_seconds", "Latency SLO threshold.", sloLatencyThreshold.Seconds()),
+		burn,
+		win,
+	}
 }
 
 // mapCounter flattens an expvar.Map of integer counters into one labelled

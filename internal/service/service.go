@@ -351,7 +351,7 @@ func (s *Server) instrument(route string, next http.Handler) http.Handler {
 		next.ServeHTTP(rec, r.WithContext(ctx))
 		elapsed := time.Since(start)
 		s.metrics.inFlight.Add(-1)
-		s.metrics.record(route, rec.code, elapsed)
+		s.metrics.record(route, rec.code, elapsed, span.TraceID())
 
 		span.SetAttr("status", strconv.Itoa(rec.code))
 		span.End()

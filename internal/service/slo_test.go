@@ -1,0 +1,65 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSLORingBurnRates(t *testing.T) {
+	r := newSLORing()
+	now := time.Unix(1_700_000_000, 0)
+	r.nowFunc = func() time.Time { return now }
+
+	// 1000 requests this minute: 2 errors (2× the 0.1% availability
+	// budget), 20 slow (2× the 1% latency budget).
+	for i := 0; i < 1000; i++ {
+		code, d := 200, 10*time.Millisecond
+		if i < 2 {
+			code = 500
+		}
+		if i < 20 {
+			d = 500 * time.Millisecond
+		}
+		r.observe(code, d)
+	}
+	avail, lat, req := r.burnRates(5)
+	if req != 1000 {
+		t.Fatalf("window requests = %d, want 1000", req)
+	}
+	if avail < 1.99 || avail > 2.01 {
+		t.Errorf("availability burn = %v, want ~2.0", avail)
+	}
+	if lat < 1.99 || lat > 2.01 {
+		t.Errorf("latency burn = %v, want ~2.0", lat)
+	}
+
+	// The same traffic seen through the 1h window burns 12× less
+	// per-minute pressure but the rate is identical (same request set).
+	avail1h, _, req1h := r.burnRates(60)
+	if req1h != 1000 || avail1h != avail {
+		t.Errorf("1h window = (%v, %d), want same rates over same traffic", avail1h, req1h)
+	}
+
+	// Advance past the 5m window: its burn drops to zero, 1h still sees it.
+	now = now.Add(10 * time.Minute)
+	if _, _, req := r.burnRates(5); req != 0 {
+		t.Errorf("5m window after 10m = %d requests, want 0", req)
+	}
+	if _, _, req := r.burnRates(60); req != 1000 {
+		t.Errorf("1h window after 10m = %d requests, want 1000", req)
+	}
+
+	// A slot is recycled when its minute comes around again.
+	now = now.Add(time.Duration(sloRingMinutes) * time.Minute)
+	r.observe(200, time.Millisecond)
+	if _, _, req := r.burnRates(60); req != 1 {
+		t.Errorf("after ring wrap = %d requests, want 1", req)
+	}
+}
+
+func TestSLORingEmptyWindow(t *testing.T) {
+	r := newSLORing()
+	if a, l, req := r.burnRates(5); a != 0 || l != 0 || req != 0 {
+		t.Fatalf("empty ring burn = (%v, %v, %d)", a, l, req)
+	}
+}

@@ -1,0 +1,195 @@
+package service_test
+
+// Guard tests for the SSE path's writer plumbing under concurrency: the
+// statusRecorder wrapper must keep exposing the underlying Flusher via
+// Unwrap while many /v1/events/watch streams are live, or every stream
+// would stall after headers (http.NewResponseController falls back to a
+// no-op flush and the client never sees an event).
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/tracker"
+)
+
+// stubFeed is an in-memory EventFeed: tests append events with emit and
+// every subscriber receives them live.
+type stubFeed struct {
+	mu     sync.Mutex
+	events []tracker.Event
+	subs   map[int]chan tracker.Event
+	nextID int
+}
+
+func newStubFeed() *stubFeed {
+	return &stubFeed{subs: map[int]chan tracker.Event{}}
+}
+
+func (f *stubFeed) emit(ev tracker.Event) {
+	f.mu.Lock()
+	ev.Seq = uint64(len(f.events) + 1)
+	if ev.ObservedAt.IsZero() {
+		ev.ObservedAt = time.Now()
+	}
+	f.events = append(f.events, ev)
+	for _, ch := range f.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop, like the tracker's fan-out
+		}
+	}
+	f.mu.Unlock()
+}
+
+func (f *stubFeed) Replay(filter tracker.Filter) []tracker.Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []tracker.Event
+	for _, ev := range f.events {
+		if filter.Match(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func (f *stubFeed) Subscribe(buffer int) (<-chan tracker.Event, func()) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	id := f.nextID
+	f.nextID++
+	ch := make(chan tracker.Event, buffer)
+	f.subs[id] = ch
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			f.mu.Lock()
+			delete(f.subs, id)
+			close(ch)
+			f.mu.Unlock()
+		})
+	}
+}
+
+func (f *stubFeed) LastSeq() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return uint64(len(f.events))
+}
+
+func TestSSEStatusRecorderUnwrapUnderLoad(t *testing.T) {
+	// A private server: AttachEvents on the shared fixture would leak the
+	// feed into feed-less tests.
+	eco, _ := fixture(t)
+	srv := service.New(eco.DB, service.Config{})
+	feed := newStubFeed()
+	srv.AttachEvents(feed)
+
+	web := httptest.NewServer(srv.Handler())
+	defer web.Close()
+
+	// Many concurrent streams, all waiting for a live event that is
+	// emitted only after every stream is connected — so delivery proves
+	// the flush path works through the statusRecorder on each of them.
+	const streams = 16
+	var connected, delivered sync.WaitGroup
+	connected.Add(streams)
+	delivered.Add(streams)
+	errs := make(chan error, streams)
+	for i := 0; i < streams; i++ {
+		go func() {
+			resp, err := web.Client().Get(web.URL + "/v1/events/watch")
+			if err != nil {
+				connected.Done()
+				delivered.Done()
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				connected.Done()
+				delivered.Done()
+				errs <- nil
+				return
+			}
+			connected.Done()
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+				if strings.HasPrefix(sc.Text(), "data: ") {
+					delivered.Done()
+					return
+				}
+			}
+			delivered.Done()
+			errs <- sc.Err()
+		}()
+	}
+	connected.Wait()
+
+	// All streams are connected and past WriteHeader; now emit.
+	feed.emit(tracker.Event{Type: tracker.RootRemoved, Provider: "NSS", Version: "v2", Date: time.Now()})
+
+	done := make(chan struct{})
+	go func() { delivered.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("streams did not all receive the event — SSE flush stalled under load")
+	}
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("stream error: %v", err)
+		}
+	}
+}
+
+// TestStatusRecorderUnwrapReplayFlush pins the flush-on-replay path: an
+// event emitted before the stream opens must arrive on the very first
+// flush, through the instrument middleware's statusRecorder. If Unwrap
+// were dropped from the wrapper, the replay would sit in the buffer
+// until the handler returned and this test would time out.
+func TestStatusRecorderUnwrapReplayFlush(t *testing.T) {
+	eco, _ := fixture(t)
+	srv := service.New(eco.DB, service.Config{})
+	feed := newStubFeed()
+	feed.emit(tracker.Event{Type: tracker.RootAdded, Provider: "NSS", Version: "v1", Date: time.Now()})
+	srv.AttachEvents(feed)
+
+	web := httptest.NewServer(srv.Handler())
+	defer web.Close()
+
+	resp, err := web.Client().Get(web.URL + "/v1/events/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch status = %d", resp.StatusCode)
+	}
+	got := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "data: ") {
+				got <- sc.Text()
+				return
+			}
+		}
+	}()
+	select {
+	case line := <-got:
+		if !strings.Contains(line, "root-added") {
+			t.Fatalf("replayed line = %q", line)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("replayed event never flushed through the statusRecorder")
+	}
+}
